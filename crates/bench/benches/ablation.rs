@@ -1,0 +1,61 @@
+//! Criterion benches over the §5.3 ablation grid: simulation cost of each
+//! design variant (E11). The correctness-side comparison lives in
+//! `repro ablation`; this measures how each variant loads the simulator
+//! (queue-heavy variants do more event work per simulated second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctms_core::Scenario;
+use std::hint::black_box;
+
+fn ablation_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    let base = Scenario::test_case_b(42);
+
+    let variants: Vec<(&str, Scenario)> = vec![
+        ("baseline", base.clone()),
+        ("no_ring_priority", {
+            let mut s = base.clone();
+            s.ring_priority = false;
+            s
+        }),
+        ("no_driver_priority", {
+            let mut s = base.clone();
+            s.driver_priority = false;
+            s
+        }),
+        ("system_memory_buffers", {
+            let mut s = base.clone();
+            s.io_channel_memory = false;
+            s
+        }),
+        ("header_only_tx_copy", {
+            let mut s = base.clone();
+            s.tx_copy_full = false;
+            s
+        }),
+        ("no_precomputed_header", {
+            let mut s = base.clone();
+            s.precomputed_header = false;
+            s
+        }),
+        ("purge_interrupt", {
+            let mut s = base.clone();
+            s.purge_interrupt = true;
+            s
+        }),
+    ];
+
+    for (name, sc) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| ctms_bench::run_slice(black_box(&sc), 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_grid
+}
+criterion_main!(ablation);

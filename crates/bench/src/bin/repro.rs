@@ -1,0 +1,88 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--quick] [--seed N] [--markdown]
+//!
+//! EXPERIMENT: all (default) | e1 | e2 | e3 | e4 | fig5_2 | fig5_3 |
+//!             fig5_4 | hist1_5 | e9 | e10 | ablation | router | capacity | ring16 | spl_audit
+//! --quick     short simulated durations (CI-sized)
+//! --seed N    simulation seed (default 42)
+//! --markdown  emit GitHub-flavoured markdown (EXPERIMENTS.md source)
+//! ```
+
+use ctms_core::ExpCfg;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut markdown = false;
+    let mut seed = 42u64;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--markdown" => markdown = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--help" | "-h" => {
+                eprintln!("{}", HELP);
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ctms_bench::registry()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
+    }
+
+    let cfg = if quick {
+        ExpCfg::quick(seed)
+    } else {
+        ExpCfg::full(seed)
+    };
+    eprintln!(
+        "# repro: seed={seed} short={}s long={}s ({} experiments)",
+        cfg.short_secs,
+        cfg.long_secs,
+        wanted.len()
+    );
+
+    let registry = ctms_bench::registry();
+    let mut failures = 0;
+    for name in &wanted {
+        let Some((_, runner)) = registry.iter().find(|(n, _)| n == name) else {
+            die(&format!("unknown experiment {name}"));
+        };
+        let t0 = std::time::Instant::now();
+        let report = runner(cfg);
+        let elapsed = t0.elapsed();
+        if markdown {
+            println!("{}", report.render_markdown());
+        } else {
+            println!("{}", report.render());
+        }
+        eprintln!("# {name}: {:.1}s wall", elapsed.as_secs_f64());
+        failures += report.claims.iter().filter(|c| !c.holds()).count();
+    }
+    if failures > 0 {
+        eprintln!("# {failures} claim(s) outside their bands");
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}\n{HELP}");
+    std::process::exit(2);
+}
+
+const HELP: &str = "usage: repro [all|e1|e2|e3|e4|fig5_2|fig5_3|fig5_4|hist1_5|e9|e10|ablation|router|capacity|ring16|spl_audit]... \
+[--quick] [--seed N] [--markdown]";

@@ -1,0 +1,67 @@
+//! # ctms-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** regenerates every table and figure of the
+//!   paper (experiments E1–E11 of DESIGN.md) and prints paper-vs-measured
+//!   claim tables plus ASCII renderings of Figures 5-2/5-3/5-4;
+//! * the **Criterion benches** (`cargo bench`) measure the simulator's
+//!   wall-clock cost per scenario and per substrate operation, and run the
+//!   §5.3 ablation grid.
+
+use ctms_core::{ExpCfg, Scenario};
+use ctms_stats::Report;
+
+/// The experiment registry: `(name, runner)` in DESIGN.md order.
+pub fn registry() -> Vec<(&'static str, fn(ExpCfg) -> Report)> {
+    use ctms_core::experiments as e;
+    vec![
+        ("e1", e::e1_stock_unix as fn(ExpCfg) -> Report),
+        ("e2", e::e2_copy_count),
+        ("e3", e::e3_logic_analyzer),
+        ("e4", e::e4_pcat_tool),
+        ("fig5_2", e::e5_fig5_2),
+        ("fig5_3", e::e6_fig5_3),
+        ("fig5_4", e::e7_fig5_4),
+        ("hist1_5", e::e8_hist1_5),
+        ("e9", e::e9_ring_purges),
+        ("e10", e::e10_conclusions),
+        ("ablation", e::e11_ablation),
+        ("router", e::e12_router),
+        ("capacity", e::e13_capacity),
+        ("ring16", e::e14_ring_speed),
+        ("spl_audit", e::e15_spl_audit),
+    ]
+}
+
+/// Runs a short slice of a scenario (used by the Criterion benches so a
+/// sample stays in the milliseconds range).
+pub fn run_slice(sc: &Scenario, secs: u64) -> usize {
+    let mut bed = ctms_core::Testbed::ctms(sc);
+    bed.run_until(ctms_sim::SimTime::from_secs(secs));
+    bed.presented().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_design_md() {
+        let names: Vec<&str> = registry().iter().map(|(n, _)| *n).collect();
+        for required in [
+            "e1", "e2", "e3", "e4", "fig5_2", "fig5_3", "fig5_4", "hist1_5", "e9", "e10",
+            "ablation", "router", "capacity", "ring16", "spl_audit",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn run_slice_delivers_packets() {
+        let sc = Scenario::test_case_a(7);
+        let n = run_slice(&sc, 2);
+        // ~83 packets/s for 2 s, minus in-flight.
+        assert!((150..=170).contains(&n), "{n}");
+    }
+}

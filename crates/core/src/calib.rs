@@ -1,0 +1,110 @@
+//! Calibration constants, each traceable to a paper sentence.
+//!
+//! The paper reports no RT/PC cycle counts, so the absolute cost constants
+//! are calibrated *from the paper's own measurements*:
+//!
+//! * copy rate system→IO-Channel memory ≈ 1 µs/byte — §5.3, Figure 5-2
+//!   discussion: "The transfer rate of copying data from the system memory
+//!   where the mbufs are located to the IO Channel Memory … is on the
+//!   order of 1 microsecond per byte";
+//! * non-copy driver code between handler entry and pre-transmit = 600 µs
+//!   — same discussion: "The additional 600 microseconds can be attributed
+//!   to the execution of the code between the two points of measurement";
+//! * point-3→point-4 minimum latency of a 2000-byte packet = 10 740 µs —
+//!   Figure 5-3: distributed over adapter DMA on both ends (1.57 µs/byte),
+//!   the 4042 µs ring transmission, interrupt dispatch, and the
+//!   CTMSP-identification test;
+//! * interrupt dispatch ≤ 25 µs with spl-induced variation up to 440 µs —
+//!   §5.2.2's IRQ→handler measurement.
+
+use ctms_devices::TrAdapterCfg;
+use ctms_sim::Dur;
+use ctms_tokenring::RingConfig;
+use ctms_unixkern::KernCalib;
+
+/// All tunable costs of the reproduction in one place.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Kernel path costs.
+    pub kern: KernCalib,
+    /// Token Ring adapter hardware.
+    pub adapter: TrAdapterCfg,
+    /// Ring medium parameters.
+    pub ring: RingConfig,
+    /// VCA driver code between handler entry and the send handle (600 µs).
+    pub vca_handler_code: Dur,
+    /// Receive-side cost from handler entry to CTMSP determination.
+    pub ctmsp_check_cost: Dur,
+    /// Per-packet header cost without precomputation.
+    pub header_cost: Dur,
+    /// Per-packet header cost with precomputation.
+    pub precomp_header_cost: Dur,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        let mut ring = RingConfig::default();
+        // Test-case-A MAC level: 0.2 % of the ring (§5.3), ≈50 frames/s.
+        ring.mac_rate_per_sec = 50.0;
+        // Calibrated: 2021 bytes × (2.2 + 0.94) µs of DMA + 4042 µs (wire)
+        // + posting, dispatch and check ≈ the 10 740 µs minimum of
+        // Figure 5-3. The asymmetric split also reproduces Figure 5-2's
+        // queueing dynamics (transmit service ≈ 10.7 ms of each 12 ms).
+        let adapter = TrAdapterCfg::default();
+        Calibration {
+            kern: KernCalib::default(),
+            adapter,
+            ring,
+            vca_handler_code: Dur::from_us(600),
+            ctmsp_check_cost: Dur::from_us(290),
+            header_cost: Dur::from_us(150),
+            precomp_header_cost: Dur::from_us(15),
+        }
+    }
+}
+
+impl Calibration {
+    /// The expected minimum point-3→point-4 latency for a packet of
+    /// `info_len` bytes under this calibration (analytic; the simulation
+    /// should never go below it).
+    pub fn h7_floor_us(&self, info_len: u32) -> f64 {
+        let wire = u64::from(info_len) + 21;
+        let dma = (wire as f64)
+            * (self.adapter.tx_dma_per_byte.as_us_f64()
+                + self.adapter.rx_dma_per_byte.as_us_f64());
+        let tx = (wire * 8) as f64 * 0.25; // 4 Mbit/s
+        let cmd = self.adapter.cmd_latency.0.as_us_f64();
+        let post = self.adapter.rx_post_latency.0.as_us_f64();
+        let dispatch = 25.0;
+        dma + tx + cmd + post + dispatch + self.ctmsp_check_cost.as_us_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h7_floor_matches_paper_order() {
+        let c = Calibration::default();
+        let floor = c.h7_floor_us(2000);
+        // Figure 5-3's minimum is 10 740 µs; the analytic floor must sit
+        // just below it (the simulation adds only non-negative waits).
+        assert!(
+            (10_400.0..10_740.0).contains(&floor),
+            "floor = {floor} µs"
+        );
+    }
+
+    #[test]
+    fn copy_rate_is_paper_cited() {
+        let c = Calibration::default();
+        assert_eq!(
+            c.kern
+                .copy
+                .copy(2000, ctms_rtpc::MemRegion::System, ctms_rtpc::MemRegion::IoChannel),
+            Dur::from_us(2000)
+        );
+        assert_eq!(c.vca_handler_code, Dur::from_us(600));
+    }
+}

@@ -1,0 +1,425 @@
+//! The dual-ring testbed: a CTMS stream crossing two Token Rings through
+//! a router (experiment E12, the paper's footnote-5 extension).
+//!
+//! Topology:
+//!
+//! ```text
+//!   ring A: [0] tx host   [1] idle  [2] idle  [3] bridge port A
+//!   ring B: [0] bridge port B  [1] rx host  [2] idle  [3] idle
+//! ```
+//!
+//! The transmitter addresses the bridge's ring-A station; the bridge
+//! re-addresses CTMSP frames to the receiver on ring B. Both rings carry
+//! their own MAC background; measurement points work exactly as on the
+//! single-ring testbed (tags survive the hop).
+
+use crate::scenario::Scenario;
+use ctms_ctmsp::{TrDriver, TrDriverCfg};
+use ctms_devices::{CtmsSinkCfg, CtmsSourceCfg, CtmsVcaSink, CtmsVcaSource};
+use ctms_measure::MeasurementSet;
+use ctms_router::{Bridge, BridgeCfg, BridgeCmd, BridgeKind, BridgeOut, RingSide};
+use ctms_rtpc::{Machine, MachineConfig, MemRegion};
+use ctms_sim::{CascadeGuard, Component, Dur, EdgeLog, Pcg32, SimTime};
+use ctms_tokenring::{RingCmd, RingOut, StationId, TokenRing};
+use ctms_unixkern::{
+    DriverId, Host, HostCmd, HostOut, KernConfig, Kernel, MeasurePoint,
+};
+use std::collections::HashMap;
+
+/// The dual-ring testbed. See module docs.
+pub struct DualRingTestbed {
+    /// The transmitter's ring.
+    pub ring_a: TokenRing,
+    /// The receiver's ring.
+    pub ring_b: TokenRing,
+    /// The forwarding engine.
+    pub bridge: Bridge,
+    /// Host 0 = transmitter (ring A station 0), host 1 = receiver
+    /// (ring B station 1).
+    pub hosts: Vec<Host>,
+    vca_src: DriverId,
+    vca_sink: DriverId,
+    now: SimTime,
+    guard: CascadeGuard,
+    truth: Vec<HashMap<MeasurePoint, EdgeLog>>,
+    presented: Vec<(SimTime, u64, u32)>,
+    drops: u64,
+}
+
+enum Evt {
+    RingA(RingOut),
+    RingB(RingOut),
+    Host(usize, HostOut),
+    Bridge(BridgeOut),
+}
+
+const BRIDGE_A: StationId = StationId(3);
+const BRIDGE_B: StationId = StationId(0);
+const TX_A: StationId = StationId(0);
+const RX_B: StationId = StationId(1);
+
+impl DualRingTestbed {
+    /// Builds the dual-ring testbed with the given forwarding engine.
+    /// Host-side configuration (packet size, period, copy flags) comes
+    /// from the scenario; both rings are private four-station rings.
+    pub fn new(sc: &Scenario, kind: BridgeKind) -> DualRingTestbed {
+        let root = Pcg32::new(sc.seed, 0xD2);
+        let mk_ring = |label: &str| {
+            let mut ring = TokenRing::new(sc.calib.ring.clone(), root.derive(label));
+            for _ in 0..4 {
+                ring.add_station();
+            }
+            ring
+        };
+        let ring_a = mk_ring("ring-a");
+        let ring_b = mk_ring("ring-b");
+
+        let mut adapter = sc.calib.adapter;
+        adapter.buffer_region = if sc.io_channel_memory {
+            MemRegion::IoChannel
+        } else {
+            MemRegion::System
+        };
+
+        let tr_cfg = |station: StationId| TrDriverCfg {
+            station,
+            adapter,
+            ctmsp_enabled: true,
+            driver_priority: sc.driver_priority,
+            precomputed_header: sc.precomputed_header,
+            tx_copy_full: sc.tx_copy_full,
+            rx_copy_to_mbufs: sc.rx_copy_to_mbufs,
+            ctmsp_sink: None,
+            ifq_cap: 50,
+            header_cost: sc.calib.header_cost,
+            precomp_header_cost: sc.calib.precomp_header_cost,
+            ctmsp_check_cost: sc.calib.ctmsp_check_cost,
+            copy_spl: 5,
+            racy_critical_sections: sc.racy_driver,
+        };
+        let kcfg = KernConfig {
+            calib: sc.calib.kern,
+            ..KernConfig::default()
+        };
+
+        // Transmitter on ring A, streaming to the bridge's A-side port.
+        let mut ktx = Kernel::new(kcfg, root.derive("kern-tx"));
+        let tr_tx = ktx.add_driver(
+            Box::new(TrDriver::new(tr_cfg(TX_A))),
+            Some(ctms_unixkern::LINE_TR),
+        );
+        ktx.set_net_if(tr_tx);
+        let vca_src = ktx.add_driver(
+            Box::new(CtmsVcaSource::new(CtmsSourceCfg {
+                period: sc.period,
+                pkt_len: sc.pkt_len,
+                dst: BRIDGE_A,
+                tr_driver: tr_tx,
+                handler_code: sc.calib.vca_handler_code,
+                copy_from_device: false,
+                pio_per_byte: Dur::ZERO,
+                ring_priority: if sc.ring_priority { 4 } else { 0 },
+                irq_jitter: Dur::ZERO,
+                autostart: true,
+                require_setup: false,
+            })),
+            Some(ctms_unixkern::LINE_VCA),
+        );
+
+        // Receiver on ring B.
+        let mut krx = Kernel::new(kcfg, root.derive("kern-rx"));
+        let vca_sink = krx.add_driver(
+            Box::new(CtmsVcaSink::new(CtmsSinkCfg {
+                copy_to_device: sc.rx_copy_to_device,
+                pio_per_byte: Dur::from_ns(800),
+                copy_spl: 5,
+            })),
+            None,
+        );
+        let mut rx_cfg = tr_cfg(RX_B);
+        rx_cfg.ctmsp_sink = Some(vca_sink);
+        let tr_rx = krx.add_driver(
+            Box::new(TrDriver::new(rx_cfg)),
+            Some(ctms_unixkern::LINE_TR),
+        );
+        krx.set_net_if(tr_rx);
+
+        let bridge = Bridge::new(BridgeCfg {
+            station_a: BRIDGE_A,
+            station_b: BRIDGE_B,
+            ctmsp_dst_b: RX_B,
+            ctmsp_dst_a: TX_A,
+            kind,
+            queue_cap: 16,
+        });
+
+        DualRingTestbed {
+            ring_a,
+            ring_b,
+            bridge,
+            hosts: vec![
+                Host::new(Machine::new(MachineConfig::default()), ktx),
+                Host::new(Machine::new(MachineConfig::default()), krx),
+            ],
+            vca_src,
+            vca_sink,
+            now: SimTime::ZERO,
+            guard: CascadeGuard::default(),
+            truth: vec![HashMap::new(), HashMap::new()],
+            presented: Vec::new(),
+            drops: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Runs until `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        loop {
+            let deadlines = [
+                self.ring_a.next_deadline(),
+                self.ring_b.next_deadline(),
+                self.bridge.next_deadline(),
+                self.hosts[0].next_deadline(),
+                self.hosts[1].next_deadline(),
+            ];
+            let Some(t) = ctms_sim::earliest(deadlines) else {
+                break;
+            };
+            if t > horizon {
+                break;
+            }
+            self.now = t;
+            let mut queue: Vec<Evt> = Vec::new();
+            let mut out_a = Vec::new();
+            self.ring_a.advance(t, &mut out_a);
+            queue.extend(out_a.into_iter().map(Evt::RingA));
+            let mut out_b = Vec::new();
+            self.ring_b.advance(t, &mut out_b);
+            queue.extend(out_b.into_iter().map(Evt::RingB));
+            let mut out_br = Vec::new();
+            self.bridge.advance(t, &mut out_br);
+            queue.extend(out_br.into_iter().map(Evt::Bridge));
+            for i in 0..2 {
+                let mut out_h = Vec::new();
+                self.hosts[i].advance(t, &mut out_h);
+                queue.extend(out_h.into_iter().map(|e| Evt::Host(i, e)));
+            }
+            self.route(t, queue);
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+    }
+
+    fn route(&mut self, now: SimTime, mut queue: Vec<Evt>) {
+        while !queue.is_empty() {
+            self.guard.step(now);
+            let mut next = Vec::new();
+            for evt in queue.drain(..) {
+                match evt {
+                    Evt::RingA(out) => self.route_ring(now, RingSide::A, out, &mut next),
+                    Evt::RingB(out) => self.route_ring(now, RingSide::B, out, &mut next),
+                    Evt::Bridge(out) => match out {
+                        BridgeOut::Submit { side, frame } => {
+                            let ring = match side {
+                                RingSide::A => &mut self.ring_a,
+                                RingSide::B => &mut self.ring_b,
+                            };
+                            let mut ring_out = Vec::new();
+                            ring.handle(now, RingCmd::Submit(frame), &mut ring_out);
+                            next.extend(ring_out.into_iter().map(|o| match side {
+                                RingSide::A => Evt::RingA(o),
+                                RingSide::B => Evt::RingB(o),
+                            }));
+                        }
+                        BridgeOut::Dropped { .. } => self.drops += 1,
+                    },
+                    Evt::Host(i, out) => match out {
+                        HostOut::RingSubmit(frame) => {
+                            // Host 0 lives on ring A, host 1 on ring B.
+                            let (ring, side) = if i == 0 {
+                                (&mut self.ring_a, RingSide::A)
+                            } else {
+                                (&mut self.ring_b, RingSide::B)
+                            };
+                            let mut ring_out = Vec::new();
+                            ring.handle(now, RingCmd::Submit(frame), &mut ring_out);
+                            next.extend(ring_out.into_iter().map(|o| match side {
+                                RingSide::A => Evt::RingA(o),
+                                RingSide::B => Evt::RingB(o),
+                            }));
+                        }
+                        HostOut::Trace { point, tag } => {
+                            self.truth[i]
+                                .entry(point)
+                                .or_insert_with(|| EdgeLog::new(format!("h{i}-{point:?}")))
+                                .record(now, tag);
+                        }
+                        HostOut::Presented { tag, bytes } => {
+                            self.presented.push((now, tag, bytes))
+                        }
+                        HostOut::Drop { .. } => self.drops += 1,
+                        _ => {}
+                    },
+                }
+            }
+            queue = next;
+        }
+    }
+
+    fn route_ring(&mut self, now: SimTime, side: RingSide, out: RingOut, next: &mut Vec<Evt>) {
+        match out {
+            RingOut::Delivered { to, frame } => {
+                let bridge_station = self.bridge.station(side);
+                if to == bridge_station {
+                    let mut br_out = Vec::new();
+                    self.bridge
+                        .handle(now, BridgeCmd::Delivered { side, frame }, &mut br_out);
+                    next.extend(br_out.into_iter().map(Evt::Bridge));
+                    return;
+                }
+                let host = match (side, to) {
+                    (RingSide::A, TX_A) => Some(0),
+                    (RingSide::B, RX_B) => Some(1),
+                    _ => None,
+                };
+                if let Some(i) = host {
+                    let mut host_out = Vec::new();
+                    self.hosts[i].handle(now, HostCmd::RingDelivered(frame), &mut host_out);
+                    next.extend(host_out.into_iter().map(|e| Evt::Host(i, e)));
+                }
+            }
+            RingOut::Stripped {
+                from,
+                tag,
+                delivered,
+                ..
+            } => {
+                // Bridge submissions complete silently; host submissions
+                // go back to the host's driver.
+                let host = match (side, from) {
+                    (RingSide::A, TX_A) => Some(0),
+                    (RingSide::B, RX_B) => Some(1),
+                    _ => None,
+                };
+                if let Some(i) = host {
+                    let mut host_out = Vec::new();
+                    self.hosts[i].handle(
+                        now,
+                        HostCmd::RingStripped { tag, delivered },
+                        &mut host_out,
+                    );
+                    next.extend(host_out.into_iter().map(|e| Evt::Host(i, e)));
+                }
+            }
+            RingOut::LostToPurge { .. } | RingOut::QueueDrop { .. } => self.drops += 1,
+            _ => {}
+        }
+    }
+
+    /// The measurement set: points 1–3 from the transmitter (ring A),
+    /// point 4 from the receiver (ring B). H7 now spans two rings and the
+    /// router.
+    pub fn measurement_set(&self) -> MeasurementSet {
+        let get = |host: usize, point: MeasurePoint| -> EdgeLog {
+            self.truth[host]
+                .get(&point)
+                .cloned()
+                .unwrap_or_else(|| EdgeLog::new(format!("h{host}-{point:?}")))
+        };
+        MeasurementSet {
+            vca_irq: get(0, MeasurePoint::VcaIrq),
+            handler: get(0, MeasurePoint::VcaHandlerEntry),
+            pre_tx: get(0, MeasurePoint::PreTransmit),
+            ctmsp_rx: get(1, MeasurePoint::CtmspIdentified),
+        }
+    }
+
+    /// Packets sent / received / dropped.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let sent = self.hosts[0]
+            .kernel
+            .driver_ref::<CtmsVcaSource>(self.vca_src)
+            .map(|d| d.stats().pkts_sent)
+            .unwrap_or(0);
+        let received = self.hosts[1]
+            .kernel
+            .driver_ref::<CtmsVcaSink>(self.vca_sink)
+            .map(|d| d.stats().received)
+            .unwrap_or(0);
+        (sent, received, self.drops + self.bridge.stats().overflows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_measure::HistId;
+    use ctms_stats::Summary;
+
+    #[test]
+    fn stream_crosses_two_rings_via_cut_through() {
+        let sc = Scenario::test_case_a(42);
+        let mut bed = DualRingTestbed::new(&sc, BridgeKind::cut_through_bridge());
+        bed.run_until(SimTime::from_secs(10));
+        let (sent, received, drops) = bed.counters();
+        assert!(sent > 800, "{sent}");
+        assert!(received >= sent - 2, "sent {sent} received {received}");
+        assert_eq!(drops, 0);
+        // End-to-end latency ≈ two single-ring hops + bridge service.
+        let h7 = bed.measurement_set().samples_us(HistId::H7);
+        let s = Summary::of(&h7);
+        let single = sc.calib.h7_floor_us(sc.pkt_len);
+        assert!(
+            s.min > single + 4_000.0,
+            "two hops strictly slower: {} vs {single}",
+            s.min
+        );
+        assert!(s.mean < 25_000.0, "cut-through keeps it tight: {}", s.mean);
+    }
+
+    #[test]
+    fn host_router_cannot_keep_up_at_full_rate() {
+        // The footnote-5 worry, quantified: the 1991 forwarding host's
+        // ~12.6 ms service exceeds the stream's 12 ms period, so its
+        // queue overflows and the stream breaks up.
+        let sc = Scenario::test_case_a(42);
+        let mut bed = DualRingTestbed::new(&sc, BridgeKind::host_router_1991());
+        bed.run_until(SimTime::from_secs(20));
+        let (sent, received, drops) = bed.counters();
+        assert!(
+            (received as f64) < sent as f64 * 0.97,
+            "router saturated: {received}/{sent}"
+        );
+        assert!(drops > 5, "{drops}");
+    }
+
+    #[test]
+    fn host_router_keeps_up_at_half_rate() {
+        // At one packet per 24 ms (~83 KB/s) the same host router keeps
+        // up — the crossover sits between half and full CTMS rate.
+        let mut sc = Scenario::test_case_a(42);
+        sc.period = Dur::from_ms(24);
+        let mut bed = DualRingTestbed::new(&sc, BridgeKind::host_router_1991());
+        bed.run_until(SimTime::from_secs(20));
+        let (sent, received, drops) = bed.counters();
+        assert!(received >= sent - 2, "{received}/{sent}");
+        assert_eq!(drops, 0);
+        // It pays the store-and-forward latency even when it keeps up.
+        let h7 = bed.measurement_set().samples_us(HistId::H7);
+        let host = Summary::of(&h7).mean;
+        let cut = {
+            let mut b2 = DualRingTestbed::new(&sc, BridgeKind::cut_through_bridge());
+            b2.run_until(SimTime::from_secs(20));
+            Summary::of(&b2.measurement_set().samples_us(HistId::H7)).mean
+        };
+        assert!(
+            host > cut + 10_000.0,
+            "store-and-forward pays ~12 ms: host {host} vs cut {cut}"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Scenarios: the §5.3 variant space and the two presented test cases.
+//!
+//! §5.3 lists the differences that "will alter the results"; each is a
+//! field here so the ablation benches can sweep them:
+//!
+//! > * Transmitter uses IO Channel Memory vs. System Memory for fixed DMA
+//! >   buffers
+//! > * Transmitter copies only header into fixed DMA buffer vs. copying
+//! >   both header and data
+//! > * Transmitter copies data from the VCA device buffer to mbufs vs.
+//! >   direct copy …
+//! > * Receiver copies header and data from a fixed DMA buffer into mbufs
+//! >   … vs. VCA examining the packet while still in a fixed DMA buffer
+//! > * Receiver copies data out of mbufs into the VCA device buffer vs.
+//! >   no copy of the data (dropping the packet)
+//! > * Use of priority within the Token Ring device driver vs. …
+//! > * Use of priority on the Token Ring vs. …
+//! > * Private vs. Public Network
+//! > * Level of background load on network
+//! > * Transmitter/Receiver in stand alone vs. multiprocessing modes
+
+use crate::calib::Calibration;
+use ctms_sim::Dur;
+
+/// Private (dedicated) or public (campus) ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Network {
+    /// A dedicated ring: the two hosts plus idle stations, only MAC
+    /// background traffic.
+    Private,
+    /// The 70-station campus ring with AFS/ARP/file-transfer traffic and
+    /// station churn.
+    Public,
+}
+
+/// Host operating mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostLoad {
+    /// Standalone: nothing but the CTMS stream.
+    Standalone,
+    /// Multiprocessing "but not heavily loaded": control-connection
+    /// chatter, AFS liveness, occasional page-ins, disk interrupts, one
+    /// background process.
+    Multiprocessing,
+}
+
+/// One run configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Simulation seed (same seed ⇒ identical run).
+    pub seed: u64,
+    /// §5.3: IO Channel Memory (true) vs. system memory for fixed DMA
+    /// buffers.
+    pub io_channel_memory: bool,
+    /// §5.3: transmitter copies header+data (true) vs. header only.
+    pub tx_copy_full: bool,
+    /// §5.3: transmitter copies data from the VCA device buffer to mbufs.
+    pub tx_copy_vca_to_mbufs: bool,
+    /// §5.3: receiver copies the frame into mbufs before delivery.
+    pub rx_copy_to_mbufs: bool,
+    /// §5.3: receiver copies data from mbufs into the VCA device buffer.
+    pub rx_copy_to_device: bool,
+    /// §3: CTMSP priority within the Token Ring device driver.
+    pub driver_priority: bool,
+    /// §3: CTMSP priority on the Token Ring itself.
+    pub ring_priority: bool,
+    /// §3: Token Ring header precomputed per connection.
+    pub precomputed_header: bool,
+    /// §5 hypothetical: adapter interrupts on Ring Purge and the driver
+    /// retransmits the buffered packet.
+    pub purge_interrupt: bool,
+    /// Network environment.
+    pub network: Network,
+    /// Host load mode.
+    pub host_load: HostLoad,
+    /// CTMSP packet length (paper: 2000 bytes).
+    pub pkt_len: u32,
+    /// VCA interrupt period (paper: 12 ms).
+    pub period: Dur,
+    /// Cost calibration.
+    pub calib: Calibration,
+    /// Establish the connection through the §5.1 ioctl sequence run by a
+    /// user process (control plane), instead of device autostart.
+    pub explicit_setup: bool,
+    /// Reproduce the §5 driver bug (unprotected critical sections that
+    /// reorder packets) for the spl-audit experiment.
+    pub racy_driver: bool,
+}
+
+impl Scenario {
+    /// §5.3 Test Case A: IO Channel Memory; transmitter copies header and
+    /// data; no VCA→mbuf copy; receiver copies into mbufs but not into
+    /// the device; both priorities on; private unloaded network;
+    /// standalone hosts.
+    pub fn test_case_a(seed: u64) -> Self {
+        Scenario {
+            seed,
+            io_channel_memory: true,
+            tx_copy_full: true,
+            tx_copy_vca_to_mbufs: false,
+            rx_copy_to_mbufs: true,
+            rx_copy_to_device: false,
+            driver_priority: true,
+            ring_priority: true,
+            precomputed_header: true,
+            purge_interrupt: false,
+            network: Network::Private,
+            host_load: HostLoad::Standalone,
+            pkt_len: 2000,
+            period: Dur::from_ms(12),
+            calib: Calibration::default(),
+            explicit_setup: false,
+            racy_driver: false,
+        }
+    }
+
+    /// §5.3 Test Case B: IO Channel Memory; full copying on both sides;
+    /// both priorities on; public loaded network; multiprocessing hosts.
+    pub fn test_case_b(seed: u64) -> Self {
+        Scenario {
+            tx_copy_vca_to_mbufs: true,
+            rx_copy_to_device: true,
+            network: Network::Public,
+            host_load: HostLoad::Multiprocessing,
+            ..Scenario::test_case_a(seed)
+        }
+    }
+
+    /// Number of ring stations for this scenario's network.
+    pub fn station_count(&self) -> u32 {
+        match self.network {
+            Network::Private => 4,
+            Network::Public => 70,
+        }
+    }
+
+    /// The stream's nominal data rate in bytes/second.
+    pub fn data_rate(&self) -> f64 {
+        f64::from(self.pkt_len) * 1e9 / self.period.as_ns() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_a_matches_paper_description() {
+        let a = Scenario::test_case_a(1);
+        assert!(a.io_channel_memory);
+        assert!(a.tx_copy_full);
+        assert!(!a.tx_copy_vca_to_mbufs);
+        assert!(a.rx_copy_to_mbufs);
+        assert!(!a.rx_copy_to_device);
+        assert!(a.driver_priority && a.ring_priority);
+        assert_eq!(a.network, Network::Private);
+        assert_eq!(a.host_load, HostLoad::Standalone);
+        assert_eq!(a.station_count(), 4);
+    }
+
+    #[test]
+    fn case_b_differs_only_where_the_paper_says() {
+        let b = Scenario::test_case_b(1);
+        assert!(b.tx_copy_vca_to_mbufs, "full copying on transmitter");
+        assert!(b.rx_copy_to_device, "full copying on receiver");
+        assert_eq!(b.network, Network::Public);
+        assert_eq!(b.host_load, HostLoad::Multiprocessing);
+        assert_eq!(b.station_count(), 70);
+        // Everything else identical to A.
+        assert!(b.io_channel_memory && b.tx_copy_full && b.rx_copy_to_mbufs);
+        assert!(b.driver_priority && b.ring_priority);
+    }
+
+    #[test]
+    fn stream_rate_is_approximately_150kb() {
+        let a = Scenario::test_case_a(1);
+        // §5.1: "approximately 150KBytes/sec".
+        let r = a.data_rate();
+        assert!((160_000.0..170_000.0).contains(&r), "{r}");
+    }
+}

@@ -1,0 +1,91 @@
+//! CTMSP connection setup.
+//!
+//! §2: "Handles to these two function calls can be transferred by a user
+//! process between the two devices by using newly created *ioctl* calls."
+//! §5.1: "We added several ioctl calls to set up the device in this
+//! special mode, to request the Token Ring header and keep this header as
+//! part of the state of the device, and to request handles to functions
+//! needed by the modified Token Ring device driver."
+//!
+//! This module defines those ioctl codes and builds the user program that
+//! performs the setup sequence. After setup the data path is entirely
+//! in-kernel: the user process's only remaining role is teardown.
+
+use ctms_unixkern::{DriverId, Program, Step};
+
+pub use ctms_devices::vca::{
+    SetupState, IOCTL_SET_HANDLES, IOCTL_SET_HEADER, IOCTL_SET_MODE, IOCTL_START_STREAM,
+    IOCTL_STOP_STREAM,
+};
+
+/// The user program that establishes a CTMSP connection on the source
+/// host and then exits, leaving the data path to the kernel (§2's whole
+/// point: the user process is control plane only).
+pub fn setup_program(vca: DriverId) -> Program {
+    Program::once(vec![
+        Step::Ioctl {
+            dev: vca,
+            req: IOCTL_SET_MODE,
+        },
+        Step::Ioctl {
+            dev: vca,
+            req: IOCTL_SET_HEADER,
+        },
+        Step::Ioctl {
+            dev: vca,
+            req: IOCTL_SET_HANDLES,
+        },
+        Step::Ioctl {
+            dev: vca,
+            req: IOCTL_START_STREAM,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sequence_completes() {
+        let mut s = SetupState::default();
+        for req in [
+            IOCTL_SET_MODE,
+            IOCTL_SET_HEADER,
+            IOCTL_SET_HANDLES,
+            IOCTL_START_STREAM,
+        ] {
+            assert!(s.apply(req), "req {req:#x}");
+        }
+        assert!(s.complete());
+        assert!(s.running);
+        assert!(s.apply(IOCTL_STOP_STREAM));
+        assert!(!s.running);
+    }
+
+    #[test]
+    fn start_requires_complete_setup() {
+        let mut s = SetupState::default();
+        assert!(!s.apply(IOCTL_START_STREAM), "nothing set yet");
+        assert!(s.apply(IOCTL_SET_MODE));
+        assert!(!s.apply(IOCTL_START_STREAM), "header + handles missing");
+        assert!(s.apply(IOCTL_SET_HEADER));
+        assert!(s.apply(IOCTL_SET_HANDLES));
+        assert!(s.apply(IOCTL_START_STREAM));
+    }
+
+    #[test]
+    fn header_and_handles_require_mode() {
+        let mut s = SetupState::default();
+        assert!(!s.apply(IOCTL_SET_HEADER));
+        assert!(!s.apply(IOCTL_SET_HANDLES));
+        assert!(!s.apply(0xFFFF), "unknown ioctl rejected");
+    }
+
+    #[test]
+    fn setup_program_shape() {
+        let p = setup_program(DriverId(1));
+        assert_eq!(p.steps.len(), 4);
+        assert!(!p.looping, "control plane runs once and exits");
+    }
+}

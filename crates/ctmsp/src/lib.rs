@@ -1,0 +1,21 @@
+//! # ctms-ctmsp — the CTMS Protocol and the modified Token Ring driver
+//!
+//! The paper's primary contribution (§2–§4) as an implementable artifact:
+//!
+//! * [`protocol`] — CTMSP packet layout, connection description, and the
+//!   §3 guarantee table (CTMSP vs. TCP/IP),
+//! * [`trdriver`] — the Token Ring device driver covering the full §5.3
+//!   variant space: CTMSP split point, driver and ring priority,
+//!   precomputed headers, copy variants, fixed-DMA-buffer placement, and
+//!   the hypothetical purge-interrupt retransmission mode.
+
+pub mod conn;
+pub mod protocol;
+pub mod trdriver;
+
+pub use conn::{setup_program, SetupState, IOCTL_SET_HANDLES, IOCTL_SET_HEADER, IOCTL_SET_MODE, IOCTL_START_STREAM, IOCTL_STOP_STREAM};
+pub use protocol::{
+    decode_header, encode_header, CtmspConnection, Guarantees, CTMSP_GUARANTEES,
+    CTMSP_HEADER_LEN, TCPIP_GUARANTEES, TR_HEADER_LEN,
+};
+pub use trdriver::{TrDriver, TrDriverCfg, TrDriverStats, CALL_PURGE_SEEN};

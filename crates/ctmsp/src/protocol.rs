@@ -1,0 +1,132 @@
+//! The CTMS Protocol (CTMSP) definition.
+//!
+//! §3: "We propose that a new protocol be created, CTMS Protocol (CTMSP),
+//! and added to the same layer as ARP and IP. This protocol is
+//! specifically designed for and limited to the assist of data transfers
+//! between the network and other devices. The protocol assumes a static
+//! point-to-point connection between two machines."
+//!
+//! A CTMSP packet (§5.1) is: the precomputed Token Ring header, a
+//! destination device number, a packet number, and data — 2000 bytes total
+//! in the paper's stream (≈150 KB/s at one packet per 12 ms).
+
+use ctms_tokenring::StationId;
+
+/// On-the-wire CTMSP header: destination device number (1 byte) + packet
+/// number (4 bytes) + connection id (2 bytes) + reserved (1 byte).
+pub const CTMSP_HEADER_LEN: u32 = 8;
+
+/// Bytes of the precomputed Token Ring header the send path copies per
+/// packet (destination/source addresses + routing, computed once per
+/// connection).
+pub const TR_HEADER_LEN: u32 = 14;
+
+/// A static point-to-point CTMSP connection description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtmspConnection {
+    /// Connection identifier.
+    pub conn_id: u16,
+    /// Source station.
+    pub src: StationId,
+    /// Destination station (same physical ring — §1 note: no routers).
+    pub dst: StationId,
+    /// Destination device number on the receiving host.
+    pub dst_device: u8,
+    /// Packet payload size (including CTMSP header).
+    pub pkt_len: u32,
+    /// Ring access priority (§3: above any other traffic).
+    pub ring_priority: u8,
+}
+
+impl CtmspConnection {
+    /// Payload bytes per packet after the CTMSP header.
+    pub fn data_len(&self) -> u32 {
+        self.pkt_len.saturating_sub(CTMSP_HEADER_LEN)
+    }
+
+    /// Sustained data rate in bytes/second at one packet per `period_us`.
+    pub fn data_rate(&self, period_us: u64) -> f64 {
+        assert!(period_us > 0);
+        f64::from(self.pkt_len) * 1_000_000.0 / period_us as f64
+    }
+}
+
+/// Encodes the CTMSP header fields into a frame tag's upper bits alongside
+/// the packet number. The simulation carries metadata out-of-band, but the
+/// codec documents (and tests) the on-wire layout.
+pub fn encode_header(dst_device: u8, conn_id: u16, pkt_num: u32) -> u64 {
+    (u64::from(dst_device) << 48) | (u64::from(conn_id) << 32) | u64::from(pkt_num)
+}
+
+/// Decodes `(dst_device, conn_id, pkt_num)`.
+pub fn decode_header(h: u64) -> (u8, u16, u32) {
+    (
+        ((h >> 48) & 0xFF) as u8,
+        ((h >> 32) & 0xFFFF) as u16,
+        (h & 0xFFFF_FFFF) as u32,
+    )
+}
+
+/// The transport guarantees of §3, as a checkable description. The tests
+/// and benches assert which path provides which guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Guarantees {
+    /// Bandwidth across the network (reserved by ring priority).
+    pub bandwidth: bool,
+    /// Delivery within preset time bounds.
+    pub bounded_delay: bool,
+    /// Preservation of packet sequence.
+    pub sequencing: bool,
+}
+
+/// What CTMSP provides (§3): all three.
+pub const CTMSP_GUARANTEES: Guarantees = Guarantees {
+    bandwidth: true,
+    bounded_delay: true,
+    sequencing: true,
+};
+
+/// What TCP/IP provides (§3): "Of the three guarantees, TCP/IP only
+/// provides for one: the preservation of packet sequence."
+pub const TCPIP_GUARANTEES: Guarantees = Guarantees {
+    bandwidth: false,
+    bounded_delay: false,
+    sequencing: true,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let h = encode_header(3, 0xBEEF, 0xDEAD_0001);
+        assert_eq!(decode_header(h), (3, 0xBEEF, 0xDEAD_0001));
+    }
+
+    #[test]
+    fn paper_stream_rate() {
+        let c = CtmspConnection {
+            conn_id: 1,
+            src: StationId(0),
+            dst: StationId(1),
+            dst_device: 1,
+            pkt_len: 2000,
+            ring_priority: 4,
+        };
+        // §5.1: "approximately 150KBytes/sec".
+        let rate = c.data_rate(12_000);
+        assert!((rate - 166_666.7).abs() < 1.0);
+        assert_eq!(c.data_len(), 1992);
+    }
+
+    #[test]
+    fn guarantee_table_matches_paper() {
+        assert!(CTMSP_GUARANTEES.bandwidth);
+        assert!(CTMSP_GUARANTEES.bounded_delay);
+        assert!(CTMSP_GUARANTEES.sequencing);
+        assert!(!TCPIP_GUARANTEES.bandwidth);
+        assert!(!TCPIP_GUARANTEES.bounded_delay);
+        assert!(TCPIP_GUARANTEES.sequencing);
+    }
+}

@@ -1,0 +1,83 @@
+//! Token Ring 16/4 adapter hardware characteristics.
+//!
+//! The adapter itself: fixed DMA buffers (in system memory or IO Channel
+//! Memory, the §4 modification), an on-card command processor with
+//! non-trivial command latency, and the documented §4 limitation that a
+//! Ring Purge raises **no** host interrupt — making purge losses silent
+//! and uncorrectable without promiscuous MAC-frame reception.
+
+use ctms_rtpc::MemRegion;
+use ctms_sim::Dur;
+
+/// Adapter configuration shared by the stock and CTMSP drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct TrAdapterCfg {
+    /// Host→adapter DMA rate per byte (transmit side). The transmit DMA
+    /// reads the adapter's shared RAM a word at a time and is the slower
+    /// direction; calibrated (with the receive rate, ring transmission
+    /// time and handler costs) against the paper's 10 740 µs minimum
+    /// point-3→point-4 latency for a 2000-byte packet.
+    pub tx_dma_per_byte: Dur,
+    /// Adapter→host DMA rate per byte (receive side).
+    pub rx_dma_per_byte: Dur,
+    /// Where the fixed DMA buffers live. `IoChannel` is the paper's third
+    /// modification; `System` is the ablation that slows the CPU during
+    /// every transfer.
+    pub buffer_region: MemRegion,
+    /// Transmit-command service latency on the adapter's on-card
+    /// processor (uniform min..=max).
+    pub cmd_latency: (Dur, Dur),
+    /// Receive-complete to interrupt-posting latency (uniform min..=max).
+    pub rx_post_latency: (Dur, Dur),
+    /// Receive fixed buffers; frames arriving with all buffers busy are
+    /// dropped (adapter overrun).
+    pub rx_buffers: u32,
+    /// Hypothetical mode (§5 discussion): the adapter interrupts on Ring
+    /// Purge so the driver can retransmit the last packet from its fixed
+    /// buffer. The real adapter cannot do this.
+    pub purge_interrupt: bool,
+}
+
+impl Default for TrAdapterCfg {
+    fn default() -> Self {
+        TrAdapterCfg {
+            tx_dma_per_byte: Dur::from_ns(1570),
+            rx_dma_per_byte: Dur::from_ns(1570),
+            buffer_region: MemRegion::IoChannel,
+            cmd_latency: (Dur::from_us(20), Dur::from_us(200)),
+            rx_post_latency: (Dur::from_us(10), Dur::from_us(90)),
+            rx_buffers: 4,
+            purge_interrupt: false,
+        }
+    }
+}
+
+impl TrAdapterCfg {
+    /// Transmit DMA time for a frame of `wire_bytes`.
+    pub fn tx_dma_time(&self, wire_bytes: u32) -> Dur {
+        self.tx_dma_per_byte * u64::from(wire_bytes)
+    }
+
+    /// Receive DMA time for a frame of `wire_bytes`.
+    pub fn rx_dma_time(&self, wire_bytes: u32) -> Dur {
+        self.rx_dma_per_byte * u64::from(wire_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_time_scales() {
+        let cfg = TrAdapterCfg::default();
+        assert_eq!(cfg.tx_dma_time(2021), Dur::from_ns(2021 * 1570));
+        assert_eq!(cfg.rx_dma_time(2021), Dur::from_ns(2021 * 1570));
+    }
+
+    #[test]
+    fn default_uses_io_channel_memory() {
+        assert_eq!(TrAdapterCfg::default().buffer_region, MemRegion::IoChannel);
+        assert!(!TrAdapterCfg::default().purge_interrupt);
+    }
+}

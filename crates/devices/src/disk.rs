@@ -1,0 +1,147 @@
+//! A background disk: Poisson interrupt load.
+//!
+//! §5.3's "multiprocessing mode" hosts run compiles and kernel copies;
+//! their disk completions interrupt at level 4 and their handlers hold the
+//! CPU, contributing to the latency spread of Figures 5-2/5-4.
+
+use ctms_rtpc::ExecLevel;
+use ctms_sim::Dur;
+use ctms_unixkern::{Ctx, Driver, LINE_DISK};
+use std::any::Any;
+
+/// Disk load configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskCfg {
+    /// Mean interrupts per second (Poisson).
+    pub rate_per_sec: f64,
+    /// Mean handler cost.
+    pub handler_mean: Dur,
+    /// Handler cost standard deviation (truncated normal).
+    pub handler_sd: Dur,
+    /// Arm at boot.
+    pub autostart: bool,
+}
+
+impl Default for DiskCfg {
+    fn default() -> Self {
+        DiskCfg {
+            rate_per_sec: 10.0,
+            handler_mean: Dur::from_us(500),
+            handler_sd: Dur::from_us(150),
+            autostart: true,
+        }
+    }
+}
+
+/// Counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskStats {
+    /// Interrupts taken.
+    pub interrupts: u64,
+}
+
+/// The disk driver. See module docs.
+#[derive(Debug)]
+pub struct DiskDriver {
+    cfg: DiskCfg,
+    stats: DiskStats,
+}
+
+impl DiskDriver {
+    /// Creates the driver.
+    pub fn new(cfg: DiskCfg) -> Self {
+        DiskDriver {
+            cfg,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    fn arm(&self, ctx: &mut Ctx) {
+        let mean = Dur::from_secs_f64(1.0 / self.cfg.rate_per_sec);
+        let gap = ctx.rng.exp_dur(mean);
+        ctx.set_timer(0, ctx.now + gap);
+    }
+}
+
+impl Driver for DiskDriver {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn on_boot(&mut self, ctx: &mut Ctx) {
+        if self.cfg.autostart && self.cfg.rate_per_sec > 0.0 {
+            self.arm(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        ctx.raise_irq(LINE_DISK);
+        self.arm(ctx);
+    }
+
+    fn on_interrupt(&mut self, ctx: &mut Ctx) {
+        self.stats.interrupts += 1;
+        let cost = ctx.rng.normal_dur(self.cfg.handler_mean, self.cfg.handler_sd);
+        ctx.push_job(0, cost, ExecLevel::Irq(LINE_DISK));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_rtpc::{Machine, MachineConfig};
+    use ctms_sim::{drain_component, Pcg32, SimTime};
+    use ctms_unixkern::{Host, KernConfig, Kernel};
+
+    #[test]
+    fn poisson_interrupt_rate() {
+        let mut kcfg = KernConfig::default();
+        kcfg.clock_enabled = false;
+        let mut kernel = Kernel::new(kcfg, Pcg32::new(11, 2));
+        let mut cfg = DiskCfg::default();
+        cfg.rate_per_sec = 50.0;
+        let id = kernel.add_driver(Box::new(DiskDriver::new(cfg)), Some(LINE_DISK));
+        let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);
+        let _ = drain_component(&mut host, SimTime::from_secs(10));
+        let n = host
+            .kernel
+            .driver_ref::<DiskDriver>(id)
+            .expect("disk")
+            .stats()
+            .interrupts;
+        assert!((350..650).contains(&n), "~500 expected, got {n}");
+    }
+
+    #[test]
+    fn zero_rate_stays_silent() {
+        let mut kcfg = KernConfig::default();
+        kcfg.clock_enabled = false;
+        let mut kernel = Kernel::new(kcfg, Pcg32::new(1, 1));
+        let mut cfg = DiskCfg::default();
+        cfg.rate_per_sec = 0.0;
+        let id = kernel.add_driver(Box::new(DiskDriver::new(cfg)), Some(LINE_DISK));
+        let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);
+        let evs = drain_component(&mut host, SimTime::from_secs(1));
+        assert!(evs.is_empty());
+        assert_eq!(
+            host.kernel
+                .driver_ref::<DiskDriver>(id)
+                .expect("disk")
+                .stats()
+                .interrupts,
+            0
+        );
+    }
+}

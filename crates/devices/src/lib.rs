@@ -1,0 +1,22 @@
+//! # ctms-devices — adapter and device models
+//!
+//! The hardware of the paper's testbed, each modelled as a kernel driver:
+//!
+//! * [`vca`] — the IBM Voice Communications Adapter in both its modified
+//!   CTMS personalities (§5.1 source, presentation sink with recovery) and
+//!   its stock personalities (the E1 baseline's source and audio sink),
+//! * [`adapter`] — the Token Ring 16/4 adapter's hardware parameters
+//!   (the drivers built on it live in `ctms-ctmsp`),
+//! * [`disk`] — background disk interrupt load for multiprocessing-mode
+//!   hosts.
+
+pub mod adapter;
+pub mod disk;
+pub mod vca;
+
+pub use adapter::TrAdapterCfg;
+pub use disk::{DiskCfg, DiskDriver, DiskStats};
+pub use vca::{
+    CtmsSinkCfg, CtmsSinkStats, CtmsSourceCfg, CtmsSourceStats, CtmsVcaSink, CtmsVcaSource,
+    StockAudioSink, StockCfg, StockSinkStats, StockSourceStats, StockVcaSource, IOCTL_START,
+};

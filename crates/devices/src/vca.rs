@@ -1,0 +1,901 @@
+//! The IBM Voice Communications Adapter (VCA).
+//!
+//! §5.1: "the adapter has a TI32010 DSP, 2k by 16 bit memory, which is byte
+//! accessible by the host processor, can be interrupted by the host and can
+//! interrupt the host. We created a program to run on the adapter that
+//! would interrupt the host every 12 milliseconds." §5.2.2 establishes the
+//! interrupt source is solid to within 500 ns.
+//!
+//! Four driver personalities:
+//!
+//! * [`CtmsVcaSource`] — the paper's modified driver (§5.1): every 12 ms
+//!   interrupt builds a CTMSP packet in mbufs (precomputed header, packet
+//!   number, appended data) and hands it to the Token Ring driver through
+//!   the §2 direct driver-to-driver send handle.
+//! * [`CtmsVcaSink`] — the receive-side presentation device: accepts
+//!   CTMSP packets through the delivery handle, optionally copies into the
+//!   device buffer, and runs the single-packet-loss recovery of §5.
+//! * [`StockVcaSource`] — the unmodified driver (experiment E1): data is
+//!   PIO-copied into a kernel staging buffer at interrupt level and a user
+//!   process `read()`s it. The 4 KB on-card buffer overruns when the host
+//!   falls behind — the stock path's failure signal.
+//! * [`StockAudioSink`] — a playback device consuming at a continuous
+//!   rate; buffer underruns are the audible glitches of §1.
+
+use ctms_rtpc::ExecLevel;
+use ctms_sim::Dur;
+use ctms_tokenring::{Proto, StationId};
+use ctms_unixkern::{
+    Ctx, Driver, DriverCall, DriverId, DropSite, MeasurePoint, OpResult, Pid, Pkt, WakeKind,
+    LINE_VCA,
+};
+use std::any::Any;
+
+/// Ioctl request code: start the device's timer chain (alternative to
+/// `autostart`).
+pub const IOCTL_START: u32 = 1;
+
+/// Ioctl: put the VCA into CTMS mode (§5.1's "special mode").
+pub const IOCTL_SET_MODE: u32 = 0x10;
+/// Ioctl: request the precomputed Token Ring header from the ring driver
+/// and store it in the device state.
+pub const IOCTL_SET_HEADER: u32 = 0x11;
+/// Ioctl: exchange the direct driver-to-driver function handles (§2).
+pub const IOCTL_SET_HANDLES: u32 = 0x12;
+/// Ioctl: start the stream (arms the 12 ms interrupt chain).
+pub const IOCTL_START_STREAM: u32 = 0x13;
+/// Ioctl: stop the stream.
+pub const IOCTL_STOP_STREAM: u32 = 0x14;
+
+/// Setup progress a CTMS source tracks (the §5.1 device state).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SetupState {
+    /// CTMS mode entered.
+    pub mode_set: bool,
+    /// Precomputed Token Ring header stored.
+    pub header_set: bool,
+    /// Send/receive handles exchanged.
+    pub handles_set: bool,
+    /// Stream running.
+    pub running: bool,
+}
+
+impl SetupState {
+    /// True once every setup ioctl has been issued.
+    pub fn complete(&self) -> bool {
+        self.mode_set && self.header_set && self.handles_set
+    }
+
+    /// Applies one ioctl; returns false for out-of-order or unknown
+    /// requests (the driver rejects them, as a real ioctl would with
+    /// `EINVAL`).
+    pub fn apply(&mut self, req: u32) -> bool {
+        match req {
+            IOCTL_SET_MODE => {
+                self.mode_set = true;
+                true
+            }
+            IOCTL_SET_HEADER => {
+                if !self.mode_set {
+                    return false;
+                }
+                self.header_set = true;
+                true
+            }
+            IOCTL_SET_HANDLES => {
+                if !self.mode_set {
+                    return false;
+                }
+                self.handles_set = true;
+                true
+            }
+            IOCTL_START_STREAM => {
+                if !self.complete() {
+                    return false;
+                }
+                self.running = true;
+                true
+            }
+            IOCTL_STOP_STREAM => {
+                self.running = false;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+// Driver-job tokens.
+const JOB_BUILD: u64 = 1;
+const JOB_PIO: u64 = 2;
+
+/// Configuration for [`CtmsVcaSource`].
+#[derive(Clone, Copy, Debug)]
+pub struct CtmsSourceCfg {
+    /// Interrupt period (§5.1: 12 ms).
+    pub period: Dur,
+    /// CTMSP packet length including CTMSP header, excluding ring
+    /// overhead (§5.1: 2000 bytes).
+    pub pkt_len: u32,
+    /// Destination station on the ring.
+    pub dst: StationId,
+    /// The Token Ring driver holding the send handle.
+    pub tr_driver: DriverId,
+    /// Non-copy driver code between handler entry and the send handle:
+    /// mbuf allocation, precomputed-header copy, packet numbering
+    /// (§5.3 attributes 600 µs to "execution of the code between the two
+    /// points of measurement").
+    pub handler_code: Dur,
+    /// §5.3 variant: copy the payload from the VCA's byte-wide device
+    /// memory into the mbufs (vs. appending synthetic data).
+    pub copy_from_device: bool,
+    /// PIO cost per byte for `copy_from_device`.
+    pub pio_per_byte: Dur,
+    /// Ring access priority for CTMSP frames (§3: above all other
+    /// traffic). 0 disables the priority ablation-style.
+    pub ring_priority: u8,
+    /// Peak-to-peak interrupt-source jitter (§5.2.2 measured ≤ 500 ns
+    /// around the second pulse; 0 = perfect).
+    pub irq_jitter: Dur,
+    /// Arm the timer chain at kernel boot.
+    pub autostart: bool,
+    /// Require the §5.1 ioctl setup sequence before streaming (the
+    /// paper's control-plane path); `autostart` is ignored when set.
+    pub require_setup: bool,
+}
+
+impl Default for CtmsSourceCfg {
+    fn default() -> Self {
+        CtmsSourceCfg {
+            period: Dur::from_ms(12),
+            pkt_len: 2000,
+            dst: StationId(1),
+            tr_driver: DriverId(0),
+            handler_code: Dur::from_us(600),
+            copy_from_device: false,
+            pio_per_byte: Dur::from_ns(800),
+            ring_priority: 4,
+            irq_jitter: Dur::ZERO,
+            autostart: true,
+            require_setup: false,
+        }
+    }
+}
+
+/// Counters for [`CtmsVcaSource`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CtmsSourceStats {
+    /// Interrupts taken.
+    pub interrupts: u64,
+    /// Packets handed to the Token Ring driver.
+    pub pkts_sent: u64,
+    /// Packets dropped for want of mbufs.
+    pub mbuf_drops: u64,
+    /// Setup ioctls rejected (out of order / before mode set).
+    pub ioctl_rejects: u64,
+}
+
+/// The modified VCA source driver. See module docs.
+#[derive(Debug)]
+pub struct CtmsVcaSource {
+    cfg: CtmsSourceCfg,
+    seq: u64,
+    setup: SetupState,
+    stats: CtmsSourceStats,
+}
+
+impl CtmsVcaSource {
+    /// Creates the driver.
+    pub fn new(cfg: CtmsSourceCfg) -> Self {
+        CtmsVcaSource {
+            cfg,
+            seq: 0,
+            setup: SetupState::default(),
+            stats: CtmsSourceStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CtmsSourceStats {
+        self.stats
+    }
+
+    /// Connection-setup progress (§5.1 device state).
+    pub fn setup(&self) -> SetupState {
+        self.setup
+    }
+
+    fn arm(&self, ctx: &mut Ctx) {
+        let jitter = if self.cfg.irq_jitter.is_zero() {
+            Dur::ZERO
+        } else {
+            ctx.rng.uniform_dur(Dur::ZERO, self.cfg.irq_jitter)
+        };
+        ctx.set_timer(0, ctx.now + self.cfg.period + jitter);
+    }
+}
+
+impl Driver for CtmsVcaSource {
+    fn name(&self) -> &'static str {
+        "vca-ctms-src"
+    }
+
+    fn on_boot(&mut self, ctx: &mut Ctx) {
+        if self.cfg.autostart && !self.cfg.require_setup {
+            self.setup.mode_set = true;
+            self.setup.header_set = true;
+            self.setup.handles_set = true;
+            self.setup.running = true;
+            self.arm(ctx);
+        }
+    }
+
+    fn ioctl(&mut self, ctx: &mut Ctx, _pid: Pid, req: u32) {
+        if req == IOCTL_START {
+            self.setup.running = true;
+            self.arm(ctx);
+            return;
+        }
+        let was_running = self.setup.running;
+        if !self.setup.apply(req) {
+            self.stats.ioctl_rejects += 1;
+            return;
+        }
+        if req == IOCTL_SET_HEADER {
+            // The precomputed header comes from the ring driver, once per
+            // connection (§3); the computation rides on a driver job.
+            ctx.push_job(99, Dur::from_us(150), ExecLevel::KernelSpl(1));
+        }
+        if self.setup.running && !was_running {
+            self.arm(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        if !self.setup.running {
+            return; // IOCTL_STOP_STREAM landed since the last arm
+        }
+        // Measurement point 1: the IRQ pulse, tagged with the packet
+        // number this period will produce.
+        ctx.trace(MeasurePoint::VcaIrq, self.seq + 1);
+        ctx.raise_irq(LINE_VCA);
+        self.arm(ctx);
+    }
+
+    fn on_interrupt(&mut self, ctx: &mut Ctx) {
+        self.stats.interrupts += 1;
+        // Measurement point 2: handler entry.
+        ctx.trace(MeasurePoint::VcaHandlerEntry, self.seq + 1);
+        let mut cost = self.cfg.handler_code;
+        if self.cfg.copy_from_device {
+            cost += self.cfg.pio_per_byte * u64::from(self.cfg.pkt_len);
+        }
+        ctx.push_job(JOB_BUILD, cost, ExecLevel::Irq(LINE_VCA));
+    }
+
+    fn on_job(&mut self, ctx: &mut Ctx, token: u64) {
+        if token == 99 {
+            return; // header-computation cost only
+        }
+        debug_assert_eq!(token, JOB_BUILD);
+        self.seq += 1;
+        let Some(chain) = ctx.mbufs.alloc_nowait(self.cfg.pkt_len) else {
+            self.stats.mbuf_drops += 1;
+            ctx.drop_data(DropSite::MbufExhausted, self.seq, self.cfg.pkt_len);
+            return;
+        };
+        self.stats.pkts_sent += 1;
+        ctx.call(
+            self.cfg.tr_driver,
+            DriverCall::CtmspSend(Pkt {
+                proto: Proto::Ctmsp,
+                dst: self.cfg.dst,
+                len: self.cfg.pkt_len,
+                tag: self.seq,
+                priority: self.cfg.ring_priority,
+                chain: Some(chain),
+            }),
+        );
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Configuration for [`CtmsVcaSink`].
+#[derive(Clone, Copy, Debug)]
+pub struct CtmsSinkCfg {
+    /// §5.3 variant: copy the payload from mbufs into the VCA device
+    /// buffer (test case B) vs. dropping after identification (case A).
+    pub copy_to_device: bool,
+    /// PIO cost per byte for the device copy.
+    pub pio_per_byte: Dur,
+    /// spl level the delivery copy runs at.
+    pub copy_spl: u8,
+}
+
+impl Default for CtmsSinkCfg {
+    fn default() -> Self {
+        CtmsSinkCfg {
+            copy_to_device: false,
+            pio_per_byte: Dur::from_ns(800),
+            copy_spl: 5,
+        }
+    }
+}
+
+/// Counters for [`CtmsVcaSink`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CtmsSinkStats {
+    /// Packets received through the delivery handle.
+    pub received: u64,
+    /// Sequence gaps tolerated (Ring Purge losses, §5's recovery code).
+    pub gaps: u64,
+    /// Packets missing inside those gaps.
+    pub missed_pkts: u64,
+    /// Duplicates discarded (retransmission recovery).
+    pub duplicates: u64,
+    /// Highest packet number seen.
+    pub last_seq: u64,
+}
+
+/// The CTMS presentation device. See module docs.
+#[derive(Debug)]
+pub struct CtmsVcaSink {
+    cfg: CtmsSinkCfg,
+    stats: CtmsSinkStats,
+    pending: std::collections::VecDeque<(u64, u32)>,
+}
+
+impl CtmsVcaSink {
+    /// Creates the driver.
+    pub fn new(cfg: CtmsSinkCfg) -> Self {
+        CtmsVcaSink {
+            cfg,
+            stats: CtmsSinkStats::default(),
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CtmsSinkStats {
+        self.stats
+    }
+}
+
+impl Driver for CtmsVcaSink {
+    fn name(&self) -> &'static str {
+        "vca-ctms-sink"
+    }
+
+    fn on_call(&mut self, ctx: &mut Ctx, _from: DriverId, call: DriverCall) {
+        let DriverCall::CtmspDeliver(pkt) = call else {
+            return;
+        };
+        // Recovery (§5: "adding code to recover" from single purge
+        // losses): tolerate gaps, discard duplicates.
+        if pkt.tag <= self.stats.last_seq && self.stats.last_seq != 0 {
+            self.stats.duplicates += 1;
+            ctx.drop_data(DropSite::Duplicate, pkt.tag, pkt.len);
+            if let Some(chain) = pkt.chain {
+                ctx.free_chain(chain);
+            }
+            return;
+        }
+        if self.stats.last_seq != 0 && pkt.tag > self.stats.last_seq + 1 {
+            self.stats.gaps += 1;
+            self.stats.missed_pkts += pkt.tag - self.stats.last_seq - 1;
+        }
+        self.stats.last_seq = pkt.tag;
+        self.stats.received += 1;
+        if let Some(chain) = pkt.chain {
+            ctx.free_chain(chain);
+        }
+        if self.cfg.copy_to_device {
+            self.pending.push_back((pkt.tag, pkt.len));
+            ctx.push_job(
+                JOB_PIO,
+                self.cfg.pio_per_byte * u64::from(pkt.len),
+                ExecLevel::KernelSpl(self.cfg.copy_spl),
+            );
+        } else {
+            // Case-A variant: the packet is dropped after identification;
+            // presentation accounting still records the arrival.
+            ctx.presented(pkt.tag, pkt.len);
+        }
+    }
+
+    fn on_job(&mut self, ctx: &mut Ctx, token: u64) {
+        debug_assert_eq!(token, JOB_PIO);
+        let (tag, len) = self.pending.pop_front().expect("pio without pending");
+        ctx.presented(tag, len);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Configuration for [`StockVcaSource`] and [`StockAudioSink`].
+#[derive(Clone, Copy, Debug)]
+pub struct StockCfg {
+    /// Device service period.
+    pub period: Dur,
+    /// Bytes produced/consumed per period.
+    pub chunk: u32,
+    /// On-card buffer capacity (the VCA's 2K×16 memory = 4096 bytes).
+    pub buf_cap: u32,
+    /// Byte-wide PIO cost per byte.
+    pub pio_per_byte: Dur,
+    /// Kernel staging buffer capacity (source only).
+    pub staging_cap: u32,
+    /// Playback begins once this many bytes are buffered (sink only);
+    /// models the device priming before starting the DAC clock.
+    pub prefill: u32,
+    /// Arm at boot.
+    pub autostart: bool,
+}
+
+impl StockCfg {
+    /// A stock configuration for the given continuous data rate.
+    pub fn for_rate(bytes_per_sec: u32) -> Self {
+        let period = Dur::from_ms(12);
+        let chunk = (u64::from(bytes_per_sec) * period.as_ns() / 1_000_000_000) as u32;
+        StockCfg {
+            period,
+            chunk,
+            buf_cap: 4096,
+            pio_per_byte: Dur::from_ns(3_000),
+            staging_cap: 2 * chunk.max(1),
+            prefill: 2048,
+            autostart: true,
+        }
+    }
+}
+
+/// Counters for [`StockVcaSource`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StockSourceStats {
+    /// Bytes produced by the device.
+    pub produced: u64,
+    /// Bytes lost to on-card buffer overrun (host too slow).
+    pub overrun_bytes: u64,
+    /// Overrun events.
+    pub overruns: u64,
+    /// Bytes consumed by readers.
+    pub consumed: u64,
+}
+
+/// The unmodified VCA source driver (E1 baseline). See module docs.
+#[derive(Debug)]
+pub struct StockVcaSource {
+    cfg: StockCfg,
+    device_buf: u32,
+    staging: u32,
+    reader: Option<(Pid, u32)>,
+    pio_in_flight: u32,
+    stats: StockSourceStats,
+}
+
+impl StockVcaSource {
+    /// Creates the driver.
+    pub fn new(cfg: StockCfg) -> Self {
+        StockVcaSource {
+            cfg,
+            device_buf: 0,
+            staging: 0,
+            reader: None,
+            pio_in_flight: 0,
+            stats: StockSourceStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> StockSourceStats {
+        self.stats
+    }
+}
+
+impl Driver for StockVcaSource {
+    fn name(&self) -> &'static str {
+        "vca-stock-src"
+    }
+
+    fn on_boot(&mut self, ctx: &mut Ctx) {
+        if self.cfg.autostart {
+            ctx.set_timer(0, ctx.now + self.cfg.period);
+        }
+    }
+
+    fn ioctl(&mut self, ctx: &mut Ctx, _pid: Pid, req: u32) {
+        if req == IOCTL_START {
+            ctx.set_timer(0, ctx.now + self.cfg.period);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        // The DSP deposits a chunk; the on-card buffer overruns if the
+        // host has not drained it.
+        self.stats.produced += u64::from(self.cfg.chunk);
+        let space = self.cfg.buf_cap - self.device_buf;
+        if self.cfg.chunk > space {
+            let lost = self.cfg.chunk - space;
+            self.stats.overrun_bytes += u64::from(lost);
+            self.stats.overruns += 1;
+            ctx.drop_data(DropSite::VcaOverrun, 0, lost);
+            self.device_buf = self.cfg.buf_cap;
+        } else {
+            self.device_buf += self.cfg.chunk;
+        }
+        ctx.raise_irq(LINE_VCA);
+        ctx.set_timer(0, ctx.now + self.cfg.period);
+    }
+
+    fn on_interrupt(&mut self, ctx: &mut Ctx) {
+        // PIO-copy as much as fits into staging, at interrupt level —
+        // the byte-wide interface of §2's footnote.
+        if self.pio_in_flight > 0 {
+            return; // previous copy still on the CPU
+        }
+        let n = self.device_buf.min(self.cfg.staging_cap - self.staging);
+        if n == 0 {
+            return;
+        }
+        self.pio_in_flight = n;
+        ctx.push_job(
+            JOB_PIO,
+            self.cfg.pio_per_byte * u64::from(n),
+            ExecLevel::Irq(LINE_VCA),
+        );
+    }
+
+    fn on_job(&mut self, ctx: &mut Ctx, token: u64) {
+        debug_assert_eq!(token, JOB_PIO);
+        let n = self.pio_in_flight;
+        self.pio_in_flight = 0;
+        self.device_buf -= n;
+        self.staging += n;
+        if let Some((pid, want)) = self.reader {
+            if self.staging >= want {
+                self.staging -= want;
+                self.stats.consumed += u64::from(want);
+                self.reader = None;
+                ctx.wake(pid, WakeKind::DevRead { bytes: want });
+            }
+        }
+    }
+
+    fn read(&mut self, _ctx: &mut Ctx, pid: Pid, bytes: u32) -> OpResult {
+        if self.staging >= bytes {
+            self.staging -= bytes;
+            self.stats.consumed += u64::from(bytes);
+            OpResult::Done
+        } else {
+            self.reader = Some((pid, bytes));
+            OpResult::Blocked
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counters for [`StockAudioSink`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StockSinkStats {
+    /// Bytes played.
+    pub consumed: u64,
+    /// Bytes of silence inserted (underrun).
+    pub underrun_bytes: u64,
+    /// Underrun events — the audible glitches.
+    pub underruns: u64,
+    /// Bytes written by processes.
+    pub written: u64,
+}
+
+/// A playback device consuming at a continuous rate (E1 baseline sink).
+#[derive(Debug)]
+pub struct StockAudioSink {
+    cfg: StockCfg,
+    buffered: u32,
+    writer: Option<(Pid, u32)>,
+    started: bool,
+    stats: StockSinkStats,
+}
+
+impl StockAudioSink {
+    /// Creates the driver.
+    pub fn new(cfg: StockCfg) -> Self {
+        StockAudioSink {
+            cfg,
+            buffered: 0,
+            writer: None,
+            started: false,
+            stats: StockSinkStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> StockSinkStats {
+        self.stats
+    }
+}
+
+impl Driver for StockAudioSink {
+    fn name(&self) -> &'static str {
+        "audio-stock-sink"
+    }
+
+    fn on_boot(&mut self, ctx: &mut Ctx) {
+        if self.cfg.autostart {
+            // Playback starts once the first write arrives; the timer is
+            // armed then so startup silence is not counted as underrun.
+            let _ = ctx;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        let want = self.cfg.chunk;
+        if self.buffered >= want {
+            self.buffered -= want;
+            self.stats.consumed += u64::from(want);
+            ctx.set_timer(0, ctx.now + self.cfg.period);
+        } else {
+            // Underrun: one audible glitch. Playback pauses and resumes
+            // once the buffer refills to the prefill level (real playback
+            // hardware stalls and rebuffers; it does not tick through
+            // silence forever).
+            let missing = want - self.buffered;
+            self.stats.consumed += u64::from(self.buffered);
+            self.stats.underrun_bytes += u64::from(missing);
+            self.stats.underruns += 1;
+            ctx.drop_data(DropSite::Underrun, 0, missing);
+            self.buffered = 0;
+            self.started = false;
+        }
+        if let Some((pid, bytes)) = self.writer {
+            if self.buffered + bytes <= self.cfg.buf_cap {
+                // Unblock only; the retried write() transfers the data.
+                self.writer = None;
+                ctx.wake(pid, WakeKind::DevWrite);
+            }
+        }
+    }
+
+    fn write(&mut self, ctx: &mut Ctx, pid: Pid, bytes: u32) -> OpResult {
+        if !self.started && self.buffered + bytes >= self.cfg.prefill {
+            self.started = true;
+            ctx.set_timer(0, ctx.now + self.cfg.period);
+        }
+        if self.buffered + bytes <= self.cfg.buf_cap {
+            self.buffered += bytes;
+            self.stats.written += u64::from(bytes);
+            // The byte-wide device copy burns CPU.
+            ctx.push_job(
+                JOB_PIO,
+                self.cfg.pio_per_byte * u64::from(bytes),
+                ExecLevel::User,
+            );
+            OpResult::Done
+        } else {
+            self.writer = Some((pid, bytes));
+            OpResult::Blocked
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_rtpc::{Machine, MachineConfig};
+    use ctms_sim::{drain_component, Component, Pcg32, SimTime};
+    use ctms_unixkern::{Host, HostOut, KernConfig, Kernel, MeasurePoint};
+
+    fn host_with<D: Driver + 'static>(
+        d: D,
+        line: Option<u8>,
+        clock: bool,
+    ) -> (Host, ctms_unixkern::DriverId) {
+        let mut cfg = KernConfig::default();
+        cfg.clock_enabled = clock;
+        let mut kernel = Kernel::new(cfg, Pcg32::new(3, 3));
+        let id = kernel.add_driver(Box::new(d), line);
+        (Host::new(Machine::new(MachineConfig::default()), kernel), id)
+    }
+
+    #[test]
+    fn ctms_source_period_is_solid() {
+        // §5.2.2: the VCA interrupts every 12 ms "with no detectable
+        // variation" when jitter is 0.
+        let mut cfg = CtmsSourceCfg::default();
+        cfg.tr_driver = DriverId(0); // self-call: packets loop back as calls
+        let (mut host, _id) = host_with(CtmsVcaSource::new(cfg), Some(LINE_VCA), false);
+        let evs = drain_component(&mut host, SimTime::from_ms(121));
+        let irqs: Vec<SimTime> = evs
+            .iter()
+            .filter_map(|(t, e)| match e {
+                HostOut::Trace {
+                    point: MeasurePoint::VcaIrq,
+                    ..
+                } => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(irqs.len(), 10);
+        for w in irqs.windows(2) {
+            assert_eq!(w[1].since(w[0]), Dur::from_ms(12));
+        }
+    }
+
+    #[test]
+    fn ctms_source_traces_handler_entry_and_sends() {
+        let mut cfg = CtmsSourceCfg::default();
+        cfg.tr_driver = DriverId(1);
+        let (mut host, _id) = host_with(CtmsVcaSource::new(cfg), Some(LINE_VCA), false);
+        // Driver 1: a sink that records CtmspSend arrivals.
+        struct Recorder(Vec<(SimTime, u64)>);
+        impl Driver for Recorder {
+            fn name(&self) -> &'static str {
+                "rec"
+            }
+            fn on_call(&mut self, ctx: &mut Ctx, _from: DriverId, call: DriverCall) {
+                if let DriverCall::CtmspSend(pkt) = call {
+                    self.0.push((ctx.now, pkt.tag));
+                    if let Some(chain) = pkt.chain {
+                        ctx.free_chain(chain);
+                    }
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let rec = host.kernel.add_driver(Box::new(Recorder(Vec::new())), None);
+        let evs = drain_component(&mut host, SimTime::from_ms(40));
+        // Handler entry at 12 ms + 25 µs dispatch; send 600 µs later.
+        let entry = evs
+            .iter()
+            .find_map(|(t, e)| match e {
+                HostOut::Trace {
+                    point: MeasurePoint::VcaHandlerEntry,
+                    tag: 1,
+                } => Some(*t),
+                _ => None,
+            })
+            .expect("handler entry");
+        assert_eq!(entry, SimTime::from_us(12_025));
+        let r = host.kernel.driver_ref::<Recorder>(rec).expect("recorder");
+        assert_eq!(r.0.len(), 3);
+        assert_eq!(r.0[0], (SimTime::from_us(12_625), 1));
+    }
+
+    #[test]
+    fn ctms_sink_recovery_tolerates_gap_and_duplicate() {
+        let (mut host, id) = host_with(CtmsVcaSink::new(CtmsSinkCfg::default()), None, false);
+        let mut sink = Vec::new();
+        let deliver = |host: &mut Host, sink: &mut Vec<HostOut>, tag: u64| {
+            host.handle(
+                SimTime::from_ms(tag),
+                ctms_unixkern::HostCmd::Kern(ctms_unixkern::KernCmd::Call {
+                    driver: id,
+                    call: DriverCall::CtmspDeliver(Pkt {
+                        proto: Proto::Ctmsp,
+                        dst: StationId(0),
+                        len: 2000,
+                        tag,
+                        priority: 4,
+                        chain: None,
+                    }),
+                }),
+                sink,
+            );
+        };
+        deliver(&mut host, &mut sink, 1);
+        deliver(&mut host, &mut sink, 2);
+        deliver(&mut host, &mut sink, 4); // packet 3 lost to a purge
+        deliver(&mut host, &mut sink, 4); // duplicate retransmission
+        deliver(&mut host, &mut sink, 5);
+        let s = host.kernel.driver_ref::<CtmsVcaSink>(id).expect("sink").stats();
+        assert_eq!(s.received, 4);
+        assert_eq!(s.gaps, 1);
+        assert_eq!(s.missed_pkts, 1);
+        assert_eq!(s.duplicates, 1);
+        let presented = sink
+            .iter()
+            .filter(|e| matches!(e, HostOut::Presented { .. }))
+            .count();
+        assert_eq!(presented, 4);
+    }
+
+    #[test]
+    fn ctms_sink_copy_mode_defers_presentation() {
+        let mut cfg = CtmsSinkCfg::default();
+        cfg.copy_to_device = true;
+        let (mut host, id) = host_with(CtmsVcaSink::new(cfg), None, false);
+        let mut sink = Vec::new();
+        host.handle(
+            SimTime::ZERO,
+            ctms_unixkern::HostCmd::Kern(ctms_unixkern::KernCmd::Call {
+                driver: id,
+                call: DriverCall::CtmspDeliver(Pkt {
+                    proto: Proto::Ctmsp,
+                    dst: StationId(0),
+                    len: 2000,
+                    tag: 1,
+                    priority: 4,
+                    chain: None,
+                }),
+            }),
+            &mut sink,
+        );
+        assert!(sink.iter().all(|e| !matches!(e, HostOut::Presented { .. })));
+        let evs = drain_component(&mut host, SimTime::from_ms(10));
+        // 2000 bytes × 800 ns = 1.6 ms device copy.
+        let t = evs
+            .iter()
+            .find_map(|(t, e)| matches!(e, HostOut::Presented { tag: 1, .. }).then_some(*t))
+            .expect("presented");
+        assert_eq!(t, SimTime::from_us(1600));
+    }
+
+    #[test]
+    fn stock_source_overruns_when_unread() {
+        let cfg = StockCfg::for_rate(150_000);
+        assert_eq!(cfg.chunk, 1800);
+        let (mut host, id) = host_with(StockVcaSource::new(cfg), Some(LINE_VCA), false);
+        // Nobody reads: staging fills (2 chunks), then the on-card buffer
+        // (4096), then overruns begin.
+        let _ = drain_component(&mut host, SimTime::from_secs(1));
+        let s = host
+            .kernel
+            .driver_ref::<StockVcaSource>(id)
+            .expect("src")
+            .stats();
+        assert!(s.overruns > 50, "sustained overrun, got {}", s.overruns);
+        assert!(s.consumed == 0);
+    }
+
+    #[test]
+    fn stock_sink_stalls_and_rebuffers() {
+        let cfg = StockCfg::for_rate(150_000);
+        let (mut host, id) = host_with(StockAudioSink::new(cfg), None, false);
+        let dev = id;
+        // The first write sits below the prefill level: no playback yet.
+        // The second crosses it; then silence causes ONE glitch (the sink
+        // pauses rather than ticking through silence).
+        host.kernel.add_proc(ctms_unixkern::Program::once(vec![
+            ctms_unixkern::Step::WriteDev { dev, bytes: 1800 },
+            ctms_unixkern::Step::WriteDev { dev, bytes: 1800 },
+        ]));
+        let _ = drain_component(&mut host, SimTime::from_secs(1));
+        let s = host
+            .kernel
+            .driver_ref::<StockAudioSink>(id)
+            .expect("sink")
+            .stats();
+        assert_eq!(s.written, 3600);
+        assert_eq!(s.consumed, 3600);
+        assert_eq!(s.underruns, 1, "one glitch then pause, got {}", s.underruns);
+    }
+}

@@ -1,0 +1,110 @@
+//! Logic analyzer and oscilloscope (§5.2.2).
+//!
+//! "The use of a logic analyzer is the least obtrusive way of measuring
+//! the values of interest" — in the simulation it reads the ground-truth
+//! edge logs with zero error, and provides the §5.2.2 analyses: period
+//! variation of the VCA IRQ source and the worst-case IRQ→handler-entry
+//! delay. Its paper-documented limitation — no full histograms — is
+//! deliberately preserved: it reports extremes and means only.
+
+use ctms_sim::{Dur, EdgeLog};
+
+/// §5.2.2-style period analysis of a (nominally) periodic signal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeriodAnalysis {
+    /// Number of intervals measured.
+    pub intervals: usize,
+    /// Mean period in nanoseconds.
+    pub mean_ns: f64,
+    /// Largest deviation from the nominal period, in nanoseconds.
+    pub max_deviation_ns: u64,
+}
+
+/// Triggers on every edge of `log` and measures the inter-pulse period
+/// against `nominal` (the oscilloscope's "second pulse" measurement).
+pub fn analyze_period(log: &EdgeLog, nominal: Dur) -> PeriodAnalysis {
+    let intervals = log.inter_occurrence();
+    if intervals.is_empty() {
+        return PeriodAnalysis {
+            intervals: 0,
+            mean_ns: 0.0,
+            max_deviation_ns: 0,
+        };
+    }
+    let mut sum = 0u128;
+    let mut max_dev = 0u64;
+    for d in &intervals {
+        sum += u128::from(d.as_ns());
+        max_dev = max_dev.max(d.as_ns().abs_diff(nominal.as_ns()));
+    }
+    PeriodAnalysis {
+        intervals: intervals.len(),
+        mean_ns: sum as f64 / intervals.len() as f64,
+        max_deviation_ns: max_dev,
+    }
+}
+
+/// §5.2.2's second measurement: the variation between an IRQ pulse and
+/// the start of its handler. Returns `(min, max)` delay, pairing edges
+/// by tag. `None` if no pairs exist.
+pub fn irq_to_handler_variation(irq: &EdgeLog, handler: &EdgeLog) -> Option<(Dur, Dur)> {
+    let deltas = irq.deltas_to(handler);
+    let min = deltas.iter().copied().min()?;
+    let max = deltas.iter().copied().max()?;
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_sim::SimTime;
+
+    #[test]
+    fn solid_source_shows_no_variation() {
+        let mut log = EdgeLog::new("irq");
+        for k in 0..100u64 {
+            log.record(SimTime::from_us(12_000 * k), k);
+        }
+        let a = analyze_period(&log, Dur::from_ms(12));
+        assert_eq!(a.intervals, 99);
+        assert_eq!(a.mean_ns, 12_000_000.0);
+        assert_eq!(a.max_deviation_ns, 0);
+    }
+
+    #[test]
+    fn jittered_source_deviation_measured() {
+        let mut log = EdgeLog::new("irq");
+        log.record(SimTime::from_ns(0), 0);
+        log.record(SimTime::from_ns(12_000_500), 1); // +500 ns (§5.2.2)
+        log.record(SimTime::from_ns(24_000_500), 2);
+        let a = analyze_period(&log, Dur::from_ms(12));
+        assert_eq!(a.max_deviation_ns, 500);
+    }
+
+    #[test]
+    fn empty_log_analysis() {
+        let log = EdgeLog::new("x");
+        let a = analyze_period(&log, Dur::from_ms(12));
+        assert_eq!(a.intervals, 0);
+        assert_eq!(a.max_deviation_ns, 0);
+    }
+
+    #[test]
+    fn handler_variation_bounds() {
+        let mut irq = EdgeLog::new("irq");
+        let mut h = EdgeLog::new("handler");
+        irq.record(SimTime::from_us(0), 1);
+        irq.record(SimTime::from_us(12_000), 2);
+        irq.record(SimTime::from_us(24_000), 3);
+        h.record(SimTime::from_us(25), 1);
+        h.record(SimTime::from_us(12_440), 2); // blocked by an spl section
+        h.record(SimTime::from_us(24_030), 3);
+        let (min, max) = irq_to_handler_variation(&irq, &h).expect("pairs");
+        assert_eq!(min, Dur::from_us(25));
+        assert_eq!(max, Dur::from_us(440));
+        assert_eq!(
+            irq_to_handler_variation(&EdgeLog::new("a"), &EdgeLog::new("b")),
+            None
+        );
+    }
+}

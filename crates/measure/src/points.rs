@@ -1,0 +1,135 @@
+//! The paper's seven histograms (§5.3).
+//!
+//! Both test cases examine:
+//!
+//! 1. inter-occurrence of VCA IRQ pulses,
+//! 2. inter-occurrence of VCA handler entries,
+//! 3. inter-occurrence of the pre-transmit point,
+//! 4. inter-occurrence of the CTMSP-identified point,
+//! 5. differences between like occurrences of (1) and (2),
+//! 6. differences between like occurrences of (2) and (3)  — Figure 5-2,
+//! 7. differences between like occurrences of (3) and (4)  — Figures 5-3/5-4.
+
+use ctms_sim::EdgeLog;
+
+/// Histogram selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HistId {
+    /// Inter-occurrence, VCA IRQ.
+    H1,
+    /// Inter-occurrence, VCA handler entry.
+    H2,
+    /// Inter-occurrence, pre-transmit.
+    H3,
+    /// Inter-occurrence, CTMSP identified.
+    H4,
+    /// IRQ → handler entry deltas.
+    H5,
+    /// Handler entry → pre-transmit deltas (Figure 5-2).
+    H6,
+    /// Pre-transmit → CTMSP-identified deltas (Figures 5-3 and 5-4).
+    H7,
+}
+
+impl HistId {
+    /// All seven in paper order.
+    pub const ALL: [HistId; 7] = [
+        HistId::H1,
+        HistId::H2,
+        HistId::H3,
+        HistId::H4,
+        HistId::H5,
+        HistId::H6,
+        HistId::H7,
+    ];
+
+    /// The paper's description of this histogram.
+    pub fn description(self) -> &'static str {
+        match self {
+            HistId::H1 => "inter-occurrence of VCA IRQ pulses",
+            HistId::H2 => "inter-occurrence of VCA handler entries",
+            HistId::H3 => "inter-occurrence of pre-transmit points",
+            HistId::H4 => "inter-occurrence of CTMSP-identified points",
+            HistId::H5 => "VCA IRQ to handler-entry deltas",
+            HistId::H6 => "handler entry to pre-transmit deltas (Fig 5-2)",
+            HistId::H7 => "pre-transmit to CTMSP-identified deltas (Fig 5-3/5-4)",
+        }
+    }
+}
+
+/// The four measurement-point logs of one run (source side 1–3, receive
+/// side 4), as captured by some instrument.
+#[derive(Clone, Debug, Default)]
+pub struct MeasurementSet {
+    /// Point 1: VCA IRQ line.
+    pub vca_irq: EdgeLog,
+    /// Point 2: VCA handler entry.
+    pub handler: EdgeLog,
+    /// Point 3: pre-transmit.
+    pub pre_tx: EdgeLog,
+    /// Point 4: CTMSP identified at the receiver.
+    pub ctmsp_rx: EdgeLog,
+}
+
+impl MeasurementSet {
+    /// Sample values (microseconds) for the selected histogram.
+    pub fn samples_us(&self, which: HistId) -> Vec<f64> {
+        let durs = match which {
+            HistId::H1 => self.vca_irq.inter_occurrence(),
+            HistId::H2 => self.handler.inter_occurrence(),
+            HistId::H3 => self.pre_tx.inter_occurrence(),
+            HistId::H4 => self.ctmsp_rx.inter_occurrence(),
+            HistId::H5 => self.vca_irq.deltas_to(&self.handler),
+            HistId::H6 => self.handler.deltas_to(&self.pre_tx),
+            HistId::H7 => self.pre_tx.deltas_to(&self.ctmsp_rx),
+        };
+        durs.into_iter().map(|d| d.as_us_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_sim::SimTime;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn histogram_definitions() {
+        let mut m = MeasurementSet::default();
+        for k in 0..3u64 {
+            let base = 12_000 * k;
+            m.vca_irq.record(t(base), k + 1);
+            m.handler.record(t(base + 25), k + 1);
+            m.pre_tx.record(t(base + 2_625), k + 1);
+            m.ctmsp_rx.record(t(base + 13_400), k + 1);
+        }
+        assert_eq!(m.samples_us(HistId::H1), vec![12_000.0, 12_000.0]);
+        assert_eq!(m.samples_us(HistId::H2), vec![12_000.0, 12_000.0]);
+        assert_eq!(m.samples_us(HistId::H5), vec![25.0, 25.0, 25.0]);
+        assert_eq!(m.samples_us(HistId::H6), vec![2_600.0, 2_600.0, 2_600.0]);
+        assert_eq!(
+            m.samples_us(HistId::H7),
+            vec![10_775.0, 10_775.0, 10_775.0]
+        );
+    }
+
+    #[test]
+    fn lost_packet_skipped_in_deltas() {
+        let mut m = MeasurementSet::default();
+        m.pre_tx.record(t(0), 1);
+        m.pre_tx.record(t(12_000), 2);
+        m.ctmsp_rx.record(t(10_740), 1);
+        // Packet 2 lost to a purge: H7 has one sample.
+        assert_eq!(m.samples_us(HistId::H7).len(), 1);
+    }
+
+    #[test]
+    fn all_ids_have_descriptions() {
+        for id in HistId::ALL {
+            assert!(!id.description().is_empty());
+        }
+    }
+}

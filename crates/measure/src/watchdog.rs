@@ -1,0 +1,252 @@
+//! The halt-and-snapshot watchdog of §5.2.1.
+//!
+//! "If a packet was lost, had an extremely long inter-departure or
+//! inter-arrival time, or there was an incorrect ordering of packets on
+//! the transmitter and/or receiver, all machines were halted and a
+//! snapshot of the data was taken. We then examined the snapshots to
+//! decide what error had occurred."
+//!
+//! [`Watchdog`] is that machinery: it consumes measurement-point
+//! crossings online, flags the first anomaly (ordering violation,
+//! sequence gap, or stalled stream) and keeps the window of events that
+//! led up to it — the snapshot the paper's operators would examine.
+
+use ctms_sim::{Dur, SimTime};
+use std::collections::VecDeque;
+
+/// One observed crossing, as fed to the watchdog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// Measurement-point index (0–3 for the paper's four points).
+    pub point: u8,
+    /// When.
+    pub at: SimTime,
+    /// Packet number.
+    pub tag: u64,
+}
+
+/// The anomaly that halted the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Anomaly {
+    /// A packet number went backwards at a point.
+    OutOfOrder {
+        /// Where.
+        point: u8,
+        /// The regressing tag.
+        tag: u64,
+        /// The tag seen before it.
+        prev: u64,
+    },
+    /// Packet numbers skipped at a point (a loss upstream of it).
+    Gap {
+        /// Where.
+        point: u8,
+        /// Last tag before the hole.
+        from: u64,
+        /// First tag after the hole.
+        to: u64,
+    },
+    /// A point went silent for longer than the configured bound
+    /// ("extremely long inter-departure or inter-arrival time").
+    Stall {
+        /// Where.
+        point: u8,
+        /// The silent interval.
+        gap: Dur,
+    },
+}
+
+/// Watchdog configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogCfg {
+    /// Maximum tolerated inter-occurrence interval per point.
+    pub max_interval: Dur,
+    /// Events of pre-anomaly context to retain.
+    pub snapshot_len: usize,
+    /// Tolerate sequence gaps (the production recovery mode ignores
+    /// single purge losses; the debugging mode halts on them).
+    pub tolerate_gaps: bool,
+}
+
+impl Default for WatchdogCfg {
+    fn default() -> Self {
+        WatchdogCfg {
+            // The paper's worst regular packet is 40 ms; anything past
+            // 150 ms of silence on a 12 ms stream is an anomaly.
+            max_interval: Dur::from_ms(150),
+            snapshot_len: 64,
+            tolerate_gaps: false,
+        }
+    }
+}
+
+/// The watchdog. See module docs.
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogCfg,
+    last: [Option<(SimTime, u64)>; 8],
+    window: VecDeque<WatchEvent>,
+    halted: Option<(SimTime, Anomaly)>,
+    events: u64,
+}
+
+impl Watchdog {
+    /// Creates the watchdog.
+    pub fn new(cfg: WatchdogCfg) -> Self {
+        Watchdog {
+            cfg,
+            last: [None; 8],
+            window: VecDeque::new(),
+            halted: None,
+            events: 0,
+        }
+    }
+
+    /// Feeds one crossing; returns the anomaly if this event halts the
+    /// run. After a halt, further events are ignored (the machines have
+    /// stopped).
+    pub fn feed(&mut self, ev: WatchEvent) -> Option<Anomaly> {
+        if self.halted.is_some() {
+            return None;
+        }
+        self.events += 1;
+        let slot = ev.point as usize;
+        assert!(slot < 8, "point index out of range");
+        let anomaly = match self.last[slot] {
+            Some((prev_at, prev_tag)) => {
+                if ev.tag <= prev_tag {
+                    Some(Anomaly::OutOfOrder {
+                        point: ev.point,
+                        tag: ev.tag,
+                        prev: prev_tag,
+                    })
+                } else if ev.tag > prev_tag + 1 && !self.cfg.tolerate_gaps {
+                    Some(Anomaly::Gap {
+                        point: ev.point,
+                        from: prev_tag,
+                        to: ev.tag,
+                    })
+                } else if ev.at.since(prev_at) > self.cfg.max_interval {
+                    Some(Anomaly::Stall {
+                        point: ev.point,
+                        gap: ev.at.since(prev_at),
+                    })
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        self.last[slot] = Some((ev.at, ev.tag));
+        self.window.push_back(ev);
+        while self.window.len() > self.cfg.snapshot_len {
+            self.window.pop_front();
+        }
+        if let Some(a) = anomaly {
+            self.halted = Some((ev.at, a));
+            return Some(a);
+        }
+        None
+    }
+
+    /// The halt, if one occurred.
+    pub fn halted(&self) -> Option<(SimTime, Anomaly)> {
+        self.halted
+    }
+
+    /// The snapshot: the events leading up to (and including) the halt.
+    pub fn snapshot(&self) -> &VecDeque<WatchEvent> {
+        &self.window
+    }
+
+    /// Events consumed before any halt.
+    pub fn events_seen(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(point: u8, ms: u64, tag: u64) -> WatchEvent {
+        WatchEvent {
+            point,
+            at: SimTime::from_ms(ms),
+            tag,
+        }
+    }
+
+    #[test]
+    fn clean_stream_never_halts() {
+        let mut w = Watchdog::new(WatchdogCfg::default());
+        for k in 1..200u64 {
+            assert_eq!(w.feed(ev(0, 12 * k, k)), None);
+            assert_eq!(w.feed(ev(3, 12 * k + 11, k)), None);
+        }
+        assert!(w.halted().is_none());
+        assert_eq!(w.events_seen(), 398);
+    }
+
+    #[test]
+    fn out_of_order_halts_with_snapshot() {
+        let mut w = Watchdog::new(WatchdogCfg::default());
+        for k in 1..10u64 {
+            w.feed(ev(2, 12 * k, k));
+        }
+        let a = w.feed(ev(2, 120, 5)).expect("halt");
+        assert_eq!(
+            a,
+            Anomaly::OutOfOrder {
+                point: 2,
+                tag: 5,
+                prev: 9
+            }
+        );
+        let snap = w.snapshot();
+        assert_eq!(snap.back().map(|e| e.tag), Some(5));
+        assert!(snap.len() >= 10);
+        // Post-halt events are ignored.
+        assert_eq!(w.feed(ev(2, 132, 10)), None);
+        assert_eq!(w.events_seen(), 10);
+    }
+
+    #[test]
+    fn gap_halts_unless_tolerated() {
+        let mut w = Watchdog::new(WatchdogCfg::default());
+        w.feed(ev(3, 12, 1));
+        let a = w.feed(ev(3, 24, 3)).expect("halt on gap");
+        assert_eq!(a, Anomaly::Gap { point: 3, from: 1, to: 3 });
+
+        let mut tolerant = Watchdog::new(WatchdogCfg {
+            tolerate_gaps: true,
+            ..WatchdogCfg::default()
+        });
+        tolerant.feed(ev(3, 12, 1));
+        assert_eq!(tolerant.feed(ev(3, 24, 3)), None);
+    }
+
+    #[test]
+    fn stall_detected() {
+        let mut w = Watchdog::new(WatchdogCfg::default());
+        w.feed(ev(1, 12, 1));
+        let a = w.feed(ev(1, 400, 2)).expect("halt on stall");
+        match a {
+            Anomaly::Stall { point: 1, gap } => assert_eq!(gap, Dur::from_ms(388)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_window_is_bounded() {
+        let mut w = Watchdog::new(WatchdogCfg {
+            snapshot_len: 8,
+            ..WatchdogCfg::default()
+        });
+        for k in 1..100u64 {
+            w.feed(ev(0, 12 * k, k));
+        }
+        assert_eq!(w.snapshot().len(), 8);
+        assert_eq!(w.snapshot().front().map(|e| e.tag), Some(92));
+    }
+}

@@ -1,0 +1,508 @@
+//! Inter-ring forwarding engines.
+//!
+//! §1 footnote 5: "If we did not [keep source and destination on the same
+//! ring] then we would have the additional problem of creating a router
+//! that could keep up with the data rates that we were using. This is
+//! possible but has not been implemented." This module implements it,
+//! with two engines spanning the design space the paper hints at:
+//!
+//! * [`BridgeKind::HostRouter`] — a store-and-forward host doing
+//!   kernel-level forwarding: receive DMA, route lookup, two CPU copies,
+//!   transmit DMA. One shared engine for both directions (one CPU). At
+//!   1991 copy rates this is ~13 ms per 2000-byte packet — more than the
+//!   stream's 12 ms period, exactly the paper's worry;
+//! * [`BridgeKind::CutThrough`] — a source-routing bridge forwarding in
+//!   hardware with a small fixed latency and one engine per port.
+//!
+//! The bridge occupies one station on each ring. CTMSP traffic follows a
+//! static point-to-point route (the protocol's §3 assumption extends to
+//! one configured inter-ring hop); everything else is dropped, as the
+//! paper's CTMSP is "specifically designed for and limited to" the media
+//! path.
+
+use ctms_sim::{Component, Dur, SimTime};
+use ctms_tokenring::{Frame, FrameId, Proto, StationId};
+use std::collections::VecDeque;
+
+/// Which ring a frame/event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingSide {
+    /// The source ring.
+    A,
+    /// The destination ring.
+    B,
+}
+
+impl RingSide {
+    /// The opposite side.
+    pub fn other(self) -> RingSide {
+        match self {
+            RingSide::A => RingSide::B,
+            RingSide::B => RingSide::A,
+        }
+    }
+}
+
+/// Forwarding engine model.
+#[derive(Clone, Copy, Debug)]
+pub enum BridgeKind {
+    /// Store-and-forward host: one shared engine, per-packet +
+    /// per-byte service cost.
+    HostRouter {
+        /// Fixed per-packet cost (interrupt, route lookup, headers).
+        per_packet: Dur,
+        /// Per-byte cost (receive copy + transmit copy).
+        per_byte: Dur,
+    },
+    /// Hardware source-routing bridge: per-port engines, fixed latency
+    /// plus a per-byte cut-through cost.
+    CutThrough {
+        /// Fixed forwarding latency.
+        latency: Dur,
+        /// Per-byte forwarding cost (elastic buffer).
+        per_byte: Dur,
+    },
+}
+
+impl BridgeKind {
+    /// A 1991 host router at the paper's copy rates: two adapter
+    /// interrupts, a receive copy out of the fixed DMA buffer, route
+    /// lookup and header rebuild, a transmit copy back into the other
+    /// adapter's buffer — all on a CPU that both adapters' DMA engines
+    /// are simultaneously stealing cycles from. ≈13 ms for a 2000-byte
+    /// packet: *more than the stream's 12 ms period*, which is exactly
+    /// the paper's footnote-5 worry.
+    pub fn host_router_1991() -> BridgeKind {
+        BridgeKind::HostRouter {
+            per_packet: Dur::from_us(2_500),
+            per_byte: Dur::from_ns(5_000),
+        }
+    }
+
+    /// A contemporary source-routing bridge.
+    pub fn cut_through_bridge() -> BridgeKind {
+        BridgeKind::CutThrough {
+            latency: Dur::from_us(350),
+            per_byte: Dur::from_ns(150),
+        }
+    }
+
+    /// Service time for a frame of `wire_bytes`.
+    pub fn service(&self, wire_bytes: u32) -> Dur {
+        match *self {
+            BridgeKind::HostRouter {
+                per_packet,
+                per_byte,
+            } => per_packet + per_byte * u64::from(wire_bytes),
+            BridgeKind::CutThrough { latency, per_byte } => {
+                latency + per_byte * u64::from(wire_bytes)
+            }
+        }
+    }
+
+    fn shared_engine(&self) -> bool {
+        matches!(self, BridgeKind::HostRouter { .. })
+    }
+}
+
+/// Bridge configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BridgeCfg {
+    /// The bridge's station on ring A.
+    pub station_a: StationId,
+    /// The bridge's station on ring B.
+    pub station_b: StationId,
+    /// CTMSP forward target on ring B (static route, A→B direction).
+    pub ctmsp_dst_b: StationId,
+    /// CTMSP forward target on ring A (static route, B→A direction).
+    pub ctmsp_dst_a: StationId,
+    /// Engine model.
+    pub kind: BridgeKind,
+    /// Per-direction queue capacity in frames.
+    pub queue_cap: usize,
+}
+
+/// Commands into the bridge.
+#[derive(Clone, Debug)]
+pub enum BridgeCmd {
+    /// A frame arrived at the bridge's station on `side`.
+    Delivered {
+        /// Which ring it came from.
+        side: RingSide,
+        /// The frame.
+        frame: Frame,
+    },
+}
+
+/// Events out of the bridge.
+#[derive(Clone, Debug)]
+pub enum BridgeOut {
+    /// Submit this frame on the given ring.
+    Submit {
+        /// Target ring.
+        side: RingSide,
+        /// The (re-addressed) frame.
+        frame: Frame,
+    },
+    /// A frame was dropped (queue overflow or non-routable protocol).
+    Dropped {
+        /// The frame's tag.
+        tag: u64,
+        /// True if dropped for queue overflow (vs. unroutable).
+        overflow: bool,
+    },
+}
+
+/// Bridge counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BridgeStats {
+    /// Frames forwarded A→B.
+    pub forwarded_ab: u64,
+    /// Frames forwarded B→A.
+    pub forwarded_ba: u64,
+    /// Queue-overflow drops.
+    pub overflows: u64,
+    /// Unroutable frames discarded.
+    pub unroutable: u64,
+    /// High-water queue depth.
+    pub queue_highwater: usize,
+    /// Busy nanoseconds of the (shared or per-port) engines.
+    pub busy_ns: u64,
+}
+
+struct Pending {
+    side_in: RingSide,
+    frame: Frame,
+}
+
+/// The bridge. See module docs.
+pub struct Bridge {
+    cfg: BridgeCfg,
+    queues: [VecDeque<Pending>; 2],
+    /// Engine-busy horizon per port (HostRouter uses slot 0 only).
+    busy_until: [Option<(SimTime, RingSide)>; 2],
+    next_id: u64,
+    stats: BridgeStats,
+}
+
+impl Bridge {
+    /// Creates the bridge.
+    pub fn new(cfg: BridgeCfg) -> Self {
+        Bridge {
+            cfg,
+            queues: [VecDeque::new(), VecDeque::new()],
+            busy_until: [None, None],
+            next_id: 0,
+            stats: BridgeStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> BridgeStats {
+        self.stats
+    }
+
+    /// This bridge's station id on the given ring.
+    pub fn station(&self, side: RingSide) -> StationId {
+        match side {
+            RingSide::A => self.cfg.station_a,
+            RingSide::B => self.cfg.station_b,
+        }
+    }
+
+    fn engine_index(&self, side_in: RingSide) -> usize {
+        if self.cfg.kind.shared_engine() {
+            0
+        } else {
+            match side_in {
+                RingSide::A => 0,
+                RingSide::B => 1,
+            }
+        }
+    }
+
+    fn queue_index(side_in: RingSide) -> usize {
+        match side_in {
+            RingSide::A => 0,
+            RingSide::B => 1,
+        }
+    }
+
+    fn alloc_id(&mut self) -> FrameId {
+        self.next_id += 1;
+        FrameId(0xB000_0000_0000_0000 | self.next_id)
+    }
+
+    /// Starts service on `engine` if it is idle and work is queued.
+    fn kick(&mut self, now: SimTime, engine: usize) {
+        if self.busy_until[engine].is_some() {
+            return;
+        }
+        // A shared engine serves both queues round-robin by arrival;
+        // per-port engines serve their own queue.
+        let candidates: &[usize] = if self.cfg.kind.shared_engine() {
+            &[0, 1]
+        } else {
+            std::slice::from_ref(match engine {
+                0 => &0,
+                _ => &1,
+            })
+        };
+        let mut best: Option<usize> = None;
+        for &q in candidates {
+            if !self.queues[q].is_empty()
+                && best.map(|b| self.queues[q].len() > self.queues[b].len()).unwrap_or(true)
+            {
+                best = Some(q);
+            }
+        }
+        let Some(q) = best else { return };
+        let head = self.queues[q].front().expect("non-empty");
+        let service = self.cfg.kind.service(head.frame.wire_bytes());
+        self.stats.busy_ns += service.as_ns();
+        self.busy_until[engine] = Some((now + service, head.side_in));
+        // The frame leaves the queue when service completes; keep it at
+        // the head so depth accounting stays truthful.
+        let _ = q;
+    }
+
+    fn finish(&mut self, engine: usize, side_in: RingSide, sink: &mut Vec<BridgeOut>) {
+        let q = Self::queue_index(side_in);
+        let Some(p) = self.queues[q].pop_front() else {
+            return;
+        };
+        let side_out = p.side_in.other();
+        let dst = match side_out {
+            RingSide::A => self.cfg.ctmsp_dst_a,
+            RingSide::B => self.cfg.ctmsp_dst_b,
+        };
+        let mut frame = p.frame;
+        frame.id = self.alloc_id();
+        frame.src = self.station(side_out);
+        frame.dst = Some(dst);
+        match p.side_in {
+            RingSide::A => self.stats.forwarded_ab += 1,
+            RingSide::B => self.stats.forwarded_ba += 1,
+        }
+        sink.push(BridgeOut::Submit {
+            side: side_out,
+            frame,
+        });
+        let _ = engine;
+    }
+}
+
+impl Component for Bridge {
+    type Cmd = BridgeCmd;
+    type Out = BridgeOut;
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        ctms_sim::earliest(self.busy_until.iter().map(|b| b.map(|(t, _)| t)))
+    }
+
+    fn advance(&mut self, now: SimTime, sink: &mut Vec<BridgeOut>) {
+        for engine in 0..2 {
+            if let Some((t, side_in)) = self.busy_until[engine] {
+                if t <= now {
+                    self.busy_until[engine] = None;
+                    self.finish(engine, side_in, sink);
+                    self.kick(now, engine);
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, cmd: BridgeCmd, sink: &mut Vec<BridgeOut>) {
+        let BridgeCmd::Delivered { side, frame } = cmd;
+        // Only the static CTMSP route is forwarded (§3's point-to-point
+        // assumption, extended across one hop).
+        if frame.kind != ctms_tokenring::FrameKind::Llc(Proto::Ctmsp) {
+            self.stats.unroutable += 1;
+            sink.push(BridgeOut::Dropped {
+                tag: frame.tag,
+                overflow: false,
+            });
+            return;
+        }
+        let q = Self::queue_index(side);
+        if self.queues[q].len() >= self.cfg.queue_cap {
+            self.stats.overflows += 1;
+            sink.push(BridgeOut::Dropped {
+                tag: frame.tag,
+                overflow: true,
+            });
+            return;
+        }
+        self.queues[q].push_back(Pending {
+            side_in: side,
+            frame,
+        });
+        let depth = self.queues[0].len() + self.queues[1].len();
+        self.stats.queue_highwater = self.stats.queue_highwater.max(depth);
+        let engine = self.engine_index(side);
+        self.kick(now, engine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_sim::drain_component;
+    use ctms_tokenring::FrameKind;
+
+    fn cfg(kind: BridgeKind) -> BridgeCfg {
+        BridgeCfg {
+            station_a: StationId(3),
+            station_b: StationId(0),
+            ctmsp_dst_b: StationId(1),
+            ctmsp_dst_a: StationId(0),
+            kind,
+            queue_cap: 8,
+        }
+    }
+
+    fn ctmsp(tag: u64) -> Frame {
+        Frame {
+            id: FrameId(tag),
+            src: StationId(0),
+            dst: Some(StationId(3)),
+            kind: FrameKind::Llc(Proto::Ctmsp),
+            info_len: 2000,
+            priority: 4,
+            tag,
+        }
+    }
+
+    #[test]
+    fn forwards_with_service_latency() {
+        let mut b = Bridge::new(cfg(BridgeKind::host_router_1991()));
+        let mut sink = Vec::new();
+        b.handle(
+            SimTime::ZERO,
+            BridgeCmd::Delivered {
+                side: RingSide::A,
+                frame: ctmsp(1),
+            },
+            &mut sink,
+        );
+        assert!(sink.is_empty(), "service takes time");
+        let evs = drain_component(&mut b, SimTime::from_ms(100));
+        let (t, out) = &evs[0];
+        // 2.5 ms + 2021 × 5 µs ≈ 12.6 ms.
+        assert_eq!(*t, SimTime::from_ns(2_500_000 + 2021 * 5_000));
+        match out {
+            BridgeOut::Submit { side, frame } => {
+                assert_eq!(*side, RingSide::B);
+                assert_eq!(frame.dst, Some(StationId(1)));
+                assert_eq!(frame.src, StationId(0));
+                assert_eq!(frame.tag, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(b.stats().forwarded_ab, 1);
+    }
+
+    #[test]
+    fn cut_through_is_fast_and_duplex() {
+        let mut b = Bridge::new(cfg(BridgeKind::cut_through_bridge()));
+        let mut sink = Vec::new();
+        b.handle(
+            SimTime::ZERO,
+            BridgeCmd::Delivered {
+                side: RingSide::A,
+                frame: ctmsp(1),
+            },
+            &mut sink,
+        );
+        let mut back = ctmsp(2);
+        back.src = StationId(1);
+        back.dst = Some(StationId(0));
+        b.handle(
+            SimTime::ZERO,
+            BridgeCmd::Delivered {
+                side: RingSide::B,
+                frame: back,
+            },
+            &mut sink,
+        );
+        let evs = drain_component(&mut b, SimTime::from_ms(10));
+        // Per-port engines: both forwarded at the same instant.
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].0, evs[1].0);
+        let service = BridgeKind::cut_through_bridge().service(2021);
+        assert_eq!(evs[0].0, SimTime::ZERO + service);
+        assert!(service < Dur::from_us(700), "{service}");
+        assert_eq!(b.stats().forwarded_ab, 1);
+        assert_eq!(b.stats().forwarded_ba, 1);
+    }
+
+    #[test]
+    fn host_router_serializes_directions() {
+        let mut b = Bridge::new(cfg(BridgeKind::host_router_1991()));
+        let mut sink = Vec::new();
+        b.handle(
+            SimTime::ZERO,
+            BridgeCmd::Delivered {
+                side: RingSide::A,
+                frame: ctmsp(1),
+            },
+            &mut sink,
+        );
+        b.handle(
+            SimTime::ZERO,
+            BridgeCmd::Delivered {
+                side: RingSide::B,
+                frame: ctmsp(2),
+            },
+            &mut sink,
+        );
+        let evs = drain_component(&mut b, SimTime::from_ms(100));
+        assert_eq!(evs.len(), 2);
+        let service = BridgeKind::host_router_1991().service(2021);
+        assert_eq!(evs[1].0.since(evs[0].0), service, "one CPU, one at a time");
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut b = Bridge::new(cfg(BridgeKind::host_router_1991()));
+        let mut sink = Vec::new();
+        for k in 0..12 {
+            b.handle(
+                SimTime::ZERO,
+                BridgeCmd::Delivered {
+                    side: RingSide::A,
+                    frame: ctmsp(k),
+                },
+                &mut sink,
+            );
+        }
+        let drops = sink
+            .iter()
+            .filter(|e| matches!(e, BridgeOut::Dropped { overflow: true, .. }))
+            .count();
+        assert_eq!(drops, 4, "cap 8");
+        assert_eq!(b.stats().overflows, 4);
+        assert_eq!(b.stats().queue_highwater, 8);
+    }
+
+    #[test]
+    fn non_ctmsp_is_unroutable() {
+        let mut b = Bridge::new(cfg(BridgeKind::cut_through_bridge()));
+        let mut sink = Vec::new();
+        let mut f = ctmsp(9);
+        f.kind = FrameKind::Llc(Proto::Ip);
+        b.handle(
+            SimTime::ZERO,
+            BridgeCmd::Delivered {
+                side: RingSide::A,
+                frame: f,
+            },
+            &mut sink,
+        );
+        assert!(matches!(
+            sink[0],
+            BridgeOut::Dropped { overflow: false, .. }
+        ));
+        assert_eq!(b.stats().unroutable, 1);
+    }
+}

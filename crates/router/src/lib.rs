@@ -1,0 +1,13 @@
+//! # ctms-router — inter-ring forwarding (the footnote-5 extension)
+//!
+//! The paper confines itself to one physical ring and notes (§1, note 5)
+//! that crossing rings "would \[add\] the additional problem of creating a
+//! router that could keep up with the data rates … This is possible but
+//! has not been implemented." This crate implements that router, in two
+//! flavours — a 1991 store-and-forward host and a hardware cut-through
+//! bridge — so the dual-ring experiment (E12) can measure whether an
+//! inter-ring CTMS stream is viable with each.
+
+pub mod bridge;
+
+pub use bridge::{Bridge, BridgeCfg, BridgeCmd, BridgeKind, BridgeOut, BridgeStats, RingSide};

@@ -1,0 +1,17 @@
+//! # ctms-rtpc — IBM RT/PC machine model
+//!
+//! The paper's host hardware (§2, §4): a single CPU with BSD-style spl
+//! interrupt masking, DMA-capable adapters, and the two-bus architecture
+//! whose IO Channel Memory option motivates the paper's third modification.
+//!
+//! * [`cpu`] — priority-preemptive processor with IRQ lines and spl levels,
+//! * [`machine`] — CPU + DMA engines + memory-bus contention coupling,
+//! * [`memory`] — memory regions and CPU copy-cost calibration.
+
+pub mod cpu;
+pub mod machine;
+pub mod memory;
+
+pub use cpu::{Cpu, CpuCmd, CpuConfig, CpuOut, CpuStats, ExecLevel, Job, IRQ_LINES};
+pub use machine::{BusStats, MachCmd, MachOut, Machine, MachineConfig};
+pub use memory::{CopyCost, MemRegion};

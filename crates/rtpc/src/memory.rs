@@ -1,0 +1,110 @@
+//! Memory regions and copy costs of the RT/PC's two-bus architecture.
+//!
+//! §4: the RT/PC has a CPU↔system-memory bus and a separate I/O Channel bus
+//! interconnecting adapters, arbitrated by the I/O Channel Controller
+//! (IOCC). *IO Channel Memory* is an adapter that is solely memory: DMA
+//! between another adapter and IO Channel Memory stays on the I/O Channel
+//! bus and does not contend with CPU accesses to system memory. §5.3
+//! calibrates the CPU copy rate from system memory (mbufs) to IO Channel
+//! Memory (fixed DMA buffers) at "on the order of 1 microsecond per byte".
+
+use ctms_sim::Dur;
+
+/// Where a buffer physically lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemRegion {
+    /// Main system memory on the CPU bus.
+    System,
+    /// IO Channel Memory on the I/O Channel bus.
+    IoChannel,
+    /// On-adapter memory reachable only by programmed I/O (e.g. the VCA's
+    /// byte-wide 2K×16 window, §5.1).
+    Device,
+}
+
+/// Per-byte CPU copy costs between regions.
+///
+/// All CPU copies load the processor for their full duration; DMA transfers
+/// are modelled separately (they only *slow* the CPU when they touch system
+/// memory).
+#[derive(Clone, Copy, Debug)]
+pub struct CopyCost {
+    /// CPU copy within system memory (kernel↔kernel, kernel↔user).
+    pub sys_to_sys: Dur,
+    /// CPU copy from system memory to IO Channel Memory across the IOCC
+    /// (§5.3: ~1 µs/byte).
+    pub sys_to_io: Dur,
+    /// CPU copy from IO Channel Memory into system memory.
+    pub io_to_sys: Dur,
+    /// Programmed-I/O transfer to/from byte-wide adapter memory.
+    pub dev_pio: Dur,
+}
+
+impl Default for CopyCost {
+    fn default() -> Self {
+        CopyCost {
+            // The RT/PC's CPU-driven memcpy moved roughly a byte per
+            // microsecond; the paper's measured system→IO-Channel rate
+            // (§5.3) and the byte-wide adapter interface (§2 footnote)
+            // anchor the other rates.
+            sys_to_sys: Dur::from_ns(1_000),
+            sys_to_io: Dur::from_ns(1_000),
+            io_to_sys: Dur::from_ns(1_000),
+            dev_pio: Dur::from_ns(2_000),
+        }
+    }
+}
+
+impl CopyCost {
+    /// Per-byte CPU cost of copying from `src` to `dst`.
+    pub fn per_byte(&self, src: MemRegion, dst: MemRegion) -> Dur {
+        use MemRegion::*;
+        match (src, dst) {
+            (System, System) => self.sys_to_sys,
+            (System, IoChannel) => self.sys_to_io,
+            (IoChannel, System) | (IoChannel, IoChannel) => self.io_to_sys,
+            (Device, _) | (_, Device) => self.dev_pio,
+        }
+    }
+
+    /// Total CPU cost of copying `bytes` bytes from `src` to `dst`.
+    pub fn copy(&self, bytes: u32, src: MemRegion, dst: MemRegion) -> Dur {
+        self.per_byte(src, dst) * u64::from(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_sys_to_io() {
+        // §5.3: 2000 bytes at ~1 µs/byte ⇒ 2000 µs of copy latency.
+        let c = CopyCost::default();
+        assert_eq!(
+            c.copy(2000, MemRegion::System, MemRegion::IoChannel),
+            Dur::from_us(2000)
+        );
+    }
+
+    #[test]
+    fn all_pairs_have_costs() {
+        let c = CopyCost::default();
+        use MemRegion::*;
+        for src in [System, IoChannel, Device] {
+            for dst in [System, IoChannel, Device] {
+                assert!(c.per_byte(src, dst) > Dur::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn device_pio_dominates_region() {
+        let c = CopyCost::default();
+        assert_eq!(
+            c.per_byte(MemRegion::Device, MemRegion::IoChannel),
+            c.dev_pio
+        );
+        assert_eq!(c.per_byte(MemRegion::System, MemRegion::Device), c.dev_pio);
+    }
+}

@@ -1,0 +1,358 @@
+//! The discrete-event execution model.
+//!
+//! Substrate crates (token ring, RT/PC machine, kernel, devices) model their
+//! domain as a *passive state machine* implementing [`Component`]: it never
+//! schedules global events itself, it only reports the next instant at which
+//! it wants control ([`Component::next_deadline`]) and emits typed outputs
+//! when advanced or commanded. The top-level testbed (in `ctms-core`) owns
+//! the clock, advances whichever component is due next, and routes outputs
+//! between components — the "motherboard" pattern. This keeps every
+//! substrate unit-testable in isolation.
+//!
+//! A small closure-based scheduler ([`EventLoop`]) is also provided for
+//! driving a single component in unit tests.
+
+use crate::time::SimTime;
+
+/// A passive, deterministic discrete-event state machine.
+///
+/// Invariants a correct component must uphold:
+///
+/// * `advance(now)` and `handle(now, ..)` are only called with
+///   monotonically non-decreasing `now`, and never earlier than the last
+///   reported deadline that has already fired.
+/// * After `advance(now)` returns, `next_deadline()` is either `None` or
+///   strictly in the future **unless** the component produced new outputs at
+///   `now` that legitimately cascade (the executor bounds same-instant
+///   cascades).
+pub trait Component {
+    /// Commands routed *into* the component.
+    type Cmd;
+    /// Events the component emits for the router.
+    type Out;
+
+    /// The next instant at which the component needs control, if any.
+    fn next_deadline(&self) -> Option<SimTime>;
+
+    /// Advances internal state to `now`, appending any outputs to `sink`.
+    fn advance(&mut self, now: SimTime, sink: &mut Vec<Self::Out>);
+
+    /// Delivers a command at `now`, appending any outputs to `sink`.
+    fn handle(&mut self, now: SimTime, cmd: Self::Cmd, sink: &mut Vec<Self::Out>);
+}
+
+/// Returns the earliest of a set of optional deadlines.
+pub fn earliest<I>(deadlines: I) -> Option<SimTime>
+where
+    I: IntoIterator<Item = Option<SimTime>>,
+{
+    deadlines.into_iter().flatten().min()
+}
+
+/// Guard against livelock: bounds the number of same-instant routing
+/// cascades the executor will perform before declaring a bug.
+#[derive(Debug)]
+pub struct CascadeGuard {
+    at: SimTime,
+    steps: u32,
+    limit: u32,
+}
+
+impl CascadeGuard {
+    /// Creates a guard with the given same-instant step limit.
+    pub fn new(limit: u32) -> Self {
+        CascadeGuard {
+            at: SimTime::ZERO,
+            steps: 0,
+            limit,
+        }
+    }
+
+    /// Records one routing step at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `limit` steps occur without simulated time
+    /// advancing — this always indicates a component scheduling itself at
+    /// the current instant forever.
+    pub fn step(&mut self, now: SimTime) {
+        if now != self.at {
+            self.at = now;
+            self.steps = 0;
+        }
+        self.steps += 1;
+        assert!(
+            self.steps <= self.limit,
+            "cascade guard tripped: {} same-instant routing steps at {now}",
+            self.steps
+        );
+    }
+}
+
+impl Default for CascadeGuard {
+    fn default() -> Self {
+        CascadeGuard::new(100_000)
+    }
+}
+
+/// A minimal closure-event scheduler for unit tests and self-contained
+/// models.
+///
+/// Events are `FnOnce(&mut W, &mut EventLoop<W>)`; ties at the same instant
+/// fire in scheduling order.
+pub struct EventLoop<W> {
+    now: SimTime,
+    seq: u64,
+    queue: std::collections::BinaryHeap<Entry<W>>,
+}
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventLoop<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, FIFO on ties.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<W> EventLoop<W> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        EventLoop {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut EventLoop<W>) + 'static) {
+        assert!(at >= self.now, "EventLoop::at: {at} is before now={}", self.now);
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq: self.seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` to run after a delay.
+    pub fn after(
+        &mut self,
+        delay: crate::time::Dur,
+        f: impl FnOnce(&mut W, &mut EventLoop<W>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.at(at, f);
+    }
+
+    /// Runs events until the queue drains or time would pass `until`.
+    ///
+    /// Returns the number of events fired.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64 {
+        let mut fired = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            let entry = self.queue.pop().expect("peeked entry");
+            self.now = entry.at;
+            (entry.f)(world, self);
+            fired += 1;
+        }
+        // Leave `now` at the horizon so subsequent `after` calls are
+        // relative to the end of the window.
+        if self.now < until {
+            self.now = until;
+        }
+        fired
+    }
+
+    /// Runs all remaining events.
+    pub fn run_to_completion(&mut self, world: &mut W) -> u64 {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<W> Default for EventLoop<W> {
+    fn default() -> Self {
+        EventLoop::new()
+    }
+}
+
+/// Drives a single [`Component`] in isolation: advances it through its own
+/// deadlines up to `until`, collecting every output with the time it was
+/// emitted. The workhorse of substrate unit tests.
+pub fn drain_component<C: Component>(c: &mut C, until: SimTime) -> Vec<(SimTime, C::Out)> {
+    let mut out = Vec::new();
+    let mut guard = CascadeGuard::default();
+    let mut sink = Vec::new();
+    while let Some(t) = c.next_deadline() {
+        if t > until {
+            break;
+        }
+        guard.step(t);
+        c.advance(t, &mut sink);
+        out.extend(sink.drain(..).map(|o| (t, o)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn event_loop_orders_by_time_then_fifo() {
+        let mut el: EventLoop<Vec<u32>> = EventLoop::new();
+        let mut world = Vec::new();
+        el.at(SimTime::from_us(20), |w: &mut Vec<u32>, _| w.push(3));
+        el.at(SimTime::from_us(10), |w: &mut Vec<u32>, _| w.push(1));
+        el.at(SimTime::from_us(10), |w: &mut Vec<u32>, _| w.push(2));
+        el.run_to_completion(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut el: EventLoop<Vec<u64>> = EventLoop::new();
+        let mut world = Vec::new();
+        fn tick(w: &mut Vec<u64>, el: &mut EventLoop<Vec<u64>>) {
+            w.push(el.now().as_us());
+            if w.len() < 5 {
+                el.after(Dur::from_us(12_000), tick);
+            }
+        }
+        el.at(SimTime::ZERO, tick);
+        el.run_to_completion(&mut world);
+        assert_eq!(world, vec![0, 12_000, 24_000, 36_000, 48_000]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut el: EventLoop<u32> = EventLoop::new();
+        let mut world = 0u32;
+        el.at(SimTime::from_ms(1), |w: &mut u32, _| *w += 1);
+        el.at(SimTime::from_ms(5), |w: &mut u32, _| *w += 1);
+        let fired = el.run_until(&mut world, SimTime::from_ms(2));
+        assert_eq!(fired, 1);
+        assert_eq!(world, 1);
+        assert_eq!(el.now(), SimTime::from_ms(2));
+        assert!(!el.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_past_panics() {
+        let mut el: EventLoop<()> = EventLoop::new();
+        let mut w = ();
+        el.at(SimTime::from_ms(5), |_, _| {});
+        el.run_to_completion(&mut w);
+        el.at(SimTime::from_ms(1), |_, _| {});
+    }
+
+    #[test]
+    fn earliest_of_deadlines() {
+        assert_eq!(earliest([None, None]), None);
+        assert_eq!(
+            earliest([None, Some(SimTime::from_us(5)), Some(SimTime::from_us(3))]),
+            Some(SimTime::from_us(3))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cascade guard tripped")]
+    fn cascade_guard_trips() {
+        let mut g = CascadeGuard::new(10);
+        for _ in 0..20 {
+            g.step(SimTime::from_us(1));
+        }
+    }
+
+    #[test]
+    fn cascade_guard_resets_when_time_moves() {
+        let mut g = CascadeGuard::new(2);
+        for i in 0..100u64 {
+            g.step(SimTime::from_us(i));
+            g.step(SimTime::from_us(i));
+        }
+    }
+
+    struct Ticker {
+        period: Dur,
+        next: Option<SimTime>,
+        count: u32,
+        max: u32,
+    }
+
+    impl Component for Ticker {
+        type Cmd = ();
+        type Out = u32;
+        fn next_deadline(&self) -> Option<SimTime> {
+            self.next
+        }
+        fn advance(&mut self, now: SimTime, sink: &mut Vec<u32>) {
+            if Some(now) == self.next {
+                self.count += 1;
+                sink.push(self.count);
+                self.next = if self.count < self.max {
+                    Some(now + self.period)
+                } else {
+                    None
+                };
+            }
+        }
+        fn handle(&mut self, _now: SimTime, _cmd: (), _sink: &mut Vec<u32>) {}
+    }
+
+    #[test]
+    fn drain_component_walks_deadlines() {
+        let mut t = Ticker {
+            period: Dur::from_ms(12),
+            next: Some(SimTime::from_ms(12)),
+            count: 0,
+            max: 3,
+        };
+        let got = drain_component(&mut t, SimTime::from_secs(1));
+        assert_eq!(
+            got,
+            vec![
+                (SimTime::from_ms(12), 1),
+                (SimTime::from_ms(24), 2),
+                (SimTime::from_ms(36), 3)
+            ]
+        );
+    }
+}

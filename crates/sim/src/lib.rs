@@ -1,0 +1,24 @@
+//! # ctms-sim — discrete-event simulation engine
+//!
+//! Foundation for the reproduction of *"Distributed Multimedia: How Can the
+//! Necessary Data Rates be Supported?"* (Pasieka, Crumley, Marks, Infortuna;
+//! USENIX 1991). The paper measured a physical prototype — IBM RT/PCs on a
+//! 4 Mbit Token Ring with a modified AOS 4.3 kernel. This workspace rebuilds
+//! that prototype as a deterministic discrete-event simulation; this crate
+//! provides the shared substrate:
+//!
+//! * [`time`] — nanosecond-resolution simulation clock types,
+//! * [`rng`] — deterministic, stream-splittable random numbers,
+//! * [`engine`] — the [`engine::Component`] state-machine protocol and a
+//!   closure-based [`engine::EventLoop`] for tests,
+//! * [`trace`] — ground-truth signal edge logs for the measurement points.
+
+pub mod engine;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
+pub use rng::{Pcg32, SplitMix64};
+pub use time::{Dur, SimTime};
+pub use trace::{Edge, EdgeLog};

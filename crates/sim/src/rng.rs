@@ -1,0 +1,325 @@
+//! Deterministic random-number generation.
+//!
+//! The whole reproduction is a discrete-event simulation whose regression
+//! tests assert on *exact* histogram contents, so randomness must be fully
+//! deterministic and independent of third-party crate versions. This module
+//! implements a small, well-known generator stack from scratch:
+//!
+//! * [`SplitMix64`] — seed expansion / stream derivation,
+//! * [`Pcg32`] — the main generator (PCG XSH-RR 64/32),
+//! * distribution helpers (uniform, exponential, normal, Poisson, Bernoulli)
+//!   sufficient for the traffic models of the paper's §5.3.
+//!
+//! Components derive child generators by *stream label* so that adding a new
+//! consumer never perturbs the draws seen by existing ones.
+
+use crate::time::Dur;
+
+/// SplitMix64, used to expand seeds and hash stream labels.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a seed expander from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hashes a byte-string label into a 64-bit stream identifier (FNV-1a).
+fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// PCG XSH-RR 64/32: a small, fast, statistically strong generator.
+///
+/// Each `(seed, stream)` pair selects an independent sequence.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    const MULT: u64 = 6_364_136_223_846_793_005;
+
+    /// Creates a generator from a seed and a stream selector.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        let _ = rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Derives a child generator whose stream is selected by `label`.
+    ///
+    /// Child derivation draws nothing from `self`, so derivation order does
+    /// not perturb this generator's own sequence.
+    pub fn derive(&self, label: &str) -> Pcg32 {
+        let mut mix = SplitMix64::new(self.state ^ hash_label(label));
+        let seed = mix.next_u64();
+        let stream = mix.next_u64();
+        Pcg32::new(seed, stream)
+    }
+
+    /// Returns the next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(Self::MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Pcg32::below: zero bound");
+        // Widening-multiply rejection sampling.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+            // Rejected; resample. Rejection probability < bound / 2^64.
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Pcg32::range_u64: lo > hi");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed float with the given mean.
+    pub fn exp_f64(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exp_f64: non-positive mean");
+        // Inverse CDF; (1 - u) avoids ln(0).
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal via Box–Muller (single value; the pair's partner is
+    /// discarded to keep the draw count deterministic per call).
+    pub fn normal_f64(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "normal_f64: negative std dev");
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Poisson-distributed count (Knuth's method; fine for the small means
+    /// used by the traffic generators).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean >= 0.0, "poisson: negative mean");
+        if mean == 0.0 {
+            return 0;
+        }
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.f64();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+            // Defensive bound: the generators never use means over ~100.
+            if k > 100_000 {
+                return k;
+            }
+        }
+    }
+
+    /// Exponentially distributed duration with the given mean, for Poisson
+    /// inter-arrival processes.
+    pub fn exp_dur(&mut self, mean: Dur) -> Dur {
+        Dur::from_us_f64(self.exp_f64(mean.as_us_f64()))
+    }
+
+    /// Uniformly distributed duration in `[lo, hi]`.
+    pub fn uniform_dur(&mut self, lo: Dur, hi: Dur) -> Dur {
+        Dur::from_ns(self.range_u64(lo.as_ns(), hi.as_ns()))
+    }
+
+    /// Normally distributed duration, truncated below at zero.
+    pub fn normal_dur(&mut self, mean: Dur, std_dev: Dur) -> Dur {
+        Dur::from_us_f64(self.normal_f64(mean.as_us_f64(), std_dev.as_us_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn pcg_known_independence_of_streams() {
+        let mut a = Pcg32::new(7, 1);
+        let mut b = Pcg32::new(7, 2);
+        let xs: Vec<u32> = (0..32).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..32).map(|_| b.next_u32()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derive_does_not_perturb_parent() {
+        let mut a = Pcg32::new(7, 1);
+        let mut b = Pcg32::new(7, 1);
+        let _child = b.derive("vca");
+        for _ in 0..16 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn derive_distinct_labels_distinct_streams() {
+        let root = Pcg32::new(1, 1);
+        let mut x = root.derive("ring");
+        let mut y = root.derive("host");
+        assert_ne!(
+            (0..8).map(|_| x.next_u32()).collect::<Vec<_>>(),
+            (0..8).map(|_| y.next_u32()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Pcg32::new(3, 3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Pcg32::new(9, 9);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = Pcg32::new(11, 4);
+        let n = 20_000;
+        let mean = 250.0;
+        let sum: f64 = (0..n).map(|_| r.exp_f64(mean)).sum();
+        let emp = sum / n as f64;
+        assert!(
+            (emp - mean).abs() < mean * 0.05,
+            "empirical mean {emp} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = Pcg32::new(13, 5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal_f64(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = Pcg32::new(17, 6);
+        let n = 10_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(3.0)).sum();
+        let emp = sum as f64 / n as f64;
+        assert!((emp - 3.0).abs() < 0.15, "empirical mean {emp}");
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn duration_helpers_respect_bounds() {
+        let mut r = Pcg32::new(19, 7);
+        for _ in 0..200 {
+            let d = r.uniform_dur(Dur::from_us(10), Dur::from_us(20));
+            assert!(d >= Dur::from_us(10) && d <= Dur::from_us(20));
+        }
+        // Truncated normal never goes negative.
+        for _ in 0..200 {
+            let _ = r.normal_dur(Dur::from_us(1), Dur::from_us(100));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Pcg32::new(23, 8);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range p clamps rather than panicking.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+}

@@ -1,0 +1,405 @@
+//! Simulation time.
+//!
+//! All of the paper's quantities are microsecond-scale (copy costs of
+//! 1 µs/byte, 12 ms interrupt periods, 10.9 ms transfer latencies), but the
+//! logic-analyzer measurements in §5.2.2 resolve 500 ns variations, so the
+//! simulation clock is kept in integer **nanoseconds**. A `u64` nanosecond
+//! clock wraps after ~584 years of simulated time; the longest run the paper
+//! reports is 117 minutes.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far"
+    /// deadline sentinel in a few schedulers.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since the start of the run.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since the start of the run (truncating).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Microseconds since the start of the run, as a float.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since the start of the run, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`; time deltas in the simulator are
+    /// always taken forward, so a reversed pair indicates a scheduler bug.
+    pub fn since(self, earlier: SimTime) -> Dur {
+        match self.0.checked_sub(earlier.0) {
+            Some(d) => Dur(d),
+            None => panic!(
+                "SimTime::since: earlier ({}) is after self ({})",
+                SimTime(earlier.0),
+                self
+            ),
+        }
+    }
+
+    /// The span from `earlier` to `self`, or `None` if `earlier` is later.
+    pub fn checked_since(self, earlier: SimTime) -> Option<Dur> {
+        self.0.checked_sub(earlier.0).map(Dur)
+    }
+
+    /// Saturating addition of a span.
+    pub fn saturating_add(self, d: Dur) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Rounds this instant down to a multiple of `quantum`, modelling a
+    /// coarse-grained clock read (e.g. the 122 µs AOS clock of §5.2.1 or the
+    /// 2 µs PC/AT clock of §5.2.3).
+    pub fn quantize(self, quantum: Dur) -> SimTime {
+        assert!(quantum.0 > 0, "quantize: zero quantum");
+        SimTime(self.0 - self.0 % quantum.0)
+    }
+}
+
+impl Dur {
+    /// The zero-length span.
+    pub const ZERO: Dur = Dur(0);
+    /// The largest representable span.
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Dur(ns)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Dur(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Creates a span from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional microseconds, rounding to the nearest
+    /// nanosecond. Negative or non-finite inputs clamp to zero.
+    pub fn from_us_f64(us: f64) -> Self {
+        if !us.is_finite() || us <= 0.0 {
+            return Dur(0);
+        }
+        Dur((us * 1_000.0).round() as u64)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return Dur(0);
+        }
+        Dur((s * 1_000_000_000.0).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Microseconds, as a float.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to the nearest
+    /// nanosecond. Used for bus-contention slowdown factors.
+    pub fn mul_f64(self, k: f64) -> Dur {
+        assert!(k.is_finite() && k >= 0.0, "Dur::mul_f64: bad factor {k}");
+        Dur((self.0 as f64 * k).round() as u64)
+    }
+
+    /// The span per byte for a transfer of `bytes` bytes taking `self`.
+    pub fn div_u64(self, n: u64) -> Dur {
+        assert!(n > 0, "Dur::div_u64: divide by zero");
+        Dur(self.0 / n)
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Dur> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Dur) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_add(rhs.0).expect("Dur overflow"))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("Dur underflow"))
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0.checked_mul(rhs).expect("Dur overflow"))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Div for Dur {
+    type Output = u64;
+    fn div(self, rhs: Dur) -> u64 {
+        assert!(rhs.0 > 0, "Dur division by zero span");
+        self.0 / rhs.0
+    }
+}
+
+impl Rem for Dur {
+    type Output = Dur;
+    fn rem(self, rhs: Dur) -> Dur {
+        assert!(rhs.0 > 0, "Dur remainder by zero span");
+        Dur(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+/// Formats nanoseconds with a human-scale unit: exact multiples print as
+/// integers; anything else prints with three significant decimals at the
+/// largest fitting unit.
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns == 0 {
+        write!(f, "0ns")
+    } else if ns % 1_000_000_000 == 0 {
+        write!(f, "{}s", ns / 1_000_000_000)
+    } else if ns % 1_000_000 == 0 {
+        write!(f, "{}ms", ns / 1_000_000)
+    } else if ns % 1_000 == 0 {
+        write!(f, "{}us", ns / 1_000)
+    } else if ns >= 1_000_000_000 {
+        write!(f, "{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{}ns", ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_us(5).as_ns(), 5_000);
+        assert_eq!(SimTime::from_ms(12).as_us(), 12_000);
+        assert_eq!(SimTime::from_secs(2).as_ns(), 2_000_000_000);
+        assert_eq!(Dur::from_ms(3).as_us_f64(), 3_000.0);
+        assert_eq!(Dur::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_us(10) + Dur::from_us(5);
+        assert_eq!(t, SimTime::from_us(15));
+        assert_eq!(t.since(SimTime::from_us(10)), Dur::from_us(5));
+        assert_eq!(t - Dur::from_us(15), SimTime::ZERO);
+        assert_eq!(Dur::from_us(4) * 3, Dur::from_us(12));
+        assert_eq!(Dur::from_us(12) / 4, Dur::from_us(3));
+        assert_eq!(Dur::from_us(12) / Dur::from_us(5), 2);
+        assert_eq!(Dur::from_us(12) % Dur::from_us(5), Dur::from_us(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime::since")]
+    fn since_panics_backwards() {
+        let _ = SimTime::from_us(1).since(SimTime::from_us(2));
+    }
+
+    #[test]
+    fn checked_since_backwards_is_none() {
+        assert_eq!(
+            SimTime::from_us(1).checked_since(SimTime::from_us(2)),
+            None
+        );
+        assert_eq!(
+            SimTime::from_us(2).checked_since(SimTime::from_us(1)),
+            Some(Dur::from_us(1))
+        );
+    }
+
+    #[test]
+    fn quantize_models_coarse_clock() {
+        // The 122 µs AOS clock of §5.2.1.
+        let q = Dur::from_us(122);
+        assert_eq!(SimTime::from_us(0).quantize(q), SimTime::from_us(0));
+        assert_eq!(SimTime::from_us(121).quantize(q), SimTime::from_us(0));
+        assert_eq!(SimTime::from_us(122).quantize(q), SimTime::from_us(122));
+        assert_eq!(SimTime::from_us(365).quantize(q), SimTime::from_us(244));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(Dur::from_ns(1000).mul_f64(1.5), Dur::from_ns(1500));
+        assert_eq!(Dur::from_ns(3).mul_f64(0.5), Dur::from_ns(2)); // 1.5 rounds to 2
+        assert_eq!(Dur::from_ns(100).mul_f64(0.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn from_f64_clamps() {
+        assert_eq!(Dur::from_us_f64(-3.0), Dur::ZERO);
+        assert_eq!(Dur::from_us_f64(f64::NAN), Dur::ZERO);
+        assert_eq!(Dur::from_us_f64(1.5), Dur::from_ns(1500));
+        assert_eq!(Dur::from_secs_f64(0.25), Dur::from_ms(250));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Dur::from_ns(7)), "7ns");
+        assert_eq!(format!("{}", Dur::from_us(7)), "7us");
+        assert_eq!(format!("{}", Dur::from_ms(7)), "7ms");
+        assert_eq!(format!("{}", Dur::from_secs(7)), "7s");
+        assert_eq!(format!("{}", SimTime::from_ms(12)), "12ms");
+        // Non-round values use three decimals at the largest fitting unit.
+        assert_eq!(format!("{}", Dur::from_ns(25_586_595)), "25.587ms");
+        assert_eq!(format!("{}", Dur::from_ns(1_234)), "1.234us");
+        assert_eq!(format!("{}", Dur::from_ns(1_234_567_890)), "1.235s");
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(SimTime::MAX.saturating_add(Dur::from_ns(5)), SimTime::MAX);
+        assert_eq!(
+            Dur::from_us(1).saturating_sub(Dur::from_us(2)),
+            Dur::ZERO
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Distribution comparison.
+//!
+//! Used by regression tests to pin the shape of the reproduced histograms
+//! across code changes: the two-sample Kolmogorov–Smirnov statistic is a
+//! scale-free measure of how far two empirical distributions diverge.
+
+/// The two-sample Kolmogorov–Smirnov statistic: the maximum absolute
+/// difference between the empirical CDFs of `a` and `b`. Returns a value
+/// in `[0, 1]`; 0 for identical samples. Returns 1.0 if either sample is
+/// empty (maximally divergent by convention).
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// The critical KS value at significance `alpha ≈ 0.05` for two samples
+/// of the given sizes (asymptotic formula). A statistic below this is
+/// consistent with both samples coming from one distribution.
+pub fn ks_critical_005(n_a: usize, n_b: usize) -> f64 {
+    let (na, nb) = (n_a as f64, n_b as f64);
+    1.358 * ((na + nb) / (na * nb)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 20.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_is_maximally_divergent() {
+        assert_eq!(ks_statistic(&[], &[1.0]), 1.0);
+        assert_eq!(ks_statistic(&[1.0], &[]), 1.0);
+    }
+
+    #[test]
+    fn shifted_distribution_detected() {
+        let a: Vec<f64> = (0..1000).map(|k| k as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|k| k as f64 + 500.0).collect();
+        let d = ks_statistic(&a, &b);
+        assert!((d - 0.5).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn same_distribution_below_critical() {
+        let mut rng = ctms_sim_shim::Lcg(12345);
+        let a: Vec<f64> = (0..2000).map(|_| rng.next_f64()).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.next_f64()).collect();
+        let d = ks_statistic(&a, &b);
+        assert!(d < ks_critical_005(a.len(), b.len()), "{d}");
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_samples() {
+        assert!(ks_critical_005(10_000, 10_000) < ks_critical_005(100, 100));
+    }
+
+    /// Minimal local RNG so this crate keeps zero runtime deps.
+    mod ctms_sim_shim {
+        pub struct Lcg(pub u64);
+        impl Lcg {
+            pub fn next_f64(&mut self) -> f64 {
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (self.0 >> 11) as f64 / (1u64 << 53) as f64
+            }
+        }
+    }
+}

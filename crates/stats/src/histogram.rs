@@ -1,0 +1,326 @@
+//! Fixed-bin-width histograms.
+//!
+//! Every figure in the paper (5-2, 5-3, 5-4) is a histogram of inter-event
+//! times; this type accumulates samples, locates peaks (Figure 5-2 is
+//! explicitly called out for its "bi-model curve"), and renders an ASCII
+//! plot so the bench harness can regenerate the figures in a terminal.
+
+use crate::summary::{fraction_in_range, fraction_within, Summary};
+
+/// A histogram with uniform bin width starting at a fixed origin.
+///
+/// Samples are also retained raw so exact statistics (means, fractions
+/// within a band) do not suffer binning error — the paper quotes both kinds
+/// of number.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    origin: f64,
+    bin_width: f64,
+    counts: Vec<u64>,
+    samples: Vec<f64>,
+    below: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with bins `[origin + k·w, origin + (k+1)·w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is not strictly positive and finite.
+    pub fn new(origin: f64, bin_width: f64) -> Self {
+        assert!(
+            bin_width.is_finite() && bin_width > 0.0,
+            "Histogram: bad bin width {bin_width}"
+        );
+        Histogram {
+            origin,
+            bin_width,
+            counts: Vec::new(),
+            samples: Vec::new(),
+            below: 0,
+        }
+    }
+
+    /// Adds one sample. Samples below the origin are counted in an
+    /// underflow bucket and excluded from bins but retained in raw samples.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "Histogram::add: non-finite sample");
+        self.samples.push(x);
+        if x < self.origin {
+            self.below += 1;
+            return;
+        }
+        let idx = ((x - self.origin) / self.bin_width) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Adds many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Builds a histogram from samples with the given binning.
+    pub fn of(xs: &[f64], origin: f64, bin_width: f64) -> Self {
+        let mut h = Histogram::new(origin, bin_width);
+        h.extend(xs.iter().copied());
+        h
+    }
+
+    /// Total number of samples (including underflow).
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of samples below the origin.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// The bin width.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// The raw samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Per-bin counts; bin `k` covers `[origin + k·w, origin + (k+1)·w)`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The left edge of bin `k`.
+    pub fn bin_left(&self, k: usize) -> f64 {
+        self.origin + k as f64 * self.bin_width
+    }
+
+    /// The center of bin `k`.
+    pub fn bin_center(&self, k: usize) -> f64 {
+        self.bin_left(k) + self.bin_width / 2.0
+    }
+
+    /// Exact summary statistics of the raw samples.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.samples)
+    }
+
+    /// Fraction of raw samples within ±`halfwidth` of `center`.
+    pub fn fraction_within(&self, center: f64, halfwidth: f64) -> f64 {
+        fraction_within(&self.samples, center, halfwidth)
+    }
+
+    /// Fraction of raw samples in `[lo, hi]`.
+    pub fn fraction_in_range(&self, lo: f64, hi: f64) -> f64 {
+        fraction_in_range(&self.samples, lo, hi)
+    }
+
+    /// Locates peaks: bin centers that are local maxima with count at least
+    /// `min_frac` of the total sample count, separated by at least one bin
+    /// with a strictly lower count. Returns `(center, count)` sorted by
+    /// position. Used to assert the bimodality of Figure 5-2.
+    pub fn peaks(&self, min_frac: f64) -> Vec<(f64, u64)> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let floor = (total as f64 * min_frac).max(1.0) as u64;
+        let mut peaks = Vec::new();
+        let n = self.counts.len();
+        let mut k = 0;
+        while k < n {
+            let c = self.counts[k];
+            if c >= floor {
+                // A peak must strictly exceed its neighbours outside any
+                // plateau of equal bins.
+                let mut j = k;
+                while j + 1 < n && self.counts[j + 1] == c {
+                    j += 1;
+                }
+                let left_ok = k == 0 || self.counts[k - 1] < c;
+                let right_ok = j + 1 >= n || self.counts[j + 1] < c;
+                if left_ok && right_ok {
+                    let mid = (k + j) / 2;
+                    peaks.push((self.bin_center(mid), c));
+                }
+                k = j + 1;
+            } else {
+                k += 1;
+            }
+        }
+        peaks
+    }
+
+    /// Renders the histogram as ASCII art, matching the figure style of the
+    /// bench harness: one row per bin (empty leading/trailing bins are
+    /// trimmed; interior runs of empty bins are elided).
+    pub fn render_ascii(&self, title: &str, unit: &str, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let total = self.count();
+        let _ = writeln!(out, "  n={total} underflow={}", self.below);
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            let _ = writeln!(out, "  (no binned samples)");
+            return out;
+        }
+        let first = self.counts.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(self.counts.len() - 1);
+        let mut eliding = false;
+        for k in first..=last {
+            let c = self.counts[k];
+            if c == 0 {
+                if !eliding {
+                    let _ = writeln!(out, "  ...");
+                    eliding = true;
+                }
+                continue;
+            }
+            eliding = false;
+            let bar_len = ((c as f64 / max as f64) * width as f64).ceil() as usize;
+            let _ = writeln!(
+                out,
+                "  {:>10.0}{} |{} {}",
+                self.bin_left(k),
+                unit,
+                "#".repeat(bar_len),
+                c
+            );
+        }
+        out
+    }
+
+    /// CSV dump (`bin_left,count` per line) for external plotting.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("bin_left,count\n");
+        for (k, &c) in self.counts.iter().enumerate() {
+            let _ = writeln!(out, "{},{}", self.bin_left(k), c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_half_open() {
+        let mut h = Histogram::new(0.0, 10.0);
+        h.add(0.0);
+        h.add(9.999);
+        h.add(10.0);
+        h.add(25.0);
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bin_left(1), 10.0);
+        assert_eq!(h.bin_center(1), 15.0);
+    }
+
+    #[test]
+    fn underflow_counted_separately() {
+        let mut h = Histogram::new(100.0, 10.0);
+        h.add(50.0);
+        h.add(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.counts(), &[1]);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn exact_stats_use_raw_samples() {
+        let h = Histogram::of(&[1.0, 2.0, 3.0], 0.0, 100.0);
+        let s = h.summary();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(h.fraction_within(2.0, 1.0), 1.0);
+        assert_eq!(h.fraction_in_range(2.5, 3.5), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn detects_bimodal_peaks() {
+        // Two clear peaks at ~2600 and ~9400 (Figure 5-2 shape).
+        let mut h = Histogram::new(0.0, 200.0);
+        for _ in 0..68 {
+            h.add(2600.0);
+        }
+        for _ in 0..15 {
+            h.add(9400.0);
+        }
+        for x in [4000.0, 5000.0, 6000.0] {
+            h.add(x);
+        }
+        let peaks = h.peaks(0.05);
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].0 - 2700.0).abs() <= 100.0);
+        assert!((peaks[1].0 - 9500.0).abs() <= 100.0);
+        assert_eq!(peaks[0].1, 68);
+        assert_eq!(peaks[1].1, 15);
+    }
+
+    #[test]
+    fn unimodal_has_one_peak() {
+        let mut h = Histogram::new(0.0, 100.0);
+        for x in [500.0, 500.0, 500.0, 600.0, 400.0] {
+            h.add(x);
+        }
+        assert_eq!(h.peaks(0.1).len(), 1);
+    }
+
+    #[test]
+    fn peaks_on_empty() {
+        let h = Histogram::new(0.0, 1.0);
+        assert!(h.peaks(0.1).is_empty());
+    }
+
+    #[test]
+    fn peak_plateau_resolves_to_middle() {
+        let mut h = Histogram::new(0.0, 1.0);
+        // Bins: 1,3,3,3,1 — plateau of three equal bins.
+        h.extend([0.5]);
+        for x in [1.5, 1.5, 1.5, 2.5, 2.5, 2.5, 3.5, 3.5, 3.5] {
+            h.add(x);
+        }
+        h.add(4.5);
+        let peaks = h.peaks(0.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].0, 2.5);
+    }
+
+    #[test]
+    fn ascii_render_contains_bars_and_elision() {
+        let mut h = Histogram::new(0.0, 10.0);
+        h.add(5.0);
+        h.add(5.0);
+        h.add(95.0);
+        let art = h.render_ascii("Figure X", "us", 40);
+        assert!(art.contains("Figure X"));
+        assert!(art.contains("n=3"));
+        assert!(art.contains("..."), "interior empty bins elided");
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let h = Histogram::of(&[0.0, 10.0], 0.0, 10.0);
+        let csv = h.to_csv();
+        assert_eq!(csv, "bin_left,count\n0,1\n10,1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bin width")]
+    fn zero_bin_width_panics() {
+        let _ = Histogram::new(0.0, 0.0);
+    }
+}

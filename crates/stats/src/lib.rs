@@ -1,0 +1,22 @@
+//! # ctms-stats — histogram and summary statistics
+//!
+//! The paper's evaluation (§5.3) is presented entirely as histograms of
+//! inter-event and like-event-difference times, annotated with means,
+//! minima and "N % within X of Y" statements. This crate computes and
+//! renders those artifacts:
+//!
+//! * [`histogram::Histogram`] — fixed-width binning, peak detection (for
+//!   Figure 5-2's bimodality), ASCII rendering, CSV export,
+//! * [`summary`] — exact sample statistics and band fractions,
+//! * [`report`] — paper-vs-measured claim tables used by the bench harness
+//!   and EXPERIMENTS.md.
+
+pub mod compare;
+pub mod histogram;
+pub mod report;
+pub mod summary;
+
+pub use compare::{ks_critical_005, ks_statistic};
+pub use histogram::Histogram;
+pub use report::{Band, Claim, Report};
+pub use summary::{fraction_in_range, fraction_within, quantile, Summary};

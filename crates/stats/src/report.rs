@@ -1,0 +1,216 @@
+//! Paper-vs-measured reporting.
+//!
+//! Each experiment produces a set of [`Claim`]s: a quantity the paper
+//! reports, the value our simulation measured, and a tolerance band. The
+//! bench harness prints these as a table, and EXPERIMENTS.md is generated
+//! from the same rows, so the document can never drift from the code.
+
+use std::fmt::Write as _;
+
+/// How a claim's agreement is judged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Band {
+    /// Measured must be within `frac`·|paper| of the paper value.
+    RelativeFrac(f64),
+    /// Measured must be within an absolute distance of the paper value.
+    Absolute(f64),
+    /// Shape-only claim: reported for the record, never failed.
+    Informational,
+}
+
+/// One paper-reported quantity compared against the reproduction.
+#[derive(Clone, Debug)]
+pub struct Claim {
+    /// Short identifier, e.g. `fig5_2.peak1_mean`.
+    pub id: String,
+    /// Human description quoting the paper.
+    pub description: String,
+    /// The paper's number.
+    pub paper: f64,
+    /// Our measured number.
+    pub measured: f64,
+    /// Unit label for display.
+    pub unit: String,
+    /// Agreement band.
+    pub band: Band,
+}
+
+impl Claim {
+    /// Creates a claim.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        unit: impl Into<String>,
+        band: Band,
+    ) -> Self {
+        Claim {
+            id: id.into(),
+            description: description.into(),
+            paper,
+            measured,
+            unit: unit.into(),
+            band,
+        }
+    }
+
+    /// True if the measured value agrees with the paper within the band.
+    pub fn holds(&self) -> bool {
+        match self.band {
+            Band::RelativeFrac(f) => {
+                let tol = self.paper.abs() * f;
+                (self.measured - self.paper).abs() <= tol
+            }
+            Band::Absolute(a) => (self.measured - self.paper).abs() <= a,
+            Band::Informational => true,
+        }
+    }
+}
+
+/// A named collection of claims for one experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Experiment identifier (e.g. `E6 / Figure 5-3`).
+    pub title: String,
+    /// The claims, in presentation order.
+    pub claims: Vec<Claim>,
+    /// Free-form extra sections (e.g. rendered ASCII histograms).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            claims: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a claim.
+    pub fn claim(&mut self, c: Claim) -> &mut Self {
+        self.claims.push(c);
+        self
+    }
+
+    /// Adds a free-form note (printed after the table).
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// True if every claim holds.
+    pub fn all_hold(&self) -> bool {
+        self.claims.iter().all(Claim::holds)
+    }
+
+    /// Renders a fixed-width table with a PASS/FAIL/info column.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14} {:>6}  {}",
+            "claim", "paper", "measured", "", "description"
+        );
+        for c in &self.claims {
+            let verdict = match c.band {
+                Band::Informational => "info",
+                _ if c.holds() => "PASS",
+                _ => "FAIL",
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>11.4} {:>2} {:>11.4} {:>2} {:>6}  {}",
+                c.id, c.paper, c.unit, c.measured, c.unit, verdict, c.description
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "{n}");
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured markdown table (used to generate
+    /// EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| claim | paper | measured | verdict | description |");
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for c in &self.claims {
+            let verdict = match c.band {
+                Band::Informational => "info",
+                _ if c.holds() => "PASS",
+                _ => "FAIL",
+            };
+            let _ = writeln!(
+                out,
+                "| `{}` | {:.4} {} | {:.4} {} | {} | {} |",
+                c.id, c.paper, c.unit, c.measured, c.unit, verdict, c.description
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n```text\n{n}\n```");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_band() {
+        let c = Claim::new("x", "d", 100.0, 108.0, "us", Band::RelativeFrac(0.10));
+        assert!(c.holds());
+        let c = Claim::new("x", "d", 100.0, 115.0, "us", Band::RelativeFrac(0.10));
+        assert!(!c.holds());
+    }
+
+    #[test]
+    fn absolute_band() {
+        let c = Claim::new("x", "d", 0.68, 0.64, "", Band::Absolute(0.05));
+        assert!(c.holds());
+        let c = Claim::new("x", "d", 0.68, 0.60, "", Band::Absolute(0.05));
+        assert!(!c.holds());
+    }
+
+    #[test]
+    fn informational_never_fails() {
+        let c = Claim::new("x", "d", 1.0, 99.0, "", Band::Informational);
+        assert!(c.holds());
+    }
+
+    #[test]
+    fn report_renders_and_judges() {
+        let mut r = Report::new("E6 / Figure 5-3");
+        r.claim(Claim::new(
+            "min",
+            "minimum latency",
+            10_740.0,
+            10_750.0,
+            "us",
+            Band::RelativeFrac(0.05),
+        ));
+        r.note("histogram here");
+        assert!(r.all_hold());
+        let txt = r.render();
+        assert!(txt.contains("E6 / Figure 5-3"));
+        assert!(txt.contains("PASS"));
+        assert!(txt.contains("histogram here"));
+        let md = r.render_markdown();
+        assert!(md.contains("| `min` |"));
+    }
+
+    #[test]
+    fn report_detects_failure() {
+        let mut r = Report::new("t");
+        r.claim(Claim::new("a", "d", 10.0, 20.0, "us", Band::RelativeFrac(0.1)));
+        assert!(!r.all_hold());
+        assert!(r.render().contains("FAIL"));
+    }
+}

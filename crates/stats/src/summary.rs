@@ -1,0 +1,153 @@
+//! Summary statistics over duration samples.
+//!
+//! The paper reports means, standard deviations, minima and "N % of data
+//! points fall within X of Y" statements for each histogram; this module
+//! computes exactly those quantities so EXPERIMENTS.md can print
+//! paper-vs-measured rows.
+
+/// Summary statistics of a sample of values (we use microseconds
+/// throughout, matching the paper's units).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum, or 0 if empty.
+    pub min: f64,
+    /// Maximum, or 0 if empty.
+    pub max: f64,
+    /// Arithmetic mean, or 0 if empty.
+    pub mean: f64,
+    /// Population standard deviation, or 0 if empty.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs`.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let count = xs.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        let mean = sum / count as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Fraction of samples lying within `halfwidth` of `center` (inclusive),
+/// i.e. the paper's "68% of the data points \[are\] within 500 microseconds
+/// of 2600 microseconds".
+pub fn fraction_within(xs: &[f64], center: f64, halfwidth: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs
+        .iter()
+        .filter(|&&x| (x - center).abs() <= halfwidth)
+        .count();
+    n as f64 / xs.len() as f64
+}
+
+/// Fraction of samples in the closed range `[lo, hi]`.
+pub fn fraction_in_range(xs: &[f64], lo: f64, hi: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.iter().filter(|&&x| x >= lo && x <= hi).count();
+    n as f64 / xs.len() as f64
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
+/// sample. Returns 0 for an empty sample.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (s.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < s.len() {
+        s[i] * (1.0 - frac) + s[i + 1] * frac
+    } else {
+        s[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - 1.118_033_988_749_895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn fraction_within_matches_paper_style_claim() {
+        let xs = vec![2100.0, 2600.0, 3100.0, 9400.0];
+        // Three of four within ±500 of 2600 (inclusive bounds).
+        assert_eq!(fraction_within(&xs, 2600.0, 500.0), 0.75);
+        assert_eq!(fraction_within(&[], 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn fraction_in_range_closed() {
+        let xs = vec![1.0, 2.0, 3.0];
+        assert_eq!(fraction_in_range(&xs, 2.0, 3.0), 2.0 / 3.0);
+        assert_eq!(fraction_in_range(&[], 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert_eq!(quantile(&xs, 0.5), 25.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        // Clamped out-of-range q.
+        assert_eq!(quantile(&xs, 2.0), 40.0);
+    }
+}

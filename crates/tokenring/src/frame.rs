@@ -1,0 +1,216 @@
+//! IEEE 802.5 frame structure.
+//!
+//! The TAP tool of §5 records each frame's Access Control byte, Frame
+//! Control byte and total length, and the paper's traffic analysis (§5.3)
+//! classifies ring traffic into ~20-byte MAC frames, 60–300-byte ARP/AFS
+//! frames, 1522-byte file-transfer frames and 2000-byte CTMSP frames — so
+//! the model carries real AC/FC encodings and real on-wire lengths.
+
+/// A station's position on the ring (attachment order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationId(pub u32);
+
+/// Globally unique frame identifier (simulation bookkeeping, not on-wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u64);
+
+/// MAC (Medium Access Control) frame subtypes the model generates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MacKind {
+    /// Ring Purge — transmitted by the Active Monitor after an error or a
+    /// station insertion (§5: "Ring Purges occur ... primarily due to new
+    /// stations inserting").
+    RingPurge,
+    /// Active Monitor Present — the monitor's periodic ring poll.
+    ActiveMonitorPresent,
+    /// Standby Monitor Present — downstream stations' poll responses.
+    StandbyMonitorPresent,
+    /// Claim Token — monitor contention after a lost token.
+    ClaimToken,
+}
+
+/// Link-layer protocol discriminator for LLC frames.
+///
+/// §3 of the paper adds CTMSP "to the same layer as ARP and IP" with its
+/// own split point in the receive path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// Address Resolution Protocol.
+    Arp,
+    /// Internet Protocol (carries the TCP/UDP baseline and AFS traffic).
+    Ip,
+    /// The paper's Continuous Time Media System Protocol.
+    Ctmsp,
+    /// Anything else seen on a campus ring.
+    Other,
+}
+
+/// Frame payload classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// A MAC frame; never passed to the host by the paper's adapters.
+    Mac(MacKind),
+    /// An LLC (data) frame for the given protocol.
+    Llc(Proto),
+}
+
+/// Fixed per-frame overhead on the wire: SD(1) + AC(1) + FC(1) + DA(6) +
+/// SA(6) + FCS(4) + ED(1) + FS(1) = 21 bytes.
+pub const FRAME_OVERHEAD_BYTES: u32 = 21;
+
+/// A token is SD + AC + ED = 3 bytes = 24 bits.
+pub const TOKEN_BITS: u64 = 24;
+
+/// One frame submitted to (or observed on) the ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Simulation-unique id.
+    pub id: FrameId,
+    /// Transmitting station.
+    pub src: StationId,
+    /// Destination station; `None` is broadcast (MAC frames, ARP).
+    pub dst: Option<StationId>,
+    /// MAC or LLC + protocol.
+    pub kind: FrameKind,
+    /// Information-field length in bytes (excluding the 21-byte overhead).
+    pub info_len: u32,
+    /// Requested ring access priority, 0–7 (§3: "CTMSP uses a Token Ring
+    /// priority above any other traffic on our Token Ring").
+    pub priority: u8,
+    /// Opaque tag carried for the measurement tools (CTMSP packet number).
+    pub tag: u64,
+}
+
+impl Frame {
+    /// Total on-wire length in bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        self.info_len + FRAME_OVERHEAD_BYTES
+    }
+
+    /// Total on-wire length in bits.
+    pub fn wire_bits(&self) -> u64 {
+        u64::from(self.wire_bytes()) * 8
+    }
+
+    /// True if this is a MAC frame.
+    pub fn is_mac(&self) -> bool {
+        matches!(self.kind, FrameKind::Mac(_))
+    }
+
+    /// The Access Control byte as it would appear on the wire.
+    ///
+    /// Bit layout (MSB first): PPP T M RRR — priority, token bit (0 in a
+    /// frame), monitor bit, reservation. The model stamps the reservation
+    /// bits at strip time; here they are reported as zero.
+    pub fn ac_byte(&self) -> u8 {
+        ac_byte(self.priority, false, 0)
+    }
+
+    /// The Frame Control byte: `00` (MAC) or `01` (LLC) in the two
+    /// frame-type bits, subtype in the low bits for MAC frames.
+    pub fn fc_byte(&self) -> u8 {
+        match self.kind {
+            FrameKind::Mac(k) => {
+                let sub = match k {
+                    MacKind::ClaimToken => 0x03,
+                    MacKind::RingPurge => 0x04,
+                    MacKind::ActiveMonitorPresent => 0x05,
+                    MacKind::StandbyMonitorPresent => 0x06,
+                };
+                sub // top bits 00 = MAC
+            }
+            FrameKind::Llc(_) => 0x40,
+        }
+    }
+}
+
+/// Builds an Access Control byte from fields.
+pub fn ac_byte(priority: u8, token: bool, reservation: u8) -> u8 {
+    assert!(priority <= 7, "AC priority out of range");
+    assert!(reservation <= 7, "AC reservation out of range");
+    (priority << 5) | (u8::from(token) << 4) | reservation
+}
+
+/// Splits an Access Control byte into `(priority, token, reservation)`.
+/// The monitor bit (bit 3 of the low nibble) is not modelled.
+pub fn ac_fields(ac: u8) -> (u8, bool, u8) {
+    ((ac >> 5) & 0x7, (ac >> 4) & 1 == 1, ac & 0x7)
+}
+
+/// Returns true if the FC byte marks a MAC frame.
+pub fn fc_is_mac(fc: u8) -> bool {
+    fc & 0xC0 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llc_frame(info_len: u32, priority: u8) -> Frame {
+        Frame {
+            id: FrameId(1),
+            src: StationId(0),
+            dst: Some(StationId(1)),
+            kind: FrameKind::Llc(Proto::Ctmsp),
+            info_len,
+            priority,
+            tag: 7,
+        }
+    }
+
+    #[test]
+    fn wire_length_includes_overhead() {
+        // §5.1: 2000-byte CTMSP packet "excluding the Token Ring protocol
+        // bytes" — so 2021 bytes on the wire.
+        let f = llc_frame(2000, 4);
+        assert_eq!(f.wire_bytes(), 2021);
+        assert_eq!(f.wire_bits(), 2021 * 8);
+    }
+
+    #[test]
+    fn mac_frames_are_small() {
+        let f = Frame {
+            id: FrameId(2),
+            src: StationId(3),
+            dst: None,
+            kind: FrameKind::Mac(MacKind::ActiveMonitorPresent),
+            info_len: 4,
+            priority: 0,
+            tag: 0,
+        };
+        // §4: "MAC frame packets are on the order of 20 bytes".
+        assert_eq!(f.wire_bytes(), 25);
+        assert!(f.is_mac());
+        assert!(fc_is_mac(f.fc_byte()));
+    }
+
+    #[test]
+    fn ac_byte_round_trips() {
+        for p in 0..=7u8 {
+            for r in 0..=7u8 {
+                for t in [false, true] {
+                    let ac = ac_byte(p, t, r);
+                    assert_eq!(ac_fields(ac), (p, t, r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "priority out of range")]
+    fn ac_priority_bounds() {
+        let _ = ac_byte(8, false, 0);
+    }
+
+    #[test]
+    fn fc_distinguishes_llc() {
+        let f = llc_frame(100, 0);
+        assert!(!fc_is_mac(f.fc_byte()));
+        assert!(!f.is_mac());
+    }
+
+    #[test]
+    fn token_is_24_bits() {
+        assert_eq!(TOKEN_BITS, 24);
+    }
+}

@@ -1,0 +1,21 @@
+//! # ctms-tokenring — IEEE 802.5 Token Ring model
+//!
+//! The 4 Mbit Token Ring of the paper's operational environment (§1): ~70
+//! stations on one physical ring, single-token access, 802.5 priority and
+//! reservation, an Active Monitor that purges the ring after station
+//! insertions and soft errors, and background MAC-frame traffic using
+//! 0.2–1.0 % of the ring (§4).
+//!
+//! The model is a passive [`ctms_sim::Component`]: adapters submit
+//! [`frame::Frame`]s, the ring emits deliveries, strip/transmit-complete
+//! confirmations (with the hardware copied-bit ground truth of §3),
+//! promiscuous observations for the TAP monitor, and purge activity.
+
+pub mod frame;
+pub mod ring;
+
+pub use frame::{
+    ac_byte, ac_fields, fc_is_mac, Frame, FrameId, FrameKind, MacKind, Proto, StationId,
+    FRAME_OVERHEAD_BYTES, TOKEN_BITS,
+};
+pub use ring::{Disturb, FrameView, RingCmd, RingConfig, RingOut, RingStats, TokenRing};

@@ -1,0 +1,121 @@
+//! Identifier and tag types shared across the kernel model.
+
+/// Index of a registered device driver within one host's kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DriverId(pub u8);
+
+/// Process identifier within one host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+/// A socket "port": the rendezvous key connecting a socket on one host to
+/// its peer on another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Port(pub u16);
+
+/// Continuation tag carried through the machine layer (CPU jobs, DMA).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KTag {
+    /// Work owned by a driver; `token` is driver-private.
+    Driver {
+        /// Owning driver.
+        id: DriverId,
+        /// Driver-private continuation value.
+        token: u64,
+    },
+    /// Work owned by a process step.
+    Proc {
+        /// Owning process.
+        pid: Pid,
+        /// Kernel-private step continuation value.
+        token: u64,
+    },
+    /// Work owned by the kernel itself (clock, softnet, …).
+    Kern {
+        /// Kernel-private continuation value.
+        token: u64,
+    },
+}
+
+/// The paper's measurement points (§5.2) plus extension points.
+///
+/// The testbed records each crossing into a ground-truth
+/// [`ctms_sim::EdgeLog`]; measurement-tool models then view those logs
+/// through their own error models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MeasurePoint {
+    /// Point 1: the VCA adapter's Interrupt Request Line pulse.
+    VcaIrq,
+    /// Point 2: entry into the VCA's interrupt handler.
+    VcaHandlerEntry,
+    /// Point 3: immediately after the packet is copied into the fixed DMA
+    /// buffer and immediately before the Token Ring `transmit` command.
+    PreTransmit,
+    /// Point 4: immediately after the received packet is determined to be
+    /// a CTMSP packet.
+    CtmspIdentified,
+    /// Extension: CTMS payload handed to the presentation device.
+    Presented,
+    /// Extension point for ad-hoc instrumentation.
+    Custom(u8),
+}
+
+/// Places the data path can lose CTMS data or packets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropSite {
+    /// The VCA's on-card buffer overran before the host consumed it.
+    VcaOverrun,
+    /// An mbuf allocation failed at interrupt level.
+    MbufExhausted,
+    /// The network interface output queue was full.
+    IfqFull,
+    /// A socket receive buffer was full.
+    SockbufFull,
+    /// The ring's station transmit queue overflowed.
+    RingQueue,
+    /// The frame was destroyed by a Ring Purge.
+    Purge,
+    /// The receiver identified a duplicate (recovery retransmission).
+    Duplicate,
+    /// The presentation device's jitter buffer underran (a glitch).
+    Underrun,
+    /// All adapter receive buffers were busy (adapter overrun).
+    AdapterOverrun,
+    /// A frame for a protocol the driver does not understand.
+    UnknownProto,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_compare() {
+        let a = KTag::Driver {
+            id: DriverId(1),
+            token: 5,
+        };
+        let b = KTag::Driver {
+            id: DriverId(1),
+            token: 5,
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            KTag::Proc {
+                pid: Pid(1),
+                token: 5
+            }
+        );
+    }
+
+    #[test]
+    fn measure_points_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(MeasurePoint::VcaIrq);
+        s.insert(MeasurePoint::Custom(3));
+        assert!(s.contains(&MeasurePoint::VcaIrq));
+        assert!(!s.contains(&MeasurePoint::Custom(4)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # ctms-unixkern — the AOS 4.3 (BSD) kernel data-path model
+//!
+//! The paper's §2 diagnoses the stock UNIX device-to-device transfer model
+//! (user process + 4–6 data copies, mbuf pool delays, per-packet protocol
+//! cost) as unable to sustain 150 KByte/s; its prototype moves the data
+//! path into the kernel with direct driver-to-driver transfers. This crate
+//! models both worlds:
+//!
+//! * [`mbuf`] — the buffer pool with interrupt-level drops and
+//!   process-level waits,
+//! * [`driver`] — the driver framework, including the inter-driver call
+//!   handles of the paper's modification,
+//! * [`proc`] — user processes as deterministic programs (the stock path),
+//! * [`socket`] — UDP-lite/TCP-lite baseline transports,
+//! * [`kernel`] — the kernel proper: dispatch, scheduling, protocol input,
+//!   clock,
+//! * [`host`] — one machine + kernel pair, the unit the testbed composes.
+
+pub mod driver;
+pub mod host;
+pub mod ids;
+pub mod kernel;
+pub mod mbuf;
+pub mod proc;
+pub mod socket;
+
+pub use driver::{Ctx, Driver, DriverCall, KernOut, OpResult, Pkt, WakeKind};
+pub use host::{Host, HostCmd, HostOut};
+pub use ids::{DriverId, DropSite, KTag, MeasurePoint, Pid, Port};
+pub use kernel::{
+    KernCalib, KernCmd, KernConfig, KernStats, Kernel, KERNEL_ID, LINE_CLOCK, LINE_DISK,
+    LINE_TR, LINE_VCA,
+};
+pub use mbuf::{AllocResult, MbufChain, MbufPool, MbufStats, MBUF_DATA};
+pub use proc::{Program, Step};
+pub use socket::{MetaKind, Sock, SockMeta, SockProto, SockStats, TcpState};

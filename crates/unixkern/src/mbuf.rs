@@ -1,0 +1,252 @@
+//! The mbuf pool.
+//!
+//! §2: "The UNIX model uses *mbufs* as a pool of buffers to transfer data
+//! between the various layers of protocols. … the allocation of a mbuf can
+//! be delayed an arbitrarily long time if the pool is exhausted at the time
+//! of the request."
+//!
+//! The model tracks pool occupancy in mbuf units (128-byte mbufs with a
+//! 112-byte data area, as in 4.3BSD). Interrupt-level allocations fail
+//! immediately when the pool is exhausted (`M_DONTWAIT`); process-level
+//! allocations queue and are satisfied FIFO as buffers are freed.
+
+/// Bytes of payload per mbuf (4.3BSD small mbuf).
+pub const MBUF_DATA: u32 = 112;
+
+/// A handle to an allocated chain of mbufs carrying `len` bytes.
+#[derive(Debug, PartialEq, Eq)]
+pub struct MbufChain {
+    /// Payload length carried.
+    pub len: u32,
+    /// Number of mbufs in the chain.
+    pub count: u32,
+}
+
+impl MbufChain {
+    /// Number of mbufs needed for `len` bytes of payload.
+    pub fn mbufs_for(len: u32) -> u32 {
+        len.div_ceil(MBUF_DATA).max(1)
+    }
+}
+
+/// Result of a process-level allocation request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AllocResult {
+    /// The chain was allocated.
+    Ok(MbufChain),
+    /// The pool is exhausted; the request is queued under the given
+    /// ticket and will be satisfied by [`MbufPool::free`].
+    Wait(u64),
+}
+
+/// Pool statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MbufStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Interrupt-level allocation failures.
+    pub drops: u64,
+    /// Requests that had to wait.
+    pub waits: u64,
+    /// High-water mark of mbufs in use.
+    pub peak_in_use: u32,
+}
+
+/// The pool. See module docs.
+#[derive(Debug)]
+pub struct MbufPool {
+    capacity: u32,
+    in_use: u32,
+    waiters: std::collections::VecDeque<(u64, u32)>,
+    next_ticket: u64,
+    stats: MbufStats,
+}
+
+impl MbufPool {
+    /// Creates a pool of `capacity` mbufs.
+    pub fn new(capacity: u32) -> Self {
+        MbufPool {
+            capacity,
+            in_use: 0,
+            waiters: std::collections::VecDeque::new(),
+            next_ticket: 1,
+            stats: MbufStats::default(),
+        }
+    }
+
+    /// mbufs currently allocated.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// mbufs currently free (not reserved for waiters).
+    pub fn free_count(&self) -> u32 {
+        self.capacity - self.in_use
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MbufStats {
+        self.stats
+    }
+
+    fn take(&mut self, n: u32) -> bool {
+        if self.in_use + n <= self.capacity {
+            self.in_use += n;
+            self.stats.peak_in_use = self.stats.peak_in_use.max(self.in_use);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Interrupt-level allocation (`M_DONTWAIT`): succeeds now or fails
+    /// now. Fair-queue exception: pending waiters do *not* block interrupt
+    /// allocations (as in BSD, interrupt allocations race ahead).
+    pub fn alloc_nowait(&mut self, len: u32) -> Option<MbufChain> {
+        let n = MbufChain::mbufs_for(len);
+        if self.take(n) {
+            self.stats.allocs += 1;
+            Some(MbufChain { len, count: n })
+        } else {
+            self.stats.drops += 1;
+            None
+        }
+    }
+
+    /// Process-level allocation (`M_WAIT`): succeeds now or returns a
+    /// ticket satisfied later by [`free`](Self::free). Requests queue
+    /// behind earlier waiters.
+    pub fn alloc_wait(&mut self, len: u32) -> AllocResult {
+        let n = MbufChain::mbufs_for(len);
+        if self.waiters.is_empty() && self.take(n) {
+            self.stats.allocs += 1;
+            return AllocResult::Ok(MbufChain { len, count: n });
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.waiters.push_back((ticket, n));
+        self.stats.waits += 1;
+        AllocResult::Wait(ticket)
+    }
+
+    /// Frees a chain and returns any waiter tickets now satisfied (FIFO).
+    pub fn free(&mut self, chain: MbufChain) -> Vec<(u64, MbufChain)> {
+        assert!(
+            chain.count <= self.in_use,
+            "mbuf double free: freeing {} with {} in use",
+            chain.count,
+            self.in_use
+        );
+        self.in_use -= chain.count;
+        let mut ready = Vec::new();
+        while let Some(&(ticket, n)) = self.waiters.front() {
+            if self.take(n) {
+                self.waiters.pop_front();
+                self.stats.allocs += 1;
+                ready.push((
+                    ticket,
+                    MbufChain {
+                        len: n * MBUF_DATA,
+                        count: n,
+                    },
+                ));
+            } else {
+                break;
+            }
+        }
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_sizing() {
+        assert_eq!(MbufChain::mbufs_for(0), 1);
+        assert_eq!(MbufChain::mbufs_for(1), 1);
+        assert_eq!(MbufChain::mbufs_for(112), 1);
+        assert_eq!(MbufChain::mbufs_for(113), 2);
+        // A 2000-byte CTMSP packet takes 18 mbufs.
+        assert_eq!(MbufChain::mbufs_for(2000), 18);
+    }
+
+    #[test]
+    fn nowait_drops_on_exhaustion() {
+        let mut p = MbufPool::new(20);
+        let c = p.alloc_nowait(2000).expect("fits");
+        assert_eq!(c.count, 18);
+        assert!(p.alloc_nowait(2000).is_none());
+        assert_eq!(p.stats().drops, 1);
+        assert_eq!(p.free_count(), 2);
+    }
+
+    #[test]
+    fn wait_queues_and_frees_satisfy_fifo() {
+        let mut p = MbufPool::new(20);
+        let c = p.alloc_nowait(2000).expect("fits");
+        let w1 = p.alloc_wait(1000);
+        let w2 = p.alloc_wait(100);
+        let (AllocResult::Wait(t1), AllocResult::Wait(t2)) = (w1, w2) else {
+            panic!("both should wait");
+        };
+        let ready = p.free(c);
+        let tickets: Vec<u64> = ready.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tickets, vec![t1, t2]);
+        // 1000 bytes -> 9 mbufs, 100 bytes -> 1 mbuf.
+        assert_eq!(ready[0].1.count, 9);
+        assert_eq!(ready[1].1.count, 1);
+        assert_eq!(p.in_use(), 10);
+        assert_eq!(p.stats().waits, 2);
+    }
+
+    #[test]
+    fn waiters_block_later_process_allocs_but_not_interrupt() {
+        let mut p = MbufPool::new(20);
+        let big = p.alloc_nowait(2000).expect("fits");
+        let AllocResult::Wait(_) = p.alloc_wait(500) else {
+            panic!("should wait");
+        };
+        // A later process alloc queues even though 2 mbufs are free.
+        assert!(matches!(p.alloc_wait(100), AllocResult::Wait(_)));
+        // But an interrupt-level alloc of 1 mbuf still succeeds.
+        assert!(p.alloc_nowait(100).is_some());
+        drop(p.free(big));
+    }
+
+    #[test]
+    fn partial_satisfaction_stops_at_first_blocked() {
+        let mut p = MbufPool::new(10);
+        let a = p.alloc_nowait(500).expect("5 mbufs");
+        let b = p.alloc_nowait(500).expect("5 mbufs");
+        let AllocResult::Wait(_) = p.alloc_wait(800) else {
+            panic!("wait"); // needs 8
+        };
+        let AllocResult::Wait(_) = p.alloc_wait(100) else {
+            panic!("wait"); // needs 1, but behind the 8
+        };
+        let ready = p.free(a);
+        assert!(ready.is_empty(), "head waiter needs 8, only 5 free");
+        let ready = p.free(b);
+        assert_eq!(ready.len(), 2, "both satisfied once 10 free");
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut p = MbufPool::new(100);
+        let a = p.alloc_nowait(2000).expect("18");
+        let b = p.alloc_nowait(2000).expect("18");
+        drop(p.free(a));
+        assert_eq!(p.stats().peak_in_use, 36);
+        drop(p.free(b));
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut p = MbufPool::new(10);
+        let _ = p.free(MbufChain { len: 2000, count: 18 });
+    }
+}

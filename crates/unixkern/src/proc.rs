@@ -1,0 +1,181 @@
+//! User processes as deterministic programs.
+//!
+//! §2: "the only method of transfer between two devices is to create a
+//! user level process that reads the data from one device and writes the
+//! data to a second device". The stock-UNIX baseline (experiment E1) runs
+//! exactly such processes; background load in "multiprocessing mode" is
+//! other compute/sleep programs sharing the CPU.
+//!
+//! A program is a list of [`Step`]s executed by the kernel: each step
+//! expands into CPU jobs (syscall entry, copyin/copyout, protocol
+//! processing) and blocking points. Compute bursts are chunked at the
+//! scheduling quantum so processes timeshare.
+
+use crate::ids::{DriverId, Pid, Port};
+use ctms_sim::Dur;
+
+/// One step of a user program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Burn user-mode CPU for the given duration.
+    Compute(Dur),
+    /// `read(dev, bytes)` — blocks until the driver has data, then pays a
+    /// kernel→user copy.
+    ReadDev {
+        /// Device to read.
+        dev: DriverId,
+        /// Bytes per call.
+        bytes: u32,
+    },
+    /// `write(dev, bytes)` — pays a user→kernel copy, blocks if the
+    /// device's buffer is full.
+    WriteDev {
+        /// Device to write.
+        dev: DriverId,
+        /// Bytes per call.
+        bytes: u32,
+    },
+    /// `send(sock, bytes)` — copyin, mbuf allocation (may wait), protocol
+    /// processing, interface output.
+    SockSend {
+        /// Local socket port.
+        port: Port,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// `recv(sock)` — blocks until a datagram arrives, then copies out.
+    SockRecv {
+        /// Local socket port.
+        port: Port,
+    },
+    /// Sleep for a fixed duration.
+    Sleep(Dur),
+    /// `ioctl(dev, req)`.
+    Ioctl {
+        /// Device.
+        dev: DriverId,
+        /// Request code (driver-defined).
+        req: u32,
+    },
+}
+
+/// A user program: a step list, optionally looping forever.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The steps.
+    pub steps: Vec<Step>,
+    /// Restart from step 0 after the last step.
+    pub looping: bool,
+}
+
+impl Program {
+    /// A one-shot program.
+    pub fn once(steps: Vec<Step>) -> Self {
+        Program {
+            steps,
+            looping: false,
+        }
+    }
+
+    /// A forever-looping program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step can block or take time: a zero-cost infinite
+    /// loop would livelock the simulation.
+    pub fn forever(steps: Vec<Step>) -> Self {
+        let takes_time = steps.iter().any(|s| match s {
+            Step::Compute(d) | Step::Sleep(d) => !d.is_zero(),
+            Step::ReadDev { .. }
+            | Step::WriteDev { .. }
+            | Step::SockSend { .. }
+            | Step::SockRecv { .. } => true,
+            Step::Ioctl { .. } => false,
+        });
+        assert!(takes_time, "looping program must block or consume time");
+        Program {
+            steps,
+            looping: true,
+        }
+    }
+}
+
+/// Where a blocked process is waiting (scheduler bookkeeping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wait {
+    DevRead(DriverId),
+    DevWrite(DriverId),
+    Mbuf(u64),
+    SockData(Port),
+    SockSpace(Port),
+    Sleeping,
+}
+
+/// Continuation stage of the job currently on the CPU for a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Stage {
+    Compute { remaining: Dur },
+    SyscallEntry,
+    Copyout,
+    CopyinDev,
+    CopyinSock,
+    Proto,
+    AfterWake(crate::driver::WakeKind),
+}
+
+/// Process run state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PState {
+    Ready,
+    OnCpu(Stage),
+    Blocked(Wait),
+    Exited,
+}
+
+/// A process.
+#[derive(Debug)]
+pub(crate) struct Proc {
+    #[allow(dead_code)] // kept for diagnostics/debug dumps
+    pub pid: Pid,
+    pub program: Program,
+    pub pc: usize,
+    pub state: PState,
+    /// Guards stale job completions after a state change.
+    pub seq: u64,
+    /// Payload length granted by a satisfied mbuf wait, pending protocol
+    /// processing.
+    pub pending_chain: Option<crate::mbuf::MbufChain>,
+}
+
+impl Proc {
+    pub fn step(&self) -> Step {
+        self.program.steps[self.pc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forever_requires_time() {
+        let p = Program::forever(vec![Step::Sleep(Dur::from_ms(1))]);
+        assert!(p.looping);
+    }
+
+    #[test]
+    #[should_panic(expected = "must block or consume time")]
+    fn zero_cost_loop_rejected() {
+        let _ = Program::forever(vec![Step::Ioctl {
+            dev: DriverId(0),
+            req: 1,
+        }]);
+    }
+
+    #[test]
+    fn once_program() {
+        let p = Program::once(vec![Step::Compute(Dur::from_ms(5))]);
+        assert!(!p.looping);
+        assert_eq!(p.steps.len(), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Host-originated background traffic.
+//!
+//! §5.3 attributes Figure 5-2's second peak to "interaction between the
+//! transmission of CTMSP packets and the transmission of other system
+//! packets. The other traffic includes AFS keep alive packets, ARP traffic
+//! and socket keep alive packets" — the socket traffic being the test
+//! harness's own control connection. All of these leave through the same
+//! Token Ring driver as the CTMSP stream, so whenever one occupies the
+//! transmitter, the next CTMSP packet queues and "the system then plays
+//! catch up for tens of CTMSP packets".
+//!
+//! This driver generates those host-resident flows: periodic socket
+//! keep-alives to the control machine, AFS keep-alives to a file server,
+//! and occasional file-transfer bursts (page-ins/compiles over AFS).
+
+use ctms_sim::Dur;
+use ctms_tokenring::{Proto, StationId};
+use ctms_unixkern::{Ctx, Driver, DriverCall, DriverId, Pkt};
+use std::any::Any;
+
+const T_KEEPALIVE: u64 = 1;
+const T_AFS: u64 = 2;
+const T_BURST: u64 = 3;
+const T_BURST_FRAME: u64 = 4;
+
+/// Host traffic configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HostTrafficCfg {
+    /// The Token Ring driver to send through.
+    pub net_if: DriverId,
+    /// Control machine's station (socket keep-alives).
+    pub control: StationId,
+    /// File server's station (AFS traffic).
+    pub server: StationId,
+    /// Socket keep-alive period (0 disables).
+    pub keepalive_period: Dur,
+    /// Keep-alive payload size.
+    pub keepalive_size: u32,
+    /// AFS keep-alive period (0 disables).
+    pub afs_period: Dur,
+    /// AFS keep-alive size.
+    pub afs_size: u32,
+    /// File-transfer bursts per second (Poisson; 0 disables).
+    pub burst_rate: f64,
+    /// Frames per burst, inclusive range.
+    pub burst_len: (u32, u32),
+    /// Pacing between burst frames.
+    pub burst_gap: Dur,
+    /// Burst frame size (info bytes).
+    pub ft_size: u32,
+}
+
+impl HostTrafficCfg {
+    /// No background traffic (standalone mode, test case A).
+    pub fn quiet(net_if: DriverId) -> Self {
+        HostTrafficCfg {
+            net_if,
+            control: StationId(0),
+            server: StationId(0),
+            keepalive_period: Dur::ZERO,
+            keepalive_size: 80,
+            afs_period: Dur::ZERO,
+            afs_size: 200,
+            burst_rate: 0.0,
+            burst_len: (0, 0),
+            burst_gap: Dur::from_ms(4),
+            ft_size: 1501,
+        }
+    }
+
+    /// Test case B's "multiprocessing mode but not heavily loaded": the
+    /// control-connection chatter plus AFS liveness plus occasional
+    /// page-in bursts.
+    pub fn case_b(net_if: DriverId, control: StationId, server: StationId) -> Self {
+        HostTrafficCfg {
+            net_if,
+            control,
+            server,
+            keepalive_period: Dur::from_ms(250),
+            keepalive_size: 80,
+            afs_period: Dur::from_secs(1),
+            afs_size: 200,
+            burst_rate: 0.35,
+            burst_len: (15, 40),
+            burst_gap: Dur::from_ms(1),
+            ft_size: 1501,
+        }
+    }
+}
+
+/// Counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostTrafficStats {
+    /// Keep-alive packets sent.
+    pub keepalives: u64,
+    /// AFS packets sent.
+    pub afs: u64,
+    /// File-transfer frames sent.
+    pub ft_frames: u64,
+    /// Packets skipped for want of mbufs.
+    pub mbuf_skips: u64,
+}
+
+/// The generator driver. See module docs.
+#[derive(Debug)]
+pub struct HostTrafficGen {
+    cfg: HostTrafficCfg,
+    burst_left: u32,
+    stats: HostTrafficStats,
+}
+
+impl HostTrafficGen {
+    /// Creates the driver.
+    pub fn new(cfg: HostTrafficCfg) -> Self {
+        HostTrafficGen {
+            cfg,
+            burst_left: 0,
+            stats: HostTrafficStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> HostTrafficStats {
+        self.stats
+    }
+
+    fn send(&mut self, ctx: &mut Ctx, dst: StationId, len: u32) -> bool {
+        let Some(chain) = ctx.mbufs.alloc_nowait(len) else {
+            self.stats.mbuf_skips += 1;
+            return false;
+        };
+        ctx.call(
+            self.cfg.net_if,
+            DriverCall::NetOutput(Pkt {
+                proto: Proto::Ip,
+                dst,
+                len,
+                tag: 0,
+                priority: 0,
+                chain: Some(chain),
+            }),
+        );
+        true
+    }
+
+    fn arm_burst(&mut self, ctx: &mut Ctx) {
+        if self.cfg.burst_rate > 0.0 {
+            let gap = ctx
+                .rng
+                .exp_dur(Dur::from_secs_f64(1.0 / self.cfg.burst_rate));
+            ctx.set_timer(T_BURST, ctx.now + gap);
+        }
+    }
+}
+
+impl Driver for HostTrafficGen {
+    fn name(&self) -> &'static str {
+        "host-traffic"
+    }
+
+    fn on_boot(&mut self, ctx: &mut Ctx) {
+        if !self.cfg.keepalive_period.is_zero() {
+            // Desynchronize the first firing.
+            let first = ctx.rng.uniform_dur(Dur::ZERO, self.cfg.keepalive_period);
+            ctx.set_timer(T_KEEPALIVE, ctx.now + self.cfg.keepalive_period + first);
+        }
+        if !self.cfg.afs_period.is_zero() {
+            let first = ctx.rng.uniform_dur(Dur::ZERO, self.cfg.afs_period);
+            ctx.set_timer(T_AFS, ctx.now + self.cfg.afs_period + first);
+        }
+        self.arm_burst(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match token {
+            T_KEEPALIVE => {
+                if self.send(ctx, self.cfg.control, self.cfg.keepalive_size) {
+                    self.stats.keepalives += 1;
+                }
+                ctx.set_timer(T_KEEPALIVE, ctx.now + self.cfg.keepalive_period);
+            }
+            T_AFS => {
+                if self.send(ctx, self.cfg.server, self.cfg.afs_size) {
+                    self.stats.afs += 1;
+                }
+                ctx.set_timer(T_AFS, ctx.now + self.cfg.afs_period);
+            }
+            T_BURST => {
+                let (lo, hi) = self.cfg.burst_len;
+                self.burst_left = ctx.rng.range_u64(u64::from(lo), u64::from(hi)) as u32;
+                if self.burst_left > 0 {
+                    ctx.set_timer(T_BURST_FRAME, ctx.now);
+                }
+                self.arm_burst(ctx);
+            }
+            T_BURST_FRAME => {
+                if self.burst_left > 0 {
+                    self.burst_left -= 1;
+                    if self.send(ctx, self.cfg.server, self.cfg.ft_size) {
+                        self.stats.ft_frames += 1;
+                    }
+                    if self.burst_left > 0 {
+                        ctx.set_timer(T_BURST_FRAME, ctx.now + self.cfg.burst_gap);
+                    }
+                }
+            }
+            other => panic!("host-traffic: unknown timer {other}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_rtpc::{Machine, MachineConfig};
+    use ctms_sim::{drain_component, Pcg32, SimTime};
+    use ctms_unixkern::{Host, HostOut, KernConfig, Kernel};
+
+    /// Collects NetOutput calls.
+    #[derive(Default)]
+    struct NetSink {
+        pkts: Vec<(u32, StationId)>,
+    }
+    impl Driver for NetSink {
+        fn name(&self) -> &'static str {
+            "netsink"
+        }
+        fn on_call(&mut self, ctx: &mut Ctx, _from: DriverId, call: DriverCall) {
+            if let DriverCall::NetOutput(pkt) = call {
+                self.pkts.push((pkt.len, pkt.dst));
+                if let Some(chain) = pkt.chain {
+                    ctx.free_chain(chain);
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn case_b_traffic_mix() {
+        let mut kcfg = KernConfig::default();
+        kcfg.clock_enabled = false;
+        let mut kernel = Kernel::new(kcfg, Pcg32::new(21, 1));
+        let sink = kernel.add_driver(Box::<NetSink>::default(), None);
+        let cfg = HostTrafficCfg::case_b(sink, StationId(2), StationId(3));
+        let gen = kernel.add_driver(Box::new(HostTrafficGen::new(cfg)), None);
+        let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);
+        let _ = drain_component(&mut host, SimTime::from_secs(30));
+        let stats = host
+            .kernel
+            .driver_ref::<HostTrafficGen>(gen)
+            .expect("gen")
+            .stats();
+        // 4/s keepalives, 1/s AFS, ~0.35 bursts/s × ~4 frames.
+        assert!((100..140).contains(&stats.keepalives), "{stats:?}");
+        assert!((25..35).contains(&stats.afs), "{stats:?}");
+        assert!(stats.ft_frames > 10, "{stats:?}");
+        let sink_d = host.kernel.driver_ref::<NetSink>(sink).expect("sink");
+        let to_control = sink_d
+            .pkts
+            .iter()
+            .filter(|(_, d)| *d == StationId(2))
+            .count() as u64;
+        assert_eq!(to_control, stats.keepalives);
+        assert!(sink_d.pkts.iter().any(|(len, _)| *len == 1501));
+    }
+
+    #[test]
+    fn quiet_config_sends_nothing() {
+        let mut kcfg = KernConfig::default();
+        kcfg.clock_enabled = false;
+        let mut kernel = Kernel::new(kcfg, Pcg32::new(1, 1));
+        let sink = kernel.add_driver(Box::<NetSink>::default(), None);
+        let gen = kernel.add_driver(
+            Box::new(HostTrafficGen::new(HostTrafficCfg::quiet(sink))),
+            None,
+        );
+        let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);
+        let evs: Vec<(SimTime, HostOut)> = drain_component(&mut host, SimTime::from_secs(10));
+        assert!(evs.is_empty());
+        assert_eq!(
+            host.kernel
+                .driver_ref::<HostTrafficGen>(gen)
+                .expect("gen")
+                .stats()
+                .keepalives,
+            0
+        );
+    }
+}

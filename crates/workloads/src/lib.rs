@@ -1,0 +1,19 @@
+//! # ctms-workloads — background load generators
+//!
+//! The traffic environment of §5.3's test cases:
+//!
+//! * [`phantom`] — frames from the ~66 stations the testbed does not model
+//!   as full hosts (AFS/ARP/file-transfer classes) plus station-insertion
+//!   and soft-error disturbances,
+//! * [`hosttraffic`] — host-originated background flows (control-socket
+//!   keep-alives, AFS keep-alives, page-in bursts) that share the Token
+//!   Ring driver with the CTMSP stream and produce Figure 5-2's second
+//!   peak.
+
+pub mod hosttraffic;
+pub mod phantom;
+pub mod splload;
+
+pub use hosttraffic::{HostTrafficCfg, HostTrafficGen, HostTrafficStats};
+pub use phantom::{PhantomCfg, PhantomOut, PhantomStats, PhantomTraffic};
+pub use splload::{default_classes, SplClass, SplLoad, SplLoadStats};

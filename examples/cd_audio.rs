@@ -1,0 +1,74 @@
+//! CD-quality audio over the campus ring.
+//!
+//! §1: "with Compact Disc audio, the transfer rate is 176.4KBytes/sec
+//! (44.1K samples, 16 bits per sample, 2 channels)". This example streams
+//! exactly that rate over the loaded public ring (test-case-B conditions)
+//! and sizes the receiver's playout buffer from the measured delay spread
+//! — the §6 question: how much buffering does glitch-free playback need?
+//!
+//! ```sh
+//! cargo run --release --example cd_audio
+//! ```
+
+use ctms_core::{Scenario, Testbed};
+use ctms_devices::CtmsVcaSink;
+use ctms_measure::HistId;
+use ctms_sim::{Dur, SimTime};
+use ctms_stats::{quantile, Summary};
+
+fn main() {
+    // 176.4 KB/s at one packet per 12 ms ⇒ 2117-byte packets.
+    let mut scenario = Scenario::test_case_b(2026);
+    scenario.pkt_len = 2117;
+    println!(
+        "CD audio: {} bytes / {} = {:.1} KB/s (paper: 176.4 KB/s)",
+        scenario.pkt_len,
+        scenario.period,
+        scenario.data_rate() / 1000.0
+    );
+
+    let minutes = 3;
+    let mut bed = Testbed::ctms(&scenario);
+    bed.run_until(SimTime::from_secs(minutes * 60));
+
+    let sink = bed.hosts[1]
+        .kernel
+        .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
+        .expect("sink");
+    let received = sink.stats().received;
+    let missed = sink.stats().missed_pkts;
+    println!(
+        "{minutes} min of playback: {received} packets received, {missed} lost \
+         (recovery tolerates single losses, §5)"
+    );
+
+    // Delay spread → playout buffer. A receiver that delays playback by
+    // (max - min) transfer time never underruns; the data buffered in
+    // that window is the §6 requirement.
+    let h7 = bed.measurement_set().samples_us(HistId::H7);
+    let s = Summary::of(&h7);
+    let p999 = quantile(&h7, 0.999);
+    let rate = scenario.data_rate();
+    let buf_worst = bed.buffer_requirement_bytes(rate, scenario.pkt_len);
+    let buf_p999 = (p999 - s.min) * 1e-6 * rate + f64::from(scenario.pkt_len);
+    println!(
+        "transfer latency: min {:.1} ms, mean {:.1} ms, p99.9 {:.1} ms, max {:.1} ms",
+        s.min / 1000.0,
+        s.mean / 1000.0,
+        p999 / 1000.0,
+        s.max / 1000.0
+    );
+    println!(
+        "playout buffer: {:.1} KB for the worst case, {:.1} KB at p99.9 \
+         (paper §6: 'under 25KBytes' for 150 KB/s)",
+        buf_worst / 1024.0,
+        buf_p999 / 1024.0
+    );
+    let startup_delay = Dur::from_us_f64(s.max - s.min);
+    println!("equivalent playback start-up delay: {startup_delay}");
+
+    assert!(
+        buf_worst < 32.0 * 1024.0,
+        "CD audio should stay within a few packets of the paper's bound"
+    );
+}

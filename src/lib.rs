@@ -1,0 +1,19 @@
+//! # ctms-repro — umbrella crate
+//!
+//! Reproduction of *"Distributed Multimedia: How Can the Necessary Data
+//! Rates be Supported?"* (Pasieka, Crumley, Marks, Infortuna; USENIX
+//! 1991). See README.md for the tour and DESIGN.md for the architecture.
+//!
+//! This crate re-exports the workspace so examples and integration tests
+//! have one front door; the implementation lives in `crates/*`.
+
+pub use ctms_core as core;
+pub use ctms_ctmsp as ctmsp;
+pub use ctms_devices as devices;
+pub use ctms_measure as measure;
+pub use ctms_rtpc as rtpc;
+pub use ctms_sim as sim;
+pub use ctms_stats as stats;
+pub use ctms_tokenring as tokenring;
+pub use ctms_unixkern as unixkern;
+pub use ctms_workloads as workloads;

@@ -1,0 +1,80 @@
+//! The experiment suite at test fidelity: every figure/table regenerator
+//! runs end to end and its robust claims hold.
+//!
+//! Claims that need the paper's full durations (tails, rare events) are
+//! listed in `LONG_RUN_ONLY` and verified by `repro all` instead.
+
+use ctms_core::{run_all_experiments, ExpCfg};
+
+/// Claims that only stabilize at full run lengths (checked by the bench
+/// harness, not at test fidelity).
+const LONG_RUN_ONLY: &[&str] = &[
+    "irq_to_handler.max_us", // 440 µs worst case needs many samples
+    "h7a.tail_max",          // the 2 % tail needs minutes of samples
+    "h7b.frac_heavy",        // ditto
+    "outlier_ms",            // needs an insertion to occur
+    "worst_regular_ms",      // tail statistic
+    "h6.frac_peak1",         // band fractions tighten with sample count
+    "h6.frac_delayed",
+    "h7b.frac_core",
+    "h7b.frac_mid",
+];
+
+#[test]
+fn quick_suite_all_robust_claims_hold() {
+    let cfg = ExpCfg::quick(42);
+    let reports = run_all_experiments(cfg);
+    assert_eq!(reports.len(), 15, "E1–E11 plus the E12–E15 extensions");
+    let mut checked = 0;
+    let mut failures = Vec::new();
+    for report in &reports {
+        for claim in &report.claims {
+            if LONG_RUN_ONLY.contains(&claim.id.as_str()) {
+                continue;
+            }
+            checked += 1;
+            if !claim.holds() {
+                failures.push(format!(
+                    "{} / {}: paper {} vs measured {}",
+                    report.title, claim.id, claim.paper, claim.measured
+                ));
+            }
+        }
+    }
+    assert!(checked > 35, "enough claims checked: {checked}");
+    assert!(failures.is_empty(), "failing claims:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn reports_render_both_formats() {
+    let cfg = ExpCfg {
+        seed: 7,
+        short_secs: 10,
+        long_secs: 20,
+    };
+    let r = ctms_core::experiments::e6_fig5_3(cfg);
+    let text = r.render();
+    assert!(text.contains("Figure 5-3"));
+    assert!(text.contains("h7a.min"));
+    let md = r.render_markdown();
+    assert!(md.contains("| claim |"));
+    assert!(md.contains("```text"), "histogram embedded");
+}
+
+#[test]
+fn seeds_change_measurements_not_verdicts() {
+    for seed in [1, 2] {
+        let cfg = ExpCfg {
+            seed,
+            short_secs: 15,
+            long_secs: 30,
+        };
+        let r = ctms_core::experiments::e6_fig5_3(cfg);
+        for claim in &r.claims {
+            if claim.id == "h7a.tail_max" {
+                continue;
+            }
+            assert!(claim.holds(), "seed {seed}: {}", r.render());
+        }
+    }
+}
