@@ -1,14 +1,16 @@
-//! Criterion benches over the §5.3 ablation grid: simulation cost of each
-//! design variant (E11). The correctness-side comparison lives in
+//! Benches over the §5.3 ablation grid: simulation cost of each design
+//! variant (E11). The correctness-side comparison lives in
 //! `repro ablation`; this measures how each variant loads the simulator
 //! (queue-heavy variants do more event work per simulated second).
+//!
+//! Run with `cargo bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ctms_bench::harness::BenchGroup;
 use ctms_core::Scenario;
 use std::hint::black_box;
 
-fn ablation_grid(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation");
+fn main() {
+    let g = BenchGroup::new("ablation", 10);
     let base = Scenario::test_case_b(42);
 
     let variants: Vec<(&str, Scenario)> = vec![
@@ -46,16 +48,6 @@ fn ablation_grid(c: &mut Criterion) {
     ];
 
     for (name, sc) in variants {
-        g.bench_function(name, |b| {
-            b.iter(|| ctms_bench::run_slice(black_box(&sc), 2))
-        });
+        g.bench(name, || ctms_bench::run_slice(black_box(&sc), 2));
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = ablation;
-    config = Criterion::default().sample_size(10);
-    targets = ablation_grid
-}
-criterion_main!(ablation);

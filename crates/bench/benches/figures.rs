@@ -1,67 +1,48 @@
-//! Criterion benches: simulation cost of each figure's scenario.
+//! Benches: simulation cost of each figure's scenario.
 //!
 //! One group per paper artifact. The measured quantity is the wall-clock
 //! cost of simulating a fixed slice of the corresponding testbed — the
 //! practical number a user extending this reproduction cares about.
+//!
+//! Run with `cargo bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ctms_bench::harness::BenchGroup;
 use ctms_core::{Scenario, Testbed};
 use ctms_sim::SimTime;
 use ctms_unixkern::SockProto;
 use std::hint::black_box;
 
-/// Figure 5-3's scenario: test case A (private ring, standalone hosts).
-fn fig5_3_case_a(c: &mut Criterion) {
-    c.bench_function("fig5_3/case_a_2s", |b| {
-        b.iter(|| {
-            let sc = Scenario::test_case_a(black_box(42));
-            ctms_bench::run_slice(&sc, 2)
-        })
-    });
-}
+fn main() {
+    let g = BenchGroup::new("figures", 10);
 
-/// Figures 5-2/5-4's scenario: test case B (public ring, multiprocessing).
-fn fig5_2_and_5_4_case_b(c: &mut Criterion) {
-    c.bench_function("fig5_2_fig5_4/case_b_2s", |b| {
-        b.iter(|| {
-            let sc = Scenario::test_case_b(black_box(42));
-            ctms_bench::run_slice(&sc, 2)
-        })
+    // Figure 5-3's scenario: test case A (private ring, standalone hosts).
+    g.bench("fig5_3/case_a_2s", || {
+        let sc = Scenario::test_case_a(black_box(42));
+        ctms_bench::run_slice(&sc, 2)
     });
-}
 
-/// E1's scenarios: the stock path at both rates.
-fn e1_stock(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_stock");
+    // Figures 5-2/5-4's scenario: test case B (public ring, multiprocessing).
+    g.bench("fig5_2_fig5_4/case_b_2s", || {
+        let sc = Scenario::test_case_b(black_box(42));
+        ctms_bench::run_slice(&sc, 2)
+    });
+
+    // E1's scenarios: the stock path at both rates.
     for rate in [16_000u32, 150_000] {
-        g.bench_function(format!("{rate}Bps_2s"), |b| {
-            b.iter(|| {
-                let sc = Scenario::test_case_a(black_box(42));
-                let mut bed = Testbed::stock(&sc, rate, SockProto::UdpLite);
-                bed.run_until(SimTime::from_secs(2));
-                bed.sock_delivered().len()
-            })
+        g.bench(&format!("e1_stock/{rate}Bps_2s"), || {
+            let sc = Scenario::test_case_a(black_box(42));
+            let mut bed = Testbed::stock(&sc, rate, SockProto::UdpLite);
+            bed.run_until(SimTime::from_secs(2));
+            bed.sock_delivered().len()
         });
     }
-    g.finish();
-}
 
-/// E9's scenario: purge sequences (forced insertion).
-fn e9_purges(c: &mut Criterion) {
-    c.bench_function("e9/insertion_purge_2s", |b| {
-        b.iter(|| {
-            let sc = Scenario::test_case_b(black_box(42));
-            let mut bed = Testbed::ctms(&sc);
-            bed.disturb(ctms_tokenring::Disturb::StationInsertion);
-            bed.run_until(SimTime::from_secs(2));
-            bed.purge_starts().len()
-        })
+    // E9's scenario: purge sequences (forced insertion).
+    g.bench("e9/insertion_purge_2s", || {
+        let sc = Scenario::test_case_b(black_box(42));
+        let mut bed = Testbed::ctms(&sc);
+        bed.disturb(ctms_tokenring::Disturb::StationInsertion);
+        bed.run_until(SimTime::from_secs(2));
+        bed.purge_starts().len()
     });
 }
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = fig5_3_case_a, fig5_2_and_5_4_case_b, e1_stock, e9_purges
-}
-criterion_main!(figures);

@@ -1,130 +1,109 @@
-//! Criterion micro-benches of the substrate data structures: the token
-//! ring medium, the CPU scheduler, the mbuf pool, the PC/AT instrument
+//! Micro-benches of the substrate data structures: the token ring
+//! medium, the CPU scheduler, the mbuf pool, the PC/AT instrument
 //! model, and histogram accumulation.
+//!
+//! Run with `cargo bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ctms_bench::harness::BenchGroup;
 use ctms_rtpc::{Cpu, CpuCmd, CpuConfig, ExecLevel, Job};
 use ctms_sim::{drain_component, Component, Dur, EdgeLog, Pcg32, SimTime};
 use ctms_stats::Histogram;
 use ctms_tokenring::{Frame, FrameKind, Proto, RingCmd, RingConfig, StationId, TokenRing};
 use std::hint::black_box;
 
-fn ring_thousand_frames(c: &mut Criterion) {
-    c.bench_function("substrate/ring_1000_frames", |b| {
-        b.iter(|| {
-            let mut cfg = RingConfig::default();
-            cfg.mac_rate_per_sec = 0.0;
-            let mut ring = TokenRing::new(cfg, Pcg32::new(1, 1));
-            for _ in 0..8 {
-                ring.add_station();
-            }
-            let mut sink = Vec::new();
-            for k in 0..1000u64 {
-                let id = ring.alloc_frame_id();
-                ring.handle(
-                    SimTime::from_us(k),
-                    RingCmd::Submit(Frame {
-                        id,
-                        src: StationId((k % 8) as u32),
-                        dst: Some(StationId(((k + 1) % 8) as u32)),
-                        kind: FrameKind::Llc(Proto::Ip),
-                        info_len: 1500,
-                        priority: 0,
-                        tag: k,
-                    }),
-                    &mut sink,
-                );
-            }
-            let evs = drain_component(&mut ring, SimTime::from_secs(60));
-            black_box(evs.len())
-        })
-    });
-}
+fn main() {
+    let g = BenchGroup::new("substrate", 20);
 
-fn cpu_preemption_storm(c: &mut Criterion) {
-    c.bench_function("substrate/cpu_10k_jobs", |b| {
-        b.iter(|| {
-            let mut cpu: Cpu<u64> = Cpu::new(CpuConfig::default());
-            let mut sink = Vec::new();
-            for k in 0..10_000u64 {
-                cpu.handle(
-                    SimTime::from_us(k),
-                    CpuCmd::Push(Job {
-                        tag: k,
-                        cost: Dur::from_us(3),
-                        level: if k % 7 == 0 {
-                            ExecLevel::KernelSpl((k % 6 + 1) as u8)
-                        } else {
-                            ExecLevel::User
-                        },
-                    }),
-                    &mut sink,
-                );
-            }
-            let evs = drain_component(&mut cpu, SimTime::from_secs(1));
-            black_box(evs.len())
-        })
+    g.bench("ring_1000_frames", || {
+        let mut cfg = RingConfig::default();
+        cfg.mac_rate_per_sec = 0.0;
+        let mut ring = TokenRing::new(cfg, Pcg32::new(1, 1));
+        for _ in 0..8 {
+            ring.add_station();
+        }
+        let mut sink = Vec::new();
+        for k in 0..1000u64 {
+            let id = ring.alloc_frame_id();
+            ring.handle(
+                SimTime::from_us(k),
+                RingCmd::Submit(Frame {
+                    id,
+                    src: StationId((k % 8) as u32),
+                    dst: Some(StationId(((k + 1) % 8) as u32)),
+                    kind: FrameKind::Llc(Proto::Ip),
+                    info_len: 1500,
+                    priority: 0,
+                    tag: k,
+                }),
+                &mut sink,
+            );
+        }
+        let evs = drain_component(&mut ring, SimTime::from_secs(60));
+        black_box(evs.len())
     });
-}
 
-fn mbuf_churn(c: &mut Criterion) {
-    c.bench_function("substrate/mbuf_10k_alloc_free", |b| {
-        b.iter(|| {
-            let mut pool = ctms_unixkern::MbufPool::new(2048);
-            let mut live = Vec::new();
-            for k in 0..10_000u32 {
-                if let Some(chain) = pool.alloc_nowait(2000) {
-                    live.push(chain);
-                }
-                if k % 3 == 0 {
-                    if let Some(c) = live.pop() {
-                        let _ = pool.free(c);
-                    }
-                }
-                if live.len() > 50 {
-                    for c in live.drain(..) {
-                        let _ = pool.free(c);
-                    }
+    g.bench("cpu_10k_jobs", || {
+        let mut cpu: Cpu<u64> = Cpu::new(CpuConfig::default());
+        let mut sink = Vec::new();
+        for k in 0..10_000u64 {
+            cpu.handle(
+                SimTime::from_us(k),
+                CpuCmd::Push(Job {
+                    tag: k,
+                    cost: Dur::from_us(3),
+                    level: if k % 7 == 0 {
+                        ExecLevel::KernelSpl((k % 6 + 1) as u8)
+                    } else {
+                        ExecLevel::User
+                    },
+                }),
+                &mut sink,
+            );
+        }
+        let evs = drain_component(&mut cpu, SimTime::from_secs(1));
+        black_box(evs.len())
+    });
+
+    g.bench("mbuf_10k_alloc_free", || {
+        let mut pool = ctms_unixkern::MbufPool::new(2048);
+        let mut live = Vec::new();
+        for k in 0..10_000u32 {
+            if let Some(chain) = pool.alloc_nowait(2000) {
+                live.push(chain);
+            }
+            if k % 3 == 0 {
+                if let Some(c) = live.pop() {
+                    let _ = pool.free(c);
                 }
             }
-            for c in live.drain(..) {
-                let _ = pool.free(c);
+            if live.len() > 50 {
+                for c in live.drain(..) {
+                    let _ = pool.free(c);
+                }
             }
-            black_box(pool.stats().allocs)
-        })
+        }
+        for c in live.drain(..) {
+            let _ = pool.free(c);
+        }
+        black_box(pool.stats().allocs)
     });
-}
 
-fn pcat_observe_reconstruct(c: &mut Criterion) {
     let mut log = EdgeLog::new("bench");
     for k in 0..5_000u64 {
         log.record(SimTime::from_us(12_000 * k), k);
     }
-    c.bench_function("substrate/pcat_5k_edges", |b| {
-        b.iter(|| {
-            let mut tool =
-                ctms_measure::PcAt::new(ctms_measure::PcAtCfg::default(), Pcg32::new(3, 3));
-            let cap = tool.observe(&[&log], SimTime::from_secs(61));
-            black_box(cap.reconstruct().len())
-        })
+    g.bench("pcat_5k_edges", || {
+        let mut tool = ctms_measure::PcAt::new(ctms_measure::PcAtCfg::default(), Pcg32::new(3, 3));
+        let cap = tool.observe(&[&log], SimTime::from_secs(61));
+        black_box(cap.reconstruct().len())
     });
-}
 
-fn histogram_accumulate(c: &mut Criterion) {
     let mut rng = Pcg32::new(9, 9);
-    let xs: Vec<f64> = (0..100_000).map(|_| rng.normal_f64(10_900.0, 160.0)).collect();
-    c.bench_function("substrate/histogram_100k_samples", |b| {
-        b.iter(|| {
-            let h = Histogram::of(black_box(&xs), 10_000.0, 160.0);
-            black_box(h.peaks(0.01).len())
-        })
+    let xs: Vec<f64> = (0..100_000)
+        .map(|_| rng.normal_f64(10_900.0, 160.0))
+        .collect();
+    g.bench("histogram_100k_samples", || {
+        let h = Histogram::of(black_box(&xs), 10_000.0, 160.0);
+        black_box(h.peaks(0.01).len())
     });
 }
-
-criterion_group! {
-    name = substrates;
-    config = Criterion::default().sample_size(20);
-    targets = ring_thousand_frames, cpu_preemption_storm, mbuf_churn,
-              pcat_observe_reconstruct, histogram_accumulate
-}
-criterion_main!(substrates);

@@ -57,14 +57,28 @@ fn main() {
     );
 
     let registry = ctms_bench::registry();
-    let mut failures = 0;
-    for name in &wanted {
-        let Some((_, runner)) = registry.iter().find(|(n, _)| n == name) else {
-            die(&format!("unknown experiment {name}"));
-        };
+    let runners: Vec<(String, ctms_bench::Runner)> = wanted
+        .iter()
+        .map(|name| {
+            let Some((_, runner)) = registry.iter().find(|(n, _)| n == name) else {
+                die(&format!("unknown experiment {name}"));
+            };
+            (name.clone(), *runner)
+        })
+        .collect();
+
+    // Experiments are independent simulations: fan them out over worker
+    // threads, then print in request order — the output is byte-identical
+    // to running them sequentially.
+    let threads = ctms_sim::default_threads(runners.len());
+    let results = ctms_sim::parallel_map(runners, threads, move |(name, runner)| {
         let t0 = std::time::Instant::now();
         let report = runner(cfg);
-        let elapsed = t0.elapsed();
+        (name, report, t0.elapsed())
+    });
+
+    let mut failures = 0;
+    for (name, report, elapsed) in results {
         if markdown {
             println!("{}", report.render_markdown());
         } else {

@@ -1,0 +1,77 @@
+//! A minimal wall-clock benchmark harness on `std::time` alone.
+//!
+//! The offline build policy (DESIGN.md §3) keeps third-party crates out
+//! of the workspace, so the `cargo bench` targets use this instead of
+//! Criterion: per benchmark it runs a warm-up pass, takes a fixed number
+//! of timed samples, and reports min / median / mean wall time. Robust
+//! enough to spot order-of-magnitude regressions in the simulator's
+//! cost per scenario, which is what these benches are for.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group; `samples` timed runs are taken per benchmark.
+    pub fn new(name: &str, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        BenchGroup {
+            name: name.to_string(),
+            samples,
+        }
+    }
+
+    /// Times `f` (after one untimed warm-up call) and prints a summary
+    /// line. Returns the median sample so callers can assert on it.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Duration {
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{name}: min {} | median {} | mean {} ({} samples)",
+            self.name,
+            fmt(min),
+            fmt(median),
+            fmt(mean),
+            self.samples
+        );
+        median
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_a_plausible_median() {
+        let g = BenchGroup::new("t", 5);
+        let m = g.bench("sleepless", || std::hint::black_box(2u64 + 2));
+        assert!(m < Duration::from_millis(50));
+    }
+}

@@ -5,18 +5,25 @@
 //! * the **`repro` binary** regenerates every table and figure of the
 //!   paper (experiments E1–E11 of DESIGN.md) and prints paper-vs-measured
 //!   claim tables plus ASCII renderings of Figures 5-2/5-3/5-4;
-//! * the **Criterion benches** (`cargo bench`) measure the simulator's
-//!   wall-clock cost per scenario and per substrate operation, and run the
-//!   §5.3 ablation grid.
+//! * the **benches** (`cargo bench --features bench`) measure the
+//!   simulator's wall-clock cost per scenario and per substrate
+//!   operation, and run the §5.3 ablation grid on the std-only
+//!   [`harness`] (no external benchmark crate, so the default offline
+//!   build needs nothing beyond the workspace).
+
+pub mod harness;
 
 use ctms_core::{ExpCfg, Scenario};
 use ctms_stats::Report;
 
+/// An experiment entry point: scenario config in, report out.
+pub type Runner = fn(ExpCfg) -> Report;
+
 /// The experiment registry: `(name, runner)` in DESIGN.md order.
-pub fn registry() -> Vec<(&'static str, fn(ExpCfg) -> Report)> {
+pub fn registry() -> Vec<(&'static str, Runner)> {
     use ctms_core::experiments as e;
     vec![
-        ("e1", e::e1_stock_unix as fn(ExpCfg) -> Report),
+        ("e1", e::e1_stock_unix as Runner),
         ("e2", e::e2_copy_count),
         ("e3", e::e3_logic_analyzer),
         ("e4", e::e4_pcat_tool),
@@ -50,8 +57,21 @@ mod tests {
     fn registry_covers_design_md() {
         let names: Vec<&str> = registry().iter().map(|(n, _)| *n).collect();
         for required in [
-            "e1", "e2", "e3", "e4", "fig5_2", "fig5_3", "fig5_4", "hist1_5", "e9", "e10",
-            "ablation", "router", "capacity", "ring16", "spl_audit",
+            "e1",
+            "e2",
+            "e3",
+            "e4",
+            "fig5_2",
+            "fig5_3",
+            "fig5_4",
+            "hist1_5",
+            "e9",
+            "e10",
+            "ablation",
+            "router",
+            "capacity",
+            "ring16",
+            "spl_audit",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }

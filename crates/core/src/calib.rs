@@ -43,9 +43,11 @@ pub struct Calibration {
 
 impl Default for Calibration {
     fn default() -> Self {
-        let mut ring = RingConfig::default();
-        // Test-case-A MAC level: 0.2 % of the ring (§5.3), ≈50 frames/s.
-        ring.mac_rate_per_sec = 50.0;
+        let ring = RingConfig {
+            // Test-case-A MAC level: 0.2 % of the ring (§5.3), ≈50 frames/s.
+            mac_rate_per_sec: 50.0,
+            ..RingConfig::default()
+        };
         // Calibrated: 2021 bytes × (2.2 + 0.94) µs of DMA + 4042 µs (wire)
         // + posting, dispatch and check ≈ the 10 740 µs minimum of
         // Figure 5-3. The asymmetric split also reproduces Figure 5-2's
@@ -70,8 +72,7 @@ impl Calibration {
     pub fn h7_floor_us(&self, info_len: u32) -> f64 {
         let wire = u64::from(info_len) + 21;
         let dma = (wire as f64)
-            * (self.adapter.tx_dma_per_byte.as_us_f64()
-                + self.adapter.rx_dma_per_byte.as_us_f64());
+            * (self.adapter.tx_dma_per_byte.as_us_f64() + self.adapter.rx_dma_per_byte.as_us_f64());
         let tx = (wire * 8) as f64 * 0.25; // 4 Mbit/s
         let cmd = self.adapter.cmd_latency.0.as_us_f64();
         let post = self.adapter.rx_post_latency.0.as_us_f64();
@@ -90,19 +91,18 @@ mod tests {
         let floor = c.h7_floor_us(2000);
         // Figure 5-3's minimum is 10 740 µs; the analytic floor must sit
         // just below it (the simulation adds only non-negative waits).
-        assert!(
-            (10_400.0..10_740.0).contains(&floor),
-            "floor = {floor} µs"
-        );
+        assert!((10_400.0..10_740.0).contains(&floor), "floor = {floor} µs");
     }
 
     #[test]
     fn copy_rate_is_paper_cited() {
         let c = Calibration::default();
         assert_eq!(
-            c.kern
-                .copy
-                .copy(2000, ctms_rtpc::MemRegion::System, ctms_rtpc::MemRegion::IoChannel),
+            c.kern.copy.copy(
+                2000,
+                ctms_rtpc::MemRegion::System,
+                ctms_rtpc::MemRegion::IoChannel
+            ),
             Dur::from_us(2000)
         );
         assert_eq!(c.vca_handler_code, Dur::from_us(600));

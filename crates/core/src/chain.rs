@@ -1,0 +1,385 @@
+//! Ring-chain testbeds: a CTMS stream crossing `N` Token Rings through
+//! `N − 1` routers (experiment E12, the paper's footnote-5 extension,
+//! generalized to arbitrary chain length).
+//!
+//! Topology for `N = 2` (the paper's dual-ring case):
+//!
+//! ```text
+//!   ring 0: [0] tx host   [1] idle  [2] idle  [3] bridge 0 port A
+//!   ring 1: [0] bridge 0 port B  [1] rx host  [2] idle  [3] idle
+//! ```
+//!
+//! Longer chains repeat the middle pattern: every interior ring carries
+//! the previous bridge's B port at station 0 and the next bridge's A
+//! port at station 3. The transmitter addresses the first bridge's
+//! ring-0 station; each bridge re-addresses CTMSP frames one hop
+//! further, until the last bridge targets the receiver. All rings carry
+//! their own MAC background; measurement points work exactly as on the
+//! single-ring testbed (tags survive every hop).
+
+use crate::scenario::Scenario;
+use crate::topology::{Bus, Topology};
+use ctms_ctmsp::{TrDriver, TrDriverCfg};
+use ctms_devices::{CtmsSinkCfg, CtmsSourceCfg, CtmsVcaSink, CtmsVcaSource};
+use ctms_measure::MeasurementSet;
+use ctms_router::{Bridge, BridgeCfg, BridgeKind};
+use ctms_rtpc::{Machine, MachineConfig, MemRegion};
+use ctms_sim::{CascadeError, Dur, Pcg32, SimTime};
+use ctms_tokenring::{StationId, TokenRing};
+use ctms_unixkern::{DriverId, Host, KernConfig, Kernel, MeasurePoint};
+
+const BRIDGE_A: StationId = StationId(3);
+const BRIDGE_B: StationId = StationId(0);
+const TX: StationId = StationId(0);
+const RX: StationId = StationId(1);
+
+/// The N-ring chain testbed. See module docs.
+pub struct RingChainTestbed {
+    bus: Bus,
+    vca_src: DriverId,
+    vca_sink: DriverId,
+}
+
+/// The paper's dual-ring case is the two-ring chain.
+pub type DualRingTestbed = RingChainTestbed;
+
+impl RingChainTestbed {
+    /// Builds the two-ring (dual-ring) testbed with the given forwarding
+    /// engine — the paper's footnote-5 configuration.
+    pub fn new(sc: &Scenario, kind: BridgeKind) -> RingChainTestbed {
+        Self::chain(sc, kind, 2)
+    }
+
+    /// Builds a chain of `n ≥ 2` rings joined by `n − 1` identical
+    /// forwarding engines. Host-side configuration (packet size, period,
+    /// copy flags) comes from the scenario; every ring is a private
+    /// four-station ring.
+    pub fn chain(sc: &Scenario, kind: BridgeKind, n: usize) -> RingChainTestbed {
+        assert!(n >= 2, "a chain needs at least two rings");
+        let root = Pcg32::new(sc.seed, 0xD2);
+        let mk_ring = |label: &str| {
+            let mut ring = TokenRing::new(sc.calib.ring.clone(), root.derive(label));
+            for _ in 0..4 {
+                ring.add_station();
+            }
+            ring
+        };
+
+        let mut adapter = sc.calib.adapter;
+        adapter.buffer_region = if sc.io_channel_memory {
+            MemRegion::IoChannel
+        } else {
+            MemRegion::System
+        };
+
+        let tr_cfg = |station: StationId| TrDriverCfg {
+            station,
+            adapter,
+            ctmsp_enabled: true,
+            driver_priority: sc.driver_priority,
+            precomputed_header: sc.precomputed_header,
+            tx_copy_full: sc.tx_copy_full,
+            rx_copy_to_mbufs: sc.rx_copy_to_mbufs,
+            ctmsp_sink: None,
+            ifq_cap: 50,
+            header_cost: sc.calib.header_cost,
+            precomp_header_cost: sc.calib.precomp_header_cost,
+            ctmsp_check_cost: sc.calib.ctmsp_check_cost,
+            copy_spl: 5,
+            racy_critical_sections: sc.racy_driver,
+        };
+        let kcfg = KernConfig {
+            calib: sc.calib.kern,
+            ..KernConfig::default()
+        };
+
+        // Transmitter on ring 0, streaming to the first bridge's A port.
+        let mut ktx = Kernel::new(kcfg, root.derive("kern-tx"));
+        let tr_tx = ktx.add_driver(
+            Box::new(TrDriver::new(tr_cfg(TX))),
+            Some(ctms_unixkern::LINE_TR),
+        );
+        ktx.set_net_if(tr_tx);
+        let vca_src = ktx.add_driver(
+            Box::new(CtmsVcaSource::new(CtmsSourceCfg {
+                period: sc.period,
+                pkt_len: sc.pkt_len,
+                dst: BRIDGE_A,
+                tr_driver: tr_tx,
+                handler_code: sc.calib.vca_handler_code,
+                copy_from_device: false,
+                pio_per_byte: Dur::ZERO,
+                ring_priority: if sc.ring_priority { 4 } else { 0 },
+                irq_jitter: Dur::ZERO,
+                autostart: true,
+                require_setup: false,
+            })),
+            Some(ctms_unixkern::LINE_VCA),
+        );
+
+        // Receiver on the last ring.
+        let mut krx = Kernel::new(kcfg, root.derive("kern-rx"));
+        let vca_sink = krx.add_driver(
+            Box::new(CtmsVcaSink::new(CtmsSinkCfg {
+                copy_to_device: sc.rx_copy_to_device,
+                pio_per_byte: Dur::from_ns(800),
+                copy_spl: 5,
+            })),
+            None,
+        );
+        let mut rx_cfg = tr_cfg(RX);
+        rx_cfg.ctmsp_sink = Some(vca_sink);
+        let tr_rx = krx.add_driver(
+            Box::new(TrDriver::new(rx_cfg)),
+            Some(ctms_unixkern::LINE_TR),
+        );
+        krx.set_net_if(tr_rx);
+
+        let mut topo = Topology::new(sc.cascade_limit);
+        let rings: Vec<usize> = (0..n)
+            .map(|i| {
+                // The first two rings keep the historical dual-ring RNG
+                // labels so existing seeds reproduce bit-identically.
+                let label = match i {
+                    0 => "ring-a".to_string(),
+                    1 => "ring-b".to_string(),
+                    _ => format!("ring-{i}"),
+                };
+                topo.ring(mk_ring(&label))
+            })
+            .collect();
+        for i in 0..n - 1 {
+            // Interior bridges forward to the next bridge's A port; the
+            // last one targets the receiver. The reverse direction always
+            // points at station 0 (the transmitter on ring 0, the previous
+            // bridge's B port elsewhere).
+            let dst_b = if i == n - 2 { RX } else { BRIDGE_A };
+            topo.bridge(
+                rings[i],
+                rings[i + 1],
+                Bridge::new(BridgeCfg {
+                    station_a: BRIDGE_A,
+                    station_b: BRIDGE_B,
+                    ctmsp_dst_b: dst_b,
+                    ctmsp_dst_a: TX,
+                    kind,
+                    queue_cap: 16,
+                }),
+            );
+        }
+        topo.host(
+            rings[0],
+            TX,
+            Host::new(Machine::new(MachineConfig::default()), ktx),
+        );
+        topo.host(
+            rings[n - 1],
+            RX,
+            Host::new(Machine::new(MachineConfig::default()), krx),
+        );
+
+        RingChainTestbed {
+            bus: topo.build(),
+            vca_src,
+            vca_sink,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.bus.now()
+    }
+
+    /// Runs until `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.bus.run_until(horizon);
+    }
+
+    /// Runs until `horizon`, reporting cascade overflow as a typed error.
+    pub fn try_run_until(&mut self, horizon: SimTime) -> Result<(), CascadeError> {
+        self.bus.try_run_until(horizon)
+    }
+
+    /// Number of rings in the chain.
+    pub fn ring_count(&self) -> usize {
+        self.bus.ring_count()
+    }
+
+    /// Ring `k` (0 = transmitter's, last = receiver's).
+    pub fn ring(&self, k: usize) -> &TokenRing {
+        self.bus.ring(k)
+    }
+
+    /// Bridge `k` (joins ring `k` to ring `k + 1`).
+    pub fn bridge(&self, k: usize) -> &ctms_router::Bridge {
+        self.bus.bridge(k)
+    }
+
+    /// The transmitter host.
+    pub fn tx_host(&self) -> &Host {
+        self.bus.host(0)
+    }
+
+    /// The receiver host.
+    pub fn rx_host(&self) -> &Host {
+        self.bus.host(1)
+    }
+
+    /// The underlying event bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// The measurement set: points 1–3 from the transmitter (ring 0),
+    /// point 4 from the receiver (last ring). H7 spans every ring and
+    /// router in the chain.
+    pub fn measurement_set(&self) -> MeasurementSet {
+        let m = self.bus.measurements();
+        MeasurementSet {
+            vca_irq: m.truth_log_or_empty(0, MeasurePoint::VcaIrq),
+            handler: m.truth_log_or_empty(0, MeasurePoint::VcaHandlerEntry),
+            pre_tx: m.truth_log_or_empty(0, MeasurePoint::PreTransmit),
+            ctmsp_rx: m.truth_log_or_empty(1, MeasurePoint::CtmspIdentified),
+        }
+    }
+
+    /// Packets sent / received / dropped. Drops count every loss along
+    /// the chain: host-stack drops, ring-queue drops, purge losses, and
+    /// bridge-queue overflows.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let sent = self
+            .tx_host()
+            .kernel
+            .driver_ref::<CtmsVcaSource>(self.vca_src)
+            .map(|d| d.stats().pkts_sent)
+            .unwrap_or(0);
+        let received = self
+            .rx_host()
+            .kernel
+            .driver_ref::<CtmsVcaSink>(self.vca_sink)
+            .map(|d| d.stats().received)
+            .unwrap_or(0);
+        let m = self.bus.measurements();
+        let overflow: u64 = (0..self.bus.bridge_count())
+            .map(|k| self.bus.bridge(k).stats().overflows)
+            .sum();
+        let drops =
+            m.drops().len() as u64 + m.lost_to_purge().len() as u64 + m.bridge_drops() + overflow;
+        (sent, received, drops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_measure::HistId;
+    use ctms_stats::Summary;
+
+    #[test]
+    fn stream_crosses_two_rings_via_cut_through() {
+        let sc = Scenario::test_case_a(42);
+        let mut bed = DualRingTestbed::new(&sc, BridgeKind::cut_through_bridge());
+        bed.run_until(SimTime::from_secs(10));
+        let (sent, received, drops) = bed.counters();
+        assert!(sent > 800, "{sent}");
+        assert!(received >= sent - 2, "sent {sent} received {received}");
+        assert_eq!(drops, 0);
+        // End-to-end latency ≈ two single-ring hops + bridge service.
+        let h7 = bed.measurement_set().samples_us(HistId::H7);
+        let s = Summary::of(&h7);
+        let single = sc.calib.h7_floor_us(sc.pkt_len);
+        assert!(
+            s.min > single + 4_000.0,
+            "two hops strictly slower: {} vs {single}",
+            s.min
+        );
+        assert!(s.mean < 25_000.0, "cut-through keeps it tight: {}", s.mean);
+    }
+
+    #[test]
+    fn host_router_cannot_keep_up_at_full_rate() {
+        // The footnote-5 worry, quantified: the 1991 forwarding host's
+        // ~12.6 ms service exceeds the stream's 12 ms period, so its
+        // queue overflows and the stream breaks up.
+        let sc = Scenario::test_case_a(42);
+        let mut bed = DualRingTestbed::new(&sc, BridgeKind::host_router_1991());
+        bed.run_until(SimTime::from_secs(20));
+        let (sent, received, drops) = bed.counters();
+        assert!(
+            (received as f64) < sent as f64 * 0.97,
+            "router saturated: {received}/{sent}"
+        );
+        assert!(drops > 5, "{drops}");
+    }
+
+    #[test]
+    fn host_router_keeps_up_at_half_rate() {
+        // At one packet per 24 ms (~83 KB/s) the same host router keeps
+        // up — the crossover sits between half and full CTMS rate.
+        let mut sc = Scenario::test_case_a(42);
+        sc.period = Dur::from_ms(24);
+        let mut bed = DualRingTestbed::new(&sc, BridgeKind::host_router_1991());
+        bed.run_until(SimTime::from_secs(20));
+        let (sent, received, drops) = bed.counters();
+        assert!(received >= sent - 2, "{received}/{sent}");
+        assert_eq!(drops, 0);
+        // It pays the store-and-forward latency even when it keeps up.
+        let h7 = bed.measurement_set().samples_us(HistId::H7);
+        let host = Summary::of(&h7).mean;
+        let cut = {
+            let mut b2 = DualRingTestbed::new(&sc, BridgeKind::cut_through_bridge());
+            b2.run_until(SimTime::from_secs(20));
+            Summary::of(&b2.measurement_set().samples_us(HistId::H7)).mean
+        };
+        assert!(
+            host > cut + 10_000.0,
+            "store-and-forward pays ~12 ms: host {host} vs cut {cut}"
+        );
+    }
+
+    #[test]
+    fn stream_crosses_a_three_ring_chain() {
+        // The generalization: three rings, two cut-through bridges, end to
+        // end. Each extra hop adds ring latency but loses nothing.
+        let sc = Scenario::test_case_a(42);
+        let mut bed = RingChainTestbed::chain(&sc, BridgeKind::cut_through_bridge(), 3);
+        assert_eq!(bed.ring_count(), 3);
+        bed.run_until(SimTime::from_secs(10));
+        let (sent, received, drops) = bed.counters();
+        assert!(sent > 800, "{sent}");
+        assert!(received >= sent - 2, "sent {sent} received {received}");
+        assert_eq!(drops, 0);
+        // Three hops are strictly slower than two.
+        let h7_3 = bed.measurement_set().samples_us(HistId::H7);
+        let two = {
+            let mut b2 = DualRingTestbed::new(&sc, BridgeKind::cut_through_bridge());
+            b2.run_until(SimTime::from_secs(10));
+            Summary::of(&b2.measurement_set().samples_us(HistId::H7)).mean
+        };
+        let three = Summary::of(&h7_3).mean;
+        assert!(
+            three > two + 3_000.0,
+            "third hop adds a ring transit: {three} vs {two}"
+        );
+    }
+
+    #[test]
+    fn chain_latency_grows_monotonically_with_hops() {
+        let sc = Scenario::test_case_a(7);
+        let mut means = Vec::new();
+        for n in 2..=4 {
+            let mut bed = RingChainTestbed::chain(&sc, BridgeKind::cut_through_bridge(), n);
+            bed.run_until(SimTime::from_secs(5));
+            let (sent, received, _) = bed.counters();
+            assert!(
+                received >= sent.saturating_sub(2),
+                "n={n}: {received}/{sent}"
+            );
+            means.push(Summary::of(&bed.measurement_set().samples_us(HistId::H7)).mean);
+        }
+        assert!(
+            means[0] < means[1] && means[1] < means[2],
+            "per-hop cost accumulates: {means:?}"
+        );
+    }
+}

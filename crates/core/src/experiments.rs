@@ -46,11 +46,13 @@ impl ExpCfg {
 
 /// Loss fraction and audible-glitch rate of a stock-path run.
 fn stock_failure_metrics(bed: &Testbed, secs: u64) -> (f64, f64) {
-    let src = bed.hosts[bed.roles.tx_host]
+    let src = bed
+        .host(bed.roles.tx_host)
         .kernel
         .driver_ref::<StockVcaSource>(bed.roles.vca_src)
         .expect("stock source");
-    let sink = bed.hosts[bed.roles.rx_host]
+    let sink = bed
+        .host(bed.roles.rx_host)
         .kernel
         .driver_ref::<StockAudioSink>(bed.roles.vca_sink)
         .expect("stock sink");
@@ -117,11 +119,13 @@ pub fn e1_stock_unix(cfg: ExpCfg) -> Report {
     let sc = Scenario::test_case_b(cfg.seed);
     let mut bed = Testbed::ctms(&sc);
     bed.run_until(horizon);
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .expect("ctms source");
-    let sink = bed.hosts[1]
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("ctms sink");
@@ -169,9 +173,7 @@ pub fn e2_copy_count(cfg: ExpCfg) -> Report {
         "ctms.copies_eliminated",
         "direct driver-to-driver 'completely eliminates two of the data copies'",
         2.0,
-        f64::from(
-            copy_census(true, true, true) - copy_census(false, true, true),
-        ),
+        f64::from(copy_census(true, true, true) - copy_census(false, true, true)),
         "copies",
         Band::Absolute(0.0),
     ));
@@ -352,7 +354,11 @@ pub fn e5_fig5_2(cfg: ExpCfg) -> Report {
         sc.calib
             .kern
             .copy
-            .copy(2000, ctms_rtpc::MemRegion::System, ctms_rtpc::MemRegion::IoChannel)
+            .copy(
+                2000,
+                ctms_rtpc::MemRegion::System,
+                ctms_rtpc::MemRegion::IoChannel,
+            )
             .as_us_f64(),
         "us",
         Band::Absolute(0.0),
@@ -564,7 +570,7 @@ pub fn e9_ring_purges(cfg: ExpCfg) -> Report {
     // Force one insertion immediately so short runs observe a sequence.
     bed.disturb(ctms_tokenring::Disturb::StationInsertion);
     bed.run_until(SimTime::from_secs(cfg.short_secs));
-    let stats = bed.ring.stats();
+    let stats = bed.ring().stats();
     r.claim(Claim::new(
         "purges_per_insertion",
         "'we have seen on the order of 10 Ring Purges back to back'",
@@ -597,7 +603,7 @@ pub fn e9_ring_purges(cfg: ExpCfg) -> Report {
         "tap.purges",
         "TAP records the Ring Purge MAC frames",
         stats.purges as f64,
-        bed.tap.purges() as f64,
+        bed.tap().purges() as f64,
         "",
         Band::Absolute(0.0),
     ));
@@ -615,17 +621,13 @@ pub fn e10_conclusions(cfg: ExpCfg) -> Report {
     // The paper attributes its exceptional points to the ring "timing out
     // and resetting" (purges); a regular sample is one whose transfer
     // window overlaps no purge sequence.
-    let rx_by_tag: std::collections::HashMap<u64, SimTime> = set
-        .ctmsp_rx
-        .edges()
-        .iter()
-        .map(|e| (e.tag, e.at))
-        .collect();
+    let rx_by_tag: std::collections::HashMap<u64, SimTime> =
+        set.ctmsp_rx.edges().iter().map(|e| (e.tag, e.at)).collect();
     let purges = bed.purge_starts();
     let overlaps_purge = |t0: SimTime, t1: SimTime| {
-        purges.iter().any(|&p| {
-            p + Dur::from_ms(200) >= t0 && p <= t1
-        })
+        purges
+            .iter()
+            .any(|&p| p + Dur::from_ms(200) >= t0 && p <= t1)
     };
     let worst_regular = set
         .pre_tx
@@ -683,11 +685,13 @@ pub fn e10_conclusions(cfg: ExpCfg) -> Report {
     // Recovery accounting: every loss anywhere on the path (purge, queue
     // overflow, receive overrun, mbuf exhaustion) appears to the receiver
     // as a tolerated sequence gap — and nothing else does.
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .expect("source");
-    let sink = bed.hosts[1]
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("sink");
@@ -733,13 +737,15 @@ pub fn ablation_row(label: &str, sc: &Scenario, secs: u64) -> AblationRow {
     let set = bed.measurement_set();
     let h6 = set.samples_us(HistId::H6);
     let h7 = set.samples_us(HistId::H7);
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .map(|s| s.stats().pkts_sent)
         .unwrap_or(0)
         .max(1);
-    let sink = bed.hosts[1]
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .map(|s| s.stats().received)
@@ -759,9 +765,8 @@ pub fn e11_ablation(cfg: ExpCfg) -> Report {
     let secs = cfg.short_secs;
     let base = Scenario::test_case_b(cfg.seed);
     let rows = e11_rows(&base, secs);
-    let find = |label: &str| -> &AblationRow {
-        rows.iter().find(|r| r.label == label).expect("row")
-    };
+    let find =
+        |label: &str| -> &AblationRow { rows.iter().find(|r| r.label == label).expect("row") };
     let b = find("baseline (case B)");
 
     // Header precomputation saves its per-packet cost in H6; measured on
@@ -829,8 +834,7 @@ pub fn e11_ablation(cfg: ExpCfg) -> Report {
         sc.io_channel_memory = io_channel;
         let mut bed = Testbed::ctms(&sc);
         bed.run_until(SimTime::from_secs(secs.min(30)));
-        bed.hosts[0].machine.bus_stats().cpu_stall_ns
-            + bed.hosts[1].machine.bus_stats().cpu_stall_ns
+        bed.host(0).machine.bus_stats().cpu_stall_ns + bed.host(1).machine.bus_stats().cpu_stall_ns
     };
     let stall_sys = stall(false);
     let stall_io = stall(true);
@@ -868,39 +872,43 @@ pub fn e11_ablation(cfg: ExpCfg) -> Report {
     r
 }
 
-/// The ablation grid rows (shared by the report and the Criterion bench).
+/// The ablation grid rows (shared by the report and the ablation bench).
+/// Each variant is an independent simulation, so the grid fans out over
+/// worker threads; results come back in grid order, byte-identical to a
+/// sequential run.
 pub fn e11_rows(base: &Scenario, secs: u64) -> Vec<AblationRow> {
-    let mut rows = Vec::new();
-    rows.push(ablation_row("baseline (case B)", base, secs));
-    let mut sc = base.clone();
-    sc.precomputed_header = false;
-    rows.push(ablation_row("header recomputed per packet", &sc, secs));
-    let mut sc = base.clone();
-    sc.tx_copy_full = false;
-    rows.push(ablation_row("header-only transmit copy", &sc, secs));
-    let mut sc = base.clone();
-    sc.rx_copy_to_mbufs = false;
-    rows.push(ablation_row("in-place receive (no rx copy)", &sc, secs));
-    let mut sc = base.clone();
-    sc.ring_priority = false;
-    rows.push(ablation_row("no ring priority", &sc, secs));
-    let mut sc = base.clone();
-    sc.driver_priority = false;
-    rows.push(ablation_row("no driver priority", &sc, secs));
-    let mut sc = base.clone();
-    sc.io_channel_memory = false;
-    rows.push(ablation_row("system-memory DMA buffers", &sc, secs));
-    let mut sc = base.clone();
-    sc.purge_interrupt = true;
-    rows.push(ablation_row("hypothetical purge interrupt", &sc, secs));
-    rows
+    let variant = |label: &str, tweak: fn(&mut Scenario)| {
+        let mut sc = base.clone();
+        tweak(&mut sc);
+        (label.to_string(), sc)
+    };
+    let grid = vec![
+        variant("baseline (case B)", |_| {}),
+        variant("header recomputed per packet", |sc| {
+            sc.precomputed_header = false;
+        }),
+        variant("header-only transmit copy", |sc| sc.tx_copy_full = false),
+        variant("in-place receive (no rx copy)", |sc| {
+            sc.rx_copy_to_mbufs = false;
+        }),
+        variant("no ring priority", |sc| sc.ring_priority = false),
+        variant("no driver priority", |sc| sc.driver_priority = false),
+        variant("system-memory DMA buffers", |sc| {
+            sc.io_channel_memory = false;
+        }),
+        variant("hypothetical purge interrupt", |sc| {
+            sc.purge_interrupt = true;
+        }),
+    ];
+    let threads = ctms_sim::default_threads(grid.len());
+    ctms_sim::parallel_map(grid, threads, |(label, sc)| ablation_row(&label, &sc, secs))
 }
 
 /// E12 (extension, §1 footnote 5): a CTMS stream crossing two rings
 /// through a router — "possible but has not been implemented", now
 /// implemented and measured.
 pub fn e12_router(cfg: ExpCfg) -> Report {
-    use crate::dualring::DualRingTestbed;
+    use crate::chain::DualRingTestbed;
     use ctms_router::BridgeKind;
     let mut r = Report::new("E12 (ext, §1 note 5): inter-ring CTMS through a router");
     let horizon = SimTime::from_secs(cfg.short_secs);
@@ -980,10 +988,12 @@ pub fn e12_router(cfg: ExpCfg) -> Report {
 pub fn e13_capacity(cfg: ExpCfg) -> Report {
     let mut r = Report::new("E13 (ext): concurrent CTMS streams on one 4 Mbit ring");
     let horizon = SimTime::from_secs(cfg.short_secs);
-    let mut deliveries = Vec::new();
-    let mut utils = Vec::new();
-    for n in 1..=3usize {
-        let sc = Scenario::test_case_a(cfg.seed + n as u64);
+    // Each stream count is an independent simulation: sweep them across
+    // worker threads, results in stream-count order.
+    let counts: Vec<usize> = (1..=3).collect();
+    let seed = cfg.seed;
+    let rows = ctms_sim::parallel_map(counts, ctms_sim::default_threads(3), move |n| {
+        let sc = Scenario::test_case_a(seed + n as u64);
         let mut bed = Testbed::multi_stream(&sc, n);
         bed.run_until(horizon);
         let mut sent_total = 0u64;
@@ -994,7 +1004,12 @@ pub fn e13_capacity(cfg: ExpCfg) -> Report {
             recv_total += rx;
         }
         let frac = recv_total as f64 / sent_total.max(1) as f64;
-        let util = bed.ring.stats().busy_ns as f64 / horizon.as_ns() as f64;
+        let util = bed.ring().stats().busy_ns as f64 / horizon.as_ns() as f64;
+        (n, frac, util)
+    });
+    let mut deliveries = Vec::new();
+    let mut utils = Vec::new();
+    for (n, frac, util) in rows {
         deliveries.push(frac);
         utils.push(util);
         r.note(format!(
@@ -1014,7 +1029,11 @@ pub fn e13_capacity(cfg: ExpCfg) -> Report {
         "three streams exceed the medium (~12.3 ms of ring time per 12 ms): \
          the ring saturates and deliveries start falling behind",
         1.0,
-        if deliveries[2] < 0.99 && utils[2] > 0.98 { 1.0 } else { 0.0 },
+        if deliveries[2] < 0.99 && utils[2] > 0.98 {
+            1.0
+        } else {
+            0.0
+        },
         "",
         Band::Absolute(0.0),
     ));
@@ -1037,24 +1056,37 @@ pub fn e13_capacity(cfg: ExpCfg) -> Report {
 pub fn e14_ring_speed(cfg: ExpCfg) -> Report {
     let mut r = Report::new("E14 (ext): 4 Mbit vs 16 Mbit ring");
     let horizon = SimTime::from_secs(cfg.short_secs);
-    let run = |bps: u64, n_streams: usize| {
-        let mut sc = Scenario::test_case_a(cfg.seed);
-        sc.calib.ring.bit_rate_bps = bps;
-        let mut bed = Testbed::multi_stream(&sc, n_streams);
-        bed.run_until(horizon);
-        let mut sent = 0u64;
-        let mut recv = 0u64;
-        for k in 0..n_streams {
-            let (s, x) = bed.stream_counters(k);
-            sent += s;
-            recv += x;
-        }
-        let h7 = bed.measurement_set().samples_us(HistId::H7);
-        (recv as f64 / sent.max(1) as f64, Summary::of(&h7).min)
-    };
+    // The four (ring speed, stream count) points are independent
+    // simulations; run the grid across worker threads.
+    let seed = cfg.seed;
+    let grid: Vec<(u64, usize)> = vec![
+        (4_000_000, 1),
+        (16_000_000, 1),
+        (16_000_000, 8),
+        (4_000_000, 3),
+    ];
+    let points = ctms_sim::parallel_map(
+        grid,
+        ctms_sim::default_threads(4),
+        move |(bps, n_streams)| {
+            let mut sc = Scenario::test_case_a(seed);
+            sc.calib.ring.bit_rate_bps = bps;
+            let mut bed = Testbed::multi_stream(&sc, n_streams);
+            bed.run_until(horizon);
+            let mut sent = 0u64;
+            let mut recv = 0u64;
+            for k in 0..n_streams {
+                let (s, x) = bed.stream_counters(k);
+                sent += s;
+                recv += x;
+            }
+            let h7 = bed.measurement_set().samples_us(HistId::H7);
+            (recv as f64 / sent.max(1) as f64, Summary::of(&h7).min)
+        },
+    );
 
-    let (_, min4) = run(4_000_000, 1);
-    let (_, min16) = run(16_000_000, 1);
+    let (_, min4) = points[0];
+    let (_, min16) = points[1];
     // 2021 bytes: 4042 µs at 4 Mbit vs 1010.5 µs at 16 Mbit.
     r.claim(Claim::new(
         "ring16.latency_cut_us",
@@ -1064,7 +1096,7 @@ pub fn e14_ring_speed(cfg: ExpCfg) -> Report {
         "us",
         Band::RelativeFrac(0.05),
     ));
-    let (d8, _) = run(16_000_000, 8);
+    let (d8, _) = points[2];
     r.claim(Claim::new(
         "ring16.eight_streams",
         "eight ~167 KB/s streams fit on a 16 Mbit ring (vs two on 4 Mbit)",
@@ -1073,7 +1105,7 @@ pub fn e14_ring_speed(cfg: ExpCfg) -> Report {
         "",
         Band::Absolute(0.01),
     ));
-    let (d3_4, _) = run(4_000_000, 3);
+    let (d3_4, _) = points[3];
     r.note(format!(
         "for contrast, three streams on 4 Mbit deliver only {d3_4:.4}"
     ));
@@ -1096,7 +1128,7 @@ pub fn e15_spl_audit(cfg: ExpCfg) -> Report {
         sc.racy_driver = racy;
         let mut bed = Testbed::ctms(&sc);
         bed.run_until(horizon);
-        let tap_ooo = bed.tap.analyze_stream().out_of_order;
+        let tap_ooo = bed.tap().analyze_stream().out_of_order;
         // The §5.2.1 watchdog watches the pre-transmit point online.
         let mut dog = Watchdog::new(WatchdogCfg {
             max_interval: Dur::from_secs(1),

@@ -20,13 +20,15 @@
 //! ```
 
 pub mod calib;
-pub mod dualring;
+pub mod chain;
 pub mod experiments;
 pub mod scenario;
 pub mod testbed;
+pub mod topology;
 
 pub use calib::Calibration;
-pub use dualring::DualRingTestbed;
+pub use chain::{DualRingTestbed, RingChainTestbed};
 pub use experiments::{ablation_row, all as run_all_experiments, copy_census, AblationRow, ExpCfg};
 pub use scenario::{HostLoad, Network, Scenario};
 pub use testbed::{DropRec, Roles, Testbed};
+pub use topology::{Bus, CtmsRouter, Measurements, Topology};

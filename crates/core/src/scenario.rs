@@ -85,6 +85,10 @@ pub struct Scenario {
     /// Reproduce the §5 driver bug (unprotected critical sections that
     /// reorder packets) for the spl-audit experiment.
     pub racy_driver: bool,
+    /// Upper bound on same-instant routing cascades before the harness
+    /// reports a [`ctms_sim::CascadeError`] (a livelock diagnostic, not a
+    /// physical parameter — identical in every scenario).
+    pub cascade_limit: u32,
 }
 
 impl Scenario {
@@ -111,6 +115,7 @@ impl Scenario {
             calib: Calibration::default(),
             explicit_setup: false,
             racy_driver: false,
+            cascade_limit: ctms_sim::DEFAULT_CASCADE_LIMIT,
         }
     }
 

@@ -1,30 +1,31 @@
 //! The testbed: hosts + ring + background traffic + monitors, wired.
 //!
 //! §5.2.1: "We were able to coordinate the activities of the transmitter,
-//! receiver and the TAP tool under a centralized control point." This type
-//! is that control point: it owns every component, advances whichever is
-//! due next, routes events between them, and records the ground truth the
-//! measurement-tool models later view through their error models.
+//! receiver and the TAP tool under a centralized control point." That
+//! control point is the generic [`ctms_sim::Harness`]; this type only
+//! *describes* the §5 prototype as a [`Topology`](crate::Topology) — one
+//! ring, the CTMS hosts at its stations, optional campus background
+//! traffic — and exposes scenario-aware accessors over the recorded
+//! [`Measurements`](crate::Measurements).
 
 use crate::scenario::{HostLoad, Network, Scenario};
-use ctms_ctmsp::{TrDriver, TrDriverCfg, CALL_PURGE_SEEN};
+use crate::topology::{Bus, Topology};
+use ctms_ctmsp::{TrDriver, TrDriverCfg};
 use ctms_devices::{
     CtmsSinkCfg, CtmsSourceCfg, CtmsVcaSink, CtmsVcaSource, DiskCfg, DiskDriver, StockAudioSink,
     StockCfg, StockVcaSource,
 };
-use ctms_measure::{MeasurementSet, Tap, TapCfg};
+use ctms_measure::{MeasurementSet, Tap};
 use ctms_rtpc::{Machine, MachineConfig, MemRegion};
-use ctms_sim::{CascadeGuard, Component, Dur, EdgeLog, Pcg32, SimTime};
-use ctms_tokenring::{RingCmd, RingOut, StationId, TokenRing};
+use ctms_sim::{CascadeError, Dur, EdgeLog, Pcg32, SimTime};
+use ctms_tokenring::{RingCmd, StationId, TokenRing};
 use ctms_unixkern::{
-    DriverCall, DriverId, DropSite, Host, HostCmd, HostOut, KernCmd, KernConfig, Kernel,
-    MeasurePoint, Pid, Port, Program, Sock, SockProto, Step,
+    DriverId, DropSite, Host, KernConfig, Kernel, MeasurePoint, Pid, Port, Program, Sock,
+    SockProto, Step,
 };
 use ctms_workloads::{
-    default_classes, HostTrafficCfg, HostTrafficGen, PhantomCfg, PhantomOut, PhantomTraffic,
-    SplLoad,
+    default_classes, HostTrafficCfg, HostTrafficGen, PhantomCfg, PhantomTraffic, SplLoad,
 };
-use std::collections::HashMap;
 
 /// A recorded data loss.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,36 +61,14 @@ pub struct Roles {
     pub stock_procs: Option<(Pid, Pid)>,
 }
 
-/// The assembled testbed. See module docs.
+/// The assembled single-ring testbed. See module docs.
 pub struct Testbed {
-    /// The ring medium.
-    pub ring: TokenRing,
-    /// Hosts; index i sits at ring station i.
-    pub hosts: Vec<Host>,
-    /// Background ring traffic, if any.
-    pub phantom: Option<PhantomTraffic>,
-    /// The TAP monitor (always attached; §5 used it for every run).
-    pub tap: Tap,
+    bus: Bus,
     /// Driver-id bookkeeping.
     pub roles: Roles,
     /// Per-stream roles when built by [`Testbed::multi_stream`]; empty on
     /// the single-stream builders (use [`Testbed::roles`]).
     pub streams: Vec<Roles>,
-    now: SimTime,
-    guard: CascadeGuard,
-    truth: Vec<HashMap<MeasurePoint, EdgeLog>>,
-    drops: Vec<DropRec>,
-    presented: Vec<(SimTime, u64, u32)>,
-    sock_delivered: Vec<(SimTime, Port, u32)>,
-    purge_starts: Vec<SimTime>,
-    lost_to_purge: Vec<(SimTime, u64)>,
-    purge_subscribers: Vec<(usize, DriverId)>,
-}
-
-enum Evt {
-    Ring(RingOut),
-    Host(usize, HostOut),
-    Phantom(PhantomOut),
 }
 
 impl Testbed {
@@ -132,8 +111,10 @@ impl Testbed {
             racy_critical_sections: sc.racy_driver,
         };
 
-        let mut kcfg = KernConfig::default();
-        kcfg.calib = sc.calib.kern;
+        let kcfg = KernConfig {
+            calib: sc.calib.kern,
+            ..KernConfig::default()
+        };
 
         // Transmitter host (station 0).
         let mut ktx = Kernel::new(kcfg, root.derive("kern-tx"));
@@ -188,30 +169,33 @@ impl Testbed {
         krx.set_net_if(tr_rx);
         Self::add_background(&mut krx, tr_rx, sc);
 
-        let hosts = vec![
+        let mut topo = Topology::new(sc.cascade_limit);
+        let r = topo.ring(ring);
+        let tx = topo.host(
+            r,
+            StationId(0),
             Host::new(Machine::new(MachineConfig::default()), ktx),
+        );
+        topo.host(
+            r,
+            StationId(1),
             Host::new(Machine::new(MachineConfig::default()), krx),
-        ];
-
-        let phantom = match sc.network {
-            Network::Private => None,
-            Network::Public => Some(PhantomTraffic::new(
-                PhantomCfg::public(vec![StationId(0), StationId(1)]),
-                root.derive("phantom"),
-            )),
-        };
-
-        let purge_subscribers = if sc.purge_interrupt {
-            vec![(0, tr_tx)]
-        } else {
-            Vec::new()
-        };
+        );
+        if sc.network == Network::Public {
+            topo.phantom(
+                r,
+                PhantomTraffic::new(
+                    PhantomCfg::public(vec![StationId(0), StationId(1)]),
+                    root.derive("phantom"),
+                ),
+            );
+        }
+        if sc.purge_interrupt {
+            topo.subscribe_purge(tx, tr_tx);
+        }
 
         Testbed {
-            ring,
-            hosts,
-            phantom,
-            tap: Tap::new(TapCfg::default()),
+            bus: topo.build(),
             roles: Roles {
                 tx_host: 0,
                 rx_host: 1,
@@ -222,15 +206,6 @@ impl Testbed {
                 stock_procs: None,
             },
             streams: Vec::new(),
-            now: SimTime::ZERO,
-            guard: CascadeGuard::default(),
-            truth: vec![HashMap::new(), HashMap::new()],
-            drops: Vec::new(),
-            presented: Vec::new(),
-            sock_delivered: Vec::new(),
-            purge_starts: Vec::new(),
-            lost_to_purge: Vec::new(),
-            purge_subscribers,
         }
     }
 
@@ -274,7 +249,8 @@ impl Testbed {
             racy_critical_sections: sc.racy_driver,
         };
 
-        let mut hosts = Vec::new();
+        let mut topo = Topology::new(sc.cascade_limit);
+        let r = topo.ring(ring);
         let mut streams = Vec::new();
         for k in 0..n {
             // Transmitter k at station k, streaming to station n + k.
@@ -300,7 +276,11 @@ impl Testbed {
                 })),
                 Some(ctms_unixkern::LINE_VCA),
             );
-            hosts.push(Host::new(Machine::new(MachineConfig::default()), ktx));
+            topo.host(
+                r,
+                StationId(k as u32),
+                Host::new(Machine::new(MachineConfig::default()), ktx),
+            );
             streams.push(Roles {
                 tx_host: k,
                 rx_host: n + k,
@@ -311,7 +291,7 @@ impl Testbed {
                 stock_procs: None,
             });
         }
-        for k in 0..n {
+        for (k, stream) in streams.iter_mut().enumerate() {
             let mut krx = Kernel::new(kcfg, root.derive(&format!("rx{k}")));
             let vca_sink = krx.add_driver(
                 Box::new(CtmsVcaSink::new(CtmsSinkCfg {
@@ -326,41 +306,34 @@ impl Testbed {
                 Some(ctms_unixkern::LINE_TR),
             );
             krx.set_net_if(tr_rx);
-            hosts.push(Host::new(Machine::new(MachineConfig::default()), krx));
-            streams[k].tr_rx = tr_rx;
-            streams[k].vca_sink = vca_sink;
+            topo.host(
+                r,
+                StationId((n + k) as u32),
+                Host::new(Machine::new(MachineConfig::default()), krx),
+            );
+            stream.tr_rx = tr_rx;
+            stream.vca_sink = vca_sink;
         }
 
-        let truth = (0..hosts.len()).map(|_| HashMap::new()).collect();
         let roles = streams[0];
         Testbed {
-            ring,
-            hosts,
-            phantom: None,
-            tap: Tap::new(TapCfg::default()),
+            bus: topo.build(),
             roles,
             streams,
-            now: SimTime::ZERO,
-            guard: CascadeGuard::default(),
-            truth,
-            drops: Vec::new(),
-            presented: Vec::new(),
-            sock_delivered: Vec::new(),
-            purge_starts: Vec::new(),
-            lost_to_purge: Vec::new(),
-            purge_subscribers: Vec::new(),
         }
     }
 
     /// Sent/received counters for stream `k` of a multi-stream testbed.
     pub fn stream_counters(&self, k: usize) -> (u64, u64) {
         let r = &self.streams[k];
-        let sent = self.hosts[r.tx_host]
+        let sent = self
+            .host(r.tx_host)
             .kernel
             .driver_ref::<CtmsVcaSource>(r.vca_src)
             .map(|d| d.stats().pkts_sent)
             .unwrap_or(0);
-        let received = self.hosts[r.rx_host]
+        let received = self
+            .host(r.rx_host)
             .kernel
             .driver_ref::<CtmsVcaSink>(r.vca_sink)
             .map(|d| d.stats().received)
@@ -426,23 +399,30 @@ impl Testbed {
         ]));
         Self::add_background(&mut krx, tr_rx, sc);
 
-        let hosts = vec![
+        let mut topo = Topology::new(sc.cascade_limit);
+        let r = topo.ring(ring);
+        topo.host(
+            r,
+            StationId(0),
             Host::new(Machine::new(MachineConfig::default()), ktx),
+        );
+        topo.host(
+            r,
+            StationId(1),
             Host::new(Machine::new(MachineConfig::default()), krx),
-        ];
-        let phantom = match sc.network {
-            Network::Private => None,
-            Network::Public => Some(PhantomTraffic::new(
-                PhantomCfg::public(vec![StationId(0), StationId(1)]),
-                root.derive("phantom"),
-            )),
-        };
+        );
+        if sc.network == Network::Public {
+            topo.phantom(
+                r,
+                PhantomTraffic::new(
+                    PhantomCfg::public(vec![StationId(0), StationId(1)]),
+                    root.derive("phantom"),
+                ),
+            );
+        }
 
         Testbed {
-            ring,
-            hosts,
-            phantom,
-            tap: Tap::new(TapCfg::default()),
+            bus: topo.build(),
             roles: Roles {
                 tx_host: 0,
                 rx_host: 1,
@@ -453,15 +433,6 @@ impl Testbed {
                 stock_procs: Some((reader, writer)),
             },
             streams: Vec::new(),
-            now: SimTime::ZERO,
-            guard: CascadeGuard::default(),
-            truth: vec![HashMap::new(), HashMap::new()],
-            drops: Vec::new(),
-            presented: Vec::new(),
-            sock_delivered: Vec::new(),
-            purge_starts: Vec::new(),
-            lost_to_purge: Vec::new(),
-            purge_subscribers: Vec::new(),
         }
     }
 
@@ -514,205 +485,83 @@ impl Testbed {
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.bus.now()
+    }
+
+    /// The ring medium.
+    pub fn ring(&self) -> &TokenRing {
+        self.bus.ring(0)
+    }
+
+    /// Host `i` (index i sits at ring station i).
+    pub fn host(&self, i: usize) -> &Host {
+        self.bus.host(i)
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.bus.host_count()
+    }
+
+    /// All hosts, in station order.
+    pub fn hosts(&self) -> impl Iterator<Item = &Host> {
+        (0..self.bus.host_count()).map(|i| self.bus.host(i))
+    }
+
+    /// The TAP monitor (always attached; §5 used it for every run).
+    pub fn tap(&self) -> &Tap {
+        self.bus.tap(0)
+    }
+
+    /// The underlying event bus (rings, hosts, measurements).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
     }
 
     /// Injects a ring disturbance (station insertion or soft error) at the
     /// current instant, with its fallout routed like any other ring event.
     pub fn disturb(&mut self, d: ctms_tokenring::Disturb) {
-        let mut out = Vec::new();
-        self.ring
-            .handle(self.now, RingCmd::Disturb(d), &mut out);
-        let queue: Vec<Evt> = out.into_iter().map(Evt::Ring).collect();
-        self.route(self.now, queue);
+        if let Err(e) = self.bus.inject_ring(0, RingCmd::Disturb(d)) {
+            panic!("{e}");
+        }
     }
 
     /// Runs the testbed until `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
-        loop {
-            let mut deadlines = vec![self.ring.next_deadline()];
-            deadlines.extend(self.hosts.iter().map(Component::next_deadline));
-            if let Some(p) = &self.phantom {
-                deadlines.push(p.next_deadline());
-            }
-            let Some(t) = ctms_sim::earliest(deadlines) else {
-                break;
-            };
-            if t > horizon {
-                break;
-            }
-            assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            let mut queue: Vec<Evt> = Vec::new();
-            let mut ring_out = Vec::new();
-            self.ring.advance(t, &mut ring_out);
-            queue.extend(ring_out.into_iter().map(Evt::Ring));
-            for i in 0..self.hosts.len() {
-                let mut host_out = Vec::new();
-                self.hosts[i].advance(t, &mut host_out);
-                queue.extend(host_out.into_iter().map(|e| Evt::Host(i, e)));
-            }
-            if let Some(p) = &mut self.phantom {
-                let mut pout = Vec::new();
-                p.advance(t, &mut pout);
-                queue.extend(pout.into_iter().map(Evt::Phantom));
-            }
-            self.route(t, queue);
-        }
-        if self.now < horizon {
-            self.now = horizon;
-        }
+        self.bus.run_until(horizon);
     }
 
-    fn route(&mut self, now: SimTime, mut queue: Vec<Evt>) {
-        while !queue.is_empty() {
-            self.guard.step(now);
-            let mut next: Vec<Evt> = Vec::new();
-            for evt in queue.drain(..) {
-                match evt {
-                    Evt::Ring(out) => self.route_ring(now, out, &mut next),
-                    Evt::Host(i, out) => self.route_host(now, i, out, &mut next),
-                    Evt::Phantom(out) => {
-                        let mut ring_out = Vec::new();
-                        match out {
-                            PhantomOut::Submit(frame) => {
-                                // Phantom frame ids live in their own
-                                // 0xF000… space; no collision with host or
-                                // ring-generated ids.
-                                self.ring.handle(now, RingCmd::Submit(frame), &mut ring_out);
-                            }
-                            PhantomOut::Disturb(d) => {
-                                self.ring.handle(now, RingCmd::Disturb(d), &mut ring_out);
-                            }
-                        }
-                        next.extend(ring_out.into_iter().map(Evt::Ring));
-                    }
-                }
-            }
-            queue = next;
-        }
-    }
-
-    fn route_ring(&mut self, now: SimTime, out: RingOut, next: &mut Vec<Evt>) {
-        match out {
-            RingOut::Delivered { to, frame } => {
-                let idx = to.0 as usize;
-                if idx < self.hosts.len() {
-                    let mut host_out = Vec::new();
-                    self.hosts[idx].handle(now, HostCmd::RingDelivered(frame), &mut host_out);
-                    next.extend(host_out.into_iter().map(|e| Evt::Host(idx, e)));
-                }
-            }
-            RingOut::Stripped {
-                from,
-                tag,
-                delivered,
-                ..
-            } => {
-                let idx = from.0 as usize;
-                if idx < self.hosts.len() {
-                    let mut host_out = Vec::new();
-                    self.hosts[idx].handle(
-                        now,
-                        HostCmd::RingStripped { tag, delivered },
-                        &mut host_out,
-                    );
-                    next.extend(host_out.into_iter().map(|e| Evt::Host(idx, e)));
-                }
-            }
-            RingOut::Observed(view) => self.tap.observe(now, &view),
-            RingOut::LostToPurge { tag, .. } => self.lost_to_purge.push((now, tag)),
-            RingOut::PurgeStarted { .. } => {
-                self.purge_starts.push(now);
-                for &(host, driver) in &self.purge_subscribers.clone() {
-                    let mut host_out = Vec::new();
-                    self.hosts[host].handle(
-                        now,
-                        HostCmd::Kern(KernCmd::Call {
-                            driver,
-                            call: DriverCall::Custom {
-                                code: CALL_PURGE_SEEN,
-                                arg: 0,
-                            },
-                        }),
-                        &mut host_out,
-                    );
-                    next.extend(host_out.into_iter().map(|e| Evt::Host(host, e)));
-                }
-            }
-            RingOut::PurgeEnded => {}
-            RingOut::QueueDrop { station, .. } => {
-                self.drops.push(DropRec {
-                    at: now,
-                    host: station.0 as usize,
-                    site: DropSite::RingQueue,
-                    tag: 0,
-                    bytes: 0,
-                });
-            }
-        }
-    }
-
-    fn route_host(&mut self, now: SimTime, host: usize, out: HostOut, next: &mut Vec<Evt>) {
-        match out {
-            HostOut::RingSubmit(frame) => {
-                let mut ring_out = Vec::new();
-                self.ring.handle(now, RingCmd::Submit(frame), &mut ring_out);
-                next.extend(ring_out.into_iter().map(Evt::Ring));
-            }
-            HostOut::Trace { point, tag } => {
-                self.truth[host]
-                    .entry(point)
-                    .or_insert_with(|| EdgeLog::new(format!("h{host}-{point:?}")))
-                    .record(now, tag);
-            }
-            HostOut::Drop { site, tag, bytes } => {
-                self.drops.push(DropRec {
-                    at: now,
-                    host,
-                    site,
-                    tag,
-                    bytes,
-                });
-            }
-            HostOut::Presented { tag, bytes } => self.presented.push((now, tag, bytes)),
-            HostOut::SockDelivered { port, bytes } => {
-                self.sock_delivered.push((now, port, bytes));
-            }
-            HostOut::ProcExited { .. } => {}
-        }
+    /// Runs until `horizon`, reporting cascade overflow as a typed error
+    /// (which node, which instant) instead of panicking.
+    pub fn try_run_until(&mut self, horizon: SimTime) -> Result<(), CascadeError> {
+        self.bus.try_run_until(horizon)
     }
 
     /// The ground-truth measurement set (points 1–3 from the transmitter,
     /// point 4 from the receiver).
     pub fn measurement_set(&self) -> MeasurementSet {
-        let get = |host: usize, point: MeasurePoint| -> EdgeLog {
-            self.truth[host]
-                .get(&point)
-                .cloned()
-                .unwrap_or_else(|| EdgeLog::new(format!("h{host}-{point:?}")))
-        };
+        let m = self.bus.measurements();
         MeasurementSet {
-            vca_irq: get(self.roles.tx_host, MeasurePoint::VcaIrq),
-            handler: get(self.roles.tx_host, MeasurePoint::VcaHandlerEntry),
-            pre_tx: get(self.roles.tx_host, MeasurePoint::PreTransmit),
-            ctmsp_rx: get(self.roles.rx_host, MeasurePoint::CtmspIdentified),
+            vca_irq: m.truth_log_or_empty(self.roles.tx_host, MeasurePoint::VcaIrq),
+            handler: m.truth_log_or_empty(self.roles.tx_host, MeasurePoint::VcaHandlerEntry),
+            pre_tx: m.truth_log_or_empty(self.roles.tx_host, MeasurePoint::PreTransmit),
+            ctmsp_rx: m.truth_log_or_empty(self.roles.rx_host, MeasurePoint::CtmspIdentified),
         }
     }
 
     /// A specific ground-truth log.
     pub fn truth_log(&self, host: usize, point: MeasurePoint) -> Option<&EdgeLog> {
-        self.truth.get(host).and_then(|m| m.get(&point))
+        self.bus.measurements().truth_log(host, point)
     }
 
     /// All recorded drops.
     pub fn drops(&self) -> &[DropRec] {
-        &self.drops
+        self.bus.measurements().drops()
     }
 
     /// Bytes lost at a specific site, summed.
     pub fn dropped_bytes(&self, site: DropSite) -> u64 {
-        self.drops
+        self.drops()
             .iter()
             .filter(|d| d.site == site)
             .map(|d| u64::from(d.bytes))
@@ -721,22 +570,22 @@ impl Testbed {
 
     /// CTMS payload presentations at the sink: `(time, tag, bytes)`.
     pub fn presented(&self) -> &[(SimTime, u64, u32)] {
-        &self.presented
+        self.bus.measurements().presented()
     }
 
     /// Socket deliveries (stock path): `(time, port, bytes)`.
     pub fn sock_delivered(&self) -> &[(SimTime, Port, u32)] {
-        &self.sock_delivered
+        self.bus.measurements().sock_delivered()
     }
 
     /// Purge-sequence start times.
     pub fn purge_starts(&self) -> &[SimTime] {
-        &self.purge_starts
+        self.bus.measurements().purge_starts()
     }
 
     /// Frames destroyed by purges: `(time, tag)`.
     pub fn lost_to_purge(&self) -> &[(SimTime, u64)] {
-        &self.lost_to_purge
+        self.bus.measurements().lost_to_purge()
     }
 
     /// Receiver-side playout buffer requirement in bytes for a continuous

@@ -1,0 +1,676 @@
+//! Topologies as data: rings, hosts, bridges, and background traffic
+//! registered as nodes on the generic `ctms-sim` scheduler/event-bus.
+//!
+//! Every testbed in this crate used to hand-roll the same
+//! advance-and-route loop (§5.2.1's "centralized control point"). Now a
+//! testbed is only a *description*: a [`Topology`] lists which
+//! components sit where, [`Topology::build`] registers them with a
+//! [`ctms_sim::Harness`], and [`CtmsRouter`] — the one implementation of
+//! [`ctms_sim::Router`] — carries the complete inter-component wiring:
+//!
+//! * ring deliveries and strips go to the host or bridge attached at
+//!   the destination station,
+//! * host submissions go to the host's ring; bridge forwards go to the
+//!   bridge's other ring; phantom traffic goes to its ring,
+//! * measurement traffic (TAP observations, trace points, drops,
+//!   presentations) is absorbed into [`Measurements`], the ground truth
+//!   the experiment suite reads.
+//!
+//! Node registration order is fixed — rings, then bridges, then hosts,
+//! then phantom — which is also the deadline-tie service order, so runs
+//! are bit-identical to the old fixed advance orders.
+
+use crate::testbed::DropRec;
+use ctms_measure::{Tap, TapCfg};
+use ctms_router::{Bridge, BridgeCmd, BridgeOut, RingSide};
+use ctms_sim::{CascadeError, Component, EdgeLog, Harness, NodeId, Router, SimTime};
+use ctms_tokenring::{RingCmd, RingOut, StationId, TokenRing};
+use ctms_unixkern::{
+    DriverCall, DriverId, DropSite, Host, HostCmd, HostOut, KernCmd, MeasurePoint, Port,
+};
+use ctms_workloads::{PhantomOut, PhantomTraffic};
+use std::collections::HashMap;
+
+/// A registered component: the one node type the CTMS bus schedules.
+///
+/// Variants differ a lot in size (a `Host` carries a whole kernel), but
+/// nodes are constructed once and live in the harness registry for the
+/// whole run — boxing the large variants would only add an indirection
+/// on the per-event advance path.
+#[allow(clippy::large_enum_variant)]
+pub enum Node {
+    /// A Token Ring medium.
+    Ring(TokenRing),
+    /// A full host (machine + kernel).
+    Host(Host),
+    /// A two-port ring-to-ring forwarder.
+    Bridge(Bridge),
+    /// Background campus traffic bound to one ring.
+    Phantom(PhantomTraffic),
+}
+
+/// Events emitted by any [`Node`].
+pub enum Event {
+    /// From a ring.
+    Ring(RingOut),
+    /// From a host.
+    Host(HostOut),
+    /// From a bridge.
+    Bridge(BridgeOut),
+    /// From phantom traffic.
+    Phantom(PhantomOut),
+}
+
+/// Commands routable to any [`Node`].
+pub enum Cmd {
+    /// To a ring.
+    Ring(RingCmd),
+    /// To a host.
+    Host(HostCmd),
+    /// To a bridge.
+    Bridge(BridgeCmd),
+}
+
+impl Component for Node {
+    type Cmd = Cmd;
+    type Out = Event;
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        match self {
+            Node::Ring(r) => r.next_deadline(),
+            Node::Host(h) => h.next_deadline(),
+            Node::Bridge(b) => b.next_deadline(),
+            Node::Phantom(p) => p.next_deadline(),
+        }
+    }
+
+    fn advance(&mut self, now: SimTime, sink: &mut Vec<Event>) {
+        let mut out = Vec::new();
+        match self {
+            Node::Ring(r) => {
+                r.advance(now, &mut out);
+                sink.extend(out.into_iter().map(Event::Ring));
+            }
+            Node::Host(h) => {
+                let mut hout = Vec::new();
+                h.advance(now, &mut hout);
+                sink.extend(hout.into_iter().map(Event::Host));
+            }
+            Node::Bridge(b) => {
+                let mut bout = Vec::new();
+                b.advance(now, &mut bout);
+                sink.extend(bout.into_iter().map(Event::Bridge));
+            }
+            Node::Phantom(p) => {
+                let mut pout = Vec::new();
+                p.advance(now, &mut pout);
+                sink.extend(pout.into_iter().map(Event::Phantom));
+            }
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, cmd: Cmd, sink: &mut Vec<Event>) {
+        match (self, cmd) {
+            (Node::Ring(r), Cmd::Ring(c)) => {
+                let mut out = Vec::new();
+                r.handle(now, c, &mut out);
+                sink.extend(out.into_iter().map(Event::Ring));
+            }
+            (Node::Host(h), Cmd::Host(c)) => {
+                let mut out = Vec::new();
+                h.handle(now, c, &mut out);
+                sink.extend(out.into_iter().map(Event::Host));
+            }
+            (Node::Bridge(b), Cmd::Bridge(c)) => {
+                let mut out = Vec::new();
+                b.handle(now, c, &mut out);
+                sink.extend(out.into_iter().map(Event::Bridge));
+            }
+            _ => panic!("misrouted command: node/command kinds disagree"),
+        }
+    }
+}
+
+/// What sits at a ring station, from the router's point of view.
+#[derive(Clone, Copy, Debug)]
+enum Endpoint {
+    /// A host.
+    Host { node: NodeId },
+    /// One port of a bridge.
+    Bridge { node: NodeId, side: RingSide },
+}
+
+/// Per-node routing metadata, indexed by [`NodeId`].
+enum Slot {
+    Ring {
+        /// Station → attached endpoint (absent stations are idle or
+        /// phantom; their traffic is not delivered anywhere).
+        endpoints: HashMap<StationId, Endpoint>,
+    },
+    Host {
+        index: usize,
+        ring: NodeId,
+    },
+    Bridge {
+        ring_a: NodeId,
+        ring_b: NodeId,
+    },
+    Phantom {
+        ring: NodeId,
+    },
+}
+
+/// Ground truth recorded while routing: every measurement stream the
+/// experiment suite consumes, absorbed by the router so measurement
+/// infrastructure needs no scheduling of its own.
+#[derive(Default)]
+pub struct Measurements {
+    /// Per-host trace points (the paper's measurement points 1–4).
+    truth: Vec<HashMap<MeasurePoint, EdgeLog>>,
+    /// Every recorded loss, across hosts and ring queues.
+    drops: Vec<DropRec>,
+    /// CTMS payload presentations at sinks: `(time, tag, bytes)`.
+    presented: Vec<(SimTime, u64, u32)>,
+    /// Socket deliveries (stock path): `(time, port, bytes)`.
+    sock_delivered: Vec<(SimTime, Port, u32)>,
+    /// Purge-sequence start instants.
+    purge_starts: Vec<SimTime>,
+    /// Frames destroyed by purges: `(time, tag)`.
+    lost_to_purge: Vec<(SimTime, u64)>,
+    /// Frames dropped inside bridges (queue overflow).
+    bridge_drops: u64,
+}
+
+impl Measurements {
+    /// Per-host trace log for one measurement point, if recorded.
+    pub fn truth_log(&self, host: usize, point: MeasurePoint) -> Option<&EdgeLog> {
+        self.truth.get(host).and_then(|m| m.get(&point))
+    }
+
+    /// Per-host trace log for one measurement point, cloned, or an empty
+    /// log named after the pair.
+    pub fn truth_log_or_empty(&self, host: usize, point: MeasurePoint) -> EdgeLog {
+        self.truth_log(host, point)
+            .cloned()
+            .unwrap_or_else(|| EdgeLog::new(format!("h{host}-{point:?}")))
+    }
+
+    /// All recorded drops.
+    pub fn drops(&self) -> &[DropRec] {
+        &self.drops
+    }
+
+    /// CTMS payload presentations at sinks.
+    pub fn presented(&self) -> &[(SimTime, u64, u32)] {
+        &self.presented
+    }
+
+    /// Socket deliveries (stock path).
+    pub fn sock_delivered(&self) -> &[(SimTime, Port, u32)] {
+        &self.sock_delivered
+    }
+
+    /// Purge-sequence start instants.
+    pub fn purge_starts(&self) -> &[SimTime] {
+        &self.purge_starts
+    }
+
+    /// Frames destroyed by purges.
+    pub fn lost_to_purge(&self) -> &[(SimTime, u64)] {
+        &self.lost_to_purge
+    }
+
+    /// Count of frames dropped inside bridges.
+    pub fn bridge_drops(&self) -> u64 {
+        self.bridge_drops
+    }
+}
+
+/// The one [`Router`] of the CTMS world: owns the wiring tables, the
+/// per-ring TAP monitors, and the [`Measurements`] ground truth.
+pub struct CtmsRouter {
+    slots: Vec<Slot>,
+    /// TAP monitor per ring node (same index space as `slots`).
+    taps: Vec<Option<Tap>>,
+    /// Hosts notified (as a driver call) when a ring purge starts.
+    purge_subscribers: Vec<(NodeId, DriverId)>,
+    m: Measurements,
+}
+
+impl CtmsRouter {
+    /// The recorded ground truth.
+    pub fn measurements(&self) -> &Measurements {
+        &self.m
+    }
+
+    /// The TAP attached to a ring node.
+    fn tap(&self, ring: NodeId) -> &Tap {
+        self.taps[ring.0]
+            .as_ref()
+            .expect("node is a ring with a tap")
+    }
+}
+
+impl Router<Node> for CtmsRouter {
+    fn route(&mut self, now: SimTime, src: NodeId, event: Event) -> Vec<(NodeId, Cmd)> {
+        match event {
+            Event::Ring(out) => self.route_ring(now, src, out),
+            Event::Host(out) => self.route_host(now, src, out),
+            Event::Bridge(out) => self.route_bridge(src, out),
+            Event::Phantom(out) => self.route_phantom(src, out),
+        }
+    }
+}
+
+impl CtmsRouter {
+    fn ring_endpoint(&self, ring: NodeId, station: StationId) -> Option<Endpoint> {
+        match &self.slots[ring.0] {
+            Slot::Ring { endpoints } => endpoints.get(&station).copied(),
+            _ => unreachable!("ring events come from ring nodes"),
+        }
+    }
+
+    fn route_ring(&mut self, now: SimTime, src: NodeId, out: RingOut) -> Vec<(NodeId, Cmd)> {
+        match out {
+            RingOut::Delivered { to, frame } => match self.ring_endpoint(src, to) {
+                Some(Endpoint::Host { node }) => {
+                    vec![(node, Cmd::Host(HostCmd::RingDelivered(frame)))]
+                }
+                Some(Endpoint::Bridge { node, side }) => {
+                    vec![(node, Cmd::Bridge(BridgeCmd::Delivered { side, frame }))]
+                }
+                None => Vec::new(),
+            },
+            RingOut::Stripped {
+                from,
+                tag,
+                delivered,
+                ..
+            } => match self.ring_endpoint(src, from) {
+                // Bridge submissions complete silently; host submissions
+                // go back to the host's driver.
+                Some(Endpoint::Host { node }) => {
+                    vec![(node, Cmd::Host(HostCmd::RingStripped { tag, delivered }))]
+                }
+                _ => Vec::new(),
+            },
+            RingOut::Observed(view) => {
+                if let Some(tap) = self.taps[src.0].as_mut() {
+                    tap.observe(now, &view);
+                }
+                Vec::new()
+            }
+            RingOut::LostToPurge { tag, .. } => {
+                self.m.lost_to_purge.push((now, tag));
+                Vec::new()
+            }
+            RingOut::PurgeStarted { .. } => {
+                self.m.purge_starts.push(now);
+                self.purge_subscribers
+                    .iter()
+                    .map(|&(host, driver)| {
+                        (
+                            host,
+                            Cmd::Host(HostCmd::Kern(KernCmd::Call {
+                                driver,
+                                call: DriverCall::Custom {
+                                    code: ctms_ctmsp::CALL_PURGE_SEEN,
+                                    arg: 0,
+                                },
+                            })),
+                        )
+                    })
+                    .collect()
+            }
+            RingOut::PurgeEnded => Vec::new(),
+            RingOut::QueueDrop { station, .. } => {
+                self.m.drops.push(DropRec {
+                    at: now,
+                    host: station.0 as usize,
+                    site: DropSite::RingQueue,
+                    tag: 0,
+                    bytes: 0,
+                });
+                Vec::new()
+            }
+        }
+    }
+
+    fn route_host(&mut self, now: SimTime, src: NodeId, out: HostOut) -> Vec<(NodeId, Cmd)> {
+        let (index, ring) = match self.slots[src.0] {
+            Slot::Host { index, ring } => (index, ring),
+            _ => unreachable!("host events come from host nodes"),
+        };
+        match out {
+            HostOut::RingSubmit(frame) => vec![(ring, Cmd::Ring(RingCmd::Submit(frame)))],
+            HostOut::Trace { point, tag } => {
+                self.m.truth[index]
+                    .entry(point)
+                    .or_insert_with(|| EdgeLog::new(format!("h{index}-{point:?}")))
+                    .record(now, tag);
+                Vec::new()
+            }
+            HostOut::Drop { site, tag, bytes } => {
+                self.m.drops.push(DropRec {
+                    at: now,
+                    host: index,
+                    site,
+                    tag,
+                    bytes,
+                });
+                Vec::new()
+            }
+            HostOut::Presented { tag, bytes } => {
+                self.m.presented.push((now, tag, bytes));
+                Vec::new()
+            }
+            HostOut::SockDelivered { port, bytes } => {
+                self.m.sock_delivered.push((now, port, bytes));
+                Vec::new()
+            }
+            HostOut::ProcExited { .. } => Vec::new(),
+        }
+    }
+
+    fn route_bridge(&mut self, src: NodeId, out: BridgeOut) -> Vec<(NodeId, Cmd)> {
+        let (ring_a, ring_b) = match self.slots[src.0] {
+            Slot::Bridge { ring_a, ring_b } => (ring_a, ring_b),
+            _ => unreachable!("bridge events come from bridge nodes"),
+        };
+        match out {
+            BridgeOut::Submit { side, frame } => {
+                let ring = match side {
+                    RingSide::A => ring_a,
+                    RingSide::B => ring_b,
+                };
+                vec![(ring, Cmd::Ring(RingCmd::Submit(frame)))]
+            }
+            BridgeOut::Dropped { .. } => {
+                self.m.bridge_drops += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn route_phantom(&mut self, src: NodeId, out: PhantomOut) -> Vec<(NodeId, Cmd)> {
+        let ring = match self.slots[src.0] {
+            Slot::Phantom { ring } => ring,
+            _ => unreachable!("phantom events come from the phantom node"),
+        };
+        match out {
+            PhantomOut::Submit(frame) => vec![(ring, Cmd::Ring(RingCmd::Submit(frame)))],
+            PhantomOut::Disturb(d) => vec![(ring, Cmd::Ring(RingCmd::Disturb(d)))],
+        }
+    }
+}
+
+/// A topology under construction: components plus where they attach.
+/// Build order within each kind is preserved; kinds are registered
+/// rings → bridges → hosts → phantom, fixing NodeId (and therefore
+/// deadline-tie) order.
+#[derive(Default)]
+pub struct Topology {
+    rings: Vec<TokenRing>,
+    bridges: Vec<(usize, usize, Bridge)>,
+    hosts: Vec<(usize, StationId, Host)>,
+    phantom: Option<(usize, PhantomTraffic)>,
+    purge_subscribers: Vec<(usize, DriverId)>,
+    cascade_limit: u32,
+}
+
+impl Topology {
+    /// Starts an empty topology with the given same-instant cascade
+    /// step limit.
+    pub fn new(cascade_limit: u32) -> Self {
+        Topology {
+            cascade_limit,
+            ..Topology::default()
+        }
+    }
+
+    /// Adds a ring; returns its ring index.
+    pub fn ring(&mut self, ring: TokenRing) -> usize {
+        self.rings.push(ring);
+        self.rings.len() - 1
+    }
+
+    /// Attaches a host at `station` of ring `ring`; returns its dense
+    /// host index (the index used by `Measurements` and accessors).
+    pub fn host(&mut self, ring: usize, station: StationId, host: Host) -> usize {
+        assert!(ring < self.rings.len(), "host on unknown ring {ring}");
+        self.hosts.push((ring, station, host));
+        self.hosts.len() - 1
+    }
+
+    /// Attaches a bridge between `ring_a` and `ring_b` (port stations
+    /// come from the bridge's own config); returns its bridge index.
+    pub fn bridge(&mut self, ring_a: usize, ring_b: usize, bridge: Bridge) -> usize {
+        assert!(
+            ring_a < self.rings.len() && ring_b < self.rings.len(),
+            "bridge on unknown ring"
+        );
+        self.bridges.push((ring_a, ring_b, bridge));
+        self.bridges.len() - 1
+    }
+
+    /// Attaches background campus traffic to ring `ring`.
+    pub fn phantom(&mut self, ring: usize, phantom: PhantomTraffic) {
+        assert!(ring < self.rings.len(), "phantom on unknown ring {ring}");
+        assert!(self.phantom.is_none(), "one phantom generator per topology");
+        self.phantom = Some((ring, phantom));
+    }
+
+    /// Subscribes a host driver to purge-start notifications (the §5
+    /// hypothetical purge-interrupt adapter).
+    pub fn subscribe_purge(&mut self, host: usize, driver: DriverId) {
+        assert!(host < self.hosts.len(), "unknown host {host}");
+        self.purge_subscribers.push((host, driver));
+    }
+
+    /// Registers everything with a fresh harness and returns the live bus.
+    pub fn build(self) -> Bus {
+        let n_rings = self.rings.len();
+        let n_bridges = self.bridges.len();
+        let n_hosts = self.hosts.len();
+        // NodeIds are assigned in push order: rings, bridges, hosts, phantom.
+        let ring_node = |k: usize| NodeId(k);
+        let bridge_node = |k: usize| NodeId(n_rings + k);
+        let host_node = |k: usize| NodeId(n_rings + n_bridges + k);
+
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut taps: Vec<Option<Tap>> = Vec::new();
+        let mut endpoints: Vec<HashMap<StationId, Endpoint>> =
+            (0..n_rings).map(|_| HashMap::new()).collect();
+        for (k, (ring_a, ring_b, bridge)) in self.bridges.iter().enumerate() {
+            let node = bridge_node(k);
+            let prev_a = endpoints[*ring_a].insert(
+                bridge.station(RingSide::A),
+                Endpoint::Bridge {
+                    node,
+                    side: RingSide::A,
+                },
+            );
+            let prev_b = endpoints[*ring_b].insert(
+                bridge.station(RingSide::B),
+                Endpoint::Bridge {
+                    node,
+                    side: RingSide::B,
+                },
+            );
+            assert!(
+                prev_a.is_none() && prev_b.is_none(),
+                "two endpoints at one station"
+            );
+        }
+        for (k, (ring, station, _)) in self.hosts.iter().enumerate() {
+            let prev = endpoints[*ring].insert(*station, Endpoint::Host { node: host_node(k) });
+            assert!(prev.is_none(), "two endpoints at station {station:?}");
+        }
+
+        for ep in endpoints.drain(..) {
+            slots.push(Slot::Ring { endpoints: ep });
+            taps.push(Some(Tap::new(TapCfg::default())));
+        }
+        for (ring_a, ring_b, _) in &self.bridges {
+            slots.push(Slot::Bridge {
+                ring_a: ring_node(*ring_a),
+                ring_b: ring_node(*ring_b),
+            });
+            taps.push(None);
+        }
+        for (k, (ring, _, _)) in self.hosts.iter().enumerate() {
+            slots.push(Slot::Host {
+                index: k,
+                ring: ring_node(*ring),
+            });
+            taps.push(None);
+        }
+        if let Some((ring, _)) = &self.phantom {
+            slots.push(Slot::Phantom {
+                ring: ring_node(*ring),
+            });
+            taps.push(None);
+        }
+
+        let router = CtmsRouter {
+            slots,
+            taps,
+            purge_subscribers: self
+                .purge_subscribers
+                .iter()
+                .map(|&(host, driver)| (host_node(host), driver))
+                .collect(),
+            m: Measurements {
+                truth: (0..n_hosts).map(|_| HashMap::new()).collect(),
+                ..Measurements::default()
+            },
+        };
+
+        let mut h = Harness::new(router, self.cascade_limit);
+        let mut ring_nodes = Vec::new();
+        for ring in self.rings {
+            ring_nodes.push(h.add_node(Node::Ring(ring)));
+        }
+        let mut bridge_nodes = Vec::new();
+        for (_, _, bridge) in self.bridges {
+            bridge_nodes.push(h.add_node(Node::Bridge(bridge)));
+        }
+        let mut host_nodes = Vec::new();
+        for (_, _, host) in self.hosts {
+            host_nodes.push(h.add_node(Node::Host(host)));
+        }
+        let phantom_node = self.phantom.map(|(_, p)| h.add_node(Node::Phantom(p)));
+
+        Bus {
+            h,
+            ring_nodes,
+            bridge_nodes,
+            host_nodes,
+            phantom_node,
+        }
+    }
+}
+
+/// A built topology: the harness plus typed access to its nodes. The
+/// concrete testbeds ([`crate::Testbed`], [`crate::RingChainTestbed`])
+/// wrap this with scenario-specific construction and accessors.
+pub struct Bus {
+    h: Harness<Node, CtmsRouter>,
+    ring_nodes: Vec<NodeId>,
+    bridge_nodes: Vec<NodeId>,
+    host_nodes: Vec<NodeId>,
+    phantom_node: Option<NodeId>,
+}
+
+impl Bus {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.h.now()
+    }
+
+    /// Runs until `horizon`; panics on cascade overflow.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.h.run_until(horizon);
+    }
+
+    /// Runs until `horizon`, reporting cascade overflow as an error.
+    pub fn try_run_until(&mut self, horizon: SimTime) -> Result<(), CascadeError> {
+        self.h.try_run_until(horizon)
+    }
+
+    /// Number of rings.
+    pub fn ring_count(&self) -> usize {
+        self.ring_nodes.len()
+    }
+
+    /// Ring `k`.
+    pub fn ring(&self, k: usize) -> &TokenRing {
+        match self.h.node(self.ring_nodes[k]) {
+            Node::Ring(r) => r,
+            _ => unreachable!("ring node"),
+        }
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.host_nodes.len()
+    }
+
+    /// Host `k` (dense index from [`Topology::host`]).
+    pub fn host(&self, k: usize) -> &Host {
+        match self.h.node(self.host_nodes[k]) {
+            Node::Host(host) => host,
+            _ => unreachable!("host node"),
+        }
+    }
+
+    /// Mutable host `k`; its deadline is rescheduled before the next step.
+    pub fn host_mut(&mut self, k: usize) -> &mut Host {
+        match self.h.node_mut(self.host_nodes[k]) {
+            Node::Host(host) => host,
+            _ => unreachable!("host node"),
+        }
+    }
+
+    /// Number of bridges.
+    pub fn bridge_count(&self) -> usize {
+        self.bridge_nodes.len()
+    }
+
+    /// Bridge `k`.
+    pub fn bridge(&self, k: usize) -> &Bridge {
+        match self.h.node(self.bridge_nodes[k]) {
+            Node::Bridge(b) => b,
+            _ => unreachable!("bridge node"),
+        }
+    }
+
+    /// The phantom traffic generator, if attached.
+    pub fn phantom(&self) -> Option<&PhantomTraffic> {
+        self.phantom_node.map(|id| match self.h.node(id) {
+            Node::Phantom(p) => p,
+            _ => unreachable!("phantom node"),
+        })
+    }
+
+    /// The TAP monitor on ring `k`.
+    pub fn tap(&self, k: usize) -> &Tap {
+        self.h.router().tap(self.ring_nodes[k])
+    }
+
+    /// The recorded ground truth.
+    pub fn measurements(&self) -> &Measurements {
+        self.h.router().measurements()
+    }
+
+    /// The cascade failure that poisoned this bus, if any.
+    pub fn failure(&self) -> Option<CascadeError> {
+        self.h.failure()
+    }
+
+    /// Delivers a ring command (e.g. a disturbance) to ring `k` at the
+    /// current instant, routing its fallout like any other event.
+    pub fn inject_ring(&mut self, k: usize, cmd: RingCmd) -> Result<(), CascadeError> {
+        self.h.inject(self.ring_nodes[k], Cmd::Ring(cmd))
+    }
+}

@@ -13,9 +13,12 @@ pub mod conn;
 pub mod protocol;
 pub mod trdriver;
 
-pub use conn::{setup_program, SetupState, IOCTL_SET_HANDLES, IOCTL_SET_HEADER, IOCTL_SET_MODE, IOCTL_START_STREAM, IOCTL_STOP_STREAM};
+pub use conn::{
+    setup_program, SetupState, IOCTL_SET_HANDLES, IOCTL_SET_HEADER, IOCTL_SET_MODE,
+    IOCTL_START_STREAM, IOCTL_STOP_STREAM,
+};
 pub use protocol::{
-    decode_header, encode_header, CtmspConnection, Guarantees, CTMSP_GUARANTEES,
-    CTMSP_HEADER_LEN, TCPIP_GUARANTEES, TR_HEADER_LEN,
+    decode_header, encode_header, CtmspConnection, Guarantees, CTMSP_GUARANTEES, CTMSP_HEADER_LEN,
+    TCPIP_GUARANTEES, TR_HEADER_LEN,
 };
 pub use trdriver::{TrDriver, TrDriverCfg, TrDriverStats, CALL_PURGE_SEEN};

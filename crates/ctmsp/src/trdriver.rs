@@ -24,9 +24,7 @@ use ctms_devices::TrAdapterCfg;
 use ctms_rtpc::{CopyCost, ExecLevel, MemRegion};
 use ctms_sim::Dur;
 use ctms_tokenring::{Frame, FrameId, FrameKind, Proto, StationId};
-use ctms_unixkern::{
-    Ctx, Driver, DriverCall, DriverId, DropSite, MeasurePoint, Pkt, LINE_TR,
-};
+use ctms_unixkern::{Ctx, Driver, DriverCall, DriverId, DropSite, MeasurePoint, Pkt, LINE_TR};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
@@ -109,8 +107,10 @@ impl TrDriverCfg {
     /// The unmodified driver: no CTMSP, no priorities, headers recomputed
     /// per packet, full copies, fixed DMA buffers in system memory.
     pub fn stock(station: StationId) -> Self {
-        let mut adapter = TrAdapterCfg::default();
-        adapter.buffer_region = MemRegion::System;
+        let adapter = TrAdapterCfg {
+            buffer_region: MemRegion::System,
+            ..TrAdapterCfg::default()
+        };
         TrDriverCfg {
             station,
             adapter,
@@ -266,11 +266,7 @@ impl TrDriver {
     }
 
     fn ctmsp_queued(&self) -> u32 {
-        let q = self
-            .tx_queue
-            .iter()
-            .filter(|e| e.is_ctmsp())
-            .count() as u32;
+        let q = self.tx_queue.iter().filter(|e| e.is_ctmsp()).count() as u32;
         let busy = self
             .tx_busy
             .as_ref()
@@ -372,7 +368,11 @@ impl TrDriver {
                     pkt.len
                 };
                 let cost = header
-                    + copy.copy(copy_bytes, MemRegion::System, self.cfg.adapter.buffer_region);
+                    + copy.copy(
+                        copy_bytes,
+                        MemRegion::System,
+                        self.cfg.adapter.buffer_region,
+                    );
                 self.tx_busy = Some(TxBusy {
                     dst: pkt.dst,
                     len: pkt.len,
@@ -590,11 +590,7 @@ impl Driver for TrDriver {
                                 MemRegion::System,
                             );
                             self.rx_copying = Some((frame, RxDispose::Ctmsp));
-                            ctx.push_job(
-                                RXCOPY,
-                                cost,
-                                ExecLevel::KernelSpl(self.cfg.copy_spl),
-                            );
+                            ctx.push_job(RXCOPY, cost, ExecLevel::KernelSpl(self.cfg.copy_spl));
                         } else {
                             self.finish_rx(ctx, frame, RxDispose::Ctmsp);
                         }
@@ -751,7 +747,11 @@ mod tests {
         cfg.ctmsp_sink = Some(sink);
         let tr = kernel.add_driver(Box::new(TrDriver::new(cfg)), Some(LINE_TR));
         kernel.set_net_if(tr);
-        (Host::new(Machine::new(MachineConfig::default()), kernel), tr, sink)
+        (
+            Host::new(Machine::new(MachineConfig::default()), kernel),
+            tr,
+            sink,
+        )
     }
 
     fn ctmsp_pkt(host: &mut Host, tag: u64) -> Pkt {
@@ -899,9 +899,13 @@ mod tests {
         let mut out = Vec::new();
         let pkt = ctmsp_pkt(&mut host, 1);
         send(&mut host, tr, pkt, SimTime::ZERO, &mut out);
-        assert!(out
-            .iter()
-            .any(|e| matches!(e, HostOut::Drop { site: DropSite::UnknownProto, .. })));
+        assert!(out.iter().any(|e| matches!(
+            e,
+            HostOut::Drop {
+                site: DropSite::UnknownProto,
+                ..
+            }
+        )));
         let evs = drain_component(&mut host, SimTime::from_ms(50));
         assert!(!evs.iter().any(|(_, e)| matches!(e, HostOut::RingSubmit(_))));
     }
@@ -969,9 +973,14 @@ mod tests {
             host.handle(SimTime::from_us(k), HostCmd::RingDelivered(frame), &mut out);
         }
         // Two rx buffers: the third back-to-back frame is dropped.
-        assert!(out
-            .iter()
-            .any(|e| matches!(e, HostOut::Drop { site: DropSite::AdapterOverrun, tag: 3, .. })));
+        assert!(out.iter().any(|e| matches!(
+            e,
+            HostOut::Drop {
+                site: DropSite::AdapterOverrun,
+                tag: 3,
+                ..
+            }
+        )));
         let evs = drain_component(&mut host, SimTime::from_ms(50));
         let presented = evs
             .iter()

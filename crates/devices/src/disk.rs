@@ -86,7 +86,9 @@ impl Driver for DiskDriver {
 
     fn on_interrupt(&mut self, ctx: &mut Ctx) {
         self.stats.interrupts += 1;
-        let cost = ctx.rng.normal_dur(self.cfg.handler_mean, self.cfg.handler_sd);
+        let cost = ctx
+            .rng
+            .normal_dur(self.cfg.handler_mean, self.cfg.handler_sd);
         ctx.push_job(0, cost, ExecLevel::Irq(LINE_DISK));
     }
 

@@ -718,7 +718,10 @@ mod tests {
         cfg.clock_enabled = clock;
         let mut kernel = Kernel::new(cfg, Pcg32::new(3, 3));
         let id = kernel.add_driver(Box::new(d), line);
-        (Host::new(Machine::new(MachineConfig::default()), kernel), id)
+        (
+            Host::new(Machine::new(MachineConfig::default()), kernel),
+            id,
+        )
     }
 
     #[test]
@@ -816,7 +819,11 @@ mod tests {
         deliver(&mut host, &mut sink, 4); // packet 3 lost to a purge
         deliver(&mut host, &mut sink, 4); // duplicate retransmission
         deliver(&mut host, &mut sink, 5);
-        let s = host.kernel.driver_ref::<CtmsVcaSink>(id).expect("sink").stats();
+        let s = host
+            .kernel
+            .driver_ref::<CtmsVcaSink>(id)
+            .expect("sink")
+            .stats();
         assert_eq!(s.received, 4);
         assert_eq!(s.gaps, 1);
         assert_eq!(s.missed_pkts, 1);

@@ -110,10 +110,7 @@ mod tests {
         assert_eq!(m.samples_us(HistId::H2), vec![12_000.0, 12_000.0]);
         assert_eq!(m.samples_us(HistId::H5), vec![25.0, 25.0, 25.0]);
         assert_eq!(m.samples_us(HistId::H6), vec![2_600.0, 2_600.0, 2_600.0]);
-        assert_eq!(
-            m.samples_us(HistId::H7),
-            vec![10_775.0, 10_775.0, 10_775.0]
-        );
+        assert_eq!(m.samples_us(HistId::H7), vec![10_775.0, 10_775.0, 10_775.0]);
     }
 
     #[test]

@@ -100,11 +100,7 @@ mod tests {
         cfg.interference_prob = 0.5;
         let mut p = PseudoDriver::new(cfg, Pcg32::new(9, 9));
         let got = p.observe(&log);
-        let spread: Vec<u64> = got
-            .inter_occurrence()
-            .iter()
-            .map(|d| d.as_us())
-            .collect();
+        let spread: Vec<u64> = got.inter_occurrence().iter().map(|d| d.as_us()).collect();
         let min = *spread.iter().min().expect("samples");
         let max = *spread.iter().max().expect("samples");
         // Quantization alone gives ±122; interference adds up to 400.

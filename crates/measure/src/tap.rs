@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn records_and_classifies() {
         let mut tap = Tap::new(TapCfg::default());
-        tap.observe(SimTime::from_ms(1), &mac_view(MacKind::ActiveMonitorPresent));
+        tap.observe(
+            SimTime::from_ms(1),
+            &mac_view(MacKind::ActiveMonitorPresent),
+        );
         tap.observe(SimTime::from_ms(2), &ctmsp_view(1));
         tap.observe(
             SimTime::from_ms(3),

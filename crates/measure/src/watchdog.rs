@@ -216,7 +216,14 @@ mod tests {
         let mut w = Watchdog::new(WatchdogCfg::default());
         w.feed(ev(3, 12, 1));
         let a = w.feed(ev(3, 24, 3)).expect("halt on gap");
-        assert_eq!(a, Anomaly::Gap { point: 3, from: 1, to: 3 });
+        assert_eq!(
+            a,
+            Anomaly::Gap {
+                point: 3,
+                from: 1,
+                to: 3
+            }
+        );
 
         let mut tolerant = Watchdog::new(WatchdogCfg {
             tolerate_gaps: true,

@@ -251,7 +251,9 @@ impl Bridge {
         let mut best: Option<usize> = None;
         for &q in candidates {
             if !self.queues[q].is_empty()
-                && best.map(|b| self.queues[q].len() > self.queues[b].len()).unwrap_or(true)
+                && best
+                    .map(|b| self.queues[q].len() > self.queues[b].len())
+                    .unwrap_or(true)
             {
                 best = Some(q);
             }
@@ -501,7 +503,10 @@ mod tests {
         );
         assert!(matches!(
             sink[0],
-            BridgeOut::Dropped { overflow: false, .. }
+            BridgeOut::Dropped {
+                overflow: false,
+                ..
+            }
         ));
         assert_eq!(b.stats().unroutable, 1);
     }

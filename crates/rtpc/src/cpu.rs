@@ -211,7 +211,11 @@ impl<T: Copy> Cpu<T> {
         if let Some(r) = &mut self.running {
             let elapsed = now.since(r.as_of);
             let done = Dur::from_ns((elapsed.as_ns() as f64 * self.speed).floor() as u64);
-            let done = if done > r.remaining { r.remaining } else { done };
+            let done = if done > r.remaining {
+                r.remaining
+            } else {
+                done
+            };
             r.remaining -= done;
             r.as_of = now;
             self.stats.busy_work_ns += done.as_ns();
@@ -234,58 +238,53 @@ impl<T: Copy> Cpu<T> {
     /// Starts whatever should run next, assuming nothing is running.
     fn pick_next(&mut self, now: SimTime) {
         debug_assert!(self.running.is_none());
-        loop {
-            let stack_level = self.stack.last().map(|r| r.level);
-            let ready_level = self.top_ready_level();
-            let irq = self.dispatchable_irq(stack_level.unwrap_or(0).max(0));
-            // Choose the highest of: dispatchable IRQ, ready job, stack top.
-            let irq_level = irq.map(|l| self.line_level(l));
-            let best = [
-                irq_level.map(|l| (l, 0u8)),
-                ready_level.map(|l| (l, 1u8)),
-                stack_level.map(|l| (l, 2u8)),
-            ]
-            .into_iter()
-            .flatten()
-            // Prefer IRQ over ready over stack at equal level? No: a
-            // pending IRQ at a level equal to the preempted context must
-            // wait (spl semantics: strictly-greater dispatches). The
-            // filter above already enforces that for the stack; among
-            // ready vs stack at the same level the stack resumes first.
-            .max_by_key(|&(l, pref)| (l, core::cmp::Reverse(pref)));
-            let Some((_, which)) = best else {
-                return;
-            };
-            match which {
-                0 => {
-                    let line = irq.expect("irq candidate");
-                    self.irq_pending[line as usize] = false;
-                    self.stats.irqs_dispatched += 1;
-                    self.running = Some(Running {
-                        body: Body::IrqDispatch(line),
-                        level: self.line_level(line),
-                        remaining: self.cfg.irq_dispatch_cost,
-                        as_of: now,
-                    });
-                    return;
-                }
-                1 => {
-                    let l = ready_level.expect("ready candidate");
-                    let (body, cost) = self.ready[l as usize].pop_front().expect("non-empty");
-                    self.running = Some(Running {
-                        body,
-                        level: l,
-                        remaining: cost,
-                        as_of: now,
-                    });
-                    return;
-                }
-                _ => {
-                    let mut r = self.stack.pop().expect("stack candidate");
-                    r.as_of = now;
-                    self.running = Some(r);
-                    return;
-                }
+        let stack_level = self.stack.last().map(|r| r.level);
+        let ready_level = self.top_ready_level();
+        let irq = self.dispatchable_irq(stack_level.unwrap_or(0));
+        // Choose the highest of: dispatchable IRQ, ready job, stack top.
+        let irq_level = irq.map(|l| self.line_level(l));
+        let best = [
+            irq_level.map(|l| (l, 0u8)),
+            ready_level.map(|l| (l, 1u8)),
+            stack_level.map(|l| (l, 2u8)),
+        ]
+        .into_iter()
+        .flatten()
+        // Prefer IRQ over ready over stack at equal level? No: a
+        // pending IRQ at a level equal to the preempted context must
+        // wait (spl semantics: strictly-greater dispatches). The
+        // filter above already enforces that for the stack; among
+        // ready vs stack at the same level the stack resumes first.
+        .max_by_key(|&(l, pref)| (l, core::cmp::Reverse(pref)));
+        let Some((_, which)) = best else {
+            return;
+        };
+        match which {
+            0 => {
+                let line = irq.expect("irq candidate");
+                self.irq_pending[line as usize] = false;
+                self.stats.irqs_dispatched += 1;
+                self.running = Some(Running {
+                    body: Body::IrqDispatch(line),
+                    level: self.line_level(line),
+                    remaining: self.cfg.irq_dispatch_cost,
+                    as_of: now,
+                });
+            }
+            1 => {
+                let l = ready_level.expect("ready candidate");
+                let (body, cost) = self.ready[l as usize].pop_front().expect("non-empty");
+                self.running = Some(Running {
+                    body,
+                    level: l,
+                    remaining: cost,
+                    as_of: now,
+                });
+            }
+            _ => {
+                let mut r = self.stack.pop().expect("stack candidate");
+                r.as_of = now;
+                self.running = Some(r);
             }
         }
     }
@@ -413,7 +412,10 @@ mod tests {
         let mut c = cpu();
         push(&mut c, SimTime::ZERO, 1, Dur::from_us(100), ExecLevel::User);
         let evs = drain_component(&mut c, SimTime::from_ms(1));
-        assert_eq!(evs, vec![(SimTime::from_us(100), CpuOut::JobDone { tag: 1 })]);
+        assert_eq!(
+            evs,
+            vec![(SimTime::from_us(100), CpuOut::JobDone { tag: 1 })]
+        );
         assert!(c.is_idle());
         assert_eq!(c.stats().jobs_done, 1);
     }
@@ -483,7 +485,11 @@ mod tests {
             ExecLevel::KernelSpl(6),
         );
         let mut sink = Vec::new();
-        c.handle(SimTime::from_us(10), CpuCmd::RaiseIrq { line: 2 }, &mut sink);
+        c.handle(
+            SimTime::from_us(10),
+            CpuCmd::RaiseIrq { line: 2 },
+            &mut sink,
+        );
         let evs = drain_component(&mut c, SimTime::from_ms(2));
         // Handler entry = 400 (section end) + 25 dispatch = 425 µs.
         assert!(evs.contains(&(SimTime::from_us(400), CpuOut::JobDone { tag: 9 })));
@@ -493,9 +499,19 @@ mod tests {
     #[test]
     fn irq_preempts_user_immediately() {
         let mut c = cpu();
-        push(&mut c, SimTime::ZERO, 1, Dur::from_us(1000), ExecLevel::User);
+        push(
+            &mut c,
+            SimTime::ZERO,
+            1,
+            Dur::from_us(1000),
+            ExecLevel::User,
+        );
         let mut sink = Vec::new();
-        c.handle(SimTime::from_us(100), CpuCmd::RaiseIrq { line: 3 }, &mut sink);
+        c.handle(
+            SimTime::from_us(100),
+            CpuCmd::RaiseIrq { line: 3 },
+            &mut sink,
+        );
         let evs = drain_component(&mut c, SimTime::from_ms(2));
         assert!(evs.contains(&(SimTime::from_us(125), CpuOut::IrqEntered { line: 3 })));
         // User job finishes 25 µs late (the dispatch cost; handler body not
@@ -520,7 +536,11 @@ mod tests {
             Dur::from_us(200),
             ExecLevel::Irq(3),
         );
-        c.handle(SimTime::from_us(50), CpuCmd::RaiseIrq { line: 4 }, &mut sink);
+        c.handle(
+            SimTime::from_us(50),
+            CpuCmd::RaiseIrq { line: 4 },
+            &mut sink,
+        );
         let evs = drain_component(&mut c, SimTime::from_ms(1));
         assert!(evs.contains(&(SimTime::from_us(75), CpuOut::IrqEntered { line: 4 })));
         // Body completes 25 µs late due to the nested dispatch.
@@ -541,7 +561,11 @@ mod tests {
             ExecLevel::Irq(3),
         );
         // Same line raises again while its handler body runs.
-        c.handle(SimTime::from_us(30), CpuCmd::RaiseIrq { line: 3 }, &mut sink);
+        c.handle(
+            SimTime::from_us(30),
+            CpuCmd::RaiseIrq { line: 3 },
+            &mut sink,
+        );
         let evs = drain_component(&mut c, SimTime::from_ms(1));
         // Body finishes first, then the second dispatch happens.
         assert_eq!(
@@ -579,12 +603,24 @@ mod tests {
         // Halve speed at t=50: 50 µs of work remain, now taking 100 µs.
         c.handle(SimTime::from_us(50), CpuCmd::SetSpeed(0.5), &mut sink);
         let evs = drain_component(&mut c, SimTime::from_ms(1));
-        assert_eq!(evs, vec![(SimTime::from_us(150), CpuOut::JobDone { tag: 1 })]);
+        assert_eq!(
+            evs,
+            vec![(SimTime::from_us(150), CpuOut::JobDone { tag: 1 })]
+        );
         // Restore speed; later jobs run at full rate again.
         c.handle(SimTime::from_us(150), CpuCmd::SetSpeed(1.0), &mut sink);
-        push(&mut c, SimTime::from_us(150), 2, Dur::from_us(10), ExecLevel::User);
+        push(
+            &mut c,
+            SimTime::from_us(150),
+            2,
+            Dur::from_us(10),
+            ExecLevel::User,
+        );
         let evs = drain_component(&mut c, SimTime::from_ms(1));
-        assert_eq!(evs, vec![(SimTime::from_us(160), CpuOut::JobDone { tag: 2 })]);
+        assert_eq!(
+            evs,
+            vec![(SimTime::from_us(160), CpuOut::JobDone { tag: 2 })]
+        );
     }
 
     #[test]
@@ -598,7 +634,13 @@ mod tests {
     #[test]
     fn deep_preemption_stack_unwinds_in_order() {
         let mut c = cpu();
-        push(&mut c, SimTime::ZERO, 0, Dur::from_us(1000), ExecLevel::User);
+        push(
+            &mut c,
+            SimTime::ZERO,
+            0,
+            Dur::from_us(1000),
+            ExecLevel::User,
+        );
         push(
             &mut c,
             SimTime::from_us(10),

@@ -296,7 +296,10 @@ mod tests {
             &mut sink,
         );
         let evs = drain_component(&mut m, SimTime::from_ms(10));
-        assert_eq!(evs, vec![(SimTime::from_us(1000), MachOut::DmaDone { tag: 7 })]);
+        assert_eq!(
+            evs,
+            vec![(SimTime::from_us(1000), MachOut::DmaDone { tag: 7 })]
+        );
         assert!(m.is_idle());
     }
 

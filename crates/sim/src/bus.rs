@@ -1,0 +1,507 @@
+//! The scheduler / event bus: the "motherboard" pattern as reusable
+//! infrastructure.
+//!
+//! Historically every testbed in `ctms-core` hand-wrote the same loop:
+//! poll each component for its next deadline, advance whichever is due,
+//! and route the emitted events between components with a cascade guard.
+//! [`Harness`] owns that loop once:
+//!
+//! * components register into a [`NodeId`]-addressable registry,
+//! * a central deadline scheduler (binary heap keyed by
+//!   `(SimTime, NodeId)`, FIFO on exact ties) picks the next instant and
+//!   services due nodes in registration order — so runs remain
+//!   bit-deterministic and exactly reproduce the fixed advance order of
+//!   the old hand-rolled loops,
+//! * a [`Router`] supplied by the caller turns each emitted event into
+//!   commands for other nodes; same-instant cascades are bounded by the
+//!   built-in guard, which reports a typed [`CascadeError`] instead of
+//!   tearing the simulation down.
+//!
+//! The heap uses lazy invalidation: an entry is trusted only if the
+//! node still reports that exact deadline when the entry surfaces;
+//! stale entries are discarded. Nodes touched during a step (advanced,
+//! commanded, or mutated through [`Harness::node_mut`]) are rescheduled
+//! from their current deadline.
+
+use crate::engine::Component;
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// Registry handle of a node in a [`Harness`]; assigned densely in
+/// registration order, which is also the service order on deadline ties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {}", self.0)
+    }
+}
+
+/// Turns events emitted by one node into commands for other nodes.
+///
+/// The router is the only place topology lives: the harness knows
+/// nothing about what its nodes are. Routing runs inside the
+/// same-instant cascade, so commands returned here are delivered (and
+/// their outputs routed) before simulated time moves. The router may
+/// also absorb events (measurement taps, counters) by returning no
+/// commands for them.
+pub trait Router<C: Component> {
+    /// Routes one `event` emitted by `src` at `now`.
+    fn route(&mut self, now: SimTime, src: NodeId, event: C::Out) -> Vec<(NodeId, C::Cmd)>;
+}
+
+/// A same-instant routing cascade exceeded the configured step limit —
+/// some component keeps scheduling work at the current instant forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CascadeError {
+    /// The instant at which the cascade never converged.
+    pub at: SimTime,
+    /// The node whose events were being routed when the limit tripped.
+    pub node: NodeId,
+    /// Cascade steps performed at `at` before giving up.
+    pub steps: u32,
+}
+
+impl std::fmt::Display for CascadeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cascade guard tripped: {} same-instant routing steps at {} while routing events from {}",
+            self.steps, self.at, self.node
+        )
+    }
+}
+
+impl std::error::Error for CascadeError {}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct SchedEntry {
+    at: SimTime,
+    node: usize,
+    seq: u64,
+}
+
+impl PartialOrd for SchedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SchedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first. Ties at one
+        // instant are served in NodeId order (= registration order), and
+        // duplicate entries for one node fall back to push order (FIFO).
+        (other.at, other.node, other.seq).cmp(&(self.at, self.node, self.seq))
+    }
+}
+
+/// The generic scheduler/event-bus. See the module docs.
+pub struct Harness<C: Component, R: Router<C>> {
+    nodes: Vec<C>,
+    router: R,
+    now: SimTime,
+    heap: BinaryHeap<SchedEntry>,
+    seq: u64,
+    limit: u32,
+    failed: Option<CascadeError>,
+    dirty: Vec<usize>,
+}
+
+/// Default same-instant cascade step limit.
+pub const DEFAULT_CASCADE_LIMIT: u32 = 100_000;
+
+impl<C: Component, R: Router<C>> Harness<C, R> {
+    /// Creates an empty harness around `router` with the given
+    /// same-instant cascade step limit.
+    pub fn new(router: R, cascade_limit: u32) -> Self {
+        assert!(cascade_limit > 0, "cascade limit must be positive");
+        Harness {
+            nodes: Vec::new(),
+            router,
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            limit: cascade_limit,
+            failed: None,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Registers a node and schedules its current deadline.
+    pub fn add_node(&mut self, node: C) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        self.reschedule(id.0);
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to a node.
+    pub fn node(&self, id: NodeId) -> &C {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node. The node is conservatively rescheduled
+    /// before the next step, since the caller may change its deadline.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut C {
+        self.dirty.push(id.0);
+        &mut self.nodes[id.0]
+    }
+
+    /// Shared access to the router.
+    pub fn router(&self) -> &R {
+        &self.router
+    }
+
+    /// Mutable access to the router.
+    pub fn router_mut(&mut self) -> &mut R {
+        &mut self.router
+    }
+
+    /// The error that poisoned this harness, if a cascade overflowed.
+    pub fn failure(&self) -> Option<CascadeError> {
+        self.failed
+    }
+
+    /// Delivers `cmd` to `id` at the current instant and routes the
+    /// resulting cascade, exactly as if the command had been produced by
+    /// the router mid-run.
+    pub fn inject(&mut self, id: NodeId, cmd: C::Cmd) -> Result<(), CascadeError> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        let now = self.now;
+        let mut sink = Vec::new();
+        self.nodes[id.0].handle(now, cmd, &mut sink);
+        let wave: Vec<(NodeId, C::Out)> = sink.into_iter().map(|e| (id, e)).collect();
+        let mut touched = vec![id.0];
+        let result = self.cascade(now, wave, &mut touched);
+        touched.sort_unstable();
+        touched.dedup();
+        for n in touched {
+            self.reschedule(n);
+        }
+        result
+    }
+
+    /// Runs until no node has a deadline at or before `horizon`, then
+    /// leaves the clock at `horizon`. Returns a [`CascadeError`] (and
+    /// poisons the harness) if a same-instant cascade never converges;
+    /// the simulation state up to the failing instant remains readable.
+    pub fn try_run_until(&mut self, horizon: SimTime) -> Result<(), CascadeError> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        self.flush_dirty();
+        while let Some(t) = self.peek_deadline() {
+            if t > horizon {
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            let due = self.pop_due(t);
+            let mut wave: Vec<(NodeId, C::Out)> = Vec::new();
+            let mut sink = Vec::new();
+            for &n in &due {
+                self.nodes[n].advance(t, &mut sink);
+                wave.extend(sink.drain(..).map(|e| (NodeId(n), e)));
+            }
+            let mut touched = due;
+            let result = self.cascade(t, wave, &mut touched);
+            touched.sort_unstable();
+            touched.dedup();
+            for n in touched {
+                self.reschedule(n);
+            }
+            result?;
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        Ok(())
+    }
+
+    /// Like [`Harness::try_run_until`] but panics on cascade overflow
+    /// (for callers that treat it as the bug it is).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        if let Err(e) = self.try_run_until(horizon) {
+            panic!("{e}");
+        }
+    }
+
+    /// Pushes a fresh scheduler entry for the node's current deadline.
+    fn reschedule(&mut self, node: usize) {
+        if let Some(at) = self.nodes[node].next_deadline() {
+            self.seq += 1;
+            self.heap.push(SchedEntry {
+                at,
+                node,
+                seq: self.seq,
+            });
+        }
+    }
+
+    fn flush_dirty(&mut self) {
+        while let Some(n) = self.dirty.pop() {
+            self.reschedule(n);
+        }
+    }
+
+    /// The earliest still-valid scheduled deadline, discarding stale
+    /// entries (nodes whose deadline moved since the entry was pushed).
+    fn peek_deadline(&mut self) -> Option<SimTime> {
+        while let Some(top) = self.heap.peek() {
+            if self.nodes[top.node].next_deadline() == Some(top.at) {
+                return Some(top.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops every node scheduled at exactly `t`, deduplicated, in NodeId
+    /// order (the heap yields ties in that order by construction).
+    fn pop_due(&mut self, t: SimTime) -> Vec<usize> {
+        let mut due = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.at > t {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry");
+            if self.nodes[entry.node].next_deadline() != Some(entry.at) {
+                continue; // stale
+            }
+            if due.last() != Some(&entry.node) {
+                due.push(entry.node);
+            }
+        }
+        due
+    }
+
+    /// Routes `wave` breadth-first at `now` until it drains, recording
+    /// every commanded node in `touched`. Each iteration of the outer
+    /// loop is one guard step, matching the wave accounting of the old
+    /// per-testbed loops.
+    fn cascade(
+        &mut self,
+        now: SimTime,
+        mut wave: Vec<(NodeId, C::Out)>,
+        touched: &mut Vec<usize>,
+    ) -> Result<(), CascadeError> {
+        let mut steps = 0u32;
+        while !wave.is_empty() {
+            steps += 1;
+            if steps > self.limit {
+                let err = CascadeError {
+                    at: now,
+                    node: wave[0].0,
+                    steps,
+                };
+                self.failed = Some(err);
+                return Err(err);
+            }
+            let mut next: Vec<(NodeId, C::Out)> = Vec::new();
+            let mut sink = Vec::new();
+            for (src, event) in wave.drain(..) {
+                for (dst, cmd) in self.router.route(now, src, event) {
+                    self.nodes[dst.0].handle(now, cmd, &mut sink);
+                    touched.push(dst.0);
+                    next.extend(sink.drain(..).map(|e| (dst, e)));
+                }
+            }
+            wave = next;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    /// A ticker that fires at a fixed period, logging (time, id) into a
+    /// shared order via its emitted events; commands restart it.
+    struct Ticker {
+        id: u32,
+        period: Dur,
+        next: Option<SimTime>,
+        remaining: u32,
+    }
+
+    impl Component for Ticker {
+        type Cmd = u32;
+        type Out = u32;
+        fn next_deadline(&self) -> Option<SimTime> {
+            self.next
+        }
+        fn advance(&mut self, now: SimTime, sink: &mut Vec<u32>) {
+            if Some(now) == self.next {
+                self.remaining -= 1;
+                sink.push(self.id);
+                self.next = if self.remaining > 0 {
+                    Some(now + self.period)
+                } else {
+                    None
+                };
+            }
+        }
+        fn handle(&mut self, now: SimTime, extra: u32, _sink: &mut Vec<u32>) {
+            self.remaining += extra;
+            if self.next.is_none() {
+                self.next = Some(now + self.period);
+            }
+        }
+    }
+
+    /// Absorbs everything, recording `(time, source)` service order.
+    struct Recorder {
+        seen: Vec<(SimTime, NodeId)>,
+    }
+
+    impl Router<Ticker> for Recorder {
+        fn route(&mut self, now: SimTime, src: NodeId, _event: u32) -> Vec<(NodeId, u32)> {
+            self.seen.push((now, src));
+            Vec::new()
+        }
+    }
+
+    fn ticker(id: u32, period_ms: u64, fires: u32) -> Ticker {
+        Ticker {
+            id,
+            period: Dur::from_ms(period_ms),
+            next: Some(SimTime::from_ms(period_ms)),
+            remaining: fires,
+        }
+    }
+
+    #[test]
+    fn nodes_sharing_a_deadline_fire_in_registration_order() {
+        // Three tickers with identical periods land on every deadline
+        // simultaneously; service order must be registration order at
+        // every instant, regardless of heap internals.
+        let mut h = Harness::new(Recorder { seen: Vec::new() }, 100);
+        let c = h.add_node(ticker(2, 10, 4));
+        let a = h.add_node(ticker(0, 10, 4));
+        let b = h.add_node(ticker(1, 10, 4));
+        h.run_until(SimTime::from_ms(100));
+        let seen = &h.router().seen;
+        assert_eq!(seen.len(), 12);
+        for (k, chunk) in seen.chunks(3).enumerate() {
+            let t = SimTime::from_ms(10 * (k as u64 + 1));
+            assert_eq!(chunk, [(t, c), (t, a), (t, b)], "instant {t}");
+        }
+    }
+
+    #[test]
+    fn rescheduling_keeps_single_node_fifo() {
+        let mut h = Harness::new(Recorder { seen: Vec::new() }, 100);
+        let a = h.add_node(ticker(0, 7, 3));
+        h.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            h.router().seen,
+            vec![
+                (SimTime::from_ms(7), a),
+                (SimTime::from_ms(14), a),
+                (SimTime::from_ms(21), a)
+            ]
+        );
+        assert_eq!(h.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn inject_restarts_an_idle_node() {
+        let mut h = Harness::new(Recorder { seen: Vec::new() }, 100);
+        let a = h.add_node(ticker(0, 5, 1));
+        h.run_until(SimTime::from_ms(100));
+        assert_eq!(h.router().seen.len(), 1);
+        h.inject(a, 2).unwrap();
+        h.run_until(SimTime::from_ms(200));
+        assert_eq!(h.router().seen.len(), 3);
+        assert_eq!(h.router().seen[2].0, SimTime::from_ms(110));
+    }
+
+    #[test]
+    fn node_mut_reschedules_external_changes() {
+        let mut h = Harness::new(Recorder { seen: Vec::new() }, 100);
+        let a = h.add_node(ticker(0, 5, 1));
+        // One fire at 5 ms, then the node goes idle (no deadline).
+        h.run_until(SimTime::from_ms(20));
+        let before = h.router().seen.len();
+        assert_eq!(before, 1);
+        h.node_mut(a).remaining = 2;
+        h.node_mut(a).next = Some(SimTime::from_ms(25));
+        h.run_until(SimTime::from_ms(40));
+        assert_eq!(h.router().seen.len(), before + 2);
+    }
+
+    /// A pathological router: echoes every event straight back as a
+    /// command, and the component re-emits on handle — a same-instant
+    /// livelock the guard must catch.
+    struct Echo;
+    struct Loop {
+        armed: bool,
+    }
+
+    impl Component for Loop {
+        type Cmd = u32;
+        type Out = u32;
+        fn next_deadline(&self) -> Option<SimTime> {
+            self.armed.then(|| SimTime::from_ms(1))
+        }
+        fn advance(&mut self, _now: SimTime, sink: &mut Vec<u32>) {
+            if self.armed {
+                self.armed = false;
+                sink.push(0);
+            }
+        }
+        fn handle(&mut self, _now: SimTime, v: u32, sink: &mut Vec<u32>) {
+            sink.push(v + 1);
+        }
+    }
+
+    impl Router<Loop> for Echo {
+        fn route(&mut self, _now: SimTime, src: NodeId, event: u32) -> Vec<(NodeId, u32)> {
+            vec![(src, event)]
+        }
+    }
+
+    #[test]
+    fn cascade_overflow_is_a_typed_error_and_poisons() {
+        let mut h = Harness::new(Echo, 50);
+        let n = h.add_node(Loop { armed: true });
+        let err = h.try_run_until(SimTime::from_secs(1)).unwrap_err();
+        assert_eq!(err.node, n);
+        assert_eq!(err.at, SimTime::from_ms(1));
+        assert_eq!(err.steps, 51);
+        assert_eq!(h.failure(), Some(err));
+        // Poisoned: further runs report the same failure.
+        assert_eq!(h.try_run_until(SimTime::from_secs(2)), Err(err));
+        let msg = err.to_string();
+        assert!(msg.contains("node 0") && msg.contains("51"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cascade guard tripped")]
+    fn run_until_panics_on_overflow() {
+        let mut h = Harness::new(Echo, 10);
+        h.add_node(Loop { armed: true });
+        h.run_until(SimTime::from_secs(1));
+    }
+}

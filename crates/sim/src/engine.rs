@@ -153,7 +153,11 @@ impl<W> EventLoop<W> {
     ///
     /// Panics if `at` is in the past.
     pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut EventLoop<W>) + 'static) {
-        assert!(at >= self.now, "EventLoop::at: {at} is before now={}", self.now);
+        assert!(
+            at >= self.now,
+            "EventLoop::at: {at} is before now={}",
+            self.now
+        );
         self.seq += 1;
         self.queue.push(Entry {
             at,

@@ -11,14 +11,23 @@
 //! * [`rng`] — deterministic, stream-splittable random numbers,
 //! * [`engine`] — the [`engine::Component`] state-machine protocol and a
 //!   closure-based [`engine::EventLoop`] for tests,
+//! * [`bus`] — the generic scheduler/event-bus ([`bus::Harness`]): a
+//!   [`bus::NodeId`]-addressable registry, a central deadline scheduler
+//!   with deterministic tie-breaking, and typed routing via [`bus::Router`],
+//! * [`sweep`] — a `std::thread` fan-out for independent simulations with
+//!   results returned in sequential order,
 //! * [`trace`] — ground-truth signal edge logs for the measurement points.
 
+pub mod bus;
 pub mod engine;
 pub mod rng;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 
+pub use bus::{CascadeError, Harness, NodeId, Router, DEFAULT_CASCADE_LIMIT};
 pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
 pub use rng::{Pcg32, SplitMix64};
+pub use sweep::{default_threads, parallel_map};
 pub use time::{Dur, SimTime};
 pub use trace::{Edge, EdgeLog};

@@ -1,0 +1,106 @@
+//! Thread-parallel sweep runner for independent simulations.
+//!
+//! Scenario sweeps (ablation grids, capacity scans, seed batteries) run
+//! many *independent* single-threaded simulations; this module fans them
+//! out over OS threads with `std::thread` alone. Each worker pulls the
+//! next item off a shared atomic cursor, so results appear in an
+//! arbitrary completion order internally — but they are returned sorted
+//! by input index, making the output byte-identical to a sequential
+//! `map` regardless of thread count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item across `threads` worker threads and returns
+/// the results in input order (identical to `items.map(f).collect()`).
+///
+/// `f` must be deterministic per item for the "byte-identical to
+/// sequential" guarantee to mean anything; the simulations it wraps are.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker after the sweep unwinds.
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let item = slots[k].lock().expect("unpoisoned slot").take();
+                let item = item.expect("each slot is taken exactly once");
+                let out = f(item);
+                *results[k].lock().expect("unpoisoned result") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(k, m)| {
+            m.into_inner()
+                .expect("unpoisoned result")
+                .unwrap_or_else(|| panic!("sweep item {k} produced no result"))
+        })
+        .collect()
+}
+
+/// A sensible worker count for sweeps: the machine's parallelism, capped
+/// so small sweeps don't spawn idle threads.
+pub fn default_threads(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_match_sequential_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let par = parallel_map(items.clone(), threads, |x| x * x + 1);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_clone_items_move_through() {
+        let items: Vec<String> = (0..20).map(|k| format!("s{k}")).collect();
+        let out = parallel_map(items, 4, |s| s.len());
+        assert_eq!(out.len(), 20);
+        assert_eq!(out[0], 2);
+        assert_eq!(out[10], 3);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        assert!(default_threads(0) >= 1);
+        assert!(default_threads(3) <= 3 || default_threads(3) >= 1);
+        assert_eq!(default_threads(1), 1);
+    }
+}

@@ -296,11 +296,11 @@ impl fmt::Display for Dur {
 fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     if ns == 0 {
         write!(f, "0ns")
-    } else if ns % 1_000_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000_000) {
         write!(f, "{}s", ns / 1_000_000_000)
-    } else if ns % 1_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000) {
         write!(f, "{}ms", ns / 1_000_000)
-    } else if ns % 1_000 == 0 {
+    } else if ns.is_multiple_of(1_000) {
         write!(f, "{}us", ns / 1_000)
     } else if ns >= 1_000_000_000 {
         write!(f, "{:.3}s", ns as f64 / 1e9)
@@ -346,10 +346,7 @@ mod tests {
 
     #[test]
     fn checked_since_backwards_is_none() {
-        assert_eq!(
-            SimTime::from_us(1).checked_since(SimTime::from_us(2)),
-            None
-        );
+        assert_eq!(SimTime::from_us(1).checked_since(SimTime::from_us(2)), None);
         assert_eq!(
             SimTime::from_us(2).checked_since(SimTime::from_us(1)),
             Some(Dur::from_us(1))
@@ -397,9 +394,6 @@ mod tests {
     #[test]
     fn saturating_ops() {
         assert_eq!(SimTime::MAX.saturating_add(Dur::from_ns(5)), SimTime::MAX);
-        assert_eq!(
-            Dur::from_us(1).saturating_sub(Dur::from_us(2)),
-            Dur::ZERO
-        );
+        assert_eq!(Dur::from_us(1).saturating_sub(Dur::from_us(2)), Dur::ZERO);
     }
 }

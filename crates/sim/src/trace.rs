@@ -121,6 +121,25 @@ impl EdgeLog {
             .filter_map(|(a, b)| b.at.checked_since(a.at))
             .collect()
     }
+
+    /// A 64-bit FNV-1a digest over every `(at, tag)` pair (the name is
+    /// excluded, so relabelling a signal does not change its digest).
+    /// Used by determinism regression tests: a fixed seed must produce a
+    /// bit-identical log, hence a stable digest.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for e in &self.edges {
+            eat(e.at.as_ns());
+            eat(e.tag);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -178,10 +197,7 @@ mod tests {
         tx.record(t(100), 5);
         rx.record(t(10), 5);
         rx.record(t(150), 5);
-        assert_eq!(
-            tx.deltas_to(&rx),
-            vec![Dur::from_us(10), Dur::from_us(50)]
-        );
+        assert_eq!(tx.deltas_to(&rx), vec![Dur::from_us(10), Dur::from_us(50)]);
     }
 
     #[test]

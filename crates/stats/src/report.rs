@@ -112,8 +112,8 @@ impl Report {
         let _ = writeln!(out, "== {} ==", self.title);
         let _ = writeln!(
             out,
-            "{:<28} {:>14} {:>14} {:>6}  {}",
-            "claim", "paper", "measured", "", "description"
+            "{:<28} {:>14} {:>14} {:>6}  description",
+            "claim", "paper", "measured", ""
         );
         for c in &self.claims {
             let verdict = match c.band {
@@ -209,7 +209,14 @@ mod tests {
     #[test]
     fn report_detects_failure() {
         let mut r = Report::new("t");
-        r.claim(Claim::new("a", "d", 10.0, 20.0, "us", Band::RelativeFrac(0.1)));
+        r.claim(Claim::new(
+            "a",
+            "d",
+            10.0,
+            20.0,
+            "us",
+            Band::RelativeFrac(0.1),
+        ));
         assert!(!r.all_hold());
         assert!(r.render().contains("FAIL"));
     }

@@ -110,15 +110,13 @@ impl Frame {
     /// frame-type bits, subtype in the low bits for MAC frames.
     pub fn fc_byte(&self) -> u8 {
         match self.kind {
-            FrameKind::Mac(k) => {
-                let sub = match k {
-                    MacKind::ClaimToken => 0x03,
-                    MacKind::RingPurge => 0x04,
-                    MacKind::ActiveMonitorPresent => 0x05,
-                    MacKind::StandbyMonitorPresent => 0x06,
-                };
-                sub // top bits 00 = MAC
-            }
+            // Top bits 00 = MAC, subtype in the low bits.
+            FrameKind::Mac(k) => match k {
+                MacKind::ClaimToken => 0x03,
+                MacKind::RingPurge => 0x04,
+                MacKind::ActiveMonitorPresent => 0x05,
+                MacKind::StandbyMonitorPresent => 0x06,
+            },
             FrameKind::Llc(_) => 0x40,
         }
     }

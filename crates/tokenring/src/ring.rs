@@ -501,7 +501,7 @@ impl TokenRing {
         let mut obs = VecDeque::new();
         for _ in 0..purges {
             obs.push_back(until);
-            until = until + self.cfg.purge_duration;
+            until += self.cfg.purge_duration;
         }
         sink.push(RingOut::PurgeStarted { purges });
         self.state = Medium::Purging { until, obs };
@@ -573,8 +573,7 @@ impl Component for TokenRing {
                             // token and re-releases it at the stacked
                             // priority (or re-raises if a new reservation
                             // arrived above it meanwhile).
-                            let (old, _, st) =
-                                self.stack.pop().expect("lower implies stacker");
+                            let (old, _, st) = self.stack.pop().expect("lower implies stacker");
                             debug_assert_eq!(st, station);
                             self.stats.priority_lowers += 1;
                             self.release_token(now, station, old);
@@ -773,7 +772,10 @@ mod tests {
             .expect("delivered");
         assert_eq!(deliver.1, StationId(2));
         // Delivery = capture + walk(0->2) + tx, walk(0->2) = L/2 for 4 stations.
-        assert_eq!(deliver.0, SimTime::ZERO + l + Dur::from_ns(l.as_ns() / 2) + tx);
+        assert_eq!(
+            deliver.0,
+            SimTime::ZERO + l + Dur::from_ns(l.as_ns() / 2) + tx
+        );
         assert_eq!(r.stats().frames_sent, 1);
         assert_eq!(r.stats().frames_delivered, 1);
     }
@@ -868,9 +870,16 @@ mod tests {
             .any(|e| matches!(e, RingOut::LostToPurge { tag: 9, .. }));
         assert!(lost, "in-flight frame lost: {sink:?}");
         // The strip still reports (silent loss at the adapter level).
-        let stripped = sink.iter().any(
-            |e| matches!(e, RingOut::Stripped { delivered: false, tag: 9, .. }),
-        );
+        let stripped = sink.iter().any(|e| {
+            matches!(
+                e,
+                RingOut::Stripped {
+                    delivered: false,
+                    tag: 9,
+                    ..
+                }
+            )
+        });
         assert!(stripped, "{sink:?}");
         assert_eq!(r.stats().frames_lost, 1);
         // After the purge ends the ring recovers and can carry frames.

@@ -156,16 +156,15 @@ impl Ctx<'_> {
     /// Pushes a CPU job owned by this driver; completion calls
     /// [`Driver::on_job`] with `token`.
     pub fn push_job(&mut self, token: u64, cost: Dur, level: ExecLevel) {
-        self.out.push(KernOut::Mach(ctms_rtpc::MachCmd::Push(
-            ctms_rtpc::Job {
+        self.out
+            .push(KernOut::Mach(ctms_rtpc::MachCmd::Push(ctms_rtpc::Job {
                 tag: crate::ids::KTag::Driver {
                     id: self.self_id,
                     token,
                 },
                 cost,
                 level,
-            },
-        )));
+            })));
     }
 
     /// Starts a DMA transfer owned by this driver; completion calls

@@ -104,12 +104,8 @@ impl Host {
                 KernOut::Mach(cmd) => self.machine.handle(now, cmd, &mut mouts),
                 KernOut::RingSubmit(frame) => sink.push(HostOut::RingSubmit(frame)),
                 KernOut::Trace { point, tag } => sink.push(HostOut::Trace { point, tag }),
-                KernOut::Drop { site, tag, bytes } => {
-                    sink.push(HostOut::Drop { site, tag, bytes })
-                }
-                KernOut::Presented { tag, bytes } => {
-                    sink.push(HostOut::Presented { tag, bytes })
-                }
+                KernOut::Drop { site, tag, bytes } => sink.push(HostOut::Drop { site, tag, bytes }),
+                KernOut::Presented { tag, bytes } => sink.push(HostOut::Presented { tag, bytes }),
                 KernOut::SockDelivered { port, bytes } => {
                     sink.push(HostOut::SockDelivered { port, bytes })
                 }
@@ -120,11 +116,7 @@ impl Host {
     }
 
     /// Feeds machine outputs into the kernel. Returns kernel outputs.
-    fn route_mach_outs(
-        &mut self,
-        now: SimTime,
-        mouts: Vec<MachOut<KTag>>,
-    ) -> Vec<KernOut> {
+    fn route_mach_outs(&mut self, now: SimTime, mouts: Vec<MachOut<KTag>>) -> Vec<KernOut> {
         let mut kouts = Vec::new();
         for o in mouts {
             match o {
@@ -133,10 +125,12 @@ impl Host {
                         .handle(now, KernCmd::IrqEntered { line }, &mut kouts)
                 }
                 MachOut::JobDone { tag } => {
-                    self.kernel.handle(now, KernCmd::JobDone { tag }, &mut kouts)
+                    self.kernel
+                        .handle(now, KernCmd::JobDone { tag }, &mut kouts)
                 }
                 MachOut::DmaDone { tag } => {
-                    self.kernel.handle(now, KernCmd::DmaDone { tag }, &mut kouts)
+                    self.kernel
+                        .handle(now, KernCmd::DmaDone { tag }, &mut kouts)
                 }
                 MachOut::IrqOverrun { .. } => {
                     // Lost edge: real hardware would have collapsed the two
@@ -189,11 +183,10 @@ impl Component for Host {
                 self.kernel
                     .handle(now, KernCmd::RingDelivered { frame }, &mut kouts)
             }
-            HostCmd::RingStripped { tag, delivered } => self.kernel.handle(
-                now,
-                KernCmd::RingStripped { tag, delivered },
-                &mut kouts,
-            ),
+            HostCmd::RingStripped { tag, delivered } => {
+                self.kernel
+                    .handle(now, KernCmd::RingStripped { tag, delivered }, &mut kouts)
+            }
             HostCmd::Kern(cmd) => self.kernel.handle(now, cmd, &mut kouts),
         }
         self.settle(now, kouts, sink);
@@ -321,8 +314,12 @@ mod tests {
     #[test]
     fn compute_processes_timeshare_fifo() {
         let (mut host, _dev) = build_host(false);
-        let a = host.kernel.add_proc(Program::once(vec![Step::Compute(Dur::from_ms(25))]));
-        let b = host.kernel.add_proc(Program::once(vec![Step::Compute(Dur::from_ms(5))]));
+        let a = host
+            .kernel
+            .add_proc(Program::once(vec![Step::Compute(Dur::from_ms(25))]));
+        let b = host
+            .kernel
+            .add_proc(Program::once(vec![Step::Compute(Dur::from_ms(5))]));
         let evs = drain_component(&mut host, SimTime::from_secs(1));
         let exits: Vec<(SimTime, Pid)> = evs
             .iter()

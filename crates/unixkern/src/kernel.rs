@@ -11,9 +11,7 @@ use crate::driver::{Ctx, Driver, DriverCall, KernOut, OpResult, Pkt, WakeKind};
 use crate::ids::{DriverId, DropSite, KTag, Pid, Port};
 use crate::mbuf::{AllocResult, MbufChain, MbufPool, MbufStats};
 use crate::proc::{PState, Proc, Program, Stage, Step, Wait};
-use crate::socket::{
-    MetaKind, Sock, SockMeta, SockProto, ACK_LEN, TCP_OVERHEAD, UDP_OVERHEAD,
-};
+use crate::socket::{MetaKind, Sock, SockMeta, SockProto, ACK_LEN, TCP_OVERHEAD, UDP_OVERHEAD};
 use ctms_rtpc::{CopyCost, ExecLevel, MachCmd, MemRegion};
 use ctms_sim::{Component, Dur, Pcg32, SimTime};
 use ctms_tokenring::{Frame, Proto, StationId};
@@ -370,14 +368,16 @@ impl Kernel {
         for (at, did, token) in timers {
             self.arm(at, TimerTarget::Driver(did, token));
         }
-        self.work
-            .extend(calls.into_iter().map(|(to, call)| Work::Call {
-                from: id,
-                to,
-                call,
-            }));
-        self.work
-            .extend(wakes.into_iter().map(|(pid, kind)| Work::Wake { pid, kind }));
+        self.work.extend(
+            calls
+                .into_iter()
+                .map(|(to, call)| Work::Call { from: id, to, call }),
+        );
+        self.work.extend(
+            wakes
+                .into_iter()
+                .map(|(pid, kind)| Work::Wake { pid, kind }),
+        );
         self.work.extend(ip_in.into_iter().map(Work::IpIn));
         self.work.extend(
             mbuf_ready
@@ -670,11 +670,7 @@ impl Kernel {
             SockProto::UdpLite => (MetaKind::UdpData, UDP_OVERHEAD),
             SockProto::TcpLite => (MetaKind::TcpData, TCP_OVERHEAD),
         };
-        let meta = SockMeta {
-            port,
-            kind,
-            seq,
-        };
+        let meta = SockMeta { port, kind, seq };
         let pkt = Pkt {
             proto: Proto::Ip,
             dst: sock.peer,
@@ -734,15 +730,15 @@ impl Kernel {
 
     fn proc_wake(&mut self, pid: Pid, kind: WakeKind, now: SimTime, out: &mut Vec<KernOut>) {
         let p = &self.procs[pid.0 as usize];
-        let matches = match (&p.state, kind) {
-            (PState::Blocked(Wait::DevRead(_)), WakeKind::DevRead { .. }) => true,
-            (PState::Blocked(Wait::DevWrite(_)), WakeKind::DevWrite) => true,
-            (PState::Blocked(Wait::SockData(_)), WakeKind::SockData) => true,
-            (PState::Blocked(Wait::SockSpace(_)), WakeKind::SockSpace) => true,
-            (PState::Blocked(Wait::Mbuf(_)), WakeKind::Mbuf) => true,
-            (PState::Blocked(Wait::Sleeping), WakeKind::Timer) => true,
-            _ => false,
-        };
+        let matches = matches!(
+            (&p.state, kind),
+            (PState::Blocked(Wait::DevRead(_)), WakeKind::DevRead { .. })
+                | (PState::Blocked(Wait::DevWrite(_)), WakeKind::DevWrite)
+                | (PState::Blocked(Wait::SockData(_)), WakeKind::SockData)
+                | (PState::Blocked(Wait::SockSpace(_)), WakeKind::SockSpace)
+                | (PState::Blocked(Wait::Mbuf(_)), WakeKind::Mbuf)
+                | (PState::Blocked(Wait::Sleeping), WakeKind::Timer)
+        );
         if !matches {
             return; // spurious wakeup
         }
@@ -762,7 +758,10 @@ impl Kernel {
             KernJob::HardclockBody => {
                 self.stats.ticks += 1;
                 if self.cfg.calib.softclock_every > 0
-                    && self.stats.ticks % self.cfg.calib.softclock_every == 0
+                    && self
+                        .stats
+                        .ticks
+                        .is_multiple_of(self.cfg.calib.softclock_every)
                 {
                     let token = self.alloc_kern_job(KernJob::SoftclockBody);
                     out.push(KernOut::Mach(MachCmd::Push(ctms_rtpc::Job {
@@ -972,7 +971,10 @@ impl Kernel {
     fn boot(&mut self, now: SimTime, out: &mut Vec<KernOut>) {
         self.booted = true;
         if self.cfg.clock_enabled {
-            self.arm(now + self.cfg.calib.hardclock_period, TimerTarget::Hardclock);
+            self.arm(
+                now + self.cfg.calib.hardclock_period,
+                TimerTarget::Hardclock,
+            );
         }
         for id in 0..self.drivers.len() as u8 {
             self.with_driver(DriverId(id), now, out, |d, ctx| d.on_boot(ctx));
@@ -1000,10 +1002,7 @@ impl Component for Kernel {
         if !self.booted {
             self.boot(now, sink);
         }
-        loop {
-            let Some((&(t, seq), _)) = self.timers.iter().next() else {
-                break;
-            };
+        while let Some((&(t, seq), _)) = self.timers.iter().next() {
             if t > now {
                 break;
             }
@@ -1014,7 +1013,10 @@ impl Component for Kernel {
                 }
                 TimerTarget::Hardclock => {
                     sink.push(KernOut::Mach(MachCmd::RaiseIrq { line: LINE_CLOCK }));
-                    self.arm(now + self.cfg.calib.hardclock_period, TimerTarget::Hardclock);
+                    self.arm(
+                        now + self.cfg.calib.hardclock_period,
+                        TimerTarget::Hardclock,
+                    );
                 }
                 TimerTarget::ProcSleep(pid) => {
                     self.work.push_back(Work::Wake {
@@ -1066,9 +1068,7 @@ impl Component for Kernel {
                 });
             }
             KernCmd::Call { driver, call } => {
-                self.with_driver(driver, now, sink, |d, ctx| {
-                    d.on_call(ctx, KERNEL_ID, call)
-                });
+                self.with_driver(driver, now, sink, |d, ctx| d.on_call(ctx, KERNEL_ID, call));
             }
         }
         self.drain_work(now, sink);
@@ -1118,12 +1118,7 @@ mod tests {
         cfg.mbuf_capacity = 20; // 2028 bytes -> 19 mbufs
         let mut kernel = Kernel::new(cfg, Pcg32::new(5, 2));
         let port = Port(4);
-        kernel.add_sock(Sock::new(
-            port,
-            SockProto::UdpLite,
-            StationId(1),
-            16 * 1024,
-        ));
+        kernel.add_sock(Sock::new(port, SockProto::UdpLite, StationId(1), 16 * 1024));
         let a = kernel.add_proc(Program::once(vec![Step::SockSend { port, bytes: 2000 }]));
         let b = kernel.add_proc(Program::once(vec![Step::SockSend { port, bytes: 2000 }]));
         let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);

@@ -28,8 +28,8 @@ pub use driver::{Ctx, Driver, DriverCall, KernOut, OpResult, Pkt, WakeKind};
 pub use host::{Host, HostCmd, HostOut};
 pub use ids::{DriverId, DropSite, KTag, MeasurePoint, Pid, Port};
 pub use kernel::{
-    KernCalib, KernCmd, KernConfig, KernStats, Kernel, KERNEL_ID, LINE_CLOCK, LINE_DISK,
-    LINE_TR, LINE_VCA,
+    KernCalib, KernCmd, KernConfig, KernStats, Kernel, KERNEL_ID, LINE_CLOCK, LINE_DISK, LINE_TR,
+    LINE_VCA,
 };
 pub use mbuf::{AllocResult, MbufChain, MbufPool, MbufStats, MBUF_DATA};
 pub use proc::{Program, Step};

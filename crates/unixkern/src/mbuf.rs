@@ -247,6 +247,9 @@ mod tests {
     #[should_panic(expected = "double free")]
     fn double_free_detected() {
         let mut p = MbufPool::new(10);
-        let _ = p.free(MbufChain { len: 2000, count: 18 });
+        let _ = p.free(MbufChain {
+            len: 2000,
+            count: 18,
+        });
     }
 }

@@ -130,8 +130,7 @@ impl PhantomTraffic {
     /// randomized inter-arrival from time zero.
     pub fn new(cfg: PhantomCfg, mut rng: Pcg32) -> Self {
         let next = |rng: &mut Pcg32, rate: f64| -> Option<SimTime> {
-            (rate > 0.0)
-                .then(|| SimTime::ZERO + rng.exp_dur(Dur::from_secs_f64(1.0 / rate)))
+            (rate > 0.0).then(|| SimTime::ZERO + rng.exp_dur(Dur::from_secs_f64(1.0 / rate)))
         };
         let next_small = next(&mut rng, cfg.small_rate);
         let next_arp = next(&mut rng, cfg.arp_rate);
@@ -291,7 +290,11 @@ mod tests {
         assert!((6000..8500).contains(&stats.small), "{}", stats.small);
         assert!((60..180).contains(&stats.arp), "{}", stats.arp);
         // 3 bursts/s × ~8 frames.
-        assert!((800..2200).contains(&stats.ft_frames), "{}", stats.ft_frames);
+        assert!(
+            (800..2200).contains(&stats.ft_frames),
+            "{}",
+            stats.ft_frames
+        );
         // Some small packets are addressed to hosts.
         let to_hosts = evs
             .iter()

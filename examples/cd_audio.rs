@@ -31,7 +31,8 @@ fn main() {
     let mut bed = Testbed::ctms(&scenario);
     bed.run_until(SimTime::from_secs(minutes * 60));
 
-    let sink = bed.hosts[1]
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("sink");

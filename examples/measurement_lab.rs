@@ -15,9 +15,7 @@
 //! ```
 
 use ctms_core::{Scenario, Testbed};
-use ctms_measure::{
-    analyze_period, PcAt, PcAtCfg, PseudoCfg, PseudoDriver,
-};
+use ctms_measure::{analyze_period, PcAt, PcAtCfg, PseudoCfg, PseudoDriver};
 use ctms_sim::{Dur, EdgeLog, Pcg32, SimTime};
 use ctms_stats::Summary;
 
@@ -96,18 +94,18 @@ fn main() {
 
     println!();
     println!("== TAP's view of the ring ==");
-    let b = bed.tap.breakdown();
+    let b = bed.tap().breakdown();
     println!(
         "captured {} frames: {} MAC (~20 B), {} small (60–300 B), \
          {} file-transfer (~1522 B), {} CTMSP (2021 B), {} other",
-        bed.tap.records().len(),
+        bed.tap().records().len(),
         b.mac,
         b.small,
         b.file_transfer,
         b.ctmsp,
         b.other
     );
-    let a = bed.tap.analyze_stream();
+    let a = bed.tap().analyze_stream();
     println!(
         "CTMSP stream: {} captured, {} out-of-order, {} gaps ({} missing), \
          {} duplicates — §5: 'the problem of out of order packets completely \
@@ -117,8 +115,8 @@ fn main() {
     println!(
         "ring utilization {:.1} %, {} purges observed, {} frames missed by \
          the capture-rate limit",
-        bed.tap.utilization() * 100.0,
-        bed.tap.purges(),
-        bed.tap.missed()
+        bed.tap().utilization() * 100.0,
+        bed.tap().purges(),
+        bed.tap().missed()
     );
 }

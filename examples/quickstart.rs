@@ -27,11 +27,13 @@ fn main() {
     let mut bed = Testbed::ctms(&scenario);
     bed.run_until(SimTime::from_secs(30));
 
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .expect("source driver");
-    let sink = bed.hosts[1]
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("sink driver");
@@ -51,9 +53,7 @@ fn main() {
         "transfer latency (point 3 → point 4): min {:.0} µs, mean {:.0} µs, max {:.0} µs",
         s.min, s.mean, s.max
     );
-    println!(
-        "paper (Figure 5-3): min 10 740 µs, mean 10 894 µs, 98 % within ±160 µs"
-    );
+    println!("paper (Figure 5-3): min 10 740 µs, mean 10 894 µs, 98 % within ±160 µs");
 
     let h6 = set.samples_us(HistId::H6);
     println!(

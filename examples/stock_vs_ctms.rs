@@ -15,18 +15,20 @@ fn stock_run(rate: u32, secs: u64) -> (f64, f64, f64) {
     let sc = Scenario::test_case_a(7);
     let mut bed = Testbed::stock(&sc, rate, SockProto::UdpLite);
     bed.run_until(SimTime::from_secs(secs));
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<StockVcaSource>(bed.roles.vca_src)
         .expect("source");
-    let sink = bed.hosts[1]
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<StockAudioSink>(bed.roles.vca_sink)
         .expect("sink");
     let produced = src.stats().produced.max(1) as f64;
     let lost = (src.stats().overrun_bytes + sink.stats().underrun_bytes) as f64;
     let glitches_per_min = sink.stats().underruns as f64 * 60.0 / secs as f64;
-    let cpu = bed.hosts[0].machine.cpu_stats().busy_work_ns as f64 / (secs as f64 * 1e9);
+    let cpu = bed.host(0).machine.cpu_stats().busy_work_ns as f64 / (secs as f64 * 1e9);
     (lost / produced, glitches_per_min, cpu)
 }
 
@@ -34,20 +36,22 @@ fn ctms_run(secs: u64) -> (f64, f64) {
     let sc = Scenario::test_case_b(7); // loaded public ring, no less
     let mut bed = Testbed::ctms(&sc);
     bed.run_until(SimTime::from_secs(secs));
-    let sent = bed.hosts[0]
+    let sent = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .expect("source")
         .stats()
         .pkts_sent
         .max(1) as f64;
-    let recv = bed.hosts[1]
+    let recv = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("sink")
         .stats()
         .received as f64;
-    let cpu = bed.hosts[0].machine.cpu_stats().busy_work_ns as f64 / (secs as f64 * 1e9);
+    let cpu = bed.host(0).machine.cpu_stats().busy_work_ns as f64 / (secs as f64 * 1e9);
     (recv / sent, cpu)
 }
 

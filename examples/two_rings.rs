@@ -23,7 +23,7 @@ fn run(label: &str, sc: &Scenario, kind: BridgeKind, secs: u64) {
     let (sent, received, drops) = bed.counters();
     let h7 = bed.measurement_set().samples_us(HistId::H7);
     let s = Summary::of(&h7);
-    let q = bed.bridge.stats().queue_highwater;
+    let q = bed.bridge(0).stats().queue_highwater;
     println!(
         "{label:<28} {received:>5}/{sent:<5} delivered  {drops:>4} dropped  \
          latency {:>6.1}/{:>6.1} ms (mean/max)  queue peak {q}",

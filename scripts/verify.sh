@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification gate: formatting, lints, and the tier-1 suite.
+# Run from the repository root. Everything here works offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, deny warnings)"
+cargo clippy --workspace -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "verify: OK"

@@ -37,7 +37,12 @@ fn different_seed_different_run() {
     let b = run(2);
     assert_ne!(a, b);
     let (sa, sb) = (Summary::of(&a), Summary::of(&b));
-    assert!((sa.mean - sb.mean).abs() < 1000.0, "{} vs {}", sa.mean, sb.mean);
+    assert!(
+        (sa.mean - sb.mean).abs() < 1000.0,
+        "{} vs {}",
+        sa.mean,
+        sb.mean
+    );
 }
 
 /// Case A sustains the stream with essentially no loss and a tight
@@ -47,11 +52,13 @@ fn case_a_invariants() {
     let sc = Scenario::test_case_a(99);
     let mut bed = Testbed::ctms(&sc);
     bed.run_until(SimTime::from_secs(30));
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .expect("src");
-    let sink = bed.hosts[1]
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("sink");
@@ -90,10 +97,11 @@ fn insertion_recovery() {
     bed.run_until(SimTime::from_secs(5));
     bed.disturb(Disturb::StationInsertion);
     bed.run_until(SimTime::from_secs(15));
-    let stats = bed.ring.stats();
+    let stats = bed.ring().stats();
     assert_eq!(stats.purge_sequences, 1);
     assert!((8..=12).contains(&(stats.purges as u32)));
-    let sink_stats = bed.hosts[1]
+    let sink_stats = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("sink")
@@ -129,7 +137,7 @@ fn purge_interrupt_retransmission() {
     bed.disturb(Disturb::SoftError);
     bed.run_until(SimTime::from_secs(10));
     let tr = bed
-        .hosts[0]
+        .host(0)
         .kernel
         .driver_ref::<ctms_ctmsp::TrDriver>(bed.roles.tr_tx)
         .expect("tr");
@@ -144,7 +152,7 @@ fn stock_path_rate_cliff() {
         let sc = Scenario::test_case_a(3);
         let mut bed = Testbed::stock(&sc, rate, proto);
         bed.run_until(SimTime::from_secs(20));
-        bed.hosts[1]
+        bed.host(1)
             .kernel
             .driver_ref::<ctms_devices::StockAudioSink>(bed.roles.vca_sink)
             .expect("sink")
@@ -162,15 +170,16 @@ fn tcp_ack_traffic_exists() {
     let sc = Scenario::test_case_a(13);
     let mut bed = Testbed::stock(&sc, 16_000, SockProto::TcpLite);
     bed.run_until(SimTime::from_secs(10));
-    let acks = bed.hosts[1].kernel.stats().acks_tx;
+    let acks = bed.host(1).kernel.stats().acks_tx;
     assert!(acks > 700, "one ack per segment, got {acks}");
     // And the transmitter processed them.
-    let sock = bed.hosts[0]
+    let sock = bed
+        .host(0)
         .kernel
         .sock(ctms_unixkern::Port(10))
         .expect("sock");
     assert!(sock.stats.acks_rx > 700);
-    assert_eq!(bed.hosts[0].kernel.stats().retx, 0, "reliable ring: no retx");
+    assert_eq!(bed.host(0).kernel.stats().retx, 0, "reliable ring: no retx");
 }
 
 /// TAP sees the same CTMSP stream the receiver gets: its loss/order
@@ -180,8 +189,9 @@ fn tap_agrees_with_receiver() {
     let sc = Scenario::test_case_a(21);
     let mut bed = Testbed::ctms(&sc);
     bed.run_until(SimTime::from_secs(20));
-    let a = bed.tap.analyze_stream();
-    let sink = bed.hosts[1]
+    let a = bed.tap().analyze_stream();
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("sink");
@@ -199,7 +209,7 @@ fn mbuf_pool_conservation() {
     let sc = Scenario::test_case_a(8);
     let mut bed = Testbed::ctms(&sc);
     bed.run_until(SimTime::from_secs(10));
-    for host in &bed.hosts {
+    for host in bed.hosts() {
         let stats = host.kernel.mbuf_stats();
         assert_eq!(stats.drops, 0, "no interrupt-level drops in case A");
         // In-flight CTMS data holds at most a few chains.
@@ -220,7 +230,8 @@ fn explicit_ioctl_setup_starts_the_stream() {
     sc.explicit_setup = true;
     let mut bed = Testbed::ctms(&sc);
     bed.run_until(SimTime::from_secs(5));
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .expect("src");
@@ -230,7 +241,8 @@ fn explicit_ioctl_setup_starts_the_stream() {
     // The stream started a hair later than autostart (setup ioctls take
     // a few syscalls) but flows at full rate.
     assert!(src.stats().pkts_sent > 400, "{:?}", src.stats());
-    let sink = bed.hosts[1]
+    let sink = bed
+        .host(1)
         .kernel
         .driver_ref::<CtmsVcaSink>(bed.roles.vca_sink)
         .expect("sink");
@@ -246,7 +258,8 @@ fn stream_requires_setup_when_configured() {
     let mut bed = Testbed::ctms(&sc);
     // Boot only: the setup process has not completed any ioctl yet.
     bed.run_until(SimTime::from_ns(1));
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .expect("src");
@@ -256,7 +269,8 @@ fn stream_requires_setup_when_configured() {
     // After one second the control process has finished and the stream
     // flows; the setup sequence rejected nothing.
     bed.run_until(SimTime::from_secs(1));
-    let src = bed.hosts[0]
+    let src = bed
+        .host(0)
         .kernel
         .driver_ref::<CtmsVcaSource>(bed.roles.vca_src)
         .expect("src");

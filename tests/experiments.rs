@@ -42,7 +42,11 @@ fn quick_suite_all_robust_claims_hold() {
         }
     }
     assert!(checked > 35, "enough claims checked: {checked}");
-    assert!(failures.is_empty(), "failing claims:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "failing claims:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
