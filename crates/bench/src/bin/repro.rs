@@ -1,13 +1,15 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--quick] [--seed N] [--markdown]
+//! repro [EXPERIMENT ...] [--quick] [--seed N] [--markdown] [--json PATH]
 //!
 //! EXPERIMENT: all (default) | e1 | e2 | e3 | e4 | fig5_2 | fig5_3 |
 //!             fig5_4 | hist1_5 | e9 | e10 | ablation | router | capacity | ring16 | spl_audit
 //! --quick     short simulated durations (CI-sized)
 //! --seed N    simulation seed (default 42)
 //! --markdown  emit GitHub-flavoured markdown (EXPERIMENTS.md source)
+//! --json PATH write a machine-readable run report (claims + wall-clock
+//!             timings + the full telemetry trees of test cases A and B)
 //! ```
 
 use ctms_core::ExpCfg;
@@ -17,6 +19,7 @@ fn main() {
     let mut quick = false;
     let mut markdown = false;
     let mut seed = 42u64;
+    let mut json_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -28,6 +31,13 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--json" => {
+                json_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a path")),
+                );
             }
             "--help" | "-h" => {
                 eprintln!("{}", HELP);
@@ -78,6 +88,7 @@ fn main() {
     });
 
     let mut failures = 0;
+    let mut runs = Vec::new();
     for (name, report, elapsed) in results {
         if markdown {
             println!("{}", report.render_markdown());
@@ -86,7 +97,23 @@ fn main() {
         }
         eprintln!("# {name}: {:.1}s wall", elapsed.as_secs_f64());
         failures += report.claims.iter().filter(|c| !c.holds()).count();
+        runs.push(ctms_bench::ExperimentRun {
+            name,
+            wall_secs: elapsed.as_secs_f64(),
+            report,
+        });
     }
+
+    if let Some(path) = json_path {
+        let case_a = ctms_bench::telemetry_case(&ctms_core::Scenario::test_case_a(seed));
+        let case_b = ctms_bench::telemetry_case(&ctms_core::Scenario::test_case_b(seed));
+        let json = ctms_bench::run_report_json(seed, quick, &runs, &case_a, &case_b);
+        if let Err(e) = std::fs::write(&path, json) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("# run report written to {path}");
+    }
+
     if failures > 0 {
         eprintln!("# {failures} claim(s) outside their bands");
         std::process::exit(1);
@@ -99,4 +126,4 @@ fn die(msg: &str) -> ! {
 }
 
 const HELP: &str = "usage: repro [all|e1|e2|e3|e4|fig5_2|fig5_3|fig5_4|hist1_5|e9|e10|ablation|router|capacity|ring16|spl_audit]... \
-[--quick] [--seed N] [--markdown]";
+[--quick] [--seed N] [--markdown] [--json PATH]";

@@ -230,6 +230,17 @@ impl RingChainTestbed {
         &self.bus
     }
 
+    /// Mutable event bus, for telemetry collection and phase snapshots.
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// Collects and serializes the whole chain's metric tree as
+    /// canonical JSON (byte-identical across runs of the same seed).
+    pub fn telemetry_json(&mut self) -> String {
+        self.bus.telemetry_json()
+    }
+
     /// The measurement set: points 1–3 from the transmitter (ring 0),
     /// point 4 from the receiver (last ring). H7 spans every ring and
     /// router in the chain.

@@ -518,6 +518,17 @@ impl Testbed {
         &self.bus
     }
 
+    /// Mutable event bus, for telemetry collection and phase snapshots.
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// Collects and serializes the whole testbed's metric tree as
+    /// canonical JSON (byte-identical across runs of the same seed).
+    pub fn telemetry_json(&mut self) -> String {
+        self.bus.telemetry_json()
+    }
+
     /// Injects a ring disturbance (station insertion or soft error) at the
     /// current instant, with its fallout routed like any other ring event.
     pub fn disturb(&mut self, d: ctms_tokenring::Disturb) {

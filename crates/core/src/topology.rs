@@ -129,6 +129,15 @@ impl Component for Node {
             _ => panic!("misrouted command: node/command kinds disagree"),
         }
     }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        match self {
+            Node::Ring(r) => r.publish_telemetry(scope),
+            Node::Host(h) => h.publish_telemetry(scope),
+            Node::Bridge(b) => b.publish_telemetry(scope),
+            Node::Phantom(p) => p.publish_telemetry(scope),
+        }
+    }
 }
 
 /// What sits at a ring station, from the router's point of view.
@@ -258,6 +267,40 @@ impl Router<Node> for CtmsRouter {
             Event::Host(out) => self.route_host(now, src, out),
             Event::Bridge(out) => self.route_bridge(src, out),
             Event::Phantom(out) => self.route_phantom(src, out),
+        }
+    }
+
+    /// Mounts the measurement ground truth under `measure.*`: aggregate
+    /// counters, the per-ring TAP monitors (`measure.tap.ring{k}`), the
+    /// per-host truth logs (`measure.truth.h{i}.*`, points in `Debug`
+    /// name order), and the inter-presentation histogram the paper's
+    /// glitch analysis reads (1 ms bins up to 64 ms).
+    fn publish_telemetry(&self, reg: &mut ctms_sim::Registry) {
+        use ctms_sim::Instrument as _;
+        let mut m = reg.scope("measure");
+        m.counter("drops", self.m.drops.len() as u64);
+        m.counter("presented", self.m.presented.len() as u64);
+        m.counter("sock_delivered", self.m.sock_delivered.len() as u64);
+        m.counter("purge_starts", self.m.purge_starts.len() as u64);
+        m.counter("lost_to_purge", self.m.lost_to_purge.len() as u64);
+        m.counter("bridge_drops", self.m.bridge_drops);
+        if self.m.presented.len() >= 2 {
+            let mut gaps = ctms_sim::telemetry::Hist::new(1, 64);
+            for w in self.m.presented.windows(2) {
+                gaps.record(w[1].0.since(w[0].0).as_ns() / 1_000_000);
+            }
+            m.hist("presented_gap_ms", gaps);
+        }
+        for (k, tap) in self.taps.iter().flatten().enumerate() {
+            tap.publish(&mut m.scope(&format!("tap.ring{k}")));
+        }
+        for (i, points) in self.m.truth.iter().enumerate() {
+            let mut logs: Vec<(String, &EdgeLog)> =
+                points.iter().map(|(p, l)| (format!("{p:?}"), l)).collect();
+            logs.sort_by(|a, b| a.0.cmp(&b.0));
+            for (name, log) in logs {
+                log.publish(&mut m.scope(&format!("truth.h{i}.{name}")));
+            }
         }
     }
 }
@@ -548,18 +591,21 @@ impl Topology {
 
         let mut h = Harness::new(router, self.cascade_limit);
         let mut ring_nodes = Vec::new();
-        for ring in self.rings {
-            ring_nodes.push(h.add_node(Node::Ring(ring)));
+        for (k, ring) in self.rings.into_iter().enumerate() {
+            ring_nodes.push(h.add_node_labeled(Node::Ring(ring), format!("tokenring.ring{k}")));
         }
         let mut bridge_nodes = Vec::new();
-        for (_, _, bridge) in self.bridges {
-            bridge_nodes.push(h.add_node(Node::Bridge(bridge)));
+        for (k, (_, _, bridge)) in self.bridges.into_iter().enumerate() {
+            bridge_nodes
+                .push(h.add_node_labeled(Node::Bridge(bridge), format!("router.bridge{k}")));
         }
         let mut host_nodes = Vec::new();
-        for (_, _, host) in self.hosts {
-            host_nodes.push(h.add_node(Node::Host(host)));
+        for (k, (_, _, host)) in self.hosts.into_iter().enumerate() {
+            host_nodes.push(h.add_node_labeled(Node::Host(host), format!("unixkern.h{k}")));
         }
-        let phantom_node = self.phantom.map(|(_, p)| h.add_node(Node::Phantom(p)));
+        let phantom_node = self
+            .phantom
+            .map(|(_, p)| h.add_node_labeled(Node::Phantom(p), "workloads.phantom"));
 
         Bus {
             h,
@@ -672,5 +718,28 @@ impl Bus {
     /// current instant, routing its fallout like any other event.
     pub fn inject_ring(&mut self, k: usize, cmd: RingCmd) -> Result<(), CascadeError> {
         self.h.inject(self.ring_nodes[k], Cmd::Ring(cmd))
+    }
+
+    /// The telemetry registry as last collected (see
+    /// [`collect_telemetry`](Self::collect_telemetry)).
+    pub fn telemetry(&self) -> &ctms_sim::Registry {
+        self.h.telemetry()
+    }
+
+    /// Re-collects every node's and the router's metrics into the
+    /// registry and returns it.
+    pub fn collect_telemetry(&mut self) -> &mut ctms_sim::Registry {
+        self.h.collect_telemetry()
+    }
+
+    /// Collects and freezes the current metric tree as a named phase.
+    pub fn snapshot_phase(&mut self, name: impl Into<String>) {
+        self.h.snapshot_phase(name);
+    }
+
+    /// Collects and serializes the registry as canonical JSON
+    /// (byte-identical across runs of the same seed).
+    pub fn telemetry_json(&mut self) -> String {
+        self.h.telemetry_json()
     }
 }

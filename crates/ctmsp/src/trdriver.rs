@@ -151,6 +151,21 @@ pub struct TrDriverStats {
     pub ctmsp_q_highwater: u32,
 }
 
+impl ctms_sim::Instrument for TrDriverStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("tx_frames", self.tx_frames);
+        scope.counter("ctmsp_tx", self.ctmsp_tx);
+        scope.counter("rx_frames", self.rx_frames);
+        scope.counter("ctmsp_rx", self.ctmsp_rx);
+        scope.counter("ifq_drops", self.ifq_drops);
+        scope.counter("rx_overruns", self.rx_overruns);
+        scope.counter("rx_mbuf_drops", self.rx_mbuf_drops);
+        scope.counter("unknown_proto_drops", self.unknown_proto_drops);
+        scope.counter("retransmits", self.retransmits);
+        scope.gauge("ctmsp_q_highwater", i64::from(self.ctmsp_q_highwater));
+    }
+}
+
 #[derive(Debug)]
 enum TxEntry {
     Fresh(Pkt),
@@ -493,6 +508,11 @@ impl TrDriver {
 impl Driver for TrDriver {
     fn name(&self) -> &'static str {
         "tokenring"
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
     }
 
     fn on_call(&mut self, ctx: &mut Ctx, _from: DriverId, call: DriverCall) {

@@ -40,6 +40,12 @@ pub struct DiskStats {
     pub interrupts: u64,
 }
 
+impl ctms_sim::Instrument for DiskStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("interrupts", self.interrupts);
+    }
+}
+
 /// The disk driver. See module docs.
 #[derive(Debug)]
 pub struct DiskDriver {
@@ -71,6 +77,11 @@ impl DiskDriver {
 impl Driver for DiskDriver {
     fn name(&self) -> &'static str {
         "disk"
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
     }
 
     fn on_boot(&mut self, ctx: &mut Ctx) {

@@ -175,6 +175,15 @@ pub struct CtmsSourceStats {
     pub ioctl_rejects: u64,
 }
 
+impl ctms_sim::Instrument for CtmsSourceStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("interrupts", self.interrupts);
+        scope.counter("pkts_sent", self.pkts_sent);
+        scope.counter("mbuf_drops", self.mbuf_drops);
+        scope.counter("ioctl_rejects", self.ioctl_rejects);
+    }
+}
+
 /// The modified VCA source driver. See module docs.
 #[derive(Debug)]
 pub struct CtmsVcaSource {
@@ -218,6 +227,11 @@ impl CtmsVcaSource {
 impl Driver for CtmsVcaSource {
     fn name(&self) -> &'static str {
         "vca-ctms-src"
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
     }
 
     fn on_boot(&mut self, ctx: &mut Ctx) {
@@ -343,6 +357,16 @@ pub struct CtmsSinkStats {
     pub last_seq: u64,
 }
 
+impl ctms_sim::Instrument for CtmsSinkStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("received", self.received);
+        scope.counter("gaps", self.gaps);
+        scope.counter("missed_pkts", self.missed_pkts);
+        scope.counter("duplicates", self.duplicates);
+        scope.gauge("last_seq", self.last_seq as i64);
+    }
+}
+
 /// The CTMS presentation device. See module docs.
 #[derive(Debug)]
 pub struct CtmsVcaSink {
@@ -370,6 +394,11 @@ impl CtmsVcaSink {
 impl Driver for CtmsVcaSink {
     fn name(&self) -> &'static str {
         "vca-ctms-sink"
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
     }
 
     fn on_call(&mut self, ctx: &mut Ctx, _from: DriverId, call: DriverCall) {
@@ -473,6 +502,15 @@ pub struct StockSourceStats {
     pub consumed: u64,
 }
 
+impl ctms_sim::Instrument for StockSourceStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("produced", self.produced);
+        scope.counter("overrun_bytes", self.overrun_bytes);
+        scope.counter("overruns", self.overruns);
+        scope.counter("consumed", self.consumed);
+    }
+}
+
 /// The unmodified VCA source driver (E1 baseline). See module docs.
 #[derive(Debug)]
 pub struct StockVcaSource {
@@ -506,6 +544,11 @@ impl StockVcaSource {
 impl Driver for StockVcaSource {
     fn name(&self) -> &'static str {
         "vca-stock-src"
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
     }
 
     fn on_boot(&mut self, ctx: &mut Ctx) {
@@ -604,6 +647,15 @@ pub struct StockSinkStats {
     pub written: u64,
 }
 
+impl ctms_sim::Instrument for StockSinkStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("consumed", self.consumed);
+        scope.counter("underrun_bytes", self.underrun_bytes);
+        scope.counter("underruns", self.underruns);
+        scope.counter("written", self.written);
+    }
+}
+
 /// A playback device consuming at a continuous rate (E1 baseline sink).
 #[derive(Debug)]
 pub struct StockAudioSink {
@@ -635,6 +687,11 @@ impl StockAudioSink {
 impl Driver for StockAudioSink {
     fn name(&self) -> &'static str {
         "audio-stock-sink"
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
     }
 
     fn on_boot(&mut self, ctx: &mut Ctx) {

@@ -219,6 +219,39 @@ impl Tap {
     }
 }
 
+impl ctms_sim::Instrument for Tap {
+    /// Registers the monitor's capture summary: record/miss/purge counts,
+    /// observed wire-busy time, the §5.3 class breakdown under `class.*`,
+    /// the CTMSP stream analysis under `stream.*`, and utilization as an
+    /// integer parts-per-million gauge (the registry carries no floats).
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("records", self.records.len() as u64);
+        scope.counter("missed", self.missed);
+        scope.counter("purges", self.purges);
+        scope.counter("busy_ns", self.busy_ns);
+        scope.gauge(
+            "utilization_ppm",
+            (self.utilization() * 1_000_000.0).round() as i64,
+        );
+        let b = self.breakdown();
+        {
+            let mut c = scope.scope("class");
+            c.counter("mac", b.mac);
+            c.counter("small", b.small);
+            c.counter("file_transfer", b.file_transfer);
+            c.counter("ctmsp", b.ctmsp);
+            c.counter("other", b.other);
+        }
+        let a = self.analyze_stream();
+        let mut s = scope.scope("stream");
+        s.counter("captured", a.captured);
+        s.counter("gaps", a.gaps);
+        s.counter("missing", a.missing);
+        s.counter("out_of_order", a.out_of_order);
+        s.counter("duplicates", a.duplicates);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -165,6 +165,21 @@ impl Watchdog {
     }
 }
 
+impl ctms_sim::Instrument for Watchdog {
+    /// Registers the watchdog's verdict: events consumed, whether it
+    /// halted, and — when it did — when and on what anomaly (the `Debug`
+    /// rendering, which is deterministic).
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("events_seen", self.events);
+        scope.gauge("halted", i64::from(self.halted.is_some()));
+        scope.counter("snapshot_len", self.window.len() as u64);
+        if let Some((at, anomaly)) = self.halted {
+            scope.gauge("halt_at_ns", at.as_ns() as i64);
+            scope.text("anomaly", format!("{anomaly:?}"));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

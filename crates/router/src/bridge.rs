@@ -170,6 +170,17 @@ pub struct BridgeStats {
     pub busy_ns: u64,
 }
 
+impl ctms_sim::Instrument for BridgeStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("forwarded_ab", self.forwarded_ab);
+        scope.counter("forwarded_ba", self.forwarded_ba);
+        scope.counter("overflows", self.overflows);
+        scope.counter("unroutable", self.unroutable);
+        scope.gauge("queue_highwater", self.queue_highwater as i64);
+        scope.counter("busy_ns", self.busy_ns);
+    }
+}
+
 struct Pending {
     side_in: RingSide,
     frame: Frame,
@@ -343,6 +354,15 @@ impl Component for Bridge {
         self.stats.queue_highwater = self.stats.queue_highwater.max(depth);
         let engine = self.engine_index(side);
         self.kick(now, engine);
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
+        scope.gauge(
+            "queue_depth",
+            (self.queues[0].len() + self.queues[1].len()) as i64,
+        );
     }
 }
 

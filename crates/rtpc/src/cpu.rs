@@ -140,6 +140,15 @@ pub struct CpuStats {
     pub irq_overruns: u64,
 }
 
+impl ctms_sim::Instrument for CpuStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("busy_work_ns", self.busy_work_ns);
+        scope.counter("jobs_done", self.jobs_done);
+        scope.counter("irqs_dispatched", self.irqs_dispatched);
+        scope.counter("irq_overruns", self.irq_overruns);
+    }
+}
+
 /// The processor model. See module docs.
 #[derive(Debug)]
 pub struct Cpu<T> {

@@ -106,6 +106,15 @@ pub struct BusStats {
     pub dmas_io_channel: u64,
 }
 
+impl ctms_sim::Instrument for BusStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("cpu_stall_ns", self.cpu_stall_ns);
+        scope.counter("sysdma_active_ns", self.sysdma_active_ns);
+        scope.counter("dmas_system", self.dmas_system);
+        scope.counter("dmas_io_channel", self.dmas_io_channel);
+    }
+}
+
 /// CPU + DMA engines + bus coupling. See module docs.
 #[derive(Debug)]
 pub struct Machine<T> {

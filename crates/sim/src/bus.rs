@@ -23,7 +23,15 @@
 //! commanded, or mutated through [`Harness::node_mut`]) are rescheduled
 //! from their current deadline.
 
+//! The harness also owns the run's [`telemetry::Registry`]: every node
+//! (and the router) registers its statistics under a dotted namespace
+//! on demand via [`Harness::collect_telemetry`], phases can be frozen
+//! with [`Harness::snapshot_phase`], and a tripped cascade guard leaves
+//! a diagnosable trail — an edge-signal event plus a final
+//! `cascade-failure` snapshot — instead of only an error value.
+
 use crate::engine::Component;
+use crate::telemetry::Registry;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
 
@@ -49,6 +57,13 @@ impl std::fmt::Display for NodeId {
 pub trait Router<C: Component> {
     /// Routes one `event` emitted by `src` at `now`.
     fn route(&mut self, now: SimTime, src: NodeId, event: C::Out) -> Vec<(NodeId, C::Cmd)>;
+
+    /// Registers the router's own statistics (absorbed measurement
+    /// traffic, wiring-level counters) into the telemetry tree. Called by
+    /// [`Harness::collect_telemetry`] after every node has published.
+    fn publish_telemetry(&self, reg: &mut Registry) {
+        let _ = reg;
+    }
 }
 
 /// A same-instant routing cascade exceeded the configured step limit —
@@ -100,6 +115,7 @@ impl Ord for SchedEntry {
 /// The generic scheduler/event-bus. See the module docs.
 pub struct Harness<C: Component, R: Router<C>> {
     nodes: Vec<C>,
+    labels: Vec<String>,
     router: R,
     now: SimTime,
     heap: BinaryHeap<SchedEntry>,
@@ -107,6 +123,7 @@ pub struct Harness<C: Component, R: Router<C>> {
     limit: u32,
     failed: Option<CascadeError>,
     dirty: Vec<usize>,
+    telemetry: Registry,
 }
 
 /// Default same-instant cascade step limit.
@@ -119,6 +136,7 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
         assert!(cascade_limit > 0, "cascade limit must be positive");
         Harness {
             nodes: Vec::new(),
+            labels: Vec::new(),
             router,
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
@@ -126,13 +144,24 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
             limit: cascade_limit,
             failed: None,
             dirty: Vec::new(),
+            telemetry: Registry::new(),
         }
     }
 
-    /// Registers a node and schedules its current deadline.
+    /// Registers a node and schedules its current deadline. The node's
+    /// telemetry namespace defaults to `node{k}`; use
+    /// [`Harness::add_node_labeled`] to mount it elsewhere.
     pub fn add_node(&mut self, node: C) -> NodeId {
+        let label = format!("node{}", self.nodes.len());
+        self.add_node_labeled(node, label)
+    }
+
+    /// Registers a node under an explicit dotted telemetry namespace
+    /// (e.g. `tokenring.ring0`, `unixkern.h1`).
+    pub fn add_node_labeled(&mut self, node: C, label: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(node);
+        self.labels.push(label.into());
         self.reschedule(id.0);
         id
     }
@@ -177,6 +206,59 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
     /// The error that poisoned this harness, if a cascade overflowed.
     pub fn failure(&self) -> Option<CascadeError> {
         self.failed
+    }
+
+    /// The run's telemetry registry as last collected (events and phase
+    /// snapshots accumulate live; metrics are rebuilt by
+    /// [`Harness::collect_telemetry`]).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Rebuilds the metric tree by pulling every node's instruments
+    /// (each under its registration label), the router's, and the
+    /// harness's own `sim.*` metrics, then returns the registry for
+    /// further additions or serialization. Deterministic: nodes publish
+    /// in registration order into a path-ordered tree.
+    pub fn collect_telemetry(&mut self) -> &mut Registry {
+        self.telemetry.clear_metrics();
+        for (k, node) in self.nodes.iter().enumerate() {
+            let mut scope = self.telemetry.scope(&self.labels[k]);
+            node.publish_telemetry(&mut scope);
+        }
+        self.router.publish_telemetry(&mut self.telemetry);
+        let mut sim = self.telemetry.scope("sim");
+        sim.gauge("now_ns", self.now.as_ns() as i64);
+        sim.counter("nodes", self.nodes.len() as u64);
+        sim.counter("cascade.overflows", u64::from(self.failed.is_some()));
+        &mut self.telemetry
+    }
+
+    /// Collects the current metric tree and freezes it as a named phase
+    /// snapshot (serialized with the registry).
+    pub fn snapshot_phase(&mut self, name: impl Into<String>) {
+        self.collect_telemetry();
+        self.telemetry.snapshot_phase(name);
+    }
+
+    /// Collects and serializes the registry as canonical JSON.
+    pub fn telemetry_json(&mut self) -> String {
+        self.collect_telemetry();
+        self.telemetry.to_json()
+    }
+
+    /// Records the diagnosable trail of a cascade overflow: an
+    /// edge-signal event at the failing instant plus a final
+    /// `cascade-failure` phase snapshot of every metric. A blown run
+    /// thus leaves the state the §5.2.1 operators would have examined,
+    /// not just an error value.
+    fn record_failure(&mut self, err: CascadeError) {
+        self.telemetry.event(
+            err.at,
+            "sim.cascade.overflow",
+            format!("{} steps routing events from {}", err.steps, err.node),
+        );
+        self.snapshot_phase("cascade-failure");
     }
 
     /// Delivers `cmd` to `id` at the current instant and routes the
@@ -314,6 +396,7 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
                     steps,
                 };
                 self.failed = Some(err);
+                self.record_failure(err);
                 return Err(err);
             }
             let mut next: Vec<(NodeId, C::Out)> = Vec::new();
@@ -503,5 +586,102 @@ mod tests {
         let mut h = Harness::new(Echo, 10);
         h.add_node(Loop { armed: true });
         h.run_until(SimTime::from_secs(1));
+    }
+
+    /// A ticker variant that publishes its fire count.
+    impl crate::telemetry::Instrument for Ticker {
+        fn publish(&self, scope: &mut crate::telemetry::Scope<'_>) {
+            scope.counter("remaining", u64::from(self.remaining));
+            scope.counter("period_ns", self.period.as_ns());
+        }
+    }
+
+    struct Published(Ticker);
+    impl Component for Published {
+        type Cmd = u32;
+        type Out = u32;
+        fn next_deadline(&self) -> Option<SimTime> {
+            self.0.next_deadline()
+        }
+        fn advance(&mut self, now: SimTime, sink: &mut Vec<u32>) {
+            self.0.advance(now, sink);
+        }
+        fn handle(&mut self, now: SimTime, extra: u32, sink: &mut Vec<u32>) {
+            self.0.handle(now, extra, sink);
+        }
+        fn publish_telemetry(&self, scope: &mut crate::telemetry::Scope<'_>) {
+            use crate::telemetry::Instrument as _;
+            self.0.publish(scope);
+        }
+    }
+
+    impl Router<Published> for Recorder {
+        fn route(&mut self, now: SimTime, src: NodeId, _event: u32) -> Vec<(NodeId, u32)> {
+            self.seen.push((now, src));
+            Vec::new()
+        }
+        fn publish_telemetry(&self, reg: &mut crate::telemetry::Registry) {
+            reg.counter("router.routed", self.seen.len() as u64);
+        }
+    }
+
+    #[test]
+    fn collect_telemetry_mounts_nodes_under_labels() {
+        let mut h = Harness::new(Recorder { seen: Vec::new() }, 100);
+        h.add_node_labeled(Published(ticker(0, 10, 2)), "tick.a");
+        h.add_node(Published(ticker(1, 10, 2))); // default label node1
+        h.run_until(SimTime::from_ms(100));
+        let reg = h.collect_telemetry();
+        assert_eq!(reg.counter_value("tick.a.remaining"), Some(0));
+        assert_eq!(reg.counter_value("node1.period_ns"), Some(10_000_000));
+        assert_eq!(reg.counter_value("router.routed"), Some(4));
+        assert_eq!(reg.counter_value("sim.nodes"), Some(2));
+        assert_eq!(reg.counter_value("sim.cascade.overflows"), Some(0));
+        // Re-collection is idempotent on a quiescent harness.
+        let a = h.telemetry_json();
+        let b = h.telemetry_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_snapshots_capture_per_phase_state() {
+        let mut h = Harness::new(Recorder { seen: Vec::new() }, 100);
+        h.add_node_labeled(Published(ticker(0, 10, 4)), "t");
+        h.run_until(SimTime::from_ms(20));
+        h.snapshot_phase("warmup");
+        h.run_until(SimTime::from_ms(100));
+        h.collect_telemetry();
+        let reg = h.telemetry();
+        use crate::telemetry::Value;
+        assert_eq!(
+            reg.phase("warmup")
+                .and_then(|m| match m.get("t.remaining") {
+                    Some(Value::Counter(c)) => Some(*c),
+                    _ => None,
+                }),
+            Some(2)
+        );
+        assert_eq!(reg.counter_value("t.remaining"), Some(0));
+    }
+
+    #[test]
+    fn cascade_overflow_leaves_a_telemetry_trail() {
+        let mut h = Harness::new(Echo, 50);
+        let n = h.add_node(Loop { armed: true });
+        let err = h.try_run_until(SimTime::from_secs(1)).unwrap_err();
+        let reg = h.telemetry();
+        // The edge-signal event names the failing instant and node.
+        assert_eq!(reg.events().len(), 1);
+        assert_eq!(reg.events()[0].at, err.at);
+        assert_eq!(reg.events()[0].path, "sim.cascade.overflow");
+        assert!(reg.events()[0].detail.contains(&format!("{n}")));
+        // A final snapshot froze the metric tree at the failure.
+        let snap = reg.phase("cascade-failure").expect("final snapshot");
+        assert!(matches!(
+            snap.get("sim.cascade.overflows"),
+            Some(crate::telemetry::Value::Counter(1))
+        ));
+        // The trail also serializes.
+        assert!(h.telemetry_json().contains("cascade-failure"));
     }
 }

@@ -39,6 +39,14 @@ pub trait Component {
 
     /// Delivers a command at `now`, appending any outputs to `sink`.
     fn handle(&mut self, now: SimTime, cmd: Self::Cmd, sink: &mut Vec<Self::Out>);
+
+    /// Registers the component's current statistics into the telemetry
+    /// tree under `scope` (the collector mounts each node under its
+    /// dotted namespace). The default publishes nothing, so passive
+    /// components and test doubles need no boilerplate.
+    fn publish_telemetry(&self, scope: &mut crate::telemetry::Scope<'_>) {
+        let _ = scope;
+    }
 }
 
 /// Returns the earliest of a set of optional deadlines.

@@ -16,12 +16,16 @@
 //!   with deterministic tie-breaking, and typed routing via [`bus::Router`],
 //! * [`sweep`] — a `std::thread` fan-out for independent simulations with
 //!   results returned in sequential order,
-//! * [`trace`] — ground-truth signal edge logs for the measurement points.
+//! * [`trace`] — ground-truth signal edge logs for the measurement points,
+//! * [`telemetry`] — the workspace-wide deterministic metrics registry
+//!   (counters, gauges, fixed-bin histograms, edge-signal events) with
+//!   canonical, byte-stable JSON serialization.
 
 pub mod bus;
 pub mod engine;
 pub mod rng;
 pub mod sweep;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -29,5 +33,6 @@ pub use bus::{CascadeError, Harness, NodeId, Router, DEFAULT_CASCADE_LIMIT};
 pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
 pub use rng::{Pcg32, SplitMix64};
 pub use sweep::{default_threads, parallel_map};
+pub use telemetry::{Instrument, Registry};
 pub use time::{Dur, SimTime};
 pub use trace::{Edge, EdgeLog};

@@ -1,0 +1,674 @@
+//! The workspace-wide deterministic telemetry registry.
+//!
+//! Half of the paper is measurement methodology (§5: four measurement
+//! points, seven histograms, the TAP/PC-AT/pseudo-driver error models),
+//! and the reproduction used to scatter its own observability the same
+//! way the original lab did — per-crate counter structs, hand-plumbed
+//! edge logs, ad-hoc claim tables. This module is the single metrics
+//! substrate they all register into:
+//!
+//! * [`Registry`] — a flat tree of dotted-path metrics
+//!   (`unixkern.h0.mbuf.drops`, `tokenring.ring0.purges`, …) held in a
+//!   `BTreeMap`, so iteration order is the path order, always,
+//! * [`Value`] — counters, gauges, fixed-bin [`Hist`]ograms and short
+//!   text values (digests, labels); **no floats**, so serialization is
+//!   byte-exact by construction,
+//! * [`Event`] — sim-time-stamped edge signals (watchdog anomalies,
+//!   cascade-guard trips, purge storms) appended in simulation order,
+//! * phase snapshots ([`Registry::snapshot_phase`]) and counter deltas
+//!   ([`Registry::delta`]) for before/after comparisons,
+//! * a canonical JSON serializer ([`Registry::to_json`]): sorted keys,
+//!   fixed two-space indentation, integers only, no timestamps other
+//!   than simulated time — two runs of the same seed produce
+//!   byte-identical bytes, which `tests/determinism.rs` pins with a
+//!   golden FNV-1a digest.
+//!
+//! Stats structs implement [`Instrument`] to publish themselves under a
+//! [`Scope`] (a registry view with a path prefix); the scheduler/event-bus
+//! ([`crate::Harness`]) owns the registry for a run and pulls every
+//! node's instruments on demand (Prometheus-style collection, but
+//! deterministic), keeping the existing per-crate `stats()` accessors as
+//! the thin typed views the numeric test envelopes already rely on.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One registered metric value. Everything is integral: floats are kept
+/// out of the registry so the canonical serialization can never depend
+/// on float formatting. Ratios are registered in parts-per-million.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A monotonically non-decreasing event count.
+    Counter(u64),
+    /// A point-in-time level; may move in both directions.
+    Gauge(i64),
+    /// A fixed-bin histogram.
+    Hist(Hist),
+    /// A short identifying string (hex digests, mode labels).
+    Text(String),
+}
+
+/// A fixed-bin histogram: `counts[k]` holds occurrences in
+/// `[k·bin_width, (k+1)·bin_width)`; everything at or past the last
+/// edge lands in `overflow`. Bin width and samples are plain integers
+/// (typically nanoseconds), so histograms serialize exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    bin_width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u64,
+}
+
+impl Hist {
+    /// Creates an empty histogram of `bins` bins of `bin_width` units.
+    pub fn new(bin_width: u64, bins: usize) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert!(bins > 0, "at least one bin");
+        Hist {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let bin = (sample / self.bin_width) as usize;
+        if bin < self.counts.len() {
+            self.counts[bin] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += sample;
+    }
+
+    /// Samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (mean = `sum / total`, computed by consumers).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Samples at or past the last bin edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn checked_delta(&self, base: &Hist) -> Option<Hist> {
+        if self.bin_width != base.bin_width || self.counts.len() != base.counts.len() {
+            return None;
+        }
+        Some(Hist {
+            bin_width: self.bin_width,
+            counts: self
+                .counts
+                .iter()
+                .zip(&base.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            overflow: self.overflow.saturating_sub(base.overflow),
+            total: self.total.saturating_sub(base.total),
+            sum: self.sum.saturating_sub(base.sum),
+        })
+    }
+}
+
+/// A sim-time-stamped edge signal: something *happened*, as opposed to a
+/// level that *is*. Watchdog anomalies, cascade-guard trips and purge
+/// notifications are events; they are appended in simulation order and
+/// survive metric re-collection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated instant of the occurrence.
+    pub at: SimTime,
+    /// Dotted path naming the signal, e.g. `sim.cascade.overflow`.
+    pub path: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+/// A named frozen copy of the metric tree (see
+/// [`Registry::snapshot_phase`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Phase label, e.g. `warmup` or `cascade-failure`.
+    pub name: String,
+    /// The metric tree at snapshot time.
+    pub metrics: BTreeMap<String, Value>,
+}
+
+/// The hierarchical metrics registry. See the module docs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<String, Value>,
+    events: Vec<Event>,
+    phases: Vec<Phase>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or overwrites) a counter.
+    pub fn counter(&mut self, path: impl Into<String>, v: u64) {
+        self.metrics.insert(path.into(), Value::Counter(v));
+    }
+
+    /// Adds to a counter, registering it at zero first if absent.
+    pub fn add_counter(&mut self, path: impl Into<String>, v: u64) {
+        match self.metrics.entry(path.into()).or_insert(Value::Counter(0)) {
+            Value::Counter(c) => *c += v,
+            other => panic!("add_counter on non-counter metric {other:?}"),
+        }
+    }
+
+    /// Registers (or overwrites) a gauge.
+    pub fn gauge(&mut self, path: impl Into<String>, v: i64) {
+        self.metrics.insert(path.into(), Value::Gauge(v));
+    }
+
+    /// Registers (or overwrites) a histogram.
+    pub fn hist(&mut self, path: impl Into<String>, h: Hist) {
+        self.metrics.insert(path.into(), Value::Hist(h));
+    }
+
+    /// Registers (or overwrites) a text value.
+    pub fn text(&mut self, path: impl Into<String>, v: impl Into<String>) {
+        self.metrics.insert(path.into(), Value::Text(v.into()));
+    }
+
+    /// Appends an edge-signal event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous event: events are recorded in
+    /// simulation order, exactly like [`crate::EdgeLog`].
+    pub fn event(&mut self, at: SimTime, path: impl Into<String>, detail: impl Into<String>) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                at >= last.at,
+                "telemetry event out of order: {at} after {}",
+                last.at
+            );
+        }
+        self.events.push(Event {
+            at,
+            path: path.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// A view of this registry under a dotted path prefix.
+    pub fn scope<'a>(&'a mut self, prefix: &str) -> Scope<'a> {
+        Scope {
+            reg: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Looks up a metric by full path.
+    pub fn get(&self, path: &str) -> Option<&Value> {
+        self.metrics.get(path)
+    }
+
+    /// Convenience: the value of a counter metric, or `None` if absent or
+    /// not a counter.
+    pub fn counter_value(&self, path: &str) -> Option<u64> {
+        match self.metrics.get(path) {
+            Some(Value::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// All metrics in path order (the only order there is).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Recorded events, in simulation order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Recorded phase snapshots, in snapshot order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Drops every metric, keeping events and phase snapshots: the
+    /// collector rebuilds the tree from live instruments on each pull,
+    /// while the edge-signal history and frozen phases persist.
+    pub fn clear_metrics(&mut self) {
+        self.metrics.clear();
+    }
+
+    /// Freezes the current metric tree under `name`. Snapshots are kept
+    /// in order and serialized with the registry, so a run report can
+    /// show per-phase state (warmup vs. steady vs. failure).
+    pub fn snapshot_phase(&mut self, name: impl Into<String>) {
+        self.phases.push(Phase {
+            name: name.into(),
+            metrics: self.metrics.clone(),
+        });
+    }
+
+    /// The metric tree frozen under `name`, if that phase was snapshot.
+    pub fn phase(&self, name: &str) -> Option<&BTreeMap<String, Value>> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| &p.metrics)
+    }
+
+    /// Counter-delta semantics: a registry whose counters and histograms
+    /// are `self − base` (saturating; metrics absent from `base` pass
+    /// through whole), whose gauges and texts are taken from `self`, and
+    /// whose events are those recorded after `base`'s last event. Phase
+    /// snapshots are not carried over.
+    pub fn delta(&self, base: &Registry) -> Registry {
+        let mut metrics = BTreeMap::new();
+        for (path, v) in &self.metrics {
+            let dv = match (v, base.metrics.get(path)) {
+                (Value::Counter(a), Some(Value::Counter(b))) => {
+                    Value::Counter(a.saturating_sub(*b))
+                }
+                (Value::Hist(a), Some(Value::Hist(b))) => match a.checked_delta(b) {
+                    Some(d) => Value::Hist(d),
+                    None => v.clone(),
+                },
+                _ => v.clone(),
+            };
+            metrics.insert(path.clone(), dv);
+        }
+        Registry {
+            metrics,
+            events: self.events[base.events.len().min(self.events.len())..].to_vec(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Canonical JSON: metrics in path order, two-space indentation,
+    /// `\n` separators, integers only, no wall-clock anything. The same
+    /// registry always serializes to the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"metrics\": ");
+        write_metric_map(&mut out, &self.metrics, 1);
+        out.push_str(",\n  \"events\": [");
+        for (k, e) in self.events.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"at_ns\": {}, \"path\": {}, \"detail\": {}}}",
+                e.at.as_ns(),
+                json_string(&e.path),
+                json_string(&e.detail)
+            );
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"phases\": [");
+        for (k, p) in self.phases.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"metrics\": ",
+                json_string(&p.name)
+            );
+            write_metric_map(&mut out, &p.metrics, 2);
+            out.push('}');
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+
+    /// 64-bit FNV-1a digest of the canonical JSON bytes — the registry's
+    /// golden fingerprint for determinism regression tests.
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.to_json().as_bytes())
+    }
+}
+
+fn write_metric_map(out: &mut String, metrics: &BTreeMap<String, Value>, depth: usize) {
+    let pad = "  ".repeat(depth);
+    out.push('{');
+    for (k, (path, v)) in metrics.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{pad}  {}: ", json_string(path));
+        match v {
+            Value::Counter(c) => {
+                let _ = write!(out, "{{\"counter\": {c}}}");
+            }
+            Value::Gauge(g) => {
+                let _ = write!(out, "{{\"gauge\": {g}}}");
+            }
+            Value::Text(t) => {
+                let _ = write!(out, "{{\"text\": {}}}", json_string(t));
+            }
+            Value::Hist(h) => {
+                let _ = write!(
+                    out,
+                    "{{\"hist\": {{\"bin_width\": {}, \"counts\": [",
+                    h.bin_width
+                );
+                for (i, c) in h.counts.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{c}");
+                }
+                let _ = write!(
+                    out,
+                    "], \"overflow\": {}, \"total\": {}, \"sum\": {}}}}}",
+                    h.overflow, h.total, h.sum
+                );
+            }
+        }
+    }
+    if !metrics.is_empty() {
+        let _ = write!(out, "\n{pad}");
+    }
+    out.push('}');
+}
+
+/// 64-bit FNV-1a over raw bytes (the same function [`crate::EdgeLog`]
+/// uses over edges, exposed for golden-digest tests).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// JSON string literal with the escapes JSON requires (quote, backslash,
+/// control characters).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number literal for an `f64` (shortest round-trip form, which is
+/// a pure function of the value). Non-finite values, which JSON cannot
+/// carry, become `null`. Only *report* layers (claim tables) use floats;
+/// registry values themselves are integral.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:?}");
+        // `{:?}` always includes a decimal point or exponent, so the
+        // token is a valid JSON number as-is.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A registry view that prefixes every path with `prefix.`; instruments
+/// publish through this so one stats struct can be mounted anywhere in
+/// the tree.
+pub struct Scope<'a> {
+    reg: &'a mut Registry,
+    prefix: String,
+}
+
+impl Scope<'_> {
+    fn path(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.prefix)
+        }
+    }
+
+    /// Registers a counter under this scope.
+    pub fn counter(&mut self, name: &str, v: u64) {
+        let p = self.path(name);
+        self.reg.counter(p, v);
+    }
+
+    /// Registers a gauge under this scope.
+    pub fn gauge(&mut self, name: &str, v: i64) {
+        let p = self.path(name);
+        self.reg.gauge(p, v);
+    }
+
+    /// Registers a histogram under this scope.
+    pub fn hist(&mut self, name: &str, h: Hist) {
+        let p = self.path(name);
+        self.reg.hist(p, h);
+    }
+
+    /// Registers a text value under this scope.
+    pub fn text(&mut self, name: &str, v: impl Into<String>) {
+        let p = self.path(name);
+        self.reg.text(p, v);
+    }
+
+    /// Appends an event whose path is under this scope.
+    pub fn event(&mut self, at: SimTime, name: &str, detail: impl Into<String>) {
+        let p = self.path(name);
+        self.reg.event(at, p, detail);
+    }
+
+    /// A sub-scope one dotted level down.
+    pub fn scope(&mut self, name: &str) -> Scope<'_> {
+        let prefix = self.path(name);
+        Scope {
+            reg: self.reg,
+            prefix,
+        }
+    }
+
+    /// Publishes an [`Instrument`] under a sub-scope in one call.
+    pub fn publish(&mut self, name: &str, instrument: &dyn Instrument) {
+        instrument.publish(&mut self.scope(name));
+    }
+}
+
+/// A stats source that registers its values into the telemetry tree.
+///
+/// Every per-crate stats struct (`MbufStats`, `RingStats`,
+/// `TrDriverStats`, …) implements this; the collector mounts each under
+/// its dotted namespace, so the registry is always a complete, ordered
+/// union of the workspace's counters.
+pub trait Instrument {
+    /// Registers this source's current values under `scope`.
+    fn publish(&self, scope: &mut Scope<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    #[test]
+    fn metrics_iterate_in_path_order() {
+        let mut r = Registry::new();
+        r.counter("z.last", 1);
+        r.counter("a.first", 2);
+        r.gauge("m.middle", -3);
+        let paths: Vec<&str> = r.iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn scope_prefixes_and_nests() {
+        let mut r = Registry::new();
+        let mut s = r.scope("unixkern.h0");
+        s.counter("mbuf.drops", 4);
+        s.scope("kern").counter("ticks", 9);
+        assert_eq!(r.counter_value("unixkern.h0.mbuf.drops"), Some(4));
+        assert_eq!(r.counter_value("unixkern.h0.kern.ticks"), Some(9));
+    }
+
+    #[test]
+    fn json_is_canonical_and_stable() {
+        let build = || {
+            let mut r = Registry::new();
+            r.counter("b", 2);
+            r.counter("a", 1);
+            r.gauge("g", -7);
+            r.text("t", "x\"y");
+            let mut h = Hist::new(10, 3);
+            h.record(0);
+            h.record(25);
+            h.record(99);
+            r.hist("h", h);
+            r.event(t(5), "ev", "first");
+            r
+        };
+        let a = build().to_json();
+        let b = build().to_json();
+        assert_eq!(a, b, "same registry must serialize to the same bytes");
+        assert!(a.contains("\"a\": {\"counter\": 1}"));
+        assert!(a.contains("\"g\": {\"gauge\": -7}"));
+        assert!(a.contains("\\\"y"));
+        assert!(a.contains("\"counts\": [1, 0, 1], \"overflow\": 1, \"total\": 3, \"sum\": 124"));
+        assert!(a.contains("\"at_ns\": 5000000"));
+        assert_eq!(build().digest(), build().digest());
+    }
+
+    #[test]
+    fn hist_bins_and_overflow() {
+        let mut h = Hist::new(1000, 4);
+        for v in [0, 999, 1000, 3999, 4000, 50_000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.sum(), 59_998);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_slices_events() {
+        let mut base = Registry::new();
+        base.counter("c", 10);
+        base.event(t(1), "e", "old");
+        let mut now = base.clone();
+        now.counter("c", 25);
+        now.counter("fresh", 3);
+        now.gauge("g", 5);
+        now.event(t(2), "e", "new");
+        let d = now.delta(&base);
+        assert_eq!(d.counter_value("c"), Some(15));
+        assert_eq!(d.counter_value("fresh"), Some(3));
+        assert_eq!(d.get("g"), Some(&Value::Gauge(5)));
+        assert_eq!(d.events().len(), 1);
+        assert_eq!(d.events()[0].detail, "new");
+    }
+
+    #[test]
+    fn phase_snapshots_freeze_the_tree() {
+        let mut r = Registry::new();
+        r.counter("c", 1);
+        r.snapshot_phase("warmup");
+        r.counter("c", 9);
+        assert_eq!(
+            r.phase("warmup").and_then(|m| match m.get("c") {
+                Some(Value::Counter(c)) => Some(*c),
+                _ => None,
+            }),
+            Some(1)
+        );
+        assert_eq!(r.counter_value("c"), Some(9));
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"warmup\""));
+    }
+
+    #[test]
+    fn clear_metrics_keeps_events_and_phases() {
+        let mut r = Registry::new();
+        r.counter("c", 1);
+        r.snapshot_phase("p");
+        r.event(t(3), "e", "kept");
+        r.clear_metrics();
+        assert!(r.is_empty());
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.phases().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn events_must_be_monotonic() {
+        let mut r = Registry::new();
+        r.event(t(5), "e", "");
+        r.event(t(4), "e", "");
+    }
+
+    #[test]
+    fn float_formatting_for_reports() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(10740.0), "10740.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn instrument_publish_helper() {
+        struct S;
+        impl Instrument for S {
+            fn publish(&self, scope: &mut Scope<'_>) {
+                scope.counter("x", 7);
+            }
+        }
+        let mut r = Registry::new();
+        r.scope("top").publish("sub", &S);
+        assert_eq!(r.counter_value("top.sub.x"), Some(7));
+    }
+}

@@ -142,6 +142,21 @@ impl EdgeLog {
     }
 }
 
+impl crate::telemetry::Instrument for EdgeLog {
+    /// Registers the log's summary: edge count, first/last instants, and
+    /// the FNV-1a content digest (as hex text, so the full 64 bits
+    /// survive). Full edge streams stay in the log itself — the registry
+    /// carries the diffable fingerprint.
+    fn publish(&self, scope: &mut crate::telemetry::Scope<'_>) {
+        scope.counter("edges", self.edges.len() as u64);
+        scope.text("digest", format!("{:#018X}", self.digest()));
+        if let (Some(first), Some(last)) = (self.edges.first(), self.edges.last()) {
+            scope.gauge("first_ns", first.at.as_ns() as i64);
+            scope.gauge("last_ns", last.at.as_ns() as i64);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,19 @@ pub enum Band {
     Informational,
 }
 
+impl Band {
+    /// Compact deterministic label for machine-readable reports:
+    /// `rel(0.1)`, `abs(0.05)`, or `info`. Floats render via `{:?}`
+    /// (shortest round-trip), so the label is stable across runs.
+    pub fn label(&self) -> String {
+        match self {
+            Band::RelativeFrac(f) => format!("rel({f:?})"),
+            Band::Absolute(a) => format!("abs({a:?})"),
+            Band::Informational => "info".to_string(),
+        }
+    }
+}
+
 /// One paper-reported quantity compared against the reproduction.
 #[derive(Clone, Debug)]
 pub struct Claim {
@@ -183,6 +196,13 @@ mod tests {
     fn informational_never_fails() {
         let c = Claim::new("x", "d", 1.0, 99.0, "", Band::Informational);
         assert!(c.holds());
+    }
+
+    #[test]
+    fn band_labels_are_stable() {
+        assert_eq!(Band::RelativeFrac(0.1).label(), "rel(0.1)");
+        assert_eq!(Band::Absolute(0.05).label(), "abs(0.05)");
+        assert_eq!(Band::Informational.label(), "info");
     }
 
     #[test]

@@ -210,6 +210,21 @@ pub struct RingStats {
     pub priority_lowers: u64,
 }
 
+impl ctms_sim::Instrument for RingStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("frames_sent", self.frames_sent);
+        scope.counter("frames_delivered", self.frames_delivered);
+        scope.counter("frames_lost", self.frames_lost);
+        scope.counter("mac_frames", self.mac_frames);
+        scope.counter("purges", self.purges);
+        scope.counter("purge_sequences", self.purge_sequences);
+        scope.counter("busy_ns", self.busy_ns);
+        scope.counter("queue_drops", self.queue_drops);
+        scope.counter("priority_raises", self.priority_raises);
+        scope.counter("priority_lowers", self.priority_lowers);
+    }
+}
+
 /// The Token Ring medium model. See the module docs.
 #[derive(Debug)]
 pub struct TokenRing {
@@ -511,6 +526,12 @@ impl TokenRing {
 impl Component for TokenRing {
     type Cmd = RingCmd;
     type Out = RingOut;
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
+        scope.gauge("stations", self.stations.len() as i64);
+    }
 
     fn next_deadline(&self) -> Option<SimTime> {
         let state_deadline = match &self.state {

@@ -313,6 +313,13 @@ pub trait Driver: Any {
         let _ = (ctx, pid, req);
     }
 
+    /// Publishes the driver's counters into the host's telemetry scope.
+    /// The kernel mounts each driver under `drv{id}.{name}`; drivers that
+    /// keep no statistics inherit this no-op.
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        let _ = scope;
+    }
+
     /// Downcast support for post-run statistics extraction.
     fn as_any(&self) -> &dyn Any;
     /// Mutable downcast support.

@@ -191,6 +191,15 @@ impl Component for Host {
         }
         self.settle(now, kouts, sink);
     }
+
+    /// Kernel tree at the root of the host's scope; hardware under
+    /// `bus`/`cpu`.
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.kernel.publish_telemetry(scope);
+        self.machine.bus_stats().publish(&mut scope.scope("bus"));
+        self.machine.cpu_stats().publish(&mut scope.scope("cpu"));
+    }
 }
 
 #[cfg(test)]

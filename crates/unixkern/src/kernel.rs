@@ -195,6 +195,17 @@ pub struct KernStats {
     pub retx: u64,
 }
 
+impl ctms_sim::Instrument for KernStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("softnet_pkts", self.softnet_pkts);
+        scope.counter("unmatched_pkts", self.unmatched_pkts);
+        scope.counter("tcp_ooo_drops", self.tcp_ooo_drops);
+        scope.counter("ticks", self.ticks);
+        scope.counter("acks_tx", self.acks_tx);
+        scope.counter("retx", self.retx);
+    }
+}
+
 /// The kernel. See module docs.
 pub struct Kernel {
     cfg: KernConfig,
@@ -309,6 +320,35 @@ impl Kernel {
     /// mbuf pool counters.
     pub fn mbuf_stats(&self) -> MbufStats {
         self.mbufs.stats()
+    }
+
+    /// Publishes the kernel's whole metric tree into `scope`: its own
+    /// counters at the root, the mbuf pool under `mbuf`, sockets under
+    /// `sock{port}` (ascending port order), and drivers under
+    /// `drv{id}.{name}` (registration order). Ordering is fixed so the
+    /// registry walk is deterministic.
+    pub fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
+        {
+            let mut mbuf = scope.scope("mbuf");
+            self.mbufs.stats().publish(&mut mbuf);
+            mbuf.gauge("in_use", i64::from(self.mbufs.in_use()));
+        }
+        let mut ports: Vec<u16> = self.socks.keys().copied().collect();
+        ports.sort_unstable();
+        for port in ports {
+            let sock = &self.socks[&port];
+            let mut s = scope.scope(&format!("sock{port}"));
+            sock.stats.publish(&mut s);
+            s.gauge("rcv_bytes", i64::from(sock.rcv_bytes));
+        }
+        for (k, slot) in self.drivers.iter().enumerate() {
+            if let Some(d) = slot.as_deref() {
+                let mut s = scope.scope(&format!("drv{k}.{}", d.name()));
+                d.publish_telemetry(&mut s);
+            }
+        }
     }
 
     /// Whether a process has exited.

@@ -24,8 +24,18 @@ pub struct MbufChain {
 
 impl MbufChain {
     /// Number of mbufs needed for `len` bytes of payload.
+    ///
+    /// Zero-length policy: a chain always occupies at least one mbuf.
+    /// Even a payload-free message (a bare ACK, a control ioctl) carries
+    /// protocol headers in the mbuf data area in 4.3BSD, so `MGET` is
+    /// issued regardless of payload size — an "empty" allocation still
+    /// draws one buffer from the pool and can be dropped or queued like
+    /// any other.
     pub fn mbufs_for(len: u32) -> u32 {
-        len.div_ceil(MBUF_DATA).max(1)
+        if len == 0 {
+            return 1;
+        }
+        len.div_ceil(MBUF_DATA)
     }
 }
 
@@ -50,6 +60,15 @@ pub struct MbufStats {
     pub waits: u64,
     /// High-water mark of mbufs in use.
     pub peak_in_use: u32,
+}
+
+impl ctms_sim::Instrument for MbufStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("allocs", self.allocs);
+        scope.counter("drops", self.drops);
+        scope.counter("waits", self.waits);
+        scope.gauge("peak_in_use", i64::from(self.peak_in_use));
+    }
 }
 
 /// The pool. See module docs.
@@ -161,6 +180,22 @@ impl MbufPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_length_chain_still_occupies_one_mbuf() {
+        // Explicit policy, not an arithmetic accident: header-only
+        // messages draw a buffer from the pool like any other.
+        assert_eq!(MbufChain::mbufs_for(0), 1);
+        let mut p = MbufPool::new(1);
+        let c = p.alloc_nowait(0).expect("one mbuf free");
+        assert_eq!(c.count, 1);
+        assert_eq!(p.in_use(), 1);
+        // Pool of one is now exhausted — a second empty chain drops.
+        assert!(p.alloc_nowait(0).is_none());
+        assert_eq!(p.stats().drops, 1);
+        drop(p.free(c));
+        assert_eq!(p.in_use(), 0);
+    }
 
     #[test]
     fn chain_sizing() {

@@ -127,6 +127,17 @@ pub struct SockStats {
     pub retx: u64,
 }
 
+impl ctms_sim::Instrument for SockStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("tx_pkts", self.tx_pkts);
+        scope.counter("rx_pkts", self.rx_pkts);
+        scope.counter("acks_tx", self.acks_tx);
+        scope.counter("acks_rx", self.acks_rx);
+        scope.counter("rx_drops", self.rx_drops);
+        scope.counter("retx", self.retx);
+    }
+}
+
 /// One socket endpoint.
 #[derive(Debug)]
 pub struct Sock {

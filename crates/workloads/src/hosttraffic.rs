@@ -101,6 +101,15 @@ pub struct HostTrafficStats {
     pub mbuf_skips: u64,
 }
 
+impl ctms_sim::Instrument for HostTrafficStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("keepalives", self.keepalives);
+        scope.counter("afs", self.afs);
+        scope.counter("ft_frames", self.ft_frames);
+        scope.counter("mbuf_skips", self.mbuf_skips);
+    }
+}
+
 /// The generator driver. See module docs.
 #[derive(Debug)]
 pub struct HostTrafficGen {
@@ -156,6 +165,11 @@ impl HostTrafficGen {
 impl Driver for HostTrafficGen {
     fn name(&self) -> &'static str {
         "host-traffic"
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
     }
 
     fn on_boot(&mut self, ctx: &mut Ctx) {

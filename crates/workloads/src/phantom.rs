@@ -107,6 +107,16 @@ pub struct PhantomStats {
     pub soft_errors: u64,
 }
 
+impl ctms_sim::Instrument for PhantomStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("small", self.small);
+        scope.counter("arp", self.arp);
+        scope.counter("ft_frames", self.ft_frames);
+        scope.counter("insertions", self.insertions);
+        scope.counter("soft_errors", self.soft_errors);
+    }
+}
+
 /// The generator. See module docs.
 #[derive(Debug)]
 pub struct PhantomTraffic {
@@ -266,6 +276,11 @@ impl Component for PhantomTraffic {
     }
 
     fn handle(&mut self, _now: SimTime, _cmd: (), _sink: &mut Vec<PhantomOut>) {}
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
+    }
 }
 
 #[cfg(test)]

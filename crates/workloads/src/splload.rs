@@ -58,6 +58,13 @@ pub struct SplLoadStats {
     pub busy_ns: u64,
 }
 
+impl ctms_sim::Instrument for SplLoadStats {
+    fn publish(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        scope.counter("sections", self.sections);
+        scope.counter("busy_ns", self.busy_ns);
+    }
+}
+
 /// The generator driver. See module docs.
 #[derive(Debug)]
 pub struct SplLoad {
@@ -91,6 +98,11 @@ impl SplLoad {
 impl Driver for SplLoad {
     fn name(&self) -> &'static str {
         "spl-load"
+    }
+
+    fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
+        use ctms_sim::Instrument as _;
+        self.stats.publish(scope);
     }
 
     fn on_boot(&mut self, ctx: &mut Ctx) {

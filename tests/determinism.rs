@@ -69,3 +69,37 @@ fn repeated_runs_are_bit_identical() {
     let sc = Scenario::test_case_b(7);
     assert_eq!(digests(&sc), digests(&sc));
 }
+
+#[test]
+fn telemetry_json_is_byte_identical_across_runs() {
+    // The whole metric tree — every counter, gauge, histogram and text
+    // in every crate's namespace — serialized twice from independently
+    // built testbeds. Byte equality, not just digest equality: any
+    // non-deterministic iteration order or float formatting anywhere in
+    // the registry shows up as a readable diff here.
+    for sc in [Scenario::test_case_a(42), Scenario::test_case_b(42)] {
+        let first = ctms_bench::telemetry_case(&sc);
+        let second = ctms_bench::telemetry_case(&sc);
+        assert_eq!(first, second, "telemetry JSON drifted between runs");
+    }
+}
+
+#[test]
+fn telemetry_digests_are_golden() {
+    // FNV-1a over the canonical JSON bytes, pinned like the edge-log
+    // digests above: a change to any registered metric path or value —
+    // or to the serializer itself — moves these and is caught as a
+    // reviewable diff instead of silent telemetry drift.
+    let digest =
+        |sc: &Scenario| ctms_sim::telemetry::fnv1a(ctms_bench::telemetry_case(sc).as_bytes());
+    let a = digest(&Scenario::test_case_a(42));
+    let b = digest(&Scenario::test_case_b(42));
+    assert_eq!(
+        a, 0x4EFA_4772_20F4_EE0B,
+        "case A telemetry drifted: {a:#018X}"
+    );
+    assert_eq!(
+        b, 0xF9C7_8BD2_FDF4_71C1,
+        "case B telemetry drifted: {b:#018X}"
+    );
+}
