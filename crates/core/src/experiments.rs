@@ -901,7 +901,9 @@ pub fn e11_rows(base: &Scenario, secs: u64) -> Vec<AblationRow> {
         }),
     ];
     let threads = ctms_sim::default_threads(grid.len());
-    ctms_sim::parallel_map(grid, threads, |(label, sc)| ablation_row(&label, &sc, secs))
+    ctms_sim::parallel_map(grid, threads, move |(label, sc)| {
+        ablation_row(&label, &sc, secs)
+    })
 }
 
 /// E12 (extension, §1 footnote 5): a CTMS stream crossing two rings

@@ -17,7 +17,7 @@ use ctms_devices::{
 };
 use ctms_measure::{MeasurementSet, Tap};
 use ctms_rtpc::{Machine, MachineConfig, MemRegion};
-use ctms_sim::{CascadeError, Dur, EdgeLog, Pcg32, SimTime};
+use ctms_sim::{CascadeError, Dur, EdgeLog, Pcg32, SchedMode, SimTime};
 use ctms_tokenring::{RingCmd, StationId, TokenRing};
 use ctms_unixkern::{
     DriverId, DropSite, Host, KernConfig, Kernel, MeasurePoint, Pid, Port, Program, Sock,
@@ -77,6 +77,14 @@ impl Testbed {
     /// Stations: 0 = transmitter, 1 = receiver, 2 = control machine,
     /// 3 = file server, 4.. = phantom campus stations (public network).
     pub fn ctms(sc: &Scenario) -> Testbed {
+        Self::ctms_with_mode(sc, SchedMode::Indexed)
+    }
+
+    /// Like [`Testbed::ctms`], selecting the harness scheduler
+    /// implementation. Exists for the `ctms-bench` perf harness, which
+    /// compares the production indexed scheduler against the
+    /// [`SchedMode::LazyBaseline`] emulation on identical topologies.
+    pub fn ctms_with_mode(sc: &Scenario, mode: SchedMode) -> Testbed {
         let root = Pcg32::new(sc.seed, 0xC7);
         let mut ring_cfg = sc.calib.ring.clone();
         ring_cfg.priority_enabled = sc.ring_priority;
@@ -170,6 +178,7 @@ impl Testbed {
         Self::add_background(&mut krx, tr_rx, sc);
 
         let mut topo = Topology::new(sc.cascade_limit);
+        topo.sched_mode(mode);
         let r = topo.ring(ring);
         let tx = topo.host(
             r,

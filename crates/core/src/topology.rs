@@ -23,7 +23,9 @@
 use crate::testbed::DropRec;
 use ctms_measure::{Tap, TapCfg};
 use ctms_router::{Bridge, BridgeCmd, BridgeOut, RingSide};
-use ctms_sim::{CascadeError, Component, EdgeLog, Harness, NodeId, Router, SimTime};
+use ctms_sim::{
+    CascadeError, CmdSink, Component, EdgeLog, Harness, NodeId, Router, SchedMode, SimTime,
+};
 use ctms_tokenring::{RingCmd, RingOut, StationId, TokenRing};
 use ctms_unixkern::{
     DriverCall, DriverId, DropSite, Host, HostCmd, HostOut, KernCmd, MeasurePoint, Port,
@@ -37,16 +39,21 @@ use std::collections::HashMap;
 /// nodes are constructed once and live in the harness registry for the
 /// whole run — boxing the large variants would only add an indirection
 /// on the per-event advance path.
+///
+/// Each variant carries a retained scratch `Vec` of its substrate's own
+/// output type: `advance`/`handle` drain the substrate into the scratch
+/// and map into [`Event`] from there, so the translation allocates
+/// nothing once the scratch has reached its peak burst size.
 #[allow(clippy::large_enum_variant)]
 pub enum Node {
     /// A Token Ring medium.
-    Ring(TokenRing),
+    Ring(TokenRing, Vec<RingOut>),
     /// A full host (machine + kernel).
-    Host(Host),
+    Host(Host, Vec<HostOut>),
     /// A two-port ring-to-ring forwarder.
-    Bridge(Bridge),
+    Bridge(Bridge, Vec<BridgeOut>),
     /// Background campus traffic bound to one ring.
-    Phantom(PhantomTraffic),
+    Phantom(PhantomTraffic, Vec<PhantomOut>),
 }
 
 /// Events emitted by any [`Node`].
@@ -77,54 +84,47 @@ impl Component for Node {
 
     fn next_deadline(&self) -> Option<SimTime> {
         match self {
-            Node::Ring(r) => r.next_deadline(),
-            Node::Host(h) => h.next_deadline(),
-            Node::Bridge(b) => b.next_deadline(),
-            Node::Phantom(p) => p.next_deadline(),
+            Node::Ring(r, _) => r.next_deadline(),
+            Node::Host(h, _) => h.next_deadline(),
+            Node::Bridge(b, _) => b.next_deadline(),
+            Node::Phantom(p, _) => p.next_deadline(),
         }
     }
 
     fn advance(&mut self, now: SimTime, sink: &mut Vec<Event>) {
-        let mut out = Vec::new();
         match self {
-            Node::Ring(r) => {
-                r.advance(now, &mut out);
-                sink.extend(out.into_iter().map(Event::Ring));
+            Node::Ring(r, buf) => {
+                r.advance(now, buf);
+                sink.extend(buf.drain(..).map(Event::Ring));
             }
-            Node::Host(h) => {
-                let mut hout = Vec::new();
-                h.advance(now, &mut hout);
-                sink.extend(hout.into_iter().map(Event::Host));
+            Node::Host(h, buf) => {
+                h.advance(now, buf);
+                sink.extend(buf.drain(..).map(Event::Host));
             }
-            Node::Bridge(b) => {
-                let mut bout = Vec::new();
-                b.advance(now, &mut bout);
-                sink.extend(bout.into_iter().map(Event::Bridge));
+            Node::Bridge(b, buf) => {
+                b.advance(now, buf);
+                sink.extend(buf.drain(..).map(Event::Bridge));
             }
-            Node::Phantom(p) => {
-                let mut pout = Vec::new();
-                p.advance(now, &mut pout);
-                sink.extend(pout.into_iter().map(Event::Phantom));
+            Node::Phantom(p, buf) => {
+                p.advance(now, buf);
+                sink.extend(buf.drain(..).map(Event::Phantom));
             }
         }
     }
 
     fn handle(&mut self, now: SimTime, cmd: Cmd, sink: &mut Vec<Event>) {
         match (self, cmd) {
-            (Node::Ring(r), Cmd::Ring(c)) => {
-                let mut out = Vec::new();
-                r.handle(now, c, &mut out);
-                sink.extend(out.into_iter().map(Event::Ring));
+            (Node::Ring(r, buf), Cmd::Ring(c)) => {
+                r.handle(now, c, buf);
+                sink.extend(buf.drain(..).map(Event::Ring));
             }
-            (Node::Host(h), Cmd::Host(c)) => {
-                let mut out = Vec::new();
-                h.handle(now, c, &mut out);
-                sink.extend(out.into_iter().map(Event::Host));
+            (Node::Host(h, buf), Cmd::Host(c)) => {
+                h.handle(now, c, buf);
+                sink.extend(buf.drain(..).map(Event::Host));
             }
-            (Node::Bridge(b), Cmd::Bridge(c)) => {
-                let mut out = Vec::new();
-                b.handle(now, c, &mut out);
-                sink.extend(out.into_iter().map(Event::Bridge));
+            (Node::Bridge(b, buf), Cmd::Bridge(c)) => {
+                b.handle(now, c, buf);
+                sink.extend(buf.drain(..).map(Event::Bridge));
             }
             _ => panic!("misrouted command: node/command kinds disagree"),
         }
@@ -132,10 +132,10 @@ impl Component for Node {
 
     fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
         match self {
-            Node::Ring(r) => r.publish_telemetry(scope),
-            Node::Host(h) => h.publish_telemetry(scope),
-            Node::Bridge(b) => b.publish_telemetry(scope),
-            Node::Phantom(p) => p.publish_telemetry(scope),
+            Node::Ring(r, _) => r.publish_telemetry(scope),
+            Node::Host(h, _) => h.publish_telemetry(scope),
+            Node::Bridge(b, _) => b.publish_telemetry(scope),
+            Node::Phantom(p, _) => p.publish_telemetry(scope),
         }
     }
 }
@@ -261,12 +261,12 @@ impl CtmsRouter {
 }
 
 impl Router<Node> for CtmsRouter {
-    fn route(&mut self, now: SimTime, src: NodeId, event: Event) -> Vec<(NodeId, Cmd)> {
+    fn route(&mut self, now: SimTime, src: NodeId, event: Event, sink: &mut CmdSink<Cmd>) {
         match event {
-            Event::Ring(out) => self.route_ring(now, src, out),
-            Event::Host(out) => self.route_host(now, src, out),
-            Event::Bridge(out) => self.route_bridge(src, out),
-            Event::Phantom(out) => self.route_phantom(src, out),
+            Event::Ring(out) => self.route_ring(now, src, out, sink),
+            Event::Host(out) => self.route_host(now, src, out, sink),
+            Event::Bridge(out) => self.route_bridge(src, out, sink),
+            Event::Phantom(out) => self.route_phantom(src, out, sink),
         }
     }
 
@@ -313,59 +313,53 @@ impl CtmsRouter {
         }
     }
 
-    fn route_ring(&mut self, now: SimTime, src: NodeId, out: RingOut) -> Vec<(NodeId, Cmd)> {
+    fn route_ring(&mut self, now: SimTime, src: NodeId, out: RingOut, sink: &mut CmdSink<Cmd>) {
         match out {
             RingOut::Delivered { to, frame } => match self.ring_endpoint(src, to) {
                 Some(Endpoint::Host { node }) => {
-                    vec![(node, Cmd::Host(HostCmd::RingDelivered(frame)))]
+                    sink.push(node, Cmd::Host(HostCmd::RingDelivered(frame)));
                 }
                 Some(Endpoint::Bridge { node, side }) => {
-                    vec![(node, Cmd::Bridge(BridgeCmd::Delivered { side, frame }))]
+                    sink.push(node, Cmd::Bridge(BridgeCmd::Delivered { side, frame }));
                 }
-                None => Vec::new(),
+                None => {}
             },
             RingOut::Stripped {
                 from,
                 tag,
                 delivered,
                 ..
-            } => match self.ring_endpoint(src, from) {
+            } => {
                 // Bridge submissions complete silently; host submissions
                 // go back to the host's driver.
-                Some(Endpoint::Host { node }) => {
-                    vec![(node, Cmd::Host(HostCmd::RingStripped { tag, delivered }))]
+                if let Some(Endpoint::Host { node }) = self.ring_endpoint(src, from) {
+                    sink.push(node, Cmd::Host(HostCmd::RingStripped { tag, delivered }));
                 }
-                _ => Vec::new(),
-            },
+            }
             RingOut::Observed(view) => {
                 if let Some(tap) = self.taps[src.0].as_mut() {
                     tap.observe(now, &view);
                 }
-                Vec::new()
             }
             RingOut::LostToPurge { tag, .. } => {
                 self.m.lost_to_purge.push((now, tag));
-                Vec::new()
             }
             RingOut::PurgeStarted { .. } => {
                 self.m.purge_starts.push(now);
-                self.purge_subscribers
-                    .iter()
-                    .map(|&(host, driver)| {
-                        (
-                            host,
-                            Cmd::Host(HostCmd::Kern(KernCmd::Call {
-                                driver,
-                                call: DriverCall::Custom {
-                                    code: ctms_ctmsp::CALL_PURGE_SEEN,
-                                    arg: 0,
-                                },
-                            })),
-                        )
-                    })
-                    .collect()
+                for &(host, driver) in &self.purge_subscribers {
+                    sink.push(
+                        host,
+                        Cmd::Host(HostCmd::Kern(KernCmd::Call {
+                            driver,
+                            call: DriverCall::Custom {
+                                code: ctms_ctmsp::CALL_PURGE_SEEN,
+                                arg: 0,
+                            },
+                        })),
+                    );
+                }
             }
-            RingOut::PurgeEnded => Vec::new(),
+            RingOut::PurgeEnded => {}
             RingOut::QueueDrop { station, .. } => {
                 self.m.drops.push(DropRec {
                     at: now,
@@ -374,24 +368,22 @@ impl CtmsRouter {
                     tag: 0,
                     bytes: 0,
                 });
-                Vec::new()
             }
         }
     }
 
-    fn route_host(&mut self, now: SimTime, src: NodeId, out: HostOut) -> Vec<(NodeId, Cmd)> {
+    fn route_host(&mut self, now: SimTime, src: NodeId, out: HostOut, sink: &mut CmdSink<Cmd>) {
         let (index, ring) = match self.slots[src.0] {
             Slot::Host { index, ring } => (index, ring),
             _ => unreachable!("host events come from host nodes"),
         };
         match out {
-            HostOut::RingSubmit(frame) => vec![(ring, Cmd::Ring(RingCmd::Submit(frame)))],
+            HostOut::RingSubmit(frame) => sink.push(ring, Cmd::Ring(RingCmd::Submit(frame))),
             HostOut::Trace { point, tag } => {
                 self.m.truth[index]
                     .entry(point)
                     .or_insert_with(|| EdgeLog::new(format!("h{index}-{point:?}")))
                     .record(now, tag);
-                Vec::new()
             }
             HostOut::Drop { site, tag, bytes } => {
                 self.m.drops.push(DropRec {
@@ -401,21 +393,18 @@ impl CtmsRouter {
                     tag,
                     bytes,
                 });
-                Vec::new()
             }
             HostOut::Presented { tag, bytes } => {
                 self.m.presented.push((now, tag, bytes));
-                Vec::new()
             }
             HostOut::SockDelivered { port, bytes } => {
                 self.m.sock_delivered.push((now, port, bytes));
-                Vec::new()
             }
-            HostOut::ProcExited { .. } => Vec::new(),
+            HostOut::ProcExited { .. } => {}
         }
     }
 
-    fn route_bridge(&mut self, src: NodeId, out: BridgeOut) -> Vec<(NodeId, Cmd)> {
+    fn route_bridge(&mut self, src: NodeId, out: BridgeOut, sink: &mut CmdSink<Cmd>) {
         let (ring_a, ring_b) = match self.slots[src.0] {
             Slot::Bridge { ring_a, ring_b } => (ring_a, ring_b),
             _ => unreachable!("bridge events come from bridge nodes"),
@@ -426,23 +415,22 @@ impl CtmsRouter {
                     RingSide::A => ring_a,
                     RingSide::B => ring_b,
                 };
-                vec![(ring, Cmd::Ring(RingCmd::Submit(frame)))]
+                sink.push(ring, Cmd::Ring(RingCmd::Submit(frame)));
             }
             BridgeOut::Dropped { .. } => {
                 self.m.bridge_drops += 1;
-                Vec::new()
             }
         }
     }
 
-    fn route_phantom(&mut self, src: NodeId, out: PhantomOut) -> Vec<(NodeId, Cmd)> {
+    fn route_phantom(&mut self, src: NodeId, out: PhantomOut, sink: &mut CmdSink<Cmd>) {
         let ring = match self.slots[src.0] {
             Slot::Phantom { ring } => ring,
             _ => unreachable!("phantom events come from the phantom node"),
         };
         match out {
-            PhantomOut::Submit(frame) => vec![(ring, Cmd::Ring(RingCmd::Submit(frame)))],
-            PhantomOut::Disturb(d) => vec![(ring, Cmd::Ring(RingCmd::Disturb(d)))],
+            PhantomOut::Submit(frame) => sink.push(ring, Cmd::Ring(RingCmd::Submit(frame))),
+            PhantomOut::Disturb(d) => sink.push(ring, Cmd::Ring(RingCmd::Disturb(d))),
         }
     }
 }
@@ -459,6 +447,7 @@ pub struct Topology {
     phantom: Option<(usize, PhantomTraffic)>,
     purge_subscribers: Vec<(usize, DriverId)>,
     cascade_limit: u32,
+    sched_mode: SchedMode,
 }
 
 impl Topology {
@@ -469,6 +458,13 @@ impl Topology {
             cascade_limit,
             ..Topology::default()
         }
+    }
+
+    /// Selects the harness scheduler implementation. Defaults to
+    /// [`SchedMode::Indexed`]; only the `ctms-bench` perf harness should
+    /// ever select the lazy baseline.
+    pub fn sched_mode(&mut self, mode: SchedMode) {
+        self.sched_mode = mode;
     }
 
     /// Adds a ring; returns its ring index.
@@ -589,23 +585,28 @@ impl Topology {
             },
         };
 
-        let mut h = Harness::new(router, self.cascade_limit);
+        let mut h = Harness::with_mode(router, self.cascade_limit, self.sched_mode);
         let mut ring_nodes = Vec::new();
         for (k, ring) in self.rings.into_iter().enumerate() {
-            ring_nodes.push(h.add_node_labeled(Node::Ring(ring), format!("tokenring.ring{k}")));
+            ring_nodes.push(
+                h.add_node_labeled(Node::Ring(ring, Vec::new()), format!("tokenring.ring{k}")),
+            );
         }
         let mut bridge_nodes = Vec::new();
         for (k, (_, _, bridge)) in self.bridges.into_iter().enumerate() {
-            bridge_nodes
-                .push(h.add_node_labeled(Node::Bridge(bridge), format!("router.bridge{k}")));
+            bridge_nodes.push(h.add_node_labeled(
+                Node::Bridge(bridge, Vec::new()),
+                format!("router.bridge{k}"),
+            ));
         }
         let mut host_nodes = Vec::new();
         for (k, (_, _, host)) in self.hosts.into_iter().enumerate() {
-            host_nodes.push(h.add_node_labeled(Node::Host(host), format!("unixkern.h{k}")));
+            host_nodes
+                .push(h.add_node_labeled(Node::Host(host, Vec::new()), format!("unixkern.h{k}")));
         }
         let phantom_node = self
             .phantom
-            .map(|(_, p)| h.add_node_labeled(Node::Phantom(p), "workloads.phantom"));
+            .map(|(_, p)| h.add_node_labeled(Node::Phantom(p, Vec::new()), "workloads.phantom"));
 
         Bus {
             h,
@@ -649,10 +650,16 @@ impl Bus {
         self.ring_nodes.len()
     }
 
+    /// Component activations serviced so far (scheduler throughput
+    /// numerator for the perf harness; not part of telemetry).
+    pub fn events(&self) -> u64 {
+        self.h.events()
+    }
+
     /// Ring `k`.
     pub fn ring(&self, k: usize) -> &TokenRing {
         match self.h.node(self.ring_nodes[k]) {
-            Node::Ring(r) => r,
+            Node::Ring(r, _) => r,
             _ => unreachable!("ring node"),
         }
     }
@@ -665,7 +672,7 @@ impl Bus {
     /// Host `k` (dense index from [`Topology::host`]).
     pub fn host(&self, k: usize) -> &Host {
         match self.h.node(self.host_nodes[k]) {
-            Node::Host(host) => host,
+            Node::Host(host, _) => host,
             _ => unreachable!("host node"),
         }
     }
@@ -673,7 +680,7 @@ impl Bus {
     /// Mutable host `k`; its deadline is rescheduled before the next step.
     pub fn host_mut(&mut self, k: usize) -> &mut Host {
         match self.h.node_mut(self.host_nodes[k]) {
-            Node::Host(host) => host,
+            Node::Host(host, _) => host,
             _ => unreachable!("host node"),
         }
     }
@@ -686,7 +693,7 @@ impl Bus {
     /// Bridge `k`.
     pub fn bridge(&self, k: usize) -> &Bridge {
         match self.h.node(self.bridge_nodes[k]) {
-            Node::Bridge(b) => b,
+            Node::Bridge(b, _) => b,
             _ => unreachable!("bridge node"),
         }
     }
@@ -694,7 +701,7 @@ impl Bus {
     /// The phantom traffic generator, if attached.
     pub fn phantom(&self) -> Option<&PhantomTraffic> {
         self.phantom_node.map(|id| match self.h.node(id) {
-            Node::Phantom(p) => p,
+            Node::Phantom(p, _) => p,
             _ => unreachable!("phantom node"),
         })
     }

@@ -7,21 +7,39 @@
 //! [`Harness`] owns that loop once:
 //!
 //! * components register into a [`NodeId`]-addressable registry,
-//! * a central deadline scheduler (binary heap keyed by
-//!   `(SimTime, NodeId)`, FIFO on exact ties) picks the next instant and
-//!   services due nodes in registration order — so runs remain
-//!   bit-deterministic and exactly reproduce the fixed advance order of
-//!   the old hand-rolled loops,
+//! * a central deadline scheduler (an indexed d-ary min-heap keyed by
+//!   `(SimTime, NodeId)`, see [`crate::heap::IndexedHeap`]) picks the
+//!   next instant and services due nodes in registration order — so runs
+//!   remain bit-deterministic and exactly reproduce the fixed advance
+//!   order of the old hand-rolled loops,
 //! * a [`Router`] supplied by the caller turns each emitted event into
-//!   commands for other nodes; same-instant cascades are bounded by the
-//!   built-in guard, which reports a typed [`CascadeError`] instead of
-//!   tearing the simulation down.
+//!   commands for other nodes, pushed into a harness-owned [`CmdSink`];
+//!   same-instant cascades are bounded by the built-in guard, which
+//!   reports a typed [`CascadeError`] instead of tearing the simulation
+//!   down.
 //!
-//! The heap uses lazy invalidation: an entry is trusted only if the
-//! node still reports that exact deadline when the entry surfaces;
-//! stale entries are discarded. Nodes touched during a step (advanced,
-//! commanded, or mutated through [`Harness::node_mut`]) are rescheduled
-//! from their current deadline.
+//! # The zero-allocation hot path
+//!
+//! The paper's whole argument is that throughput is won by deleting
+//! per-packet CPU work from the data path (§2 removes two of four
+//! copies; §4 keeps DMA off the system bus). The scheduler holds itself
+//! to the same discipline: in steady state, servicing an event performs
+//! **zero heap allocations**.
+//!
+//! * The indexed heap keeps exactly one entry per node and supports
+//!   update-key in place, so rescheduling never pushes garbage entries
+//!   and `peek`/`pop` never discard stale ones.
+//! * Routing pushes into a reusable [`CmdSink`]; the wave, due-list,
+//!   touched-list, and per-node output buffers all live in the harness
+//!   and retain their capacity across steps.
+//!
+//! `cargo test -p ctms-sim --features alloc-count --test zero_alloc`
+//! proves the claim with a counting global allocator, and the
+//! `ctms-bench` `perf` binary measures the resulting events/sec against
+//! [`SchedMode::LazyBaseline`] — a faithful emulation of the pre-change
+//! scheduler (lazy-invalidation `BinaryHeap`, a freshly allocated
+//! command `Vec` per routed event, fresh wave buffers per step) kept
+//! only so the speedup is machine-checked rather than asserted.
 
 //! The harness also owns the run's [`telemetry::Registry`]: every node
 //! (and the router) registers its statistics under a dotted namespace
@@ -31,6 +49,7 @@
 //! `cascade-failure` snapshot — instead of only an error value.
 
 use crate::engine::Component;
+use crate::heap::IndexedHeap;
 use crate::telemetry::Registry;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
@@ -46,17 +65,58 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// A caller-owned command buffer the [`Router`] pushes into.
+///
+/// The harness passes the same sink (drained, capacity retained) to
+/// every `route` call, so routing a steady-state event allocates
+/// nothing. Commands are delivered in push order.
+#[derive(Debug)]
+pub struct CmdSink<Cmd> {
+    buf: Vec<(NodeId, Cmd)>,
+}
+
+impl<Cmd> Default for CmdSink<Cmd> {
+    fn default() -> Self {
+        CmdSink::new()
+    }
+}
+
+impl<Cmd> CmdSink<Cmd> {
+    /// An empty sink.
+    pub fn new() -> Self {
+        CmdSink { buf: Vec::new() }
+    }
+
+    /// Queues `cmd` for delivery to `dst` (in push order).
+    #[inline]
+    pub fn push(&mut self, dst: NodeId, cmd: Cmd) {
+        self.buf.push((dst, cmd));
+    }
+
+    /// Commands queued so far in this `route` call.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
 /// Turns events emitted by one node into commands for other nodes.
 ///
 /// The router is the only place topology lives: the harness knows
 /// nothing about what its nodes are. Routing runs inside the
-/// same-instant cascade, so commands returned here are delivered (and
-/// their outputs routed) before simulated time moves. The router may
-/// also absorb events (measurement taps, counters) by returning no
+/// same-instant cascade, so commands pushed into `sink` are delivered
+/// (and their outputs routed) before simulated time moves. The router
+/// may also absorb events (measurement taps, counters) by pushing no
 /// commands for them.
 pub trait Router<C: Component> {
-    /// Routes one `event` emitted by `src` at `now`.
-    fn route(&mut self, now: SimTime, src: NodeId, event: C::Out) -> Vec<(NodeId, C::Cmd)>;
+    /// Routes one `event` emitted by `src` at `now`, pushing any
+    /// resulting commands into `sink`. The sink is empty on entry and
+    /// reused across calls — never assume it is freshly allocated.
+    fn route(&mut self, now: SimTime, src: NodeId, event: C::Out, sink: &mut CmdSink<C::Cmd>);
 
     /// Registers the router's own statistics (absorbed measurement
     /// traffic, wiring-level counters) into the telemetry tree. Called by
@@ -90,6 +150,25 @@ impl std::fmt::Display for CascadeError {
 
 impl std::error::Error for CascadeError {}
 
+/// Which scheduler implementation a [`Harness`] runs on.
+///
+/// Every production caller uses [`SchedMode::Indexed`] (the default).
+/// [`SchedMode::LazyBaseline`] exists solely for the `ctms-bench` `perf`
+/// binary: it emulates the pre-PR4 hot path — lazy-invalidation
+/// `BinaryHeap` scheduling, a fresh command `Vec` per routed event, and
+/// fresh wave/due buffers per step — so the speedup of the indexed
+/// zero-allocation path is measured against a live implementation
+/// instead of a number in a commit message. Both modes produce
+/// bit-identical simulation results (the `perf` binary asserts it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Indexed d-ary heap + reused buffers (the production path).
+    #[default]
+    Indexed,
+    /// Pre-change emulation for perf comparison only.
+    LazyBaseline,
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct SchedEntry {
     at: SimTime,
@@ -112,18 +191,36 @@ impl Ord for SchedEntry {
     }
 }
 
+/// The scheduler state: indexed heap (production) or the lazy baseline.
+enum Sched {
+    Indexed(IndexedHeap),
+    Lazy {
+        heap: BinaryHeap<SchedEntry>,
+        seq: u64,
+    },
+}
+
 /// The generic scheduler/event-bus. See the module docs.
 pub struct Harness<C: Component, R: Router<C>> {
     nodes: Vec<C>,
     labels: Vec<String>,
     router: R,
     now: SimTime,
-    heap: BinaryHeap<SchedEntry>,
-    seq: u64,
+    sched: Sched,
     limit: u32,
     failed: Option<CascadeError>,
     dirty: Vec<usize>,
     telemetry: Registry,
+    /// Component activations (advances + delivered commands) so far.
+    events: u64,
+    // Reusable hot-path buffers: drained every step, capacity retained,
+    // so steady-state stepping performs no heap allocation.
+    due: Vec<usize>,
+    touched: Vec<usize>,
+    wave: Vec<(NodeId, C::Out)>,
+    next_wave: Vec<(NodeId, C::Out)>,
+    out_buf: Vec<C::Out>,
+    cmds: CmdSink<C::Cmd>,
 }
 
 /// Default same-instant cascade step limit.
@@ -131,20 +228,47 @@ pub const DEFAULT_CASCADE_LIMIT: u32 = 100_000;
 
 impl<C: Component, R: Router<C>> Harness<C, R> {
     /// Creates an empty harness around `router` with the given
-    /// same-instant cascade step limit.
+    /// same-instant cascade step limit, on the production (indexed,
+    /// zero-allocation) scheduler.
     pub fn new(router: R, cascade_limit: u32) -> Self {
+        Harness::with_mode(router, cascade_limit, SchedMode::Indexed)
+    }
+
+    /// Like [`Harness::new`], selecting the scheduler implementation.
+    /// Only the `perf` harness should pass [`SchedMode::LazyBaseline`].
+    pub fn with_mode(router: R, cascade_limit: u32, mode: SchedMode) -> Self {
         assert!(cascade_limit > 0, "cascade limit must be positive");
         Harness {
             nodes: Vec::new(),
             labels: Vec::new(),
             router,
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            sched: match mode {
+                SchedMode::Indexed => Sched::Indexed(IndexedHeap::new()),
+                SchedMode::LazyBaseline => Sched::Lazy {
+                    heap: BinaryHeap::new(),
+                    seq: 0,
+                },
+            },
             limit: cascade_limit,
             failed: None,
             dirty: Vec::new(),
             telemetry: Registry::new(),
+            events: 0,
+            due: Vec::new(),
+            touched: Vec::new(),
+            wave: Vec::new(),
+            next_wave: Vec::new(),
+            out_buf: Vec::new(),
+            cmds: CmdSink::new(),
+        }
+    }
+
+    /// The scheduler implementation this harness runs on.
+    pub fn sched_mode(&self) -> SchedMode {
+        match self.sched {
+            Sched::Indexed(_) => SchedMode::Indexed,
+            Sched::Lazy { .. } => SchedMode::LazyBaseline,
         }
     }
 
@@ -179,6 +303,14 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Component activations (deadline advances plus delivered commands)
+    /// serviced so far — the numerator of the `perf` harness's
+    /// events/sec figure. Not published as telemetry (the metric tree is
+    /// pinned by golden digests); purely a scheduler-throughput counter.
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// Shared access to a node.
@@ -269,16 +401,17 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
             return Err(e);
         }
         let now = self.now;
-        let mut sink = Vec::new();
-        self.nodes[id.0].handle(now, cmd, &mut sink);
-        let wave: Vec<(NodeId, C::Out)> = sink.into_iter().map(|e| (id, e)).collect();
-        let mut touched = vec![id.0];
-        let result = self.cascade(now, wave, &mut touched);
-        touched.sort_unstable();
-        touched.dedup();
-        for n in touched {
-            self.reschedule(n);
+        debug_assert!(self.out_buf.is_empty() && self.wave.is_empty());
+        self.events += 1;
+        self.nodes[id.0].handle(now, cmd, &mut self.out_buf);
+        while let Some(e) = self.out_buf.pop() {
+            self.wave.push((id, e));
         }
+        self.wave.reverse();
+        self.touched.clear();
+        self.touched.push(id.0);
+        let result = self.cascade(now);
+        self.reschedule_touched();
         result
     }
 
@@ -297,20 +430,28 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
             }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            let due = self.pop_due(t);
-            let mut wave: Vec<(NodeId, C::Out)> = Vec::new();
-            let mut sink = Vec::new();
-            for &n in &due {
-                self.nodes[n].advance(t, &mut sink);
-                wave.extend(sink.drain(..).map(|e| (NodeId(n), e)));
+            if matches!(self.sched, Sched::Lazy { .. }) {
+                // Baseline emulation: the pre-change loop allocated its
+                // due/wave/output buffers afresh every step.
+                self.due = Vec::new();
+                self.touched = Vec::new();
+                self.wave = Vec::new();
+                self.out_buf = Vec::new();
             }
-            let mut touched = due;
-            let result = self.cascade(t, wave, &mut touched);
-            touched.sort_unstable();
-            touched.dedup();
-            for n in touched {
-                self.reschedule(n);
+            self.pop_due(t);
+            self.touched.clear();
+            self.touched.extend_from_slice(&self.due);
+            debug_assert!(self.wave.is_empty() && self.out_buf.is_empty());
+            for i in 0..self.due.len() {
+                let n = self.due[i];
+                self.events += 1;
+                self.nodes[n].advance(t, &mut self.out_buf);
+                for e in self.out_buf.drain(..) {
+                    self.wave.push((NodeId(n), e));
+                }
             }
+            let result = self.cascade(t);
+            self.reschedule_touched();
             result?;
         }
         if self.now < horizon {
@@ -327,15 +468,35 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
         }
     }
 
-    /// Pushes a fresh scheduler entry for the node's current deadline.
+    /// Re-syncs the scheduler entry of every node recorded in `touched`
+    /// (sorted and deduplicated in place — no allocation).
+    fn reschedule_touched(&mut self) {
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        for i in 0..self.touched.len() {
+            let n = self.touched[i];
+            self.reschedule(n);
+        }
+        self.touched.clear();
+    }
+
+    /// Syncs the scheduler with the node's current deadline. On the
+    /// indexed heap this is an in-place update-key; the lazy baseline
+    /// pushes a fresh entry and lets validation discard the stale one.
     fn reschedule(&mut self, node: usize) {
-        if let Some(at) = self.nodes[node].next_deadline() {
-            self.seq += 1;
-            self.heap.push(SchedEntry {
-                at,
-                node,
-                seq: self.seq,
-            });
+        let at = self.nodes[node].next_deadline();
+        match &mut self.sched {
+            Sched::Indexed(h) => h.set(node, at),
+            Sched::Lazy { heap, seq } => {
+                if let Some(at) = at {
+                    *seq += 1;
+                    heap.push(SchedEntry {
+                        at,
+                        node,
+                        seq: *seq,
+                    });
+                }
+            }
         }
     }
 
@@ -345,70 +506,109 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
         }
     }
 
-    /// The earliest still-valid scheduled deadline, discarding stale
-    /// entries (nodes whose deadline moved since the entry was pushed).
+    /// The earliest scheduled deadline. The indexed heap's root is
+    /// always current; the lazy baseline discards stale entries (nodes
+    /// whose deadline moved since the entry was pushed) on the way.
     fn peek_deadline(&mut self) -> Option<SimTime> {
-        while let Some(top) = self.heap.peek() {
-            if self.nodes[top.node].next_deadline() == Some(top.at) {
-                return Some(top.at);
+        match &mut self.sched {
+            Sched::Indexed(h) => {
+                let (at, node) = h.peek()?;
+                debug_assert_eq!(
+                    self.nodes[node].next_deadline(),
+                    Some(at),
+                    "indexed heap out of sync with node {node}"
+                );
+                Some(at)
             }
-            self.heap.pop();
-        }
-        None
-    }
-
-    /// Pops every node scheduled at exactly `t`, deduplicated, in NodeId
-    /// order (the heap yields ties in that order by construction).
-    fn pop_due(&mut self, t: SimTime) -> Vec<usize> {
-        let mut due = Vec::new();
-        while let Some(top) = self.heap.peek() {
-            if top.at > t {
-                break;
-            }
-            let entry = self.heap.pop().expect("peeked entry");
-            if self.nodes[entry.node].next_deadline() != Some(entry.at) {
-                continue; // stale
-            }
-            if due.last() != Some(&entry.node) {
-                due.push(entry.node);
+            Sched::Lazy { heap, .. } => {
+                while let Some(top) = heap.peek() {
+                    if self.nodes[top.node].next_deadline() == Some(top.at) {
+                        return Some(top.at);
+                    }
+                    heap.pop();
+                }
+                None
             }
         }
-        due
     }
 
-    /// Routes `wave` breadth-first at `now` until it drains, recording
-    /// every commanded node in `touched`. Each iteration of the outer
-    /// loop is one guard step, matching the wave accounting of the old
-    /// per-testbed loops.
-    fn cascade(
-        &mut self,
-        now: SimTime,
-        mut wave: Vec<(NodeId, C::Out)>,
-        touched: &mut Vec<usize>,
-    ) -> Result<(), CascadeError> {
+    /// Fills `self.due` with every node scheduled at exactly `t`,
+    /// deduplicated, in NodeId order (both heaps yield ties in that
+    /// order by construction).
+    fn pop_due(&mut self, t: SimTime) {
+        self.due.clear();
+        match &mut self.sched {
+            Sched::Indexed(h) => {
+                while let Some((at, node)) = h.peek() {
+                    if at > t {
+                        break;
+                    }
+                    h.pop();
+                    self.due.push(node);
+                }
+            }
+            Sched::Lazy { heap, .. } => {
+                while let Some(top) = heap.peek() {
+                    if top.at > t {
+                        break;
+                    }
+                    let entry = heap.pop().expect("peeked entry");
+                    if self.nodes[entry.node].next_deadline() != Some(entry.at) {
+                        continue; // stale
+                    }
+                    if self.due.last() != Some(&entry.node) {
+                        self.due.push(entry.node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes `self.wave` breadth-first at `now` until it drains,
+    /// recording every commanded node in `self.touched`. Each iteration
+    /// of the outer loop is one guard step, matching the wave accounting
+    /// of the old per-testbed loops.
+    fn cascade(&mut self, now: SimTime) -> Result<(), CascadeError> {
+        let baseline = matches!(self.sched, Sched::Lazy { .. });
         let mut steps = 0u32;
-        while !wave.is_empty() {
+        while !self.wave.is_empty() {
             steps += 1;
             if steps > self.limit {
                 let err = CascadeError {
                     at: now,
-                    node: wave[0].0,
+                    node: self.wave[0].0,
                     steps,
                 };
                 self.failed = Some(err);
+                self.wave.clear();
+                self.next_wave.clear();
+                self.cmds.buf.clear();
                 self.record_failure(err);
                 return Err(err);
             }
-            let mut next: Vec<(NodeId, C::Out)> = Vec::new();
-            let mut sink = Vec::new();
-            for (src, event) in wave.drain(..) {
-                for (dst, cmd) in self.router.route(now, src, event) {
-                    self.nodes[dst.0].handle(now, cmd, &mut sink);
-                    touched.push(dst.0);
-                    next.extend(sink.drain(..).map(|e| (dst, e)));
+            if baseline {
+                // Baseline emulation: one fresh wave buffer per step.
+                self.next_wave = Vec::new();
+            }
+            for (src, event) in self.wave.drain(..) {
+                if baseline {
+                    // Baseline emulation: the pre-change router returned
+                    // a freshly allocated Vec per routed event.
+                    self.cmds = CmdSink::new();
+                    self.cmds.buf.reserve(1);
+                }
+                debug_assert!(self.cmds.is_empty());
+                self.router.route(now, src, event, &mut self.cmds);
+                for (dst, cmd) in self.cmds.buf.drain(..) {
+                    self.events += 1;
+                    self.nodes[dst.0].handle(now, cmd, &mut self.out_buf);
+                    self.touched.push(dst.0);
+                    for e in self.out_buf.drain(..) {
+                        self.next_wave.push((dst, e));
+                    }
                 }
             }
-            wave = next;
+            std::mem::swap(&mut self.wave, &mut self.next_wave);
         }
         Ok(())
     }
@@ -459,9 +659,8 @@ mod tests {
     }
 
     impl Router<Ticker> for Recorder {
-        fn route(&mut self, now: SimTime, src: NodeId, _event: u32) -> Vec<(NodeId, u32)> {
+        fn route(&mut self, now: SimTime, src: NodeId, _event: u32, _sink: &mut CmdSink<u32>) {
             self.seen.push((now, src));
-            Vec::new()
         }
     }
 
@@ -478,18 +677,42 @@ mod tests {
     fn nodes_sharing_a_deadline_fire_in_registration_order() {
         // Three tickers with identical periods land on every deadline
         // simultaneously; service order must be registration order at
-        // every instant, regardless of heap internals.
-        let mut h = Harness::new(Recorder { seen: Vec::new() }, 100);
-        let c = h.add_node(ticker(2, 10, 4));
-        let a = h.add_node(ticker(0, 10, 4));
-        let b = h.add_node(ticker(1, 10, 4));
-        h.run_until(SimTime::from_ms(100));
-        let seen = &h.router().seen;
-        assert_eq!(seen.len(), 12);
-        for (k, chunk) in seen.chunks(3).enumerate() {
-            let t = SimTime::from_ms(10 * (k as u64 + 1));
-            assert_eq!(chunk, [(t, c), (t, a), (t, b)], "instant {t}");
+        // every instant, regardless of heap internals — on both
+        // scheduler implementations.
+        for mode in [SchedMode::Indexed, SchedMode::LazyBaseline] {
+            let mut h = Harness::with_mode(Recorder { seen: Vec::new() }, 100, mode);
+            let c = h.add_node(ticker(2, 10, 4));
+            let a = h.add_node(ticker(0, 10, 4));
+            let b = h.add_node(ticker(1, 10, 4));
+            h.run_until(SimTime::from_ms(100));
+            let seen = &h.router().seen;
+            assert_eq!(seen.len(), 12);
+            for (k, chunk) in seen.chunks(3).enumerate() {
+                let t = SimTime::from_ms(10 * (k as u64 + 1));
+                assert_eq!(chunk, [(t, c), (t, a), (t, b)], "instant {t} mode {mode:?}");
+            }
         }
+    }
+
+    #[test]
+    fn scheduler_modes_produce_identical_service_orders() {
+        // Mixed periods with plenty of ties and reschedules: the
+        // baseline emulation and the indexed production path must agree
+        // on every (time, node) pair — bit-determinism across modes is
+        // what lets `perf` compare their wall clocks meaningfully.
+        let run = |mode: SchedMode| {
+            let mut h = Harness::with_mode(Recorder { seen: Vec::new() }, 100, mode);
+            for (id, period, fires) in [(0, 7, 9), (1, 5, 12), (2, 35, 3), (3, 7, 4)] {
+                h.add_node(ticker(id, period, fires));
+            }
+            h.run_until(SimTime::from_ms(200));
+            (h.router().seen.clone(), h.events())
+        };
+        let (indexed, ev_i) = run(SchedMode::Indexed);
+        let (lazy, ev_l) = run(SchedMode::LazyBaseline);
+        assert_eq!(indexed, lazy);
+        assert_eq!(ev_i, ev_l);
+        assert!(ev_i >= 28, "{ev_i}");
     }
 
     #[test]
@@ -534,6 +757,31 @@ mod tests {
         assert_eq!(h.router().seen.len(), before + 2);
     }
 
+    #[test]
+    fn node_mut_update_key_moves_deadlines_both_ways() {
+        // The indexed heap's update-key after node_mut: pull a deadline
+        // earlier, then push another one later, and check the service
+        // times follow the *current* deadlines, not the originally
+        // scheduled ones.
+        let mut h = Harness::new(Recorder { seen: Vec::new() }, 100);
+        let a = h.add_node(ticker(0, 50, 2));
+        let b = h.add_node(ticker(1, 60, 2));
+        // Before anything fires: a jumps earlier, b is postponed.
+        h.node_mut(a).next = Some(SimTime::from_ms(10));
+        h.node_mut(b).next = Some(SimTime::from_ms(90));
+        h.run_until(SimTime::from_ms(200));
+        let seen = &h.router().seen;
+        assert_eq!(
+            seen,
+            &vec![
+                (SimTime::from_ms(10), a),
+                (SimTime::from_ms(60), a),
+                (SimTime::from_ms(90), b),
+                (SimTime::from_ms(150), b),
+            ]
+        );
+    }
+
     /// A pathological router: echoes every event straight back as a
     /// command, and the component re-emits on handle — a same-instant
     /// livelock the guard must catch.
@@ -560,8 +808,8 @@ mod tests {
     }
 
     impl Router<Loop> for Echo {
-        fn route(&mut self, _now: SimTime, src: NodeId, event: u32) -> Vec<(NodeId, u32)> {
-            vec![(src, event)]
+        fn route(&mut self, _now: SimTime, src: NodeId, event: u32, sink: &mut CmdSink<u32>) {
+            sink.push(src, event);
         }
     }
 
@@ -616,9 +864,8 @@ mod tests {
     }
 
     impl Router<Published> for Recorder {
-        fn route(&mut self, now: SimTime, src: NodeId, _event: u32) -> Vec<(NodeId, u32)> {
+        fn route(&mut self, now: SimTime, src: NodeId, _event: u32, _sink: &mut CmdSink<u32>) {
             self.seen.push((now, src));
-            Vec::new()
         }
         fn publish_telemetry(&self, reg: &mut crate::telemetry::Registry) {
             reg.counter("router.routed", self.seen.len() as u64);

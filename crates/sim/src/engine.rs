@@ -106,39 +106,34 @@ impl Default for CascadeGuard {
 /// A minimal closure-event scheduler for unit tests and self-contained
 /// models.
 ///
-/// Events are `FnOnce(&mut W, &mut EventLoop<W>)`; ties at the same instant
-/// fire in scheduling order.
+/// Events are `FnOnce(&mut W, &mut EventLoop<W>)`.
+///
+/// # Tie-break order
+///
+/// Events are served in `(time, scheduling order)` — strict FIFO among
+/// events sharing an instant. That includes events scheduled *during*
+/// the instant: an event that schedules another event at the current
+/// time runs it after everything already queued at that time, never
+/// before (each `at`/`after` call takes the next sequence number).
+///
+/// # Storage reuse
+///
+/// Entries live in a slab (`slots`) addressed by a `(at, seq, slot)`
+/// priority queue; fired slots go on a free list and are reused by later
+/// events, so the slab and queue stop growing once the loop reaches its
+/// peak in-flight event count. The per-event closure `Box` itself is
+/// inherent to type-erased `FnOnce` storage and is the only allocation a
+/// steady-state reschedule performs.
 pub struct EventLoop<W> {
     now: SimTime,
     seq: u64,
-    queue: std::collections::BinaryHeap<Entry<W>>,
+    /// Min-order on `(at, seq)`; the payload index addresses `slots`.
+    queue: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, usize)>>,
+    slots: Vec<Option<EventFn<W>>>,
+    free: Vec<usize>,
 }
 
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventLoop<W>)>;
-
-struct Entry<W> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<W>,
-}
-
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first, FIFO on ties.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
 
 impl<W> EventLoop<W> {
     /// Creates an empty scheduler at time zero.
@@ -147,6 +142,8 @@ impl<W> EventLoop<W> {
             now: SimTime::ZERO,
             seq: 0,
             queue: std::collections::BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
         }
     }
 
@@ -155,7 +152,8 @@ impl<W> EventLoop<W> {
         self.now
     }
 
-    /// Schedules `f` to run at absolute time `at`.
+    /// Schedules `f` to run at absolute time `at` (after any event
+    /// already scheduled at `at` — see the type docs on tie-breaking).
     ///
     /// # Panics
     ///
@@ -167,11 +165,18 @@ impl<W> EventLoop<W> {
             self.now
         );
         self.seq += 1;
-        self.queue.push(Entry {
-            at,
-            seq: self.seq,
-            f: Box::new(f),
-        });
+        let f: EventFn<W> = Box::new(f);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some(f);
+                s
+            }
+            None => {
+                self.slots.push(Some(f));
+                self.slots.len() - 1
+            }
+        };
+        self.queue.push(std::cmp::Reverse((at, self.seq, slot)));
     }
 
     /// Schedules `f` to run after a delay.
@@ -189,13 +194,15 @@ impl<W> EventLoop<W> {
     /// Returns the number of events fired.
     pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64 {
         let mut fired = 0;
-        while let Some(head) = self.queue.peek() {
-            if head.at > until {
+        while let Some(&std::cmp::Reverse((at, _, _))) = self.queue.peek() {
+            if at > until {
                 break;
             }
-            let entry = self.queue.pop().expect("peeked entry");
-            self.now = entry.at;
-            (entry.f)(world, self);
+            let std::cmp::Reverse((at, _, slot)) = self.queue.pop().expect("peeked entry");
+            let f = self.slots[slot].take().expect("slot holds a live event");
+            self.free.push(slot);
+            self.now = at;
+            f(world, self);
             fired += 1;
         }
         // Leave `now` at the horizon so subsequent `after` calls are
@@ -214,6 +221,12 @@ impl<W> EventLoop<W> {
     /// True if no events remain.
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Slab slots currently allocated (live + reusable). Bounded by the
+    /// peak in-flight event count, not the total events ever scheduled.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -270,6 +283,42 @@ mod tests {
         el.at(SimTime::ZERO, tick);
         el.run_to_completion(&mut world);
         assert_eq!(world, vec![0, 12_000, 24_000, 36_000, 48_000]);
+    }
+
+    #[test]
+    fn same_instant_fifo_holds_for_mid_instant_scheduling() {
+        // Regression for the documented tie-break: an event firing at t
+        // that schedules another event at the same t must run it after
+        // every event already queued at t — strict FIFO by scheduling
+        // order, even across the slab's slot reuse.
+        let mut el: EventLoop<Vec<&'static str>> = EventLoop::new();
+        let mut world = Vec::new();
+        let t = SimTime::from_us(10);
+        el.at(t, move |w: &mut Vec<&'static str>, el| {
+            w.push("a");
+            el.at(t, |w: &mut Vec<&'static str>, _| w.push("a-child"));
+        });
+        el.at(t, |w: &mut Vec<&'static str>, _| w.push("b"));
+        el.run_to_completion(&mut world);
+        assert_eq!(world, vec!["a", "b", "a-child"]);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_across_fired_events() {
+        // A self-rescheduling chain keeps exactly one event in flight;
+        // the slab must not grow with the number of events fired.
+        let mut el: EventLoop<u64> = EventLoop::new();
+        let mut world = 0u64;
+        fn tick(w: &mut u64, el: &mut EventLoop<u64>) {
+            *w += 1;
+            if *w < 1000 {
+                el.after(Dur::from_us(3), tick);
+            }
+        }
+        el.at(SimTime::ZERO, tick);
+        el.run_to_completion(&mut world);
+        assert_eq!(world, 1000);
+        assert_eq!(el.slot_capacity(), 1, "slab grew despite slot reuse");
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! An indexed d-ary min-heap over node deadlines.
+//!
+//! The scheduler needs three things from its priority queue: pop the
+//! earliest `(SimTime, node)` pair, change one node's deadline in place
+//! (decrease-key *and* increase-key — deadlines move both ways when a
+//! component is commanded), and stay bit-deterministic. A plain
+//! `BinaryHeap` forces lazy invalidation: every reschedule pushes a new
+//! entry and stale ones are discarded when they surface, so the heap
+//! carries garbage proportional to the routing rate and every `peek`
+//! re-validates against the node registry.
+//!
+//! [`IndexedHeap`] keeps at most one entry per node and a `node → slot`
+//! position index, so [`IndexedHeap::set`] relocates the node with
+//! ordinary sift operations in O(log n) and stale entries never exist.
+//! The arity is 4 (`D`): sift-down does more comparisons per level but
+//! the tree is half as deep and the slot array is walked with better
+//! locality — the classic d-ary trade that favours decrease-key-heavy
+//! workloads like a simulation scheduler.
+//!
+//! Ordering is lexicographic on `(deadline, node)`, which is exactly the
+//! service order the harness guarantees (registration order on deadline
+//! ties), so pops need no tie-break bookkeeping of their own.
+//!
+//! Nothing here allocates after the node-index arrays have grown to the
+//! registered node count: `set`, `peek` and `pop` are allocation-free,
+//! which is what makes the harness hot path zero-allocation in steady
+//! state.
+
+use crate::time::SimTime;
+
+/// Sentinel for "node not currently scheduled".
+const ABSENT: usize = usize::MAX;
+
+/// Heap arity.
+const D: usize = 4;
+
+/// An indexed min-heap of `(SimTime, node)` keys with O(log n)
+/// update-key per node. See the module docs.
+#[derive(Debug, Default)]
+pub struct IndexedHeap {
+    /// Heap order: `heap[0]` is the earliest `(deadline, node)` pair.
+    heap: Vec<usize>,
+    /// `pos[node]` is the node's slot in `heap`, or [`ABSENT`].
+    pos: Vec<usize>,
+    /// `key[node]` is the node's deadline; valid only while scheduled.
+    key: Vec<SimTime>,
+}
+
+impl IndexedHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        IndexedHeap::default()
+    }
+
+    /// Number of scheduled nodes.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no node is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The deadline the heap holds for `node`, if it is scheduled.
+    pub fn deadline_of(&self, node: usize) -> Option<SimTime> {
+        match self.pos.get(node) {
+            Some(&p) if p != ABSENT => Some(self.key[node]),
+            _ => None,
+        }
+    }
+
+    /// The earliest `(deadline, node)` pair without removing it.
+    pub fn peek(&self) -> Option<(SimTime, usize)> {
+        self.heap.first().map(|&n| (self.key[n], n))
+    }
+
+    /// Schedules, reschedules, or (with `None`) unschedules `node` in
+    /// O(log n). Idempotent when the deadline is unchanged. Grows the
+    /// index arrays on first sight of a node, so callers register nodes
+    /// simply by setting their deadline.
+    pub fn set(&mut self, node: usize, at: Option<SimTime>) {
+        if node >= self.pos.len() {
+            self.pos.resize(node + 1, ABSENT);
+            self.key.resize(node + 1, SimTime::ZERO);
+        }
+        let p = self.pos[node];
+        match (p, at) {
+            (ABSENT, None) => {}
+            (ABSENT, Some(at)) => {
+                self.key[node] = at;
+                self.pos[node] = self.heap.len();
+                self.heap.push(node);
+                self.sift_up(self.heap.len() - 1);
+            }
+            (p, None) => self.remove_at(p),
+            (p, Some(at)) => {
+                let old = self.key[node];
+                if at == old {
+                    return;
+                }
+                self.key[node] = at;
+                if at < old {
+                    self.sift_up(p);
+                } else {
+                    self.sift_down(p);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the earliest `(deadline, node)` pair.
+    pub fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let &node = self.heap.first()?;
+        let at = self.key[node];
+        self.remove_at(0);
+        Some((at, node))
+    }
+
+    /// Removes the entry at heap slot `p`, restoring the heap property.
+    fn remove_at(&mut self, p: usize) {
+        let node = self.heap[p];
+        self.pos[node] = ABSENT;
+        let last = self.heap.len() - 1;
+        if p != last {
+            let moved = self.heap[last];
+            self.heap[p] = moved;
+            self.pos[moved] = p;
+            self.heap.pop();
+            // The displaced entry may belong above or below slot `p`.
+            self.sift_down(p);
+            self.sift_up(self.pos[moved]);
+        } else {
+            self.heap.pop();
+        }
+    }
+
+    /// `(key, node)` order of the nodes in heap slots `a` and `b`.
+    #[inline]
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (na, nb) = (self.heap[a], self.heap[b]);
+        (self.key[na], na) < (self.key[nb], nb)
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a]] = a;
+        self.pos[self.heap[b]] = b;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if self.less(i, parent) {
+                self.swap_slots(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let first_child = i * D + 1;
+            if first_child >= self.heap.len() {
+                break;
+            }
+            let mut best = first_child;
+            let end = (first_child + D).min(self.heap.len());
+            for c in first_child + 1..end {
+                if self.less(c, best) {
+                    best = c;
+                }
+            }
+            if self.less(best, i) {
+                self.swap_slots(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[allow(dead_code)]
+    fn check_invariants(&self) {
+        for (slot, &node) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[node], slot, "pos index out of sync");
+            if slot > 0 {
+                let parent = (slot - 1) / D;
+                assert!(!self.less(slot, parent), "heap property violated");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    /// Reference: sort the live `(deadline, node)` set.
+    fn drain_sorted(h: &mut IndexedHeap) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        while let Some((at, n)) = h.pop() {
+            out.push((at.as_ns(), n));
+        }
+        out
+    }
+
+    /// Walks every permutation of `0..n` (Heap's algorithm, no RNG) and
+    /// hands each to `f`.
+    fn for_each_permutation(n: usize, mut f: impl FnMut(&[usize])) {
+        let mut a: Vec<usize> = (0..n).collect();
+        let mut c = vec![0usize; n];
+        f(&a);
+        let mut i = 0;
+        while i < n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    a.swap(0, i);
+                } else {
+                    a.swap(c[i], i);
+                }
+                f(&a);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn services_deadlines_in_time_then_node_order_for_all_insertion_orders() {
+        // Deadlines with deliberate ties: nodes 1/4 share 50 ns, nodes
+        // 0/3/5 share 20 ns. Whatever the insertion order, pops must come
+        // out sorted by (deadline, node) — the harness's service order.
+        let deadlines = [20u64, 50, 10, 20, 50, 20];
+        let mut expected: Vec<(u64, usize)> =
+            deadlines.iter().enumerate().map(|(n, &d)| (d, n)).collect();
+        expected.sort_unstable();
+        let mut checked = 0u32;
+        for_each_permutation(deadlines.len(), |perm| {
+            let mut h = IndexedHeap::new();
+            for &n in perm {
+                h.set(n, Some(t(deadlines[n])));
+            }
+            assert_eq!(drain_sorted(&mut h), expected, "insertion order {perm:?}");
+            checked += 1;
+        });
+        assert_eq!(checked, 720, "all 6! permutations enumerated");
+    }
+
+    #[test]
+    fn update_key_moves_both_directions() {
+        let mut h = IndexedHeap::new();
+        for (n, d) in [(0usize, 40u64), (1, 10), (2, 30), (3, 20)] {
+            h.set(n, Some(t(d)));
+        }
+        // Decrease-key: node 0 jumps to the front.
+        h.set(0, Some(t(5)));
+        assert_eq!(h.peek(), Some((t(5), 0)));
+        // Increase-key: node 0 sinks to the back.
+        h.set(0, Some(t(100)));
+        assert_eq!(h.peek(), Some((t(10), 1)));
+        assert_eq!(
+            drain_sorted(&mut h),
+            vec![(10, 1), (20, 3), (30, 2), (100, 0)]
+        );
+    }
+
+    #[test]
+    fn update_key_exhaustive_against_reference() {
+        // Every permutation of a key-mutation script applied to 5 nodes,
+        // checked against a sort of the final (deadline, node) set. No
+        // RNG: the scripts are enumerated.
+        let ops: [(usize, Option<u64>); 5] = [
+            (0, Some(70)), // increase
+            (1, Some(5)),  // decrease
+            (2, None),     // unschedule
+            (3, Some(25)), // no-op (same key)
+            (4, Some(25)), // tie with node 3
+        ];
+        for_each_permutation(ops.len(), |perm| {
+            let mut h = IndexedHeap::new();
+            let initial = [10u64, 20, 30, 25, 40];
+            for (n, &d) in initial.iter().enumerate() {
+                h.set(n, Some(t(d)));
+            }
+            let mut model: Vec<Option<u64>> = initial.iter().map(|&d| Some(d)).collect();
+            for &k in perm {
+                let (node, at) = ops[k];
+                h.set(node, at.map(t));
+                model[node] = at;
+            }
+            let mut expected: Vec<(u64, usize)> = model
+                .iter()
+                .enumerate()
+                .filter_map(|(n, d)| d.map(|d| (d, n)))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(drain_sorted(&mut h), expected, "script order {perm:?}");
+        });
+    }
+
+    #[test]
+    fn reschedule_after_pop_reenters_cleanly() {
+        let mut h = IndexedHeap::new();
+        h.set(0, Some(t(10)));
+        h.set(1, Some(t(20)));
+        assert_eq!(h.pop(), Some((t(10), 0)));
+        assert_eq!(h.deadline_of(0), None);
+        h.set(0, Some(t(15)));
+        assert_eq!(h.deadline_of(0), Some(t(15)));
+        assert_eq!(h.pop(), Some((t(15), 0)));
+        assert_eq!(h.pop(), Some((t(20), 1)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn unschedule_absent_is_a_no_op() {
+        let mut h = IndexedHeap::new();
+        h.set(7, None);
+        assert!(h.is_empty());
+        h.set(7, Some(t(3)));
+        h.set(7, None);
+        assert!(h.is_empty());
+        assert_eq!(h.deadline_of(7), None);
+    }
+
+    #[test]
+    fn removal_from_middle_keeps_heap_property() {
+        // Enough nodes to make the swap-with-last slot land mid-tree for
+        // a 4-ary layout; remove each node in turn from a fresh heap.
+        let deadlines: Vec<u64> = (0..17).map(|k| (k * 7 + 3) % 23).collect();
+        for victim in 0..deadlines.len() {
+            let mut h = IndexedHeap::new();
+            for (n, &d) in deadlines.iter().enumerate() {
+                h.set(n, Some(t(d)));
+            }
+            h.set(victim, None);
+            let mut expected: Vec<(u64, usize)> = deadlines
+                .iter()
+                .enumerate()
+                .filter(|&(n, _)| n != victim)
+                .map(|(n, &d)| (d, n))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(drain_sorted(&mut h), expected, "victim {victim}");
+        }
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`bus`] — the generic scheduler/event-bus ([`bus::Harness`]): a
 //!   [`bus::NodeId`]-addressable registry, a central deadline scheduler
 //!   with deterministic tie-breaking, and typed routing via [`bus::Router`],
+//! * [`heap`] — the indexed d-ary min-heap behind the scheduler
+//!   (update-key per node, no stale entries, allocation-free stepping),
+//! * [`synth`] — synthetic allocation-free workloads for the perf
+//!   harness and the zero-allocation steady-state test,
 //! * [`sweep`] — a `std::thread` fan-out for independent simulations with
 //!   results returned in sequential order,
 //! * [`trace`] — ground-truth signal edge logs for the measurement points,
@@ -21,16 +25,21 @@
 //!   (counters, gauges, fixed-bin histograms, edge-signal events) with
 //!   canonical, byte-stable JSON serialization.
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 pub mod bus;
 pub mod engine;
+pub mod heap;
 pub mod rng;
 pub mod sweep;
+pub mod synth;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
 
-pub use bus::{CascadeError, Harness, NodeId, Router, DEFAULT_CASCADE_LIMIT};
+pub use bus::{CascadeError, CmdSink, Harness, NodeId, Router, SchedMode, DEFAULT_CASCADE_LIMIT};
 pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
+pub use heap::IndexedHeap;
 pub use rng::{Pcg32, SplitMix64};
 pub use sweep::{default_threads, parallel_map};
 pub use telemetry::{Instrument, Registry};

@@ -237,7 +237,7 @@ impl Ctx<'_> {
     /// Frees an mbuf chain; any process-level allocations the free
     /// satisfies are resumed by the kernel after this dispatch returns.
     pub fn free_chain(&mut self, chain: MbufChain) {
-        self.mbuf_ready.extend(self.mbufs.free(chain));
+        self.mbufs.free_into(chain, self.mbuf_ready);
     }
 }
 

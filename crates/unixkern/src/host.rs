@@ -72,12 +72,18 @@ pub enum HostOut {
 }
 
 /// One machine + kernel pair. See module docs.
+///
+/// The kernel↔machine ping-pong runs on two persistent buffers (`kouts`,
+/// `mouts`) that are drained each exchange and retain their capacity, so
+/// a steady-state advance or command delivery allocates nothing.
 pub struct Host {
     /// The hardware.
     pub machine: Machine<KTag>,
     /// The software.
     pub kernel: Kernel,
     guard: CascadeGuard,
+    kouts: Vec<KernOut>,
+    mouts: Vec<MachOut<KTag>>,
 }
 
 impl Host {
@@ -87,21 +93,20 @@ impl Host {
             machine,
             kernel,
             guard: CascadeGuard::default(),
+            kouts: Vec::new(),
+            mouts: Vec::new(),
         }
     }
 
-    /// Routes kernel outputs: machine commands inward, the rest translated
-    /// to [`HostOut`]. Returns machine outputs produced.
-    fn route_kern_outs(
-        &mut self,
-        now: SimTime,
-        kouts: Vec<KernOut>,
-        sink: &mut Vec<HostOut>,
-    ) -> Vec<MachOut<KTag>> {
-        let mut mouts = Vec::new();
-        for o in kouts {
+    /// Routes the pending kernel outputs (`self.kouts`): machine commands
+    /// inward (producing into `self.mouts`), the rest translated to
+    /// [`HostOut`].
+    fn route_kern_outs(&mut self, now: SimTime, sink: &mut Vec<HostOut>) {
+        // Lend the buffer out so `self.machine` stays borrowable.
+        let mut kouts = std::mem::take(&mut self.kouts);
+        for o in kouts.drain(..) {
             match o {
-                KernOut::Mach(cmd) => self.machine.handle(now, cmd, &mut mouts),
+                KernOut::Mach(cmd) => self.machine.handle(now, cmd, &mut self.mouts),
                 KernOut::RingSubmit(frame) => sink.push(HostOut::RingSubmit(frame)),
                 KernOut::Trace { point, tag } => sink.push(HostOut::Trace { point, tag }),
                 KernOut::Drop { site, tag, bytes } => sink.push(HostOut::Drop { site, tag, bytes }),
@@ -112,25 +117,26 @@ impl Host {
                 KernOut::ProcExited { pid } => sink.push(HostOut::ProcExited { pid }),
             }
         }
-        mouts
+        self.kouts = kouts;
     }
 
-    /// Feeds machine outputs into the kernel. Returns kernel outputs.
-    fn route_mach_outs(&mut self, now: SimTime, mouts: Vec<MachOut<KTag>>) -> Vec<KernOut> {
-        let mut kouts = Vec::new();
-        for o in mouts {
+    /// Feeds the pending machine outputs (`self.mouts`) into the kernel,
+    /// producing into `self.kouts`.
+    fn route_mach_outs(&mut self, now: SimTime) {
+        let mut mouts = std::mem::take(&mut self.mouts);
+        for o in mouts.drain(..) {
             match o {
                 MachOut::IrqEntered { line } => {
                     self.kernel
-                        .handle(now, KernCmd::IrqEntered { line }, &mut kouts)
+                        .handle(now, KernCmd::IrqEntered { line }, &mut self.kouts)
                 }
                 MachOut::JobDone { tag } => {
                     self.kernel
-                        .handle(now, KernCmd::JobDone { tag }, &mut kouts)
+                        .handle(now, KernCmd::JobDone { tag }, &mut self.kouts)
                 }
                 MachOut::DmaDone { tag } => {
                     self.kernel
-                        .handle(now, KernCmd::DmaDone { tag }, &mut kouts)
+                        .handle(now, KernCmd::DmaDone { tag }, &mut self.kouts)
                 }
                 MachOut::IrqOverrun { .. } => {
                     // Lost edge: real hardware would have collapsed the two
@@ -138,22 +144,24 @@ impl Host {
                 }
             }
         }
-        kouts
+        self.mouts = mouts;
     }
 
-    /// Ping-pongs between kernel and machine until the instant is settled.
-    fn settle(&mut self, now: SimTime, mut kouts: Vec<KernOut>, sink: &mut Vec<HostOut>) {
+    /// Ping-pongs between kernel and machine until the instant is
+    /// settled, starting from whatever is pending in `self.kouts`. Both
+    /// buffers are empty on return.
+    fn settle(&mut self, now: SimTime, sink: &mut Vec<HostOut>) {
         loop {
-            if kouts.is_empty() {
+            if self.kouts.is_empty() {
                 break;
             }
             self.guard.step(now);
-            let mouts = self.route_kern_outs(now, kouts, sink);
-            if mouts.is_empty() {
+            self.route_kern_outs(now, sink);
+            if self.mouts.is_empty() {
                 break;
             }
             self.guard.step(now);
-            kouts = self.route_mach_outs(now, mouts);
+            self.route_mach_outs(now);
         }
     }
 }
@@ -167,29 +175,30 @@ impl Component for Host {
     }
 
     fn advance(&mut self, now: SimTime, sink: &mut Vec<HostOut>) {
-        let mut mouts = Vec::new();
-        self.machine.advance(now, &mut mouts);
-        let mut kouts = self.route_mach_outs(now, mouts);
-        let mut k2 = Vec::new();
-        self.kernel.advance(now, &mut k2);
-        kouts.extend(k2);
-        self.settle(now, kouts, sink);
+        debug_assert!(self.kouts.is_empty() && self.mouts.is_empty());
+        self.machine.advance(now, &mut self.mouts);
+        self.route_mach_outs(now);
+        // Kernel deadline work lands after the machine's fallout, exactly
+        // as in the pre-buffer implementation.
+        self.kernel.advance(now, &mut self.kouts);
+        self.settle(now, sink);
     }
 
     fn handle(&mut self, now: SimTime, cmd: HostCmd, sink: &mut Vec<HostOut>) {
-        let mut kouts = Vec::new();
+        debug_assert!(self.kouts.is_empty() && self.mouts.is_empty());
         match cmd {
             HostCmd::RingDelivered(frame) => {
                 self.kernel
-                    .handle(now, KernCmd::RingDelivered { frame }, &mut kouts)
+                    .handle(now, KernCmd::RingDelivered { frame }, &mut self.kouts)
             }
-            HostCmd::RingStripped { tag, delivered } => {
-                self.kernel
-                    .handle(now, KernCmd::RingStripped { tag, delivered }, &mut kouts)
-            }
-            HostCmd::Kern(cmd) => self.kernel.handle(now, cmd, &mut kouts),
+            HostCmd::RingStripped { tag, delivered } => self.kernel.handle(
+                now,
+                KernCmd::RingStripped { tag, delivered },
+                &mut self.kouts,
+            ),
+            HostCmd::Kern(cmd) => self.kernel.handle(now, cmd, &mut self.kouts),
         }
-        self.settle(now, kouts, sink);
+        self.settle(now, sink);
     }
 
     /// Kernel tree at the root of the host's scope; hardware under
@@ -266,8 +275,10 @@ mod tests {
     }
 
     fn build_host(clock: bool) -> (Host, DriverId) {
-        let mut cfg = KernConfig::default();
-        cfg.clock_enabled = clock;
+        let cfg = KernConfig {
+            clock_enabled: clock,
+            ..Default::default()
+        };
         let mut kernel = Kernel::new(cfg, Pcg32::new(5, 5));
         let dev = kernel.add_driver(
             Box::new(ToyDev {

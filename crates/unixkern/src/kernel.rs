@@ -224,6 +224,22 @@ pub struct Kernel {
     work: VecDeque<Work>,
     stats: KernStats,
     booted: bool,
+    /// Reusable dispatch buffers (see [`Kernel::with_driver`]): drained
+    /// after every dispatch, capacity retained, so servicing a driver in
+    /// steady state allocates nothing.
+    scratch: DispatchScratch,
+}
+
+/// The side-effect buffers one driver dispatch fills (via `Ctx`) and the
+/// kernel merges into its work queue afterwards. Held by the kernel and
+/// reused across dispatches.
+#[derive(Default)]
+struct DispatchScratch {
+    calls: Vec<(DriverId, DriverCall)>,
+    wakes: Vec<(Pid, WakeKind)>,
+    timers: Vec<(SimTime, DriverId, u64)>,
+    ip_in: Vec<Pkt>,
+    mbuf_ready: Vec<(u64, MbufChain)>,
 }
 
 impl Kernel {
@@ -246,6 +262,7 @@ impl Kernel {
             work: VecDeque::new(),
             stats: KernStats::default(),
             booted: false,
+            scratch: DispatchScratch::default(),
         }
     }
 
@@ -373,6 +390,11 @@ impl Kernel {
 
     /// Runs `f` against driver `id` with a service context; merges queued
     /// side effects into the kernel work queue.
+    ///
+    /// The side-effect buffers live in `self.scratch` and are drained
+    /// (not dropped) after the merge: a steady-state dispatch performs
+    /// no heap allocation. Dispatches never nest — `f` has no path back
+    /// into the kernel — so one set of buffers suffices.
     fn with_driver<R>(
         &mut self,
         id: DriverId,
@@ -383,11 +405,14 @@ impl Kernel {
         let mut driver = self.drivers[id.0 as usize]
             .take()
             .unwrap_or_else(|| panic!("driver {id:?} reentered or missing"));
-        let mut calls = Vec::new();
-        let mut wakes = Vec::new();
-        let mut timers = Vec::new();
-        let mut ip_in = Vec::new();
-        let mut mbuf_ready = Vec::new();
+        debug_assert!(
+            self.scratch.calls.is_empty()
+                && self.scratch.wakes.is_empty()
+                && self.scratch.timers.is_empty()
+                && self.scratch.ip_in.is_empty()
+                && self.scratch.mbuf_ready.is_empty(),
+            "dispatch scratch not drained"
+        );
         let r = {
             let mut ctx = Ctx {
                 now,
@@ -396,32 +421,39 @@ impl Kernel {
                 copy: self.cfg.calib.copy,
                 self_id: id,
                 out,
-                calls: &mut calls,
-                wakes: &mut wakes,
-                timers: &mut timers,
-                ip_in: &mut ip_in,
-                mbuf_ready: &mut mbuf_ready,
+                calls: &mut self.scratch.calls,
+                wakes: &mut self.scratch.wakes,
+                timers: &mut self.scratch.timers,
+                ip_in: &mut self.scratch.ip_in,
+                mbuf_ready: &mut self.scratch.mbuf_ready,
             };
             f(&mut *driver, &mut ctx)
         };
         self.drivers[id.0 as usize] = Some(driver);
-        for (at, did, token) in timers {
+        // `arm` needs `&mut self`; lend the timer buffer out for the loop.
+        let mut timers = std::mem::take(&mut self.scratch.timers);
+        for (at, did, token) in timers.drain(..) {
             self.arm(at, TimerTarget::Driver(did, token));
         }
+        self.scratch.timers = timers;
+        self.work
+            .extend(self.scratch.calls.drain(..).map(|(to, call)| Work::Call {
+                from: id,
+                to,
+                call,
+            }));
         self.work.extend(
-            calls
-                .into_iter()
-                .map(|(to, call)| Work::Call { from: id, to, call }),
-        );
-        self.work.extend(
-            wakes
-                .into_iter()
+            self.scratch
+                .wakes
+                .drain(..)
                 .map(|(pid, kind)| Work::Wake { pid, kind }),
         );
-        self.work.extend(ip_in.into_iter().map(Work::IpIn));
+        self.work
+            .extend(self.scratch.ip_in.drain(..).map(Work::IpIn));
         self.work.extend(
-            mbuf_ready
-                .into_iter()
+            self.scratch
+                .mbuf_ready
+                .drain(..)
                 .map(|(ticket, chain)| Work::MbufReady { ticket, chain }),
         );
         r
@@ -429,10 +461,11 @@ impl Kernel {
 
     /// Frees a chain from kernel context.
     fn free_chain(&mut self, chain: MbufChain) {
-        let ready = self.mbufs.free(chain);
+        self.mbufs.free_into(chain, &mut self.scratch.mbuf_ready);
         self.work.extend(
-            ready
-                .into_iter()
+            self.scratch
+                .mbuf_ready
+                .drain(..)
                 .map(|(ticket, chain)| Work::MbufReady { ticket, chain }),
         );
     }
@@ -1139,8 +1172,10 @@ mod tests {
 
     #[test]
     fn clock_disabled_means_no_ticks() {
-        let mut cfg = KernConfig::default();
-        cfg.clock_enabled = false;
+        let cfg = KernConfig {
+            clock_enabled: false,
+            ..Default::default()
+        };
         let mut host = quiet_host(cfg);
         let evs = drain_component(&mut host, SimTime::from_secs(1));
         assert!(evs.is_empty());
@@ -1153,9 +1188,11 @@ mod tests {
         // that can hold only one packet's worth of mbufs: the second
         // waits on the pool and resumes when the first send's buffers
         // free (no net_if: the kernel frees the chain at send-finish).
-        let mut cfg = KernConfig::default();
-        cfg.clock_enabled = false;
-        cfg.mbuf_capacity = 20; // 2028 bytes -> 19 mbufs
+        let cfg = KernConfig {
+            clock_enabled: false,
+            mbuf_capacity: 20, // 2028 bytes -> 19 mbufs
+            ..Default::default()
+        };
         let mut kernel = Kernel::new(cfg, Pcg32::new(5, 2));
         let port = Port(4);
         kernel.add_sock(Sock::new(port, SockProto::UdpLite, StationId(1), 16 * 1024));
@@ -1176,8 +1213,10 @@ mod tests {
 
     #[test]
     fn unmatched_ip_packets_cost_softnet_only() {
-        let mut cfg = KernConfig::default();
-        cfg.clock_enabled = false;
+        let cfg = KernConfig {
+            clock_enabled: false,
+            ..Default::default()
+        };
         let mut kernel = Kernel::new(cfg, Pcg32::new(7, 7));
         // A net_if-less kernel still runs protocol input when a driver
         // feeds it; emulate via a driver that calls ip_input.
@@ -1233,8 +1272,10 @@ mod tests {
 
     #[test]
     fn sleep_timers_fire_in_order() {
-        let mut cfg = KernConfig::default();
-        cfg.clock_enabled = false;
+        let cfg = KernConfig {
+            clock_enabled: false,
+            ..Default::default()
+        };
         let mut kernel = Kernel::new(cfg, Pcg32::new(9, 1));
         let p1 = kernel.add_proc(Program::once(vec![Step::Sleep(Dur::from_ms(30))]));
         let p2 = kernel.add_proc(Program::once(vec![Step::Sleep(Dur::from_ms(10))]));

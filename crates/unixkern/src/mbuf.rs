@@ -149,7 +149,23 @@ impl MbufPool {
     }
 
     /// Frees a chain and returns any waiter tickets now satisfied (FIFO).
+    ///
+    /// Convenience wrapper over [`free_into`](Self::free_into) that
+    /// allocates a fresh result `Vec`; hot paths (the kernel frees a
+    /// chain per delivered packet) should pass their own scratch buffer
+    /// to `free_into` instead.
     pub fn free(&mut self, chain: MbufChain) -> Vec<(u64, MbufChain)> {
+        let mut ready = Vec::new();
+        self.free_into(chain, &mut ready);
+        ready
+    }
+
+    /// Frees a chain, appending any waiter tickets now satisfied (FIFO)
+    /// to `ready`. Allocation-free: the common no-waiter case returns
+    /// immediately after the occupancy bookkeeping, and a caller-owned
+    /// `ready` buffer means even the waiter case costs nothing once the
+    /// buffer has grown to its peak.
+    pub fn free_into(&mut self, chain: MbufChain, ready: &mut Vec<(u64, MbufChain)>) {
         assert!(
             chain.count <= self.in_use,
             "mbuf double free: freeing {} with {} in use",
@@ -157,7 +173,9 @@ impl MbufPool {
             self.in_use
         );
         self.in_use -= chain.count;
-        let mut ready = Vec::new();
+        if self.waiters.is_empty() {
+            return;
+        }
         while let Some(&(ticket, n)) = self.waiters.front() {
             if self.take(n) {
                 self.waiters.pop_front();
@@ -173,7 +191,6 @@ impl MbufPool {
                 break;
             }
         }
-        ready
     }
 }
 
@@ -265,6 +282,35 @@ mod tests {
         assert!(ready.is_empty(), "head waiter needs 8, only 5 free");
         let ready = p.free(b);
         assert_eq!(ready.len(), 2, "both satisfied once 10 free");
+    }
+
+    #[test]
+    fn free_into_covers_no_waiter_and_waiter_paths() {
+        let mut p = MbufPool::new(20);
+        let mut scratch: Vec<(u64, MbufChain)> = Vec::with_capacity(4);
+
+        // No waiters: free_into returns early and appends nothing.
+        let a = p.alloc_nowait(500).expect("5 mbufs");
+        p.free_into(a, &mut scratch);
+        assert!(scratch.is_empty());
+        assert_eq!(p.in_use(), 0);
+
+        // Waiters: satisfied FIFO into the same (reused) scratch buffer,
+        // which must not lose earlier contents.
+        let big = p.alloc_nowait(2000).expect("18 mbufs");
+        let AllocResult::Wait(t1) = p.alloc_wait(1000) else {
+            panic!("should wait");
+        };
+        let AllocResult::Wait(t2) = p.alloc_wait(100) else {
+            panic!("should wait");
+        };
+        scratch.push((999, MbufChain { len: 0, count: 1 })); // pre-existing entry
+        p.free_into(big, &mut scratch);
+        let tickets: Vec<u64> = scratch.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tickets, vec![999, t1, t2], "appends, never clears");
+        assert_eq!(scratch[1].1.count, 9);
+        assert_eq!(scratch[2].1.count, 1);
+        assert_eq!(p.in_use(), 10);
     }
 
     #[test]

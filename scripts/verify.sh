@@ -16,4 +16,11 @@ cargo build --release
 echo "== tier-1: cargo test -q"
 cargo test -q
 
+echo "== tier-1: zero-alloc scheduler steady state (alloc-count)"
+cargo test -q -p ctms-sim --features alloc-count --test zero_alloc
+
+echo "== perf smoke (report-only, compares against checked-in BENCH_PR4.json)"
+cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
+  --quick --compare BENCH_PR4.json
+
 echo "verify: OK"

@@ -12,11 +12,15 @@
 //! rather than as a silent drift in the reproduced figures.
 
 use ctms_core::{Scenario, Testbed};
-use ctms_sim::SimTime;
+use ctms_sim::{SchedMode, SimTime};
 use ctms_unixkern::MeasurePoint;
 
 fn digests(sc: &Scenario) -> [u64; 4] {
-    let mut bed = Testbed::ctms(sc);
+    digests_with_mode(sc, SchedMode::Indexed)
+}
+
+fn digests_with_mode(sc: &Scenario, mode: SchedMode) -> [u64; 4] {
+    let mut bed = Testbed::ctms_with_mode(sc, mode);
     bed.run_until(SimTime::from_secs(10));
     let get = |host: usize, point: MeasurePoint| {
         bed.truth_log(host, point)
@@ -59,6 +63,22 @@ fn case_b_truth_digests_are_golden() {
         ],
         "case B ground truth drifted: {got:#018X?}"
     );
+}
+
+#[test]
+fn scheduler_modes_share_the_golden_truth() {
+    // The indexed deadline heap (default) and the lazy-invalidation
+    // baseline it replaced must be observationally indistinguishable:
+    // every edge the testbed records is bit-identical. This is what
+    // licenses comparing their wall clocks in `perf`/BENCH_PR4.json as
+    // a pure scheduler measurement.
+    for sc in [Scenario::test_case_a(42), Scenario::test_case_b(42)] {
+        assert_eq!(
+            digests_with_mode(&sc, SchedMode::Indexed),
+            digests_with_mode(&sc, SchedMode::LazyBaseline),
+            "scheduler modes disagree on ground truth"
+        );
+    }
 }
 
 #[test]

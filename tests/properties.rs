@@ -149,9 +149,11 @@ fn ring_conservation() {
                 )
             })
             .collect();
-        let mut cfg = RingConfig::default();
-        cfg.mac_rate_per_sec = 0.0;
-        cfg.station_queue_cap = 1000;
+        let cfg = RingConfig {
+            mac_rate_per_sec: 0.0,
+            station_queue_cap: 1000,
+            ..Default::default()
+        };
         let mut ring = TokenRing::new(cfg, Pcg32::new(seed, 1));
         for _ in 0..6 {
             ring.add_station();
@@ -224,8 +226,10 @@ fn ring_serializes_medium() {
     let mut rng = Pcg32::new(7, 107);
     for trial in 0..TRIALS / 16 {
         let seed = rng.next_u64();
-        let mut cfg = RingConfig::default();
-        cfg.mac_rate_per_sec = 200.0;
+        let cfg = RingConfig {
+            mac_rate_per_sec: 200.0,
+            ..Default::default()
+        };
         let mut ring = TokenRing::new(cfg, Pcg32::new(seed, 2));
         for _ in 0..10 {
             ring.add_station();
