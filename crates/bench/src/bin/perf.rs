@@ -2,14 +2,23 @@
 //!
 //! ```text
 //! perf [--quick] [--seed N] [--json PATH] [--compare PATH]
+//!      [--shards N] [--rings N] [--threads N]
 //!
 //! --quick        short simulated horizon and a single repetition
 //!                (CI smoke size) instead of the full measurement
 //! --seed N       simulation seed (default 42)
 //! --json PATH    write the machine-readable benchmark report
-//!                (the checked-in BENCH_PR4.json is produced this way)
+//!                (the checked-in BENCH_PR4.json / BENCH_PR5.json are
+//!                produced this way)
 //! --compare PATH report-only comparison against a previously written
 //!                report; never fails, prints current vs recorded
+//! --shards N     also benchmark the conservative-parallel sharded
+//!                scheduler on the N-ring chain, sweeping power-of-two
+//!                shard counts up to N
+//! --rings N      chain length for --shards (default 128)
+//! --threads N    worker threads per sharded run (default: hardware
+//!                parallelism capped at the shard count; at 1 the
+//!                windows run inline, measuring pure protocol overhead)
 //! ```
 //!
 //! The binary runs test cases A and B to a fixed simulated horizon under
@@ -22,12 +31,20 @@
 //! event count agree before any timing is reported, so the speedup can
 //! never come from simulating something different.
 //!
+//! With `--shards N` it additionally runs the scaled ring-chain scenario
+//! on the single-threaded indexed scheduler (the ground truth and the
+//! PR-4 baseline) and on the sharded conservative-parallel scheduler at
+//! each swept shard count. The same parity rule applies per
+//! configuration: edge-log digests and event counts must match the
+//! single-threaded run before the wall clock is reported.
+//!
 //! When built with `--features alloc-count` the counting global
 //! allocator is installed and a steady-state window on the synthetic
 //! allocation-free ring (`ctms_sim::synth`) measures allocations/event
 //! for both modes; the indexed scheduler must come out at exactly zero.
 
-use ctms_core::{Scenario, Testbed};
+use ctms_core::{RingChainTestbed, Scenario, Testbed};
+use ctms_router::BridgeKind;
 use ctms_sim::telemetry::{json_f64, json_string};
 use ctms_sim::{SchedMode, SimTime};
 use ctms_unixkern::MeasurePoint;
@@ -45,6 +62,15 @@ const QUICK_HORIZON_SECS: u64 = 10;
 /// which is the standard way to strip scheduler/cache noise from a
 /// deterministic workload.
 const FULL_REPS: usize = 3;
+/// Simulated horizon for the `--shards` chain benchmark. The chain is
+/// two orders of magnitude more nodes than a test case, so its horizon
+/// is shorter than the cases' while still dominating construction.
+const CHAIN_HORIZON_SECS: u64 = 10;
+/// `--quick` chain horizon (CI smoke).
+const CHAIN_QUICK_HORIZON_SECS: u64 = 2;
+/// Default chain length for `--shards` (the N ≥ 128 scaling regime the
+/// sharded scheduler is built for).
+const DEFAULT_CHAIN_RINGS: usize = 128;
 
 struct ModeRun {
     events: u64,
@@ -72,6 +98,9 @@ fn main() {
     let mut seed = 42u64;
     let mut json_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut rings = DEFAULT_CHAIN_RINGS;
+    let mut threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -95,6 +124,35 @@ fn main() {
                         .cloned()
                         .unwrap_or_else(|| die("--compare needs a path")),
                 );
+            }
+            "--shards" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--shards needs a number"));
+                if n < 2 {
+                    die("--shards needs at least 2");
+                }
+                shards = Some(n);
+            }
+            "--rings" => {
+                rings = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--rings needs a number"));
+                if rings < 2 {
+                    die("--rings needs at least 2");
+                }
+            }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+                if n < 1 {
+                    die("--threads needs at least 1");
+                }
+                threads = Some(n);
             }
             "--help" | "-h" => {
                 eprintln!("{HELP}");
@@ -149,6 +207,15 @@ fn main() {
         results.push(case);
     }
 
+    let chain = shards.map(|max_shards| {
+        let chain_horizon = if quick {
+            CHAIN_QUICK_HORIZON_SECS
+        } else {
+            CHAIN_HORIZON_SECS
+        };
+        measure_chain(seed, rings, max_shards, threads, chain_horizon, reps)
+    });
+
     let steady = steady_state_allocs();
     if let Some(s) = &steady {
         eprintln!(
@@ -157,7 +224,14 @@ fn main() {
         );
     }
 
-    let json = report_json(seed, quick, horizon_secs, &results, steady.as_ref());
+    let json = report_json(
+        seed,
+        quick,
+        horizon_secs,
+        &results,
+        chain.as_ref(),
+        steady.as_ref(),
+    );
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, &json) {
             die(&format!("cannot write {path}: {e}"));
@@ -168,7 +242,7 @@ fn main() {
     }
 
     if let Some(path) = &compare_path {
-        compare_report(path, &results);
+        compare_report(path, &results, chain.as_ref());
     }
 }
 
@@ -205,6 +279,138 @@ fn measure_case(sc: &Scenario, mode: SchedMode, horizon_secs: u64, reps: usize) 
         }
     }
     best.expect("at least one repetition")
+}
+
+struct ChainSharded {
+    shards: usize,
+    threads: usize,
+    run: ModeRun,
+}
+
+struct ChainResult {
+    rings: usize,
+    horizon_secs: u64,
+    single: ModeRun,
+    sharded: Vec<ChainSharded>,
+}
+
+fn chain_digests(mut get: impl FnMut(usize, MeasurePoint) -> u64) -> [u64; 4] {
+    [
+        get(0, MeasurePoint::VcaIrq),
+        get(0, MeasurePoint::VcaHandlerEntry),
+        get(0, MeasurePoint::PreTransmit),
+        get(1, MeasurePoint::CtmspIdentified),
+    ]
+}
+
+/// Benchmarks the scaled `rings`-ring chain: single-threaded indexed
+/// (the ground truth and the baseline) against the sharded
+/// conservative-parallel scheduler at every power-of-two shard count up
+/// to `max_shards`. Per configuration, edge-log digests and serviced
+/// event counts are asserted equal to the single-threaded run before
+/// any wall clock is reported.
+fn measure_chain(
+    seed: u64,
+    rings: usize,
+    max_shards: usize,
+    threads: Option<usize>,
+    horizon_secs: u64,
+    reps: usize,
+) -> ChainResult {
+    let sc = Scenario::scaled_chain(seed);
+    let kind = BridgeKind::cut_through_bridge();
+    let horizon = SimTime::from_secs(horizon_secs);
+
+    let mut single: Option<ModeRun> = None;
+    for _ in 0..reps {
+        let mut bed = RingChainTestbed::chain(&sc, kind, rings);
+        let t0 = std::time::Instant::now();
+        bed.run_until(horizon);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let run = ModeRun {
+            events: bed.bus().events(),
+            wall_secs,
+            digests: chain_digests(|host, point| {
+                bed.bus()
+                    .measurements()
+                    .truth_log(host, point)
+                    .map(|log| log.digest())
+                    .unwrap_or(0)
+            }),
+        };
+        if let Some(b) = &single {
+            assert_eq!(b.digests, run.digests, "repetition changed ground truth");
+            assert_eq!(b.events, run.events, "repetition changed event count");
+        }
+        if single.as_ref().is_none_or(|b| run.wall_secs < b.wall_secs) {
+            single = Some(run);
+        }
+    }
+    let single = single.expect("at least one repetition");
+    eprintln!(
+        "# chain/{rings}: single-threaded {:.1}ms ({:.2}M ev/s, {} events)",
+        single.wall_secs * 1e3,
+        single.events as f64 / single.wall_secs / 1e6,
+        single.events
+    );
+
+    let mut sharded = Vec::new();
+    let mut k = 2;
+    while k <= max_shards {
+        let workers = threads.unwrap_or_else(|| ctms_sim::default_threads(k));
+        let mut best: Option<ModeRun> = None;
+        for _ in 0..reps {
+            let mut bed = RingChainTestbed::chain_sharded(&sc, kind, rings, k);
+            assert_eq!(bed.shard_count(), k, "chain must partition into {k}");
+            bed.set_threads(workers);
+            let t0 = std::time::Instant::now();
+            bed.run_until(horizon);
+            let wall_secs = t0.elapsed().as_secs_f64();
+            let run = ModeRun {
+                events: bed.events(),
+                wall_secs,
+                digests: chain_digests(|host, point| {
+                    bed.bus()
+                        .truth_log(host, point)
+                        .map(|log| log.digest())
+                        .unwrap_or(0)
+                }),
+            };
+            // Ground-truth parity before timing is reported: the
+            // parallel run must have simulated the exact same world.
+            assert_eq!(
+                run.digests, single.digests,
+                "chain/{rings} shards={k}: sharded scheduler changed ground truth"
+            );
+            assert_eq!(
+                run.events, single.events,
+                "chain/{rings} shards={k}: sharded scheduler changed event count"
+            );
+            if best.as_ref().is_none_or(|b| run.wall_secs < b.wall_secs) {
+                best = Some(run);
+            }
+        }
+        let run = best.expect("at least one repetition");
+        eprintln!(
+            "# chain/{rings}: shards={k} threads={workers} {:.1}ms ({:.2}M ev/s)  speedup {:.2}x",
+            run.wall_secs * 1e3,
+            run.events as f64 / run.wall_secs / 1e6,
+            single.wall_secs / run.wall_secs
+        );
+        sharded.push(ChainSharded {
+            shards: k,
+            threads: workers,
+            run,
+        });
+        k *= 2;
+    }
+
+    ChainResult {
+        rings,
+        horizon_secs,
+        single,
+        sharded,
+    }
 }
 
 struct SteadyState {
@@ -246,17 +452,25 @@ fn report_json(
     quick: bool,
     horizon_secs: u64,
     results: &[CaseResult],
+    chain: Option<&ChainResult>,
     steady: Option<&SteadyState>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"format\": \"ctms-perf/1\",\n");
+    out.push_str("  \"format\": \"ctms-perf/2\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"horizon_secs\": {horizon_secs},\n"));
     out.push_str(&format!(
         "  \"alloc_count\": {},\n",
         cfg!(feature = "alloc-count")
+    ));
+    // Hardware parallelism of the measuring machine: sharded speedups
+    // below 1.0 on a single-core box are expected (the window protocol
+    // runs inline there) and must be read against this field.
+    out.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
     out.push_str("  \"cases\": [\n");
     for (i, case) in results.iter().enumerate() {
@@ -284,6 +498,42 @@ fn report_json(
         });
     }
     out.push_str("  ],\n");
+    match chain {
+        Some(c) => {
+            let mode = |m: &ModeRun| {
+                format!(
+                    "{{ \"events\": {}, \"wall_secs\": {}, \"events_per_sec\": {} }}",
+                    m.events,
+                    json_f64(m.wall_secs),
+                    json_f64(m.events as f64 / m.wall_secs)
+                )
+            };
+            out.push_str("  \"chain\": {\n");
+            out.push_str(&format!("    \"rings\": {},\n", c.rings));
+            out.push_str(&format!("    \"horizon_secs\": {},\n", c.horizon_secs));
+            out.push_str(&format!("    \"single\": {},\n", mode(&c.single)));
+            out.push_str("    \"sharded\": [\n");
+            for (i, s) in c.sharded.iter().enumerate() {
+                out.push_str("      {\n");
+                out.push_str(&format!("        \"shards\": {},\n", s.shards));
+                out.push_str(&format!("        \"threads\": {},\n", s.threads));
+                out.push_str(&format!("        \"run\": {},\n", mode(&s.run)));
+                out.push_str(&format!(
+                    "        \"speedup\": {},\n",
+                    json_f64(c.single.wall_secs / s.run.wall_secs)
+                ));
+                out.push_str("        \"ground_truth_parity\": true\n");
+                out.push_str(if i + 1 == c.sharded.len() {
+                    "      }\n"
+                } else {
+                    "      },\n"
+                });
+            }
+            out.push_str("    ]\n");
+            out.push_str("  },\n");
+        }
+        None => out.push_str("  \"chain\": null,\n"),
+    }
     match steady {
         Some(s) => {
             out.push_str("  \"steady_state\": {\n");
@@ -311,7 +561,7 @@ fn report_json(
 /// clocks differ across machines, so this never fails the run — it
 /// surfaces the recorded vs current speedups for a human (or a CI log
 /// reader) to eyeball.
-fn compare_report(path: &str, results: &[CaseResult]) {
+fn compare_report(path: &str, results: &[CaseResult], chain: Option<&ChainResult>) {
     let recorded = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -320,7 +570,7 @@ fn compare_report(path: &str, results: &[CaseResult]) {
         }
     };
     for case in results {
-        let rec = extract_speedup(&recorded, case.name);
+        let rec = extract_speedup_after(&recorded, &format!("\"name\": \"{}\"", case.name));
         match rec {
             Some(r) => eprintln!(
                 "# compare {}: recorded speedup {r:.2}x, this run {:.2}x",
@@ -333,14 +583,30 @@ fn compare_report(path: &str, results: &[CaseResult]) {
             ),
         }
     }
+    if let Some(c) = chain {
+        for s in &c.sharded {
+            let rec = extract_speedup_after(&recorded, &format!("\"shards\": {}", s.shards));
+            let now = c.single.wall_secs / s.run.wall_secs;
+            match rec {
+                Some(r) => eprintln!(
+                    "# compare chain shards={}: recorded speedup {r:.2}x, this run {now:.2}x",
+                    s.shards
+                ),
+                None => eprintln!(
+                    "# compare chain shards={}: no recorded speedup found in {path}",
+                    s.shards
+                ),
+            }
+        }
+    }
 }
 
-/// Pulls `"speedup": <number>` for the named case out of a report
-/// without a JSON parser: find the case's `"name"` line, then the next
+/// Pulls the `"speedup": <number>` that follows `anchor` out of a
+/// report without a JSON parser: find the anchor line (a case's
+/// `"name"` or a chain entry's `"shards"` key), then the next
 /// `"speedup"` key after it.
-fn extract_speedup(report: &str, case: &str) -> Option<f64> {
-    let name_key = format!("\"name\": \"{case}\"");
-    let at = report.find(&name_key)?;
+fn extract_speedup_after(report: &str, anchor: &str) -> Option<f64> {
+    let at = report.find(anchor)?;
     let rest = &report[at..];
     let sp = rest.find("\"speedup\":")?;
     let tail = rest[sp + "\"speedup\":".len()..].trim_start();
@@ -357,4 +623,4 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH]";
+const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N]";

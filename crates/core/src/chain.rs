@@ -17,6 +17,7 @@
 //! their own MAC background; measurement points work exactly as on the
 //! single-ring testbed (tags survive every hop).
 
+use crate::parallel::ShardedBus;
 use crate::scenario::Scenario;
 use crate::topology::{Bus, Topology};
 use ctms_ctmsp::{TrDriver, TrDriverCfg};
@@ -55,6 +56,31 @@ impl RingChainTestbed {
     /// copy flags) comes from the scenario; every ring is a private
     /// four-station ring.
     pub fn chain(sc: &Scenario, kind: BridgeKind, n: usize) -> RingChainTestbed {
+        let (topo, vca_src, vca_sink) = Self::chain_topology(sc, kind, n);
+        RingChainTestbed {
+            bus: topo.build(),
+            vca_src,
+            vca_sink,
+        }
+    }
+
+    /// Like [`RingChainTestbed::chain`], but runs the chain on the
+    /// conservative-parallel sharded harness with `shards` ring
+    /// partitions. Bit-identical results to the single-threaded chain
+    /// for the same scenario, seed, and horizon — the shard-parity
+    /// tests pin this.
+    pub fn chain_sharded(sc: &Scenario, kind: BridgeKind, n: usize, shards: usize) -> ShardedChain {
+        let (topo, vca_src, vca_sink) = Self::chain_topology(sc, kind, n);
+        ShardedChain {
+            bus: topo.build_sharded(shards),
+            vca_src,
+            vca_sink,
+        }
+    }
+
+    /// The chain as a [`Topology`] description plus the VCA driver ids —
+    /// shared by the single-threaded and sharded constructors.
+    fn chain_topology(sc: &Scenario, kind: BridgeKind, n: usize) -> (Topology, DriverId, DriverId) {
         assert!(n >= 2, "a chain needs at least two rings");
         let root = Pcg32::new(sc.seed, 0xD2);
         let mk_ring = |label: &str| {
@@ -178,11 +204,7 @@ impl RingChainTestbed {
             Host::new(Machine::new(MachineConfig::default()), krx),
         );
 
-        RingChainTestbed {
-            bus: topo.build(),
-            vca_src,
-            vca_sink,
-        }
+        (topo, vca_src, vca_sink)
     }
 
     /// Current simulation time.
@@ -280,6 +302,116 @@ impl RingChainTestbed {
     }
 }
 
+/// The N-ring chain running on the conservative-parallel sharded bus.
+/// Same accessors and same answers as [`RingChainTestbed`] — sharding
+/// may only change the wall clock.
+pub struct ShardedChain {
+    bus: ShardedBus,
+    vca_src: DriverId,
+    vca_sink: DriverId,
+}
+
+impl ShardedChain {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.bus.now()
+    }
+
+    /// Runs until `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.bus.run_until(horizon);
+    }
+
+    /// Runs until `horizon`, reporting cascade overflow as a typed error.
+    pub fn try_run_until(&mut self, horizon: SimTime) -> Result<(), CascadeError> {
+        self.bus.try_run_until(horizon)
+    }
+
+    /// Number of rings in the chain.
+    pub fn ring_count(&self) -> usize {
+        self.bus.ring_count()
+    }
+
+    /// Number of shards the chain actually runs on (1 = fell back to
+    /// the single-threaded harness).
+    pub fn shard_count(&self) -> usize {
+        self.bus.shard_count()
+    }
+
+    /// Caps how many pool workers a window dispatch invites.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.bus.set_threads(threads);
+    }
+
+    /// Component activations serviced so far.
+    pub fn events(&self) -> u64 {
+        self.bus.events()
+    }
+
+    /// The underlying sharded bus.
+    pub fn bus(&self) -> &ShardedBus {
+        &self.bus
+    }
+
+    /// Mutable sharded bus, for telemetry collection.
+    pub fn bus_mut(&mut self) -> &mut ShardedBus {
+        &mut self.bus
+    }
+
+    /// Collects and serializes the whole chain's metric tree as
+    /// canonical JSON — byte-identical to the single-threaded chain.
+    pub fn telemetry_json(&mut self) -> String {
+        self.bus.telemetry_json()
+    }
+
+    /// The measurement set, identical to
+    /// [`RingChainTestbed::measurement_set`].
+    pub fn measurement_set(&self) -> MeasurementSet {
+        let log = |host: usize, point: MeasurePoint| {
+            self.bus
+                .truth_log(host, point)
+                .cloned()
+                .unwrap_or_else(|| ctms_sim::EdgeLog::new(format!("h{host}-{point:?}")))
+        };
+        MeasurementSet {
+            vca_irq: log(0, MeasurePoint::VcaIrq),
+            handler: log(0, MeasurePoint::VcaHandlerEntry),
+            pre_tx: log(0, MeasurePoint::PreTransmit),
+            ctmsp_rx: log(1, MeasurePoint::CtmspIdentified),
+        }
+    }
+
+    /// Packets sent / received / dropped, identical to
+    /// [`RingChainTestbed::counters`]. Measurement parts are summed
+    /// across shards.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let sent = self
+            .bus
+            .host(0)
+            .kernel
+            .driver_ref::<CtmsVcaSource>(self.vca_src)
+            .map(|d| d.stats().pkts_sent)
+            .unwrap_or(0);
+        let received = self
+            .bus
+            .host(1)
+            .kernel
+            .driver_ref::<CtmsVcaSink>(self.vca_sink)
+            .map(|d| d.stats().received)
+            .unwrap_or(0);
+        let overflow: u64 = (0..self.bus.bridge_count())
+            .map(|k| self.bus.bridge(k).stats().overflows)
+            .sum();
+        let measured: u64 = self
+            .bus
+            .measure_parts()
+            .iter()
+            .map(|m| m.drops().len() as u64 + m.lost_to_purge().len() as u64 + m.bridge_drops())
+            .sum();
+        (sent, received, measured + overflow)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +504,40 @@ mod tests {
             three > two + 3_000.0,
             "third hop adds a ring transit: {three} vs {two}"
         );
+    }
+
+    #[test]
+    fn sharded_chain_matches_single_threaded_bit_for_bit() {
+        // The conservative-parallel contract on the real testbed:
+        // partitioning a six-ring chain across 1, 2, and 4 shards
+        // changes nothing — counters, event counts, and the entire
+        // canonical telemetry tree are byte-identical.
+        let sc = Scenario::scaled_chain(42);
+        let kind = BridgeKind::cut_through_bridge();
+        let horizon = SimTime::from_secs(2);
+        let mut single = RingChainTestbed::chain(&sc, kind, 6);
+        single.run_until(horizon);
+        let counters = single.counters();
+        let events = single.bus().events();
+        let json = single.telemetry_json();
+        for shards in [1usize, 2, 4] {
+            let mut bed = RingChainTestbed::chain_sharded(&sc, kind, 6, shards);
+            assert_eq!(bed.shard_count(), shards, "partition size");
+            bed.run_until(horizon);
+            assert_eq!(bed.counters(), counters, "shards={shards}");
+            assert_eq!(bed.events(), events, "shards={shards}");
+            assert_eq!(bed.telemetry_json(), json, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn single_ring_testbed_falls_back_to_single_threaded() {
+        // One ring cannot be partitioned: build_sharded must return the
+        // transparent fallback, not panic or degrade.
+        let sc = Scenario::test_case_a(42);
+        let (bus, _roles) = crate::Testbed::ctms_sharded(&sc, 4);
+        assert!(bus.is_single(), "single ring falls back");
+        assert_eq!(bus.shard_count(), 1);
     }
 
     #[test]

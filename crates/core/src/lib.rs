@@ -22,13 +22,15 @@
 pub mod calib;
 pub mod chain;
 pub mod experiments;
+pub mod parallel;
 pub mod scenario;
 pub mod testbed;
 pub mod topology;
 
 pub use calib::Calibration;
-pub use chain::{DualRingTestbed, RingChainTestbed};
+pub use chain::{DualRingTestbed, RingChainTestbed, ShardedChain};
 pub use experiments::{ablation_row, all as run_all_experiments, copy_census, AblationRow, ExpCfg};
+pub use parallel::{ParallelBus, ShardedBus};
 pub use scenario::{HostLoad, Network, Scenario};
 pub use testbed::{DropRec, Roles, Testbed};
 pub use topology::{Bus, CtmsRouter, Measurements, Topology};

@@ -131,6 +131,19 @@ impl Scenario {
         }
     }
 
+    /// The chain-scaling scenario: Test Case A's stream pushed through a
+    /// long chain of private rings (the footnote-5 topology generalized
+    /// to campus scale — chain length itself is a testbed parameter, see
+    /// [`crate::RingChainTestbed::chain`] and
+    /// [`crate::RingChainTestbed::chain_sharded`]). Host configuration is
+    /// case A's: at a 12 ms period a cut-through chain of hundreds of
+    /// rings carries the stream losslessly, each ring adding only its
+    /// transit latency, so the scenario scales to `N ≥ 128` rings —
+    /// the regime the sharded scheduler is built for.
+    pub fn scaled_chain(seed: u64) -> Self {
+        Scenario::test_case_a(seed)
+    }
+
     /// Number of ring stations for this scenario's network.
     pub fn station_count(&self) -> u32 {
         match self.network {

@@ -8,6 +8,7 @@
 //! traffic — and exposes scenario-aware accessors over the recorded
 //! [`Measurements`](crate::Measurements).
 
+use crate::parallel::ShardedBus;
 use crate::scenario::{HostLoad, Network, Scenario};
 use crate::topology::{Bus, Topology};
 use ctms_ctmsp::{TrDriver, TrDriverCfg};
@@ -85,6 +86,27 @@ impl Testbed {
     /// compares the production indexed scheduler against the
     /// [`SchedMode::LazyBaseline`] emulation on identical topologies.
     pub fn ctms_with_mode(sc: &Scenario, mode: SchedMode) -> Testbed {
+        let (topo, roles) = Self::ctms_topology(sc, mode);
+        Testbed {
+            bus: topo.build(),
+            roles,
+            streams: Vec::new(),
+        }
+    }
+
+    /// Builds the §5 testbed's topology on the conservative-parallel
+    /// sharded bus. A single-ring topology cannot be partitioned, so
+    /// this always falls back to the single-threaded harness — the
+    /// point is that the fallback is transparent and bit-identical,
+    /// which the shard-parity tests pin.
+    pub fn ctms_sharded(sc: &Scenario, shards: usize) -> (ShardedBus, Roles) {
+        let (topo, roles) = Self::ctms_topology(sc, SchedMode::Indexed);
+        (topo.build_sharded(shards), roles)
+    }
+
+    /// The §5 testbed as a [`Topology`] description plus its driver-id
+    /// bookkeeping — shared by the single-threaded and sharded builders.
+    fn ctms_topology(sc: &Scenario, mode: SchedMode) -> (Topology, Roles) {
         let root = Pcg32::new(sc.seed, 0xC7);
         let mut ring_cfg = sc.calib.ring.clone();
         ring_cfg.priority_enabled = sc.ring_priority;
@@ -203,9 +225,9 @@ impl Testbed {
             topo.subscribe_purge(tx, tr_tx);
         }
 
-        Testbed {
-            bus: topo.build(),
-            roles: Roles {
+        (
+            topo,
+            Roles {
                 tx_host: 0,
                 rx_host: 1,
                 tr_tx,
@@ -214,8 +236,7 @@ impl Testbed {
                 vca_sink,
                 stock_procs: None,
             },
-            streams: Vec::new(),
-        }
+        )
     }
 
     /// Builds a testbed carrying `n` independent CTMS streams on one

@@ -20,11 +20,13 @@
 //! then phantom — which is also the deadline-tie service order, so runs
 //! are bit-identical to the old fixed advance orders.
 
+use crate::parallel::{ParallelBus, ShardedBus};
 use crate::testbed::DropRec;
 use ctms_measure::{Tap, TapCfg};
 use ctms_router::{Bridge, BridgeCmd, BridgeOut, RingSide};
 use ctms_sim::{
-    CascadeError, CmdSink, Component, EdgeLog, Harness, NodeId, Router, SchedMode, SimTime,
+    CascadeError, CmdSink, Component, Dur, EdgeLog, Harness, NodeId, Router, SchedMode,
+    ShardedHarness, SimTime,
 };
 use ctms_tokenring::{RingCmd, RingOut, StationId, TokenRing};
 use ctms_unixkern::{
@@ -149,7 +151,10 @@ enum Endpoint {
     Bridge { node: NodeId, side: RingSide },
 }
 
-/// Per-node routing metadata, indexed by [`NodeId`].
+/// Per-node routing metadata, indexed by [`NodeId`]. Cloneable so the
+/// sharded build can hand every shard the complete wiring table (routing
+/// is read-only metadata; only taps and measurements are per-shard).
+#[derive(Clone)]
 enum Slot {
     Ring {
         /// Station → attached endpoint (absent stations are idle or
@@ -297,6 +302,72 @@ impl Router<Node> for CtmsRouter {
         for (i, points) in self.m.truth.iter().enumerate() {
             let mut logs: Vec<(String, &EdgeLog)> =
                 points.iter().map(|(p, l)| (format!("{p:?}"), l)).collect();
+            logs.sort_by(|a, b| a.0.cmp(&b.0));
+            for (name, log) in logs {
+                log.publish(&mut m.scope(&format!("truth.h{i}.{name}")));
+            }
+        }
+    }
+}
+
+/// Merges the per-shard routers of a sharded run back into the exact
+/// `measure.*` tree [`CtmsRouter::publish_telemetry`] produces for a
+/// single-threaded run — byte-identical, which the shard-parity tests
+/// pin. Aggregate counters are sums; presentations are re-merged by
+/// time (each sink's stream is already chronological, and tie order
+/// cannot change the gap histogram); each TAP and each truth log is
+/// owned by exactly one shard (the ring's or host's owner), so merging
+/// is selection, not summation.
+impl ctms_sim::MergeTelemetry for CtmsRouter {
+    fn publish_merged(parts: &[&Self], reg: &mut ctms_sim::Registry) {
+        use ctms_sim::Instrument as _;
+        let mut m = reg.scope("measure");
+        m.counter("drops", parts.iter().map(|p| p.m.drops.len() as u64).sum());
+        m.counter(
+            "presented",
+            parts.iter().map(|p| p.m.presented.len() as u64).sum(),
+        );
+        m.counter(
+            "sock_delivered",
+            parts.iter().map(|p| p.m.sock_delivered.len() as u64).sum(),
+        );
+        m.counter(
+            "purge_starts",
+            parts.iter().map(|p| p.m.purge_starts.len() as u64).sum(),
+        );
+        m.counter(
+            "lost_to_purge",
+            parts.iter().map(|p| p.m.lost_to_purge.len() as u64).sum(),
+        );
+        m.counter("bridge_drops", parts.iter().map(|p| p.m.bridge_drops).sum());
+        let mut presented: Vec<SimTime> = parts
+            .iter()
+            .flat_map(|p| p.m.presented.iter().map(|e| e.0))
+            .collect();
+        presented.sort();
+        if presented.len() >= 2 {
+            let mut gaps = ctms_sim::telemetry::Hist::new(1, 64);
+            for w in presented.windows(2) {
+                gaps.record(w[1].since(w[0]).as_ns() / 1_000_000);
+            }
+            m.hist("presented_gap_ms", gaps);
+        }
+        // Every ring slot has its TAP in exactly one part; numbering
+        // follows slot order, matching the single-threaded enumerate().
+        let n_slots = parts.first().map_or(0, |p| p.slots.len());
+        let mut k = 0;
+        for i in 0..n_slots {
+            if let Some(tap) = parts.iter().find_map(|p| p.taps[i].as_ref()) {
+                tap.publish(&mut m.scope(&format!("tap.ring{k}")));
+                k += 1;
+            }
+        }
+        let n_hosts = parts.first().map_or(0, |p| p.m.truth.len());
+        for i in 0..n_hosts {
+            let mut logs: Vec<(String, &EdgeLog)> = parts
+                .iter()
+                .flat_map(|p| p.m.truth[i].iter().map(|(pt, l)| (format!("{pt:?}"), l)))
+                .collect();
             logs.sort_by(|a, b| a.0.cmp(&b.0));
             for (name, log) in logs {
                 log.publish(&mut m.scope(&format!("truth.h{i}.{name}")));
@@ -506,18 +577,18 @@ impl Topology {
         self.purge_subscribers.push((host, driver));
     }
 
-    /// Registers everything with a fresh harness and returns the live bus.
-    pub fn build(self) -> Bus {
+    /// The complete routing-metadata table, in NodeId order (rings,
+    /// bridges, hosts, phantom) — shared between the single-threaded
+    /// and sharded builds.
+    fn make_slots(&self) -> Vec<Slot> {
         let n_rings = self.rings.len();
         let n_bridges = self.bridges.len();
-        let n_hosts = self.hosts.len();
         // NodeIds are assigned in push order: rings, bridges, hosts, phantom.
         let ring_node = |k: usize| NodeId(k);
         let bridge_node = |k: usize| NodeId(n_rings + k);
         let host_node = |k: usize| NodeId(n_rings + n_bridges + k);
 
         let mut slots: Vec<Slot> = Vec::new();
-        let mut taps: Vec<Option<Tap>> = Vec::new();
         let mut endpoints: Vec<HashMap<StationId, Endpoint>> =
             (0..n_rings).map(|_| HashMap::new()).collect();
         for (k, (ring_a, ring_b, bridge)) in self.bridges.iter().enumerate() {
@@ -548,28 +619,39 @@ impl Topology {
 
         for ep in endpoints.drain(..) {
             slots.push(Slot::Ring { endpoints: ep });
-            taps.push(Some(Tap::new(TapCfg::default())));
         }
         for (ring_a, ring_b, _) in &self.bridges {
             slots.push(Slot::Bridge {
                 ring_a: ring_node(*ring_a),
                 ring_b: ring_node(*ring_b),
             });
-            taps.push(None);
         }
         for (k, (ring, _, _)) in self.hosts.iter().enumerate() {
             slots.push(Slot::Host {
                 index: k,
                 ring: ring_node(*ring),
             });
-            taps.push(None);
         }
         if let Some((ring, _)) = &self.phantom {
             slots.push(Slot::Phantom {
                 ring: ring_node(*ring),
             });
-            taps.push(None);
         }
+        slots
+    }
+
+    /// Registers everything with a fresh harness and returns the live bus.
+    pub fn build(self) -> Bus {
+        let n_rings = self.rings.len();
+        let n_bridges = self.bridges.len();
+        let n_hosts = self.hosts.len();
+        let host_node = |k: usize| NodeId(n_rings + n_bridges + k);
+
+        let slots = self.make_slots();
+        let taps: Vec<Option<Tap>> = slots
+            .iter()
+            .map(|s| matches!(s, Slot::Ring { .. }).then(|| Tap::new(TapCfg::default())))
+            .collect();
 
         let router = CtmsRouter {
             slots,
@@ -615,6 +697,122 @@ impl Topology {
             host_nodes,
             phantom_node,
         }
+    }
+
+    /// Registers everything with a conservative-parallel
+    /// [`ShardedHarness`](ctms_sim::ShardedHarness), partitioned by ring,
+    /// and returns a [`ShardedBus`]. Results are bit-identical to
+    /// [`Topology::build`] — parallelism may never change the answer,
+    /// only the wall clock.
+    ///
+    /// Partition rule: rings are split into `min(shards, n_rings)`
+    /// contiguous blocks; every bridge, host, and the phantom generator
+    /// lives with its ring (a bridge with its A-side ring). Bridges whose
+    /// two rings land in different shards are sync-class: they are the
+    /// only legal cross-shard emitters, and the smallest of their
+    /// forwarding latencies ([`ctms_router::BridgeKind::lookahead`]) is
+    /// the conservative window bound.
+    ///
+    /// Falls back to the single-threaded harness (same results, one
+    /// thread) whenever sharding cannot help or cannot be proven sound:
+    ///
+    /// * fewer than two shards would result (`shards <= 1` or one ring),
+    /// * a non-default scheduler mode was selected (the sharded engine
+    ///   only implements the indexed scheduler),
+    /// * purge subscriptions exist (purge fan-out may cross shards from
+    ///   a non-sync ring node),
+    /// * a phantom generator is attached (its broadcast LLC frames are
+    ///   delivered to every station, including remote bridge ports).
+    pub fn build_sharded(self, shards: usize) -> ShardedBus {
+        let n_rings = self.rings.len();
+        let s = shards.min(n_rings);
+        if s <= 1
+            || !matches!(self.sched_mode, SchedMode::Indexed)
+            || !self.purge_subscribers.is_empty()
+            || self.phantom.is_some()
+        {
+            return ShardedBus::Single(self.build());
+        }
+
+        let n_hosts = self.hosts.len();
+        // Contiguous ring blocks: ring i goes to shard i*s/n_rings.
+        let ring_shard = |i: usize| i * s / n_rings;
+        let bridge_shard: Vec<usize> = self
+            .bridges
+            .iter()
+            .map(|&(ring_a, _, _)| ring_shard(ring_a))
+            .collect();
+        let bridge_sync: Vec<bool> = self
+            .bridges
+            .iter()
+            .map(|&(ring_a, ring_b, _)| ring_shard(ring_a) != ring_shard(ring_b))
+            .collect();
+        let lookahead = self
+            .bridges
+            .iter()
+            .zip(&bridge_sync)
+            .filter(|(_, sync)| **sync)
+            .map(|((_, _, b), _)| b.kind().lookahead())
+            .min()
+            .unwrap_or(Dur::ZERO);
+
+        let slots = self.make_slots();
+        let routers: Vec<CtmsRouter> = (0..s)
+            .map(|shard| CtmsRouter {
+                slots: slots.clone(),
+                // Each ring's TAP lives with the ring's owner shard; the
+                // merged telemetry re-numbers them globally.
+                taps: slots
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sl)| {
+                        (matches!(sl, Slot::Ring { .. }) && ring_shard(i) == shard)
+                            .then(|| Tap::new(TapCfg::default()))
+                    })
+                    .collect(),
+                purge_subscribers: Vec::new(),
+                m: Measurements {
+                    truth: (0..n_hosts).map(|_| HashMap::new()).collect(),
+                    ..Measurements::default()
+                },
+            })
+            .collect();
+
+        let mut h = ShardedHarness::new(routers, self.cascade_limit, lookahead);
+        let mut ring_nodes = Vec::new();
+        for (k, ring) in self.rings.into_iter().enumerate() {
+            ring_nodes.push(h.add_node_labeled(
+                Node::Ring(ring, Vec::new()),
+                format!("tokenring.ring{k}"),
+                ring_shard(k),
+                false,
+            ));
+        }
+        let mut bridge_nodes = Vec::new();
+        for (k, (_, _, bridge)) in self.bridges.into_iter().enumerate() {
+            bridge_nodes.push(h.add_node_labeled(
+                Node::Bridge(bridge, Vec::new()),
+                format!("router.bridge{k}"),
+                bridge_shard[k],
+                bridge_sync[k],
+            ));
+        }
+        let mut host_nodes = Vec::new();
+        for (k, (ring, _, host)) in self.hosts.into_iter().enumerate() {
+            host_nodes.push(h.add_node_labeled(
+                Node::Host(host, Vec::new()),
+                format!("unixkern.h{k}"),
+                ring_shard(ring),
+                false,
+            ));
+        }
+
+        ShardedBus::Parallel(ParallelBus {
+            h,
+            ring_nodes,
+            bridge_nodes,
+            host_nodes,
+        })
     }
 }
 

@@ -100,6 +100,21 @@ impl BridgeKind {
         }
     }
 
+    /// Lower bound on the time between a frame entering this bridge and
+    /// any effect appearing on the far ring: the fixed per-packet term
+    /// of [`BridgeKind::service`] (byte costs only add to it). This is
+    /// the conservative-synchronization **lookahead** of a cross-shard
+    /// link in the sharded scheduler: a shard that has simulated up to
+    /// `t` can safely run to `t + lookahead()` before looking at its
+    /// inbox again, because nothing a neighbor does at or after `t` can
+    /// reach it earlier than that.
+    pub fn lookahead(&self) -> Dur {
+        match *self {
+            BridgeKind::HostRouter { per_packet, .. } => per_packet,
+            BridgeKind::CutThrough { latency, .. } => latency,
+        }
+    }
+
     fn shared_engine(&self) -> bool {
         matches!(self, BridgeKind::HostRouter { .. })
     }
@@ -211,6 +226,12 @@ impl Bridge {
     /// Counters.
     pub fn stats(&self) -> BridgeStats {
         self.stats
+    }
+
+    /// The forwarding-engine model (partition derivation reads the
+    /// lookahead off it).
+    pub fn kind(&self) -> BridgeKind {
+        self.cfg.kind
     }
 
     /// This bridge's station id on the given ring.

@@ -102,6 +102,19 @@ impl<Cmd> CmdSink<Cmd> {
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
+
+    /// Drops queued commands, retaining capacity — the same reuse
+    /// contract as the harness's other scratch buffers.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Drains the queued `(dst, cmd)` pairs in push order, retaining
+    /// capacity. Schedulers built on top of the harness machinery (the
+    /// sharded engine) consume routed commands through this.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (NodeId, Cmd)> {
+        self.buf.drain(..)
+    }
 }
 
 /// Turns events emitted by one node into commands for other nodes.
@@ -169,7 +182,7 @@ pub enum SchedMode {
     LazyBaseline,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct SchedEntry {
     at: SimTime,
     node: usize,
@@ -192,6 +205,7 @@ impl Ord for SchedEntry {
 }
 
 /// The scheduler state: indexed heap (production) or the lazy baseline.
+#[derive(Debug)]
 enum Sched {
     Indexed(IndexedHeap),
     Lazy {
@@ -582,7 +596,7 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
                 self.failed = Some(err);
                 self.wave.clear();
                 self.next_wave.clear();
-                self.cmds.buf.clear();
+                self.cmds.clear();
                 self.record_failure(err);
                 return Err(err);
             }

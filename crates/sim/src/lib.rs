@@ -16,6 +16,11 @@
 //!   with deterministic tie-breaking, and typed routing via [`bus::Router`],
 //! * [`heap`] — the indexed d-ary min-heap behind the scheduler
 //!   (update-key per node, no stale entries, allocation-free stepping),
+//! * [`shard`] — the conservative parallel scheduler
+//!   ([`shard::ShardedHarness`]): per-shard deadline heaps on the sweep
+//!   pool, bounded-time-window synchronization with lookahead, and
+//!   deterministic cross-shard mailboxes — bit-identical to the
+//!   single-threaded harness by construction,
 //! * [`synth`] — synthetic allocation-free workloads for the perf
 //!   harness and the zero-allocation steady-state test,
 //! * [`sweep`] — a `std::thread` fan-out for independent simulations with
@@ -31,6 +36,7 @@ pub mod bus;
 pub mod engine;
 pub mod heap;
 pub mod rng;
+pub mod shard;
 pub mod sweep;
 pub mod synth;
 pub mod telemetry;
@@ -41,6 +47,7 @@ pub use bus::{CascadeError, CmdSink, Harness, NodeId, Router, SchedMode, DEFAULT
 pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
 pub use heap::IndexedHeap;
 pub use rng::{Pcg32, SplitMix64};
+pub use shard::{merge_mail, MailKey, MergeTelemetry, ShardStats, ShardedHarness};
 pub use sweep::{default_threads, parallel_map};
 pub use telemetry::{Instrument, Registry};
 pub use time::{Dur, SimTime};

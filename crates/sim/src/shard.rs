@@ -1,0 +1,1313 @@
+//! Conservative parallel execution: the sharded scheduler.
+//!
+//! [`crate::bus::Harness`] services one global deadline heap on one
+//! thread. [`ShardedHarness`] partitions the node set into **shards**
+//! (the caller supplies the partition — `ctms-core` derives one shard
+//! per contiguous block of rings) and runs each shard's indexed heap on
+//! a worker of the persistent [`crate::sweep`] pool, synchronizing with
+//! a classic bounded-time-window (conservative, YAWNS-style) protocol:
+//!
+//! * A small set of nodes is declared **sync-class** at registration —
+//!   in `ctms-core` these are the bridges whose two rings landed in
+//!   different shards. Only sync nodes are ever allowed to emit
+//!   commands that cross a shard boundary, and only at instants the
+//!   harness has made globally consistent.
+//! * Let `T` be the earliest deadline anywhere and `B` the earliest
+//!   deadline of any sync node. If `B > T`, every shard may run
+//!   **independently** over the window `[T, min(B, T + L))` where `L`
+//!   is the caller-supplied **lookahead**: a lower bound on the time
+//!   between a command entering a sync node and any consequence
+//!   emerging from it (for a bridge, its fixed forwarding latency).
+//!   Nothing a shard does inside the window can affect another shard
+//!   before the window closes, so the shards' interleaving is
+//!   irrelevant — the result is the one a single thread would compute.
+//! * If `B == T`, the harness runs a **sync instant**: every shard due
+//!   at `T` advances, and cross-shard commands are exchanged through
+//!   per-destination mailboxes, merged in [`MailKey`] order
+//!   (`(time, src_shard, seq)` — a total order, so delivery is
+//!   deterministic no matter which worker finished first), in repeated
+//!   rounds until no mail is in flight.
+//!
+//! Determinism is the contract: parallel execution may change the wall
+//! clock, never the answer. The `ctms-bench` `perf` binary asserts
+//! bit-identical ground truth before it times anything, and the tier-1
+//! `sharded_harness_shares_the_golden_truth` test pins byte-identical
+//! telemetry JSON against the single-threaded golden digests.
+//!
+//! A shard that emits a cross-shard command *outside* a sync instant
+//! has violated the lookahead contract (the partition put tightly
+//! coupled nodes in different shards); the harness panics loudly
+//! rather than silently diverging from single-threaded truth.
+
+use crate::bus::{CascadeError, CmdSink, NodeId, Router, DEFAULT_CASCADE_LIMIT};
+use crate::engine::Component;
+use crate::heap::IndexedHeap;
+use crate::sweep::parallel_map;
+use crate::telemetry::Registry;
+use crate::time::{Dur, SimTime};
+use std::sync::Arc;
+
+/// Merge key of one cross-shard command: commands are delivered in
+/// ascending `(at, src_shard, seq)` order. `seq` is a per-source-shard
+/// monotonic counter, so keys are globally unique and the order is
+/// total — two runs (or two thread schedules) always deliver the same
+/// mail in the same order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MailKey {
+    /// The instant the command was emitted (and is delivered).
+    pub at: SimTime,
+    /// The emitting shard.
+    pub src_shard: u32,
+    /// Emission sequence number within the source shard.
+    pub seq: u64,
+}
+
+/// Sorts a merged mailbox into delivery order.
+///
+/// The sort is **stable** on the full [`MailKey`], so entries with
+/// equal keys (impossible in the engine — `seq` is unique per source —
+/// but representable) keep their push order; the property test in this
+/// module enumerates permutations to pin both totality and stability.
+pub fn merge_mail<T>(mail: &mut [(MailKey, T)]) {
+    mail.sort_by_key(|m| m.0);
+}
+
+/// Per-shard execution counters, published under `sched.shard{k}` by
+/// [`ShardedHarness::exec_telemetry`]. Kept out of the simulation's own
+/// registry so the telemetry tree stays byte-identical to
+/// single-threaded execution (golden digests must not depend on the
+/// shard count).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Windows in which this shard advanced at least one node.
+    pub window_advances: u64,
+    /// Windows this shard sat out (no deadline inside the window).
+    pub idle_windows: u64,
+    /// Cross-shard commands this shard emitted.
+    pub mailbox_sent: u64,
+    /// Cross-shard commands this shard received.
+    pub mailbox_recv: u64,
+    /// Component activations (advances + delivered commands) serviced.
+    pub events: u64,
+}
+
+/// One cross-shard command in flight: key, then `(dst, cmd)` payload —
+/// shaped so the engine merges through the same [`merge_mail`] the
+/// property tests pin.
+type Mail<Cmd> = (MailKey, (NodeId, Cmd));
+
+/// One shard: a slice of the node set with its own heap, router, and
+/// the same reusable scratch buffers as [`crate::bus::Harness`]. Moves
+/// wholesale between the coordinating thread and pool workers.
+struct ShardState<C: Component, R> {
+    idx: u32,
+    /// Nodes local to this shard, in global registration order.
+    nodes: Vec<C>,
+    /// Local index → global [`NodeId`] (routers speak global ids).
+    global_ids: Vec<NodeId>,
+    /// Local index → is this a sync-class node?
+    sync_local: Vec<bool>,
+    router: R,
+    /// All local nodes, keyed by local index.
+    heap: IndexedHeap,
+    /// Sync-class nodes only, keyed by local index; `B` comes from here.
+    sync_heap: IndexedHeap,
+    /// Global node id → (shard, local index), shared by every shard.
+    owner: Arc<Vec<(u32, u32)>>,
+    now: SimTime,
+    limit: u32,
+    failed: Option<CascadeError>,
+    dirty: Vec<usize>,
+    events: u64,
+    stats: ShardStats,
+    /// Outgoing mail per destination shard, drained by the coordinator.
+    outbox: Vec<Vec<Mail<C::Cmd>>>,
+    /// Incoming mail, filled (pre-sorted) by the coordinator.
+    inbox: Vec<Mail<C::Cmd>>,
+    seq: u64,
+    // Reusable hot-path buffers, exactly as in `Harness`.
+    due: Vec<usize>,
+    touched: Vec<usize>,
+    wave: Vec<(NodeId, C::Out)>,
+    next_wave: Vec<(NodeId, C::Out)>,
+    out_buf: Vec<C::Out>,
+    cmds: CmdSink<C::Cmd>,
+}
+
+impl<C: Component, R: Router<C>> ShardState<C, R> {
+    fn new(idx: u32, router: R, limit: u32, n_shards: usize) -> Self {
+        ShardState {
+            idx,
+            nodes: Vec::new(),
+            global_ids: Vec::new(),
+            sync_local: Vec::new(),
+            router,
+            heap: IndexedHeap::new(),
+            sync_heap: IndexedHeap::new(),
+            owner: Arc::new(Vec::new()),
+            now: SimTime::ZERO,
+            limit,
+            failed: None,
+            dirty: Vec::new(),
+            events: 0,
+            stats: ShardStats::default(),
+            outbox: (0..n_shards).map(|_| Vec::new()).collect(),
+            inbox: Vec::new(),
+            seq: 0,
+            due: Vec::new(),
+            touched: Vec::new(),
+            wave: Vec::new(),
+            next_wave: Vec::new(),
+            out_buf: Vec::new(),
+            cmds: CmdSink::new(),
+        }
+    }
+
+    fn add_node(&mut self, node: C, global: NodeId, sync: bool) -> u32 {
+        let local = self.nodes.len();
+        self.nodes.push(node);
+        self.global_ids.push(global);
+        self.sync_local.push(sync);
+        self.reschedule(local);
+        local as u32
+    }
+
+    /// Syncs both heaps with the node's current deadline.
+    fn reschedule(&mut self, local: usize) {
+        let at = self.nodes[local].next_deadline();
+        self.heap.set(local, at);
+        if self.sync_local[local] {
+            self.sync_heap.set(local, at);
+        }
+    }
+
+    fn reschedule_touched(&mut self) {
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        for i in 0..self.touched.len() {
+            let l = self.touched[i];
+            self.reschedule(l);
+        }
+        self.touched.clear();
+    }
+
+    fn flush_dirty(&mut self) {
+        while let Some(l) = self.dirty.pop() {
+            self.reschedule(l);
+        }
+    }
+
+    /// Earliest local deadline.
+    fn peek(&self) -> Option<SimTime> {
+        self.heap.peek().map(|(at, _)| at)
+    }
+
+    /// Earliest local sync-node deadline.
+    fn peek_sync(&self) -> Option<SimTime> {
+        self.sync_heap.peek().map(|(at, _)| at)
+    }
+
+    /// Fills `due` with every local node scheduled at or before `t`, in
+    /// local (= global registration) order, keeping the sync heap
+    /// coherent.
+    fn pop_due(&mut self, t: SimTime) {
+        self.due.clear();
+        while let Some((at, l)) = self.heap.peek() {
+            if at > t {
+                break;
+            }
+            self.heap.pop();
+            if self.sync_local[l] {
+                self.sync_heap.set(l, None);
+            }
+            self.due.push(l);
+        }
+    }
+
+    /// Routes `wave` breadth-first at `now` until it drains. Local
+    /// commands are delivered immediately (identical to
+    /// `Harness::cascade`); cross-shard commands go to the outbox when
+    /// `allow_cross` (sync instants) and are a protocol violation
+    /// otherwise (conservative windows).
+    fn cascade(&mut self, now: SimTime, allow_cross: bool) -> Result<(), CascadeError> {
+        let mut steps = 0u32;
+        while !self.wave.is_empty() {
+            steps += 1;
+            if steps > self.limit {
+                let err = CascadeError {
+                    at: now,
+                    node: self.wave[0].0,
+                    steps,
+                };
+                self.failed = Some(err);
+                self.wave.clear();
+                self.next_wave.clear();
+                self.cmds.clear();
+                return Err(err);
+            }
+            for (src, event) in self.wave.drain(..) {
+                debug_assert!(self.cmds.is_empty());
+                self.router.route(now, src, event, &mut self.cmds);
+                for (dst, cmd) in self.cmds.drain() {
+                    let (os, ol) = self.owner[dst.0];
+                    if os == self.idx {
+                        let ol = ol as usize;
+                        self.events += 1;
+                        self.nodes[ol].handle(now, cmd, &mut self.out_buf);
+                        self.touched.push(ol);
+                        for e in self.out_buf.drain(..) {
+                            self.next_wave.push((dst, e));
+                        }
+                    } else if allow_cross {
+                        self.seq += 1;
+                        self.stats.mailbox_sent += 1;
+                        self.outbox[os as usize].push((
+                            MailKey {
+                                at: now,
+                                src_shard: self.idx,
+                                seq: self.seq,
+                            },
+                            (dst, cmd),
+                        ));
+                    } else {
+                        panic!(
+                            "sharded scheduler protocol violation: {src} (shard {}) emitted a \
+                             cross-shard command for {dst} (shard {os}) at {now} inside a \
+                             conservative window — only sync-class nodes may cross shards, so \
+                             either the partition split tightly coupled nodes or the lookahead \
+                             overstates the link latency",
+                            self.idx
+                        );
+                    }
+                }
+            }
+            std::mem::swap(&mut self.wave, &mut self.next_wave);
+        }
+        Ok(())
+    }
+
+    /// Runs every local deadline strictly before `w_end`, with
+    /// cross-shard emission forbidden (the conservative window body).
+    fn run_window(&mut self, w_end: SimTime) {
+        if self.failed.is_some() {
+            return;
+        }
+        while let Some((t, _)) = self.heap.peek() {
+            if t >= w_end {
+                break;
+            }
+            debug_assert!(t >= self.now, "shard time went backwards");
+            self.now = t;
+            self.pop_due(t);
+            self.touched.clear();
+            self.touched.extend_from_slice(&self.due);
+            debug_assert!(self.wave.is_empty() && self.out_buf.is_empty());
+            for i in 0..self.due.len() {
+                let l = self.due[i];
+                self.events += 1;
+                self.nodes[l].advance(t, &mut self.out_buf);
+                for e in self.out_buf.drain(..) {
+                    self.wave.push((self.global_ids[l], e));
+                }
+            }
+            let result = self.cascade(t, false);
+            self.reschedule_touched();
+            if result.is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Advances every local node due at exactly `t` (the sync instant's
+    /// opening round); cross-shard commands go to the outbox.
+    fn run_sync_due(&mut self, t: SimTime) {
+        if self.failed.is_some() {
+            return;
+        }
+        debug_assert!(t >= self.now, "shard time went backwards");
+        self.now = t;
+        self.pop_due(t);
+        self.touched.clear();
+        self.touched.extend_from_slice(&self.due);
+        debug_assert!(self.wave.is_empty() && self.out_buf.is_empty());
+        for i in 0..self.due.len() {
+            let l = self.due[i];
+            self.events += 1;
+            self.nodes[l].advance(t, &mut self.out_buf);
+            for e in self.out_buf.drain(..) {
+                self.wave.push((self.global_ids[l], e));
+            }
+        }
+        let _ = self.cascade(t, true);
+        self.reschedule_touched();
+    }
+
+    /// Delivers the (pre-sorted) inbox at `t` and routes the fallout;
+    /// further cross-shard commands go back to the outbox for the next
+    /// exchange round.
+    fn deliver_inbox(&mut self, t: SimTime) {
+        if self.failed.is_some() {
+            self.inbox.clear();
+            return;
+        }
+        debug_assert!(self.wave.is_empty() && self.out_buf.is_empty());
+        self.stats.mailbox_recv += self.inbox.len() as u64;
+        self.touched.clear();
+        let mut inbox = std::mem::take(&mut self.inbox);
+        for (_key, (dst, cmd)) in inbox.drain(..) {
+            let (os, ol) = self.owner[dst.0];
+            debug_assert_eq!(os, self.idx, "mail delivered to the wrong shard");
+            let ol = ol as usize;
+            self.events += 1;
+            self.nodes[ol].handle(t, cmd, &mut self.out_buf);
+            self.touched.push(ol);
+            for e in self.out_buf.drain(..) {
+                self.wave.push((dst, e));
+            }
+        }
+        self.inbox = inbox; // keep the capacity
+        let _ = self.cascade(t, true);
+        self.reschedule_touched();
+    }
+}
+
+/// The conservative parallel scheduler. See the module docs.
+///
+/// Construction mirrors [`crate::bus::Harness`], except nodes declare
+/// their shard (and whether they are sync-class) at registration and
+/// each shard gets its own router instance; router state is merged for
+/// telemetry through [`MergeTelemetry`].
+pub struct ShardedHarness<C: Component, R: Router<C>> {
+    shards: Vec<Option<ShardState<C, R>>>,
+    /// Global registration-order labels (telemetry namespaces).
+    labels: Vec<String>,
+    /// Global node id → (shard, local index).
+    owner_map: Vec<(u32, u32)>,
+    sealed: bool,
+    has_sync: bool,
+    lookahead: Dur,
+    threads: usize,
+    now: SimTime,
+    failed: Option<CascadeError>,
+    telemetry: Registry,
+    windows: u64,
+    sync_instants: u64,
+    mail_rounds: u64,
+    /// Per-destination merge scratch for mailbox exchange rounds.
+    merge_buf: Vec<Vec<Mail<C::Cmd>>>,
+    /// Dispatch scratch: indices of shards participating in a round.
+    active: Vec<usize>,
+}
+
+impl<C, R> ShardedHarness<C, R>
+where
+    C: Component + Send + 'static,
+    C::Cmd: Send + 'static,
+    C::Out: Send + 'static,
+    R: Router<C> + Send + 'static,
+{
+    /// Creates a harness with one shard per router in `routers`.
+    /// `lookahead` is the conservative window bound `L` (must be
+    /// positive if any sync-class node is registered); `cascade_limit`
+    /// bounds same-instant cascades exactly as in the single-threaded
+    /// harness (and also bounds mailbox exchange rounds per instant).
+    pub fn new(routers: Vec<R>, cascade_limit: u32, lookahead: Dur) -> Self {
+        assert!(!routers.is_empty(), "at least one shard required");
+        assert!(cascade_limit > 0, "cascade limit must be positive");
+        let n = routers.len();
+        ShardedHarness {
+            shards: routers
+                .into_iter()
+                .enumerate()
+                .map(|(k, r)| Some(ShardState::new(k as u32, r, cascade_limit, n)))
+                .collect(),
+            labels: Vec::new(),
+            owner_map: Vec::new(),
+            sealed: false,
+            has_sync: false,
+            lookahead,
+            threads: crate::sweep::default_threads(n),
+            now: SimTime::ZERO,
+            failed: None,
+            telemetry: Registry::new(),
+            windows: 0,
+            sync_instants: 0,
+            mail_rounds: 0,
+            merge_buf: (0..n).map(|_| Vec::new()).collect(),
+            active: Vec::new(),
+        }
+    }
+
+    /// Like [`ShardedHarness::new`] with [`DEFAULT_CASCADE_LIMIT`].
+    pub fn with_default_limit(routers: Vec<R>, lookahead: Dur) -> Self {
+        ShardedHarness::new(routers, DEFAULT_CASCADE_LIMIT, lookahead)
+    }
+
+    /// Registers `node` on `shard` under a dotted telemetry namespace.
+    /// Global [`NodeId`]s are assigned densely in registration order
+    /// across all shards — identical numbering to registering the same
+    /// sequence into a single-threaded harness. `sync` marks the node
+    /// sync-class (it may emit cross-shard commands; its deadlines
+    /// bound the conservative windows).
+    pub fn add_node_labeled(
+        &mut self,
+        node: C,
+        label: impl Into<String>,
+        shard: usize,
+        sync: bool,
+    ) -> NodeId {
+        assert!(!self.sealed, "cannot add nodes after the first run");
+        let id = NodeId(self.owner_map.len());
+        let s = self.shards[shard].as_mut().expect("shard present");
+        let local = s.add_node(node, id, sync);
+        self.owner_map.push((shard as u32, local));
+        self.labels.push(label.into());
+        self.has_sync |= sync;
+        id
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total registered nodes.
+    pub fn len(&self) -> usize {
+        self.owner_map.len()
+    }
+
+    /// True when no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.owner_map.is_empty()
+    }
+
+    /// Current simulation time (the run horizon after a completed run).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Component activations serviced so far, summed over shards. By
+    /// construction equal to the single-threaded count for the same
+    /// simulation.
+    pub fn events(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.as_ref().expect("shard present").events)
+            .sum()
+    }
+
+    /// The error that poisoned this harness, if any shard's cascade
+    /// overflowed.
+    pub fn failure(&self) -> Option<CascadeError> {
+        self.failed
+    }
+
+    /// Caps how many pool workers a dispatch invites (the coordinator
+    /// always participates). Defaults to the hardware parallelism
+    /// capped at the shard count; at 1 every window runs inline on the
+    /// caller, which measures pure protocol overhead (the schedule —
+    /// and therefore every result — is identical at any thread count).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Execution counters for shard `k`.
+    pub fn shard_stats(&self, k: usize) -> ShardStats {
+        let s = self.shards[k].as_ref().expect("shard present");
+        let mut stats = s.stats;
+        stats.events = s.events;
+        stats
+    }
+
+    /// Shared access to shard `k`'s router.
+    pub fn shard_router(&self, k: usize) -> &R {
+        &self.shards[k].as_ref().expect("shard present").router
+    }
+
+    /// The shard that owns `id`.
+    pub fn shard_of(&self, id: NodeId) -> usize {
+        self.owner_map[id.0].0 as usize
+    }
+
+    /// Shared access to a node by its global id.
+    pub fn node(&self, id: NodeId) -> &C {
+        let (s, l) = self.owner_map[id.0];
+        &self.shards[s as usize]
+            .as_ref()
+            .expect("shard present")
+            .nodes[l as usize]
+    }
+
+    /// Mutable access to a node. The node is conservatively rescheduled
+    /// before the next step, as in the single-threaded harness.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut C {
+        let (s, l) = self.owner_map[id.0];
+        let shard = self.shards[s as usize].as_mut().expect("shard present");
+        shard.dirty.push(l as usize);
+        &mut shard.nodes[l as usize]
+    }
+
+    /// Distributes the final owner map to the shards; registration is
+    /// closed afterwards.
+    fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        if self.has_sync {
+            assert!(
+                self.lookahead > Dur::ZERO,
+                "sync-class nodes require a positive lookahead"
+            );
+        }
+        let owner = Arc::new(self.owner_map.clone());
+        for s in &mut self.shards {
+            s.as_mut().expect("shard present").owner = Arc::clone(&owner);
+        }
+        self.sealed = true;
+    }
+
+    /// Runs the indices in `self.active` through `f`, inline when only
+    /// one shard participates, on the sweep pool otherwise. Shard
+    /// states move to the workers and come back in place.
+    fn dispatch<F>(&mut self, f: F)
+    where
+        F: Fn(&mut ShardState<C, R>) + Send + Sync + 'static,
+    {
+        if self.active.len() == 1 {
+            f(self.shards[self.active[0]].as_mut().expect("shard present"));
+            return;
+        }
+        let states: Vec<(usize, ShardState<C, R>)> = self
+            .active
+            .iter()
+            .map(|&k| (k, self.shards[k].take().expect("shard present")))
+            .collect();
+        let threads = self.threads;
+        let done = parallel_map(states, threads, move |(k, mut s)| {
+            f(&mut s);
+            (k, s)
+        });
+        for (k, s) in done {
+            self.shards[k] = Some(s);
+        }
+    }
+
+    /// Adopts the deterministically-first shard failure (by failing
+    /// instant, then node) as the harness failure, leaving the same
+    /// telemetry trail as the single-threaded harness.
+    fn check_failures(&mut self) -> Result<(), CascadeError>
+    where
+        R: MergeTelemetry,
+    {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        let mut first: Option<CascadeError> = None;
+        for s in &self.shards {
+            if let Some(e) = s.as_ref().expect("shard present").failed {
+                first = Some(match first {
+                    Some(f) if (f.at, f.node) <= (e.at, e.node) => f,
+                    _ => e,
+                });
+            }
+        }
+        if let Some(err) = first {
+            self.failed = Some(err);
+            self.telemetry.event(
+                err.at,
+                "sim.cascade.overflow",
+                format!("{} steps routing events from {}", err.steps, err.node),
+            );
+            self.snapshot_phase("cascade-failure");
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Runs until no node has a deadline at or before `horizon`, then
+    /// leaves the clock at `horizon`. Bit-identical to
+    /// [`crate::bus::Harness::try_run_until`] over the same node set,
+    /// faster in wall clock when the partition decouples the shards.
+    pub fn try_run_until(&mut self, horizon: SimTime) -> Result<(), CascadeError>
+    where
+        R: MergeTelemetry,
+    {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        self.seal();
+        // One window past the horizon is enough for every shard: the
+        // window end is exclusive, so `horizon + 1 ns` makes deadlines
+        // at exactly `horizon` runnable.
+        let run_end = horizon.saturating_add(Dur::from_ns(1));
+        loop {
+            // T: earliest deadline anywhere (after flushing node_mut
+            // reschedules); B: earliest sync-class deadline.
+            let mut t_min: Option<SimTime> = None;
+            let mut b_min: Option<SimTime> = None;
+            for s in &mut self.shards {
+                let s = s.as_mut().expect("shard present");
+                s.flush_dirty();
+                t_min = crate::engine::earliest([t_min, s.peek()]);
+                b_min = crate::engine::earliest([b_min, s.peek_sync()]);
+            }
+            let Some(t) = t_min else { break };
+            if t > horizon {
+                break;
+            }
+            if b_min == Some(t) {
+                self.sync_instants += 1;
+                self.run_sync_instant(t)?;
+            } else {
+                let mut w_end = run_end;
+                if let Some(b) = b_min {
+                    w_end = w_end.min(b);
+                }
+                if self.has_sync {
+                    w_end = w_end.min(t.saturating_add(self.lookahead));
+                }
+                debug_assert!(w_end > t, "conservative window must make progress");
+                self.windows += 1;
+                self.run_parallel_window(w_end)?;
+            }
+        }
+        for s in &mut self.shards {
+            let s = s.as_mut().expect("shard present");
+            if s.now < horizon {
+                s.now = horizon;
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        Ok(())
+    }
+
+    /// Like [`ShardedHarness::try_run_until`] but panics on cascade
+    /// overflow.
+    pub fn run_until(&mut self, horizon: SimTime)
+    where
+        R: MergeTelemetry,
+    {
+        if let Err(e) = self.try_run_until(horizon) {
+            panic!("{e}");
+        }
+    }
+
+    /// One conservative window `[T, w_end)`: every shard with work in
+    /// the window runs independently.
+    fn run_parallel_window(&mut self, w_end: SimTime) -> Result<(), CascadeError>
+    where
+        R: MergeTelemetry,
+    {
+        self.active.clear();
+        for (k, s) in self.shards.iter_mut().enumerate() {
+            let s = s.as_mut().expect("shard present");
+            match s.peek() {
+                Some(t) if t < w_end => {
+                    s.stats.window_advances += 1;
+                    self.active.push(k);
+                }
+                _ => s.stats.idle_windows += 1,
+            }
+        }
+        if self.active.is_empty() {
+            return Ok(());
+        }
+        self.dispatch(move |s| s.run_window(w_end));
+        self.check_failures()
+    }
+
+    /// One sync instant at `t`: due shards advance with cross-shard
+    /// emission diverted to mailboxes, then mail is exchanged in
+    /// deterministic rounds until none is in flight.
+    fn run_sync_instant(&mut self, t: SimTime) -> Result<(), CascadeError>
+    where
+        R: MergeTelemetry,
+    {
+        self.active.clear();
+        for (k, s) in self.shards.iter().enumerate() {
+            if s.as_ref().expect("shard present").peek() == Some(t) {
+                self.active.push(k);
+            }
+        }
+        if !self.active.is_empty() {
+            self.dispatch(move |s| s.run_sync_due(t));
+            self.check_failures()?;
+        }
+        let mut rounds = 0u64;
+        loop {
+            // Gather every shard's outboxes into per-destination merge
+            // buffers and sort each into (time, src_shard, seq) order.
+            let mut any = false;
+            for s in &mut self.shards {
+                let s = s.as_mut().expect("shard present");
+                for (dst, out) in s.outbox.iter_mut().enumerate() {
+                    if !out.is_empty() {
+                        any = true;
+                        self.merge_buf[dst].append(out);
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            rounds += 1;
+            self.mail_rounds += 1;
+            if rounds > u64::from(self.shards[0].as_ref().expect("shard present").limit) {
+                // Mail ping-pong at one instant that never converges is
+                // the cross-shard flavor of a cascade livelock.
+                let err = CascadeError {
+                    at: t,
+                    node: self.merge_buf.iter().flatten().next().expect("mail").1 .0,
+                    steps: rounds as u32,
+                };
+                self.failed = Some(err);
+                for b in &mut self.merge_buf {
+                    b.clear();
+                }
+                self.telemetry.event(
+                    err.at,
+                    "sim.cascade.overflow",
+                    format!("{} steps routing events from {}", err.steps, err.node),
+                );
+                self.snapshot_phase("cascade-failure");
+                return Err(err);
+            }
+            self.active.clear();
+            for (k, s) in self.shards.iter_mut().enumerate() {
+                if self.merge_buf[k].is_empty() {
+                    continue;
+                }
+                merge_mail(&mut self.merge_buf[k]);
+                let s = s.as_mut().expect("shard present");
+                debug_assert!(s.inbox.is_empty());
+                std::mem::swap(&mut s.inbox, &mut self.merge_buf[k]);
+                self.active.push(k);
+            }
+            self.dispatch(move |s| s.deliver_inbox(t));
+            self.check_failures()?;
+        }
+        Ok(())
+    }
+
+    /// The run's telemetry registry as last collected.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Rebuilds the metric tree: every node publishes under its
+    /// registration label in **global** registration order, the
+    /// per-shard routers publish through [`MergeTelemetry`], and the
+    /// harness adds the same `sim.*` metrics as the single-threaded
+    /// collector — so the serialized tree is byte-identical to
+    /// [`crate::bus::Harness::collect_telemetry`] over the same run.
+    pub fn collect_telemetry(&mut self) -> &mut Registry
+    where
+        R: MergeTelemetry,
+    {
+        self.telemetry.clear_metrics();
+        for gid in 0..self.owner_map.len() {
+            let (s, l) = self.owner_map[gid];
+            let shard = self.shards[s as usize].as_ref().expect("shard present");
+            let mut scope = self.telemetry.scope(&self.labels[gid]);
+            shard.nodes[l as usize].publish_telemetry(&mut scope);
+        }
+        let routers: Vec<&R> = self
+            .shards
+            .iter()
+            .map(|s| &s.as_ref().expect("shard present").router)
+            .collect();
+        R::publish_merged(&routers, &mut self.telemetry);
+        let mut sim = self.telemetry.scope("sim");
+        sim.gauge("now_ns", self.now.as_ns() as i64);
+        sim.counter("nodes", self.owner_map.len() as u64);
+        sim.counter("cascade.overflows", u64::from(self.failed.is_some()));
+        &mut self.telemetry
+    }
+
+    /// Collects the current metric tree and freezes it as a named phase
+    /// snapshot.
+    pub fn snapshot_phase(&mut self, name: impl Into<String>)
+    where
+        R: MergeTelemetry,
+    {
+        self.collect_telemetry();
+        self.telemetry.snapshot_phase(name);
+    }
+
+    /// Collects and serializes the registry as canonical JSON.
+    pub fn telemetry_json(&mut self) -> String
+    where
+        R: MergeTelemetry,
+    {
+        self.collect_telemetry();
+        self.telemetry.to_json()
+    }
+
+    /// Scheduler-execution counters (windows, sync instants, mailbox
+    /// traffic, idle stalls) in a registry of their own, under a
+    /// `sched` namespace with per-shard `sched.shard{k}` scopes.
+    ///
+    /// Deliberately **not** part of [`ShardedHarness::telemetry`]: the
+    /// simulation's metric tree is pinned by golden digests and must
+    /// not vary with the shard count; these counters exist precisely to
+    /// vary with it.
+    pub fn exec_telemetry(&self) -> Registry {
+        let mut reg = Registry::new();
+        let mut sched = reg.scope("sched");
+        sched.counter("windows", self.windows);
+        sched.counter("sync_instants", self.sync_instants);
+        sched.counter("mail_rounds", self.mail_rounds);
+        for k in 0..self.shards.len() {
+            let stats = {
+                let s = self.shards[k].as_ref().expect("shard present");
+                let mut st = s.stats;
+                st.events = s.events;
+                st
+            };
+            let mut shard = sched.scope(&format!("shard{k}"));
+            shard.counter("events", stats.events);
+            shard.counter("idle_windows", stats.idle_windows);
+            shard.counter("mailbox_recv", stats.mailbox_recv);
+            shard.counter("mailbox_sent", stats.mailbox_sent);
+            shard.counter("window_advances", stats.window_advances);
+        }
+        reg
+    }
+}
+
+/// Merging per-shard router state into one telemetry tree.
+///
+/// The sharded harness gives every shard its own router instance;
+/// absorbed state (measurement taps, counters, logs) lands in the
+/// router of whichever shard routed it. To publish the same tree a
+/// single shared router would have produced, the router type merges
+/// its parts — `parts[k]` is shard `k`'s router, in shard order.
+///
+/// Implementations must reproduce the byte-exact output of
+/// [`Router::publish_telemetry`] on an equivalent single-threaded run:
+/// the golden-digest tests hold them to it.
+pub trait MergeTelemetry {
+    /// Publishes the merged view of `parts` into `reg`.
+    fn publish_merged(parts: &[&Self], reg: &mut Registry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Harness;
+    use crate::telemetry::Value;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    /// Walks every permutation of `0..n` (Heap's algorithm, no RNG) and
+    /// hands each to `f` — same enumeration as the heap property tests.
+    fn for_each_permutation(n: usize, mut f: impl FnMut(&[usize])) {
+        let mut a: Vec<usize> = (0..n).collect();
+        let mut c = vec![0usize; n];
+        f(&a);
+        let mut i = 0;
+        while i < n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    a.swap(0, i);
+                } else {
+                    a.swap(c[i], i);
+                }
+                f(&a);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn mail_merge_order_is_total_for_all_arrival_orders() {
+        // Keys with deliberate collisions on every prefix: equal times
+        // across shards, equal (time, shard) pairs with distinct seqs.
+        // Whatever order the workers delivered their outboxes in, the
+        // merged mailbox must come out in one canonical order.
+        let keys = [
+            MailKey {
+                at: t(50),
+                src_shard: 1,
+                seq: 2,
+            },
+            MailKey {
+                at: t(20),
+                src_shard: 0,
+                seq: 7,
+            },
+            MailKey {
+                at: t(20),
+                src_shard: 2,
+                seq: 1,
+            },
+            MailKey {
+                at: t(20),
+                src_shard: 0,
+                seq: 3,
+            },
+            MailKey {
+                at: t(50),
+                src_shard: 0,
+                seq: 9,
+            },
+            MailKey {
+                at: t(10),
+                src_shard: 3,
+                seq: 4,
+            },
+        ];
+        let mut expected: Vec<(MailKey, usize)> =
+            keys.iter().enumerate().map(|(p, &k)| (k, p)).collect();
+        expected.sort_by_key(|m| m.0);
+        let mut checked = 0u32;
+        for_each_permutation(keys.len(), |perm| {
+            let mut mail: Vec<(MailKey, usize)> = perm.iter().map(|&p| (keys[p], p)).collect();
+            merge_mail(&mut mail);
+            assert_eq!(mail, expected, "arrival order {perm:?}");
+            checked += 1;
+        });
+        assert_eq!(checked, 720, "all 6! arrival orders enumerated");
+    }
+
+    #[test]
+    fn mail_merge_is_stable_for_tied_keys() {
+        // Duplicate full keys cannot occur in the engine (seq is unique
+        // per source shard) but the merge contract is still pinned:
+        // ties keep push order, so the order is well-defined for any
+        // input.
+        let dup = MailKey {
+            at: t(5),
+            src_shard: 1,
+            seq: 1,
+        };
+        let early = MailKey {
+            at: t(1),
+            src_shard: 9,
+            seq: 9,
+        };
+        let mut mail = vec![(dup, "first"), (early, "zero"), (dup, "second")];
+        merge_mail(&mut mail);
+        assert_eq!(mail, vec![(early, "zero"), (dup, "first"), (dup, "second")]);
+    }
+
+    // ------------------------------------------------------------------
+    // A toy two-shard topology exercising windows, sync instants and
+    // mailboxes, checked for bit-identical results against the
+    // single-threaded harness running the same node set.
+    //
+    // Node graph: a `Source` on shard 0 fires every `period`, routed as
+    // a command into a `Relay` (sync-class, shard 0) that holds each
+    // item for `latency` and then emits it; the relay's emissions are
+    // routed to a `Counter` on shard 1.
+    // ------------------------------------------------------------------
+
+    #[derive(Debug, PartialEq)]
+    enum Toy {
+        Source {
+            next: Option<SimTime>,
+            period: Dur,
+            remaining: u32,
+            fired: u64,
+        },
+        Relay {
+            ready: std::collections::VecDeque<SimTime>,
+            latency: Dur,
+            forwarded: u64,
+        },
+        Counter {
+            received: u64,
+            last: Option<SimTime>,
+        },
+    }
+
+    impl Component for Toy {
+        type Cmd = u32;
+        type Out = u32;
+
+        fn next_deadline(&self) -> Option<SimTime> {
+            match self {
+                Toy::Source { next, .. } => *next,
+                Toy::Relay { ready, .. } => ready.front().copied(),
+                Toy::Counter { .. } => None,
+            }
+        }
+
+        fn advance(&mut self, now: SimTime, sink: &mut Vec<u32>) {
+            match self {
+                Toy::Source {
+                    next,
+                    period,
+                    remaining,
+                    fired,
+                } => {
+                    if *next == Some(now) {
+                        *fired += 1;
+                        *remaining -= 1;
+                        sink.push(0);
+                        *next = (*remaining > 0).then(|| now + *period);
+                    }
+                }
+                Toy::Relay {
+                    ready, forwarded, ..
+                } => {
+                    while ready.front().is_some_and(|&r| r <= now) {
+                        ready.pop_front();
+                        *forwarded += 1;
+                        sink.push(1);
+                    }
+                }
+                Toy::Counter { .. } => {}
+            }
+        }
+
+        fn handle(&mut self, now: SimTime, _cmd: u32, _sink: &mut Vec<u32>) {
+            match self {
+                Toy::Source { .. } => {}
+                Toy::Relay { ready, latency, .. } => ready.push_back(now + *latency),
+                Toy::Counter { received, last } => {
+                    *received += 1;
+                    *last = Some(now);
+                }
+            }
+        }
+
+        fn publish_telemetry(&self, scope: &mut crate::telemetry::Scope<'_>) {
+            match self {
+                Toy::Source { fired, .. } => scope.counter("fired", *fired),
+                Toy::Relay { forwarded, .. } => scope.counter("forwarded", *forwarded),
+                Toy::Counter { received, last } => {
+                    scope.counter("received", *received);
+                    scope.gauge("last_ns", last.map(|t| t.as_ns() as i64).unwrap_or(-1));
+                }
+            }
+        }
+    }
+
+    /// Static toy wiring: source(0) → relay(1) → counter(2); absorbed
+    /// routing is counted so router-state merging is exercised too.
+    struct ToyRouter {
+        routed: u64,
+    }
+
+    impl Router<Toy> for ToyRouter {
+        fn route(&mut self, _now: SimTime, src: NodeId, _event: u32, sink: &mut CmdSink<u32>) {
+            self.routed += 1;
+            match src.0 {
+                0 => sink.push(NodeId(1), 0),
+                1 => sink.push(NodeId(2), 0),
+                _ => {}
+            }
+        }
+
+        fn publish_telemetry(&self, reg: &mut Registry) {
+            reg.counter("toy.routed", self.routed);
+        }
+    }
+
+    impl MergeTelemetry for ToyRouter {
+        fn publish_merged(parts: &[&Self], reg: &mut Registry) {
+            reg.counter("toy.routed", parts.iter().map(|r| r.routed).sum());
+        }
+    }
+
+    fn toy_nodes() -> [Toy; 3] {
+        [
+            Toy::Source {
+                next: Some(t(1_000)),
+                period: Dur::from_ns(700),
+                remaining: 40,
+                fired: 0,
+            },
+            Toy::Relay {
+                ready: std::collections::VecDeque::new(),
+                latency: Dur::from_ns(350),
+                forwarded: 0,
+            },
+            Toy::Counter {
+                received: 0,
+                last: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn sharded_toy_matches_single_threaded_harness() {
+        let horizon = t(40_000);
+        // Ground truth: one harness, one thread.
+        let mut single = Harness::new(ToyRouter { routed: 0 }, 64);
+        for (node, label) in toy_nodes().into_iter().zip(["src", "relay", "dst"]) {
+            single.add_node_labeled(node, label);
+        }
+        single.run_until(horizon);
+        let single_json = single.telemetry_json();
+
+        // Sharded: relay is the sync node; its 350 ns latency is the
+        // lookahead. Counter lives alone on shard 1.
+        let mut sharded = ShardedHarness::new(
+            vec![ToyRouter { routed: 0 }, ToyRouter { routed: 0 }],
+            64,
+            Dur::from_ns(350),
+        );
+        let [src, relay, dst] = toy_nodes();
+        sharded.add_node_labeled(src, "src", 0, false);
+        sharded.add_node_labeled(relay, "relay", 0, true);
+        sharded.add_node_labeled(dst, "dst", 1, false);
+        // Force pool dispatch even on single-core machines (the default
+        // caps threads at hardware parallelism): the parallel code path
+        // must produce the same bytes as the inline one.
+        sharded.set_threads(2);
+        sharded.run_until(horizon);
+
+        assert_eq!(sharded.telemetry_json(), single_json);
+        assert_eq!(sharded.events(), single.events());
+        assert_eq!(sharded.now(), single.now());
+        // The cross-shard path really was exercised through mailboxes.
+        let sent: u64 = (0..2).map(|k| sharded.shard_stats(k).mailbox_sent).sum();
+        assert_eq!(sent, 40, "every relayed item crossed the boundary");
+        assert!(
+            sharded
+                .exec_telemetry()
+                .counter_value("sched.sync_instants")
+                > Some(0)
+        );
+    }
+
+    #[test]
+    fn independent_shards_run_without_sync_nodes() {
+        // No sync nodes at all: each shard gets one self-contained
+        // source; the run must cover the horizon in one window per
+        // shard with zero mailbox traffic.
+        struct Absorb;
+        impl Router<Toy> for Absorb {
+            fn route(&mut self, _now: SimTime, _src: NodeId, _e: u32, _sink: &mut CmdSink<u32>) {}
+        }
+        impl MergeTelemetry for Absorb {
+            fn publish_merged(_parts: &[&Self], _reg: &mut Registry) {}
+        }
+        let mut sharded = ShardedHarness::new(vec![Absorb, Absorb], 64, Dur::ZERO);
+        for k in 0..2 {
+            sharded.add_node_labeled(
+                Toy::Source {
+                    next: Some(t(10 + k as u64)),
+                    period: Dur::from_ns(100),
+                    remaining: 25,
+                    fired: 0,
+                },
+                format!("s{k}"),
+                k,
+                false,
+            );
+        }
+        sharded.run_until(t(1_000_000));
+        let reg = sharded.exec_telemetry();
+        assert_eq!(reg.counter_value("sched.sync_instants"), Some(0));
+        assert_eq!(reg.counter_value("sched.mail_rounds"), Some(0));
+        let collected = sharded.collect_telemetry();
+        assert_eq!(collected.counter_value("s0.fired"), Some(25));
+        assert_eq!(collected.counter_value("s1.fired"), Some(25));
+        assert_eq!(sharded.events(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol violation")]
+    fn cross_shard_emission_from_a_window_panics() {
+        // The source routes straight to a node on the other shard with
+        // no sync-class relay in between: the first window must panic
+        // rather than deliver mail late.
+        struct BadRouter;
+        impl Router<Toy> for BadRouter {
+            fn route(&mut self, _now: SimTime, src: NodeId, _e: u32, sink: &mut CmdSink<u32>) {
+                if src.0 == 0 {
+                    sink.push(NodeId(1), 0);
+                }
+            }
+        }
+        impl MergeTelemetry for BadRouter {
+            fn publish_merged(_parts: &[&Self], _reg: &mut Registry) {}
+        }
+        let mut sharded = ShardedHarness::new(vec![BadRouter, BadRouter], 64, Dur::from_ns(1));
+        sharded.add_node_labeled(
+            Toy::Source {
+                next: Some(t(5)),
+                period: Dur::from_ns(5),
+                remaining: 1,
+                fired: 0,
+            },
+            "src",
+            0,
+            false,
+        );
+        sharded.add_node_labeled(
+            Toy::Counter {
+                received: 0,
+                last: None,
+            },
+            "dst",
+            1,
+            true, // sync-class but idle: windows still open, then src trips the guard
+        );
+        sharded.run_until(t(1_000));
+    }
+
+    #[test]
+    fn sync_instant_failure_poisons_with_a_telemetry_trail() {
+        // Two echoes wired to each other across the boundary: every
+        // delivered command re-emits immediately, so each mailbox
+        // exchange round at the first instant produces the next — the
+        // round guard must trip like a same-instant cascade overflow.
+        struct Echo {
+            armed: bool,
+        }
+        impl Component for Echo {
+            type Cmd = u32;
+            type Out = u32;
+            fn next_deadline(&self) -> Option<SimTime> {
+                self.armed.then(|| SimTime::from_ns(10))
+            }
+            fn advance(&mut self, _now: SimTime, sink: &mut Vec<u32>) {
+                if self.armed {
+                    self.armed = false;
+                    sink.push(0);
+                }
+            }
+            fn handle(&mut self, _now: SimTime, v: u32, sink: &mut Vec<u32>) {
+                sink.push(v + 1);
+            }
+        }
+        struct PingPong;
+        impl Router<Echo> for PingPong {
+            fn route(&mut self, _now: SimTime, src: NodeId, event: u32, sink: &mut CmdSink<u32>) {
+                // echo 0 (shard 0) ↔ echo 1 (shard 1)
+                sink.push(NodeId(1 - src.0), event);
+            }
+        }
+        impl MergeTelemetry for PingPong {
+            fn publish_merged(_parts: &[&Self], _reg: &mut Registry) {}
+        }
+        let mut sharded = ShardedHarness::new(vec![PingPong, PingPong], 8, Dur::from_ns(1));
+        sharded.add_node_labeled(Echo { armed: true }, "a", 0, true);
+        sharded.add_node_labeled(Echo { armed: false }, "b", 1, true);
+        let err = sharded.try_run_until(t(100)).unwrap_err();
+        assert_eq!(err.at, t(10));
+        assert!(err.steps > 8);
+        assert_eq!(sharded.failure(), Some(err));
+        assert_eq!(sharded.try_run_until(t(200)), Err(err));
+        let reg = sharded.telemetry();
+        assert_eq!(reg.events().len(), 1);
+        assert_eq!(reg.events()[0].path, "sim.cascade.overflow");
+        let snap = reg.phase("cascade-failure").expect("final snapshot");
+        assert!(matches!(
+            snap.get("sim.cascade.overflows"),
+            Some(Value::Counter(1))
+        ));
+    }
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Aggregate every checked-in BENCH_*.json into one trajectory table.
+
+Each PR that lands a measured change checks in a machine-readable report
+(BENCH_PR2.json, BENCH_PR4.json, ...). The formats differ by what the PR
+measured — "ctms-repro-run/1" carries paper-claim checks, "ctms-perf/1"
+and "ctms-perf/2" carry scheduler wall-clock results — so this script
+normalizes all of them into a long-format table: one row per headline
+metric, ordered by PR number. Stdlib only; run from anywhere:
+
+    python3 scripts/bench_trend.py [repo-root]
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def fmt_speedup(x):
+    return f"{x:.2f}x"
+
+
+def rows_repro(report):
+    """ctms-repro-run/1: per-experiment paper-claim pass counts."""
+    total = passed = 0
+    for exp in report.get("experiments", []):
+        claims = exp.get("claims", [])
+        total += len(claims)
+        passed += sum(1 for c in claims if c.get("holds"))
+    yield ("paper claims holding", f"{passed}/{total}")
+    if passed < total:
+        for exp in report.get("experiments", []):
+            for c in exp.get("claims", []):
+                if not c.get("holds"):
+                    yield (f"  FAILED {exp['name']}.{c['id']}", str(c.get("measured")))
+
+
+def rows_perf(report):
+    """ctms-perf/1 and /2: scheduler speedups, allocs, sharded chain."""
+    for case in report.get("cases", []):
+        ev = case["indexed"]["events_per_sec"]
+        yield (
+            f"{case['name']} indexed vs lazy",
+            f"{fmt_speedup(case['speedup'])} ({ev / 1e6:.2f}M ev/s)",
+        )
+    steady = report.get("steady_state")
+    if steady:
+        yield (
+            "steady-state allocs/event (indexed)",
+            f"{steady['indexed']['allocs_per_event']:g}",
+        )
+    chain = report.get("chain")
+    if chain:
+        cores = report.get("cores")
+        env = f", {cores} core(s)" if cores is not None else ""
+        single = chain["single"]["events_per_sec"]
+        yield (
+            f"chain/{chain['rings']} single-threaded",
+            f"{single / 1e6:.2f}M ev/s{env}",
+        )
+        for s in chain.get("sharded", []):
+            threads = s.get("threads")
+            t = f" threads={threads}" if threads is not None else ""
+            parity = "parity OK" if s.get("ground_truth_parity") else "PARITY BROKEN"
+            yield (
+                f"chain/{chain['rings']} shards={s['shards']}{t}",
+                f"{fmt_speedup(s['speedup'])} ({parity})",
+            )
+
+
+def rows_for(report):
+    fmt = report.get("format", "")
+    if fmt.startswith("ctms-repro-run/"):
+        return list(rows_repro(report))
+    if fmt.startswith("ctms-perf/"):
+        return list(rows_perf(report))
+    return [("unrecognized format", fmt or "<missing>")]
+
+
+def pr_number(path):
+    m = re.search(r"BENCH_PR(\d+)", path.name)
+    return int(m.group(1)) if m else 10**9
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    reports = sorted(root.glob("BENCH_*.json"), key=pr_number)
+    if not reports:
+        print(f"no BENCH_*.json under {root}", file=sys.stderr)
+        return 1
+    table = []
+    for path in reports:
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            table.append((path.name, "unreadable", str(e)))
+            continue
+        for metric, value in rows_for(report):
+            table.append((path.name, metric, value))
+    w0 = max(len(r[0]) for r in table)
+    w1 = max(len(r[1]) for r in table)
+    print(f"{'report':{w0}}  {'metric':{w1}}  value")
+    print(f"{'-' * w0}  {'-' * w1}  {'-' * 5}")
+    last = None
+    for name, metric, value in table:
+        shown = name if name != last else ""
+        last = name
+        print(f"{shown:{w0}}  {metric:{w1}}  {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,15 @@ cargo test -q
 echo "== tier-1: zero-alloc scheduler steady state (alloc-count)"
 cargo test -q -p ctms-sim --features alloc-count --test zero_alloc
 
+echo "== tier-1: sharded scheduler parity (golden digests at 1/2/4 shards)"
+cargo test -q --test determinism sharded_harness_shares_the_golden_truth
+
 echo "== perf smoke (report-only, compares against checked-in BENCH_PR4.json)"
 cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
   --quick --compare BENCH_PR4.json
+
+echo "== sharded perf smoke (parity-asserting, report-only vs BENCH_PR5.json)"
+cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
+  --quick --shards 4 --rings 32 --compare BENCH_PR5.json
 
 echo "verify: OK"

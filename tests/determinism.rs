@@ -82,6 +82,109 @@ fn scheduler_modes_share_the_golden_truth() {
 }
 
 #[test]
+fn sharded_harness_shares_the_golden_truth() {
+    // The conservative-parallel scheduler's contract: parallelism may
+    // never change the answer, only the wall clock. Three layers pin it:
+    //
+    // * Cases A and B are single-ring topologies, so `build_sharded`
+    //   transparently falls back — and must still reproduce the exact
+    //   golden digests and telemetry tree pinned above.
+    // * A 16-ring chain genuinely partitions across 2 and 4 shards; its
+    //   edge logs and canonical telemetry JSON must be byte-identical
+    //   to the single-threaded chain, window protocol and all.
+    use ctms_core::RingChainTestbed;
+    use ctms_router::BridgeKind;
+
+    for (sc, golden) in [
+        (
+            Scenario::test_case_a(42),
+            [
+                0x940268B83F8CF91A,
+                0xF827E2062981EE34,
+                0xD1E3D58CA7C69E09,
+                0x612EFD91E2863AC5,
+            ],
+        ),
+        (
+            Scenario::test_case_b(42),
+            [
+                0x940268B83F8CF91A,
+                0xF827E2062981EE34,
+                0x83B4DADF58457160,
+                0x866F7B1998BFE1CF,
+            ],
+        ),
+    ] {
+        let single_json = ctms_bench::telemetry_case(&sc);
+        for shards in [1usize, 2, 4] {
+            let (mut bus, _roles) = Testbed::ctms_sharded(&sc, shards);
+            assert!(bus.is_single(), "single ring must fall back");
+            bus.run_until(SimTime::from_secs(10));
+            let get = |host: usize, point: MeasurePoint| {
+                bus.truth_log(host, point)
+                    .map(|log| log.digest())
+                    .unwrap_or(0)
+            };
+            let got = [
+                get(0, MeasurePoint::VcaIrq),
+                get(0, MeasurePoint::VcaHandlerEntry),
+                get(0, MeasurePoint::PreTransmit),
+                get(1, MeasurePoint::CtmspIdentified),
+            ];
+            assert_eq!(got, golden, "sharded fallback drifted: {got:#018X?}");
+            assert_eq!(
+                bus.telemetry_json(),
+                single_json,
+                "fallback telemetry drifted (shards={shards})"
+            );
+        }
+    }
+
+    let sc = Scenario::scaled_chain(42);
+    let kind = BridgeKind::cut_through_bridge();
+    let horizon = SimTime::from_secs(2);
+    let chain_digests = |bed_truth: &dyn Fn(usize, MeasurePoint) -> u64| {
+        [
+            bed_truth(0, MeasurePoint::VcaIrq),
+            bed_truth(0, MeasurePoint::VcaHandlerEntry),
+            bed_truth(0, MeasurePoint::PreTransmit),
+            bed_truth(1, MeasurePoint::CtmspIdentified),
+        ]
+    };
+    let mut single = RingChainTestbed::chain(&sc, kind, 16);
+    single.run_until(horizon);
+    let single_json = single.telemetry_json();
+    let single_digests = chain_digests(&|host, point| {
+        single
+            .bus()
+            .measurements()
+            .truth_log(host, point)
+            .map(|log| log.digest())
+            .unwrap_or(0)
+    });
+    for shards in [1usize, 2, 4] {
+        let mut bed = RingChainTestbed::chain_sharded(&sc, kind, 16, shards);
+        assert_eq!(bed.shard_count(), shards, "16 rings split into {shards}");
+        bed.run_until(horizon);
+        let got = chain_digests(&|host, point| {
+            bed.bus()
+                .truth_log(host, point)
+                .map(|log| log.digest())
+                .unwrap_or(0)
+        });
+        assert_eq!(
+            got, single_digests,
+            "sharded chain truth drifted (shards={shards}): {got:#018X?}"
+        );
+        assert_eq!(
+            bed.telemetry_json(),
+            single_json,
+            "sharded chain telemetry drifted (shards={shards})"
+        );
+    }
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Same seed, same process, two independently built testbeds: every
     // digest must agree (no hidden global state, no allocator or
