@@ -172,6 +172,14 @@ fn main() {
         "# perf: seed={seed} horizon={horizon_secs}s reps={reps} alloc_count={}",
         cfg!(feature = "alloc-count")
     );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores == 1 {
+        eprintln!(
+            "# perf: WARNING: one hardware core available — sharded runs execute their \
+             windows inline, so parallel speedups are degraded (expect <1.0x); the report \
+             is marked \"degraded_parallelism\": true"
+        );
+    }
 
     let cases = [
         ("case_a", Scenario::test_case_a(seed)),
@@ -467,11 +475,12 @@ fn report_json(
     ));
     // Hardware parallelism of the measuring machine: sharded speedups
     // below 1.0 on a single-core box are expected (the window protocol
-    // runs inline there) and must be read against this field.
-    out.push_str(&format!(
-        "  \"cores\": {},\n",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    ));
+    // runs inline there) and must be read against these two fields —
+    // `degraded_parallelism` is the machine-readable version of the
+    // stderr warning, so trend tooling can flag single-core numbers.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"degraded_parallelism\": {},\n", cores == 1));
     out.push_str("  \"cases\": [\n");
     for (i, case) in results.iter().enumerate() {
         let mode = |m: &ModeRun| {

@@ -257,6 +257,12 @@ impl RingChainTestbed {
         &mut self.bus
     }
 
+    /// Consumes the testbed, yielding its bus — the shape
+    /// [`crate::checkpoint::fork`] builders produce.
+    pub fn into_bus(self) -> Bus {
+        self.bus
+    }
+
     /// Collects and serializes the whole chain's metric tree as
     /// canonical JSON (byte-identical across runs of the same seed).
     pub fn telemetry_json(&mut self) -> String {
@@ -356,6 +362,11 @@ impl ShardedChain {
     /// Mutable sharded bus, for telemetry collection.
     pub fn bus_mut(&mut self) -> &mut ShardedBus {
         &mut self.bus
+    }
+
+    /// Consumes the testbed, yielding its sharded bus.
+    pub fn into_bus(self) -> ShardedBus {
+        self.bus
     }
 
     /// Collects and serializes the whole chain's metric tree as

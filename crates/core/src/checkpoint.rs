@@ -1,0 +1,236 @@
+//! Serializable simulation state: versioned checkpoints of a live bus,
+//! byte-identical resume, and warm-start forking.
+//!
+//! A checkpoint captures **every** piece of dynamic run state — the
+//! clock, each node's component state (rings, full host kernels,
+//! bridges, background traffic), the RNG streams, the telemetry
+//! event/phase history, and the router's measurement ground truth — in
+//! one canonical byte stream behind a magic/version header. Restore
+//! rebuilds the identical topology from the same scenario description
+//! and applies the stream in place, after which continuing the run is
+//! indistinguishable from never having stopped: telemetry JSON and
+//! edge-log digests are byte-identical (pinned by tier-1 tests).
+//!
+//! The format is *shard-agnostic*: bytes written by a 4-shard
+//! conservative-parallel run restore into a single-threaded bus or a
+//! 2-shard one, because both engines walk nodes in global registration
+//! order and the per-shard router parts are merged canonically at
+//! persist time (see `topology::persist_router_parts`).
+//!
+//! On top of plain resume sit two steering facilities:
+//!
+//! * [`Mutation`] — deterministic what-if perturbations applied at a
+//!   restore point (station churn, purge storms, DMA stalls),
+//! * [`fork`] — clone one checkpoint into N divergent continuations and
+//!   run them concurrently on the persistent sweep pool.
+
+use crate::parallel::ShardedBus;
+use crate::topology::Bus;
+use ctms_sim::{parallel_map, Dec, Dur, Enc, PersistError, SimTime};
+use ctms_tokenring::{Disturb, RingCmd};
+
+/// Leading magic of every checkpoint stream.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"CTMSCKPT";
+
+/// Current checkpoint format version. Bumped whenever any `Persist`
+/// impl in the workspace changes its byte layout.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+fn seal(enc: Enc) -> Vec<u8> {
+    enc.into_bytes()
+}
+
+fn header() -> Enc {
+    let mut enc = Enc::new();
+    for b in CHECKPOINT_MAGIC {
+        enc.u8(b);
+    }
+    enc.u32(CHECKPOINT_VERSION);
+    enc
+}
+
+fn open(bytes: &[u8]) -> Result<Dec<'_>, PersistError> {
+    let mut dec = Dec::new(bytes);
+    for expect in CHECKPOINT_MAGIC {
+        if dec.u8()? != expect {
+            return Err(PersistError::mismatch(
+                "not a CTMS checkpoint (bad magic)".to_string(),
+            ));
+        }
+    }
+    let version = dec.u32()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(PersistError::mismatch(format!(
+            "checkpoint version {version}, this build reads {CHECKPOINT_VERSION}"
+        )));
+    }
+    Ok(dec)
+}
+
+impl Bus {
+    /// Serializes the complete dynamic state behind a magic/version
+    /// header. Call at a quiescent instant — after
+    /// [`Bus::try_run_until`] has returned.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut enc = header();
+        self.persist_state(&mut enc);
+        seal(enc)
+    }
+
+    /// Applies a checkpoint onto this freshly built bus. The bus must
+    /// have been built from the same topology description (same
+    /// scenario, same seeds); node counts and kinds are verified, and
+    /// the whole stream must be consumed.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut dec = open(bytes)?;
+        self.restore_state(&mut dec)?;
+        dec.finish()
+    }
+}
+
+impl ShardedBus {
+    /// Serializes the complete dynamic state behind a magic/version
+    /// header — the **same bytes** a single-threaded bus produces for
+    /// the same simulation state. Call at a sync-instant boundary
+    /// (after [`ShardedBus::try_run_until`] has returned).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut enc = header();
+        self.persist_state(&mut enc);
+        seal(enc)
+    }
+
+    /// Applies a checkpoint onto this freshly built bus. The snapshot
+    /// may come from any execution mode: a 4-shard snapshot restores
+    /// into a single-threaded bus or a 2-shard one.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut dec = open(bytes)?;
+        self.restore_state(&mut dec)?;
+        dec.finish()
+    }
+}
+
+/// A deterministic perturbation applied at a restore point, before the
+/// continued run — the steering hooks of the what-if workflow. Each
+/// mutation maps onto an existing first-class disturbance of the model,
+/// so a mutated continuation is exactly as reproducible as a plain run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// A station inserts into ring `ring`: the §4 insertion burst of
+    /// Ring Purges ("primarily due to new stations inserting").
+    StationChurn {
+        /// Ring index (dense, from the topology build order).
+        ring: usize,
+    },
+    /// `count` back-to-back soft-error purge sequences on ring `ring` —
+    /// a purge storm.
+    PurgeStorm {
+        /// Ring index.
+        ring: usize,
+        /// Number of purge sequences injected.
+        count: u32,
+    },
+    /// Every in-flight DMA on host `host` completes `extra` later, as
+    /// if the bus arbiter had stalled the engines.
+    DmaStall {
+        /// Dense host index.
+        host: usize,
+        /// Extra completion delay.
+        extra: Dur,
+    },
+}
+
+/// Applies mutations in order at the current instant, routing their
+/// fallout deterministically. Only the single-threaded [`Bus`] supports
+/// injection (mirroring [`ShardedBus::inject_ring`]'s contract), which
+/// is no restriction: a checkpoint from any shard count restores into a
+/// single-threaded bus.
+///
+/// Errors use the checkpoint layer's [`PersistError`]: out-of-range
+/// indices and cascade overflow during fallout routing both poison the
+/// mutation batch.
+pub fn apply_mutations(bus: &mut Bus, mutations: &[Mutation]) -> Result<(), PersistError> {
+    for m in mutations {
+        match *m {
+            Mutation::StationChurn { ring } => {
+                check_ring(bus, ring)?;
+                bus.inject_ring(ring, RingCmd::Disturb(Disturb::StationInsertion))
+                    .map_err(|e| PersistError::mismatch(format!("station churn: {e}")))?;
+            }
+            Mutation::PurgeStorm { ring, count } => {
+                check_ring(bus, ring)?;
+                for _ in 0..count {
+                    bus.inject_ring(ring, RingCmd::Disturb(Disturb::SoftError))
+                        .map_err(|e| PersistError::mismatch(format!("purge storm: {e}")))?;
+                }
+            }
+            Mutation::DmaStall { host, extra } => {
+                if host >= bus.host_count() {
+                    return Err(PersistError::mismatch(format!(
+                        "DMA stall on unknown host {host} (topology has {})",
+                        bus.host_count()
+                    )));
+                }
+                bus.host_mut(host).machine.delay_active_dmas(extra);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_ring(bus: &Bus, ring: usize) -> Result<(), PersistError> {
+    if ring >= bus.ring_count() {
+        return Err(PersistError::mismatch(format!(
+            "mutation on unknown ring {ring} (topology has {})",
+            bus.ring_count()
+        )));
+    }
+    Ok(())
+}
+
+/// One divergent continuation of a forked checkpoint.
+#[derive(Clone, Debug)]
+pub struct ForkSpec {
+    /// Mutations applied at the restore point, before running.
+    pub mutations: Vec<Mutation>,
+    /// Horizon the branch runs to (must be at or past the checkpoint
+    /// instant).
+    pub run_to: SimTime,
+}
+
+/// Warm-start forking: clones one checkpoint into `branches.len()`
+/// divergent continuations and runs them concurrently on the
+/// persistent sweep pool ([`ctms_sim::parallel_map`]).
+///
+/// Each branch rebuilds a fresh bus via `build` (same topology as the
+/// checkpoint's origin), restores the shared snapshot, applies its
+/// [`ForkSpec::mutations`], runs to its horizon, and hands the finished
+/// bus to `analyze`. Results come back in branch order, and each branch
+/// is bit-deterministic — a branch re-run alone produces the same
+/// answer it produced inside the fork.
+///
+/// An empty `mutations` list makes the branch a pure resume, which is
+/// how the equivalence tests pin "forked continuation ≡ uninterrupted
+/// run".
+pub fn fork<R, B, A>(
+    checkpoint: Vec<u8>,
+    branches: Vec<ForkSpec>,
+    threads: usize,
+    build: B,
+    analyze: A,
+) -> Result<Vec<R>, PersistError>
+where
+    R: Send + 'static,
+    B: Fn() -> Bus + Send + Sync + 'static,
+    A: Fn(usize, Bus) -> R + Send + Sync + 'static,
+{
+    let items: Vec<(usize, ForkSpec)> = branches.into_iter().enumerate().collect();
+    let results: Vec<Result<R, PersistError>> = parallel_map(items, threads, move |(idx, spec)| {
+        let mut bus = build();
+        bus.restore_checkpoint(&checkpoint)?;
+        apply_mutations(&mut bus, &spec.mutations)?;
+        bus.try_run_until(spec.run_to)
+            .map_err(|e| PersistError::mismatch(format!("fork branch {idx}: {e}")))?;
+        Ok(analyze(idx, bus))
+    });
+    results.into_iter().collect()
+}

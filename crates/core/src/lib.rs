@@ -21,6 +21,7 @@
 
 pub mod calib;
 pub mod chain;
+pub mod checkpoint;
 pub mod experiments;
 pub mod parallel;
 pub mod scenario;
@@ -29,6 +30,9 @@ pub mod topology;
 
 pub use calib::Calibration;
 pub use chain::{DualRingTestbed, RingChainTestbed, ShardedChain};
+pub use checkpoint::{
+    apply_mutations, fork, ForkSpec, Mutation, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use experiments::{ablation_row, all as run_all_experiments, copy_census, AblationRow, ExpCfg};
 pub use parallel::{ParallelBus, ShardedBus};
 pub use scenario::{HostLoad, Network, Scenario};

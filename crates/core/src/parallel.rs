@@ -14,7 +14,9 @@
 //! mode) transparently fall back to the [`ShardedBus::Single`] variant,
 //! which wraps a plain [`Bus`] — callers see one type either way.
 
-use crate::topology::{Bus, CtmsRouter, Measurements, Node};
+use crate::topology::{
+    decode_router_state, persist_router_parts, Bus, CtmsRouter, Measurements, Node,
+};
 use ctms_router::Bridge;
 use ctms_sim::{CascadeError, NodeId, Registry, ShardStats, ShardedHarness, SimTime};
 use ctms_tokenring::TokenRing;
@@ -54,6 +56,15 @@ impl ShardedBus {
     /// True when this bus fell back to the single-threaded harness.
     pub fn is_single(&self) -> bool {
         matches!(self, ShardedBus::Single(_))
+    }
+
+    /// Mutable access to the single-threaded fallback bus, if this is
+    /// one — the shape steering mutations require.
+    pub fn as_single_mut(&mut self) -> Option<&mut Bus> {
+        match self {
+            ShardedBus::Single(b) => Some(b),
+            ShardedBus::Parallel(_) => None,
+        }
     }
 
     /// Caps how many pool workers a window dispatch invites. No-op on
@@ -243,5 +254,99 @@ impl ShardedBus {
             ShardedBus::Single(_) => ShardStats::default(),
             ShardedBus::Parallel(p) => p.h.shard_stats(k),
         }
+    }
+
+    /// Appends all dynamic state to `enc` in the shard-agnostic
+    /// checkpoint format shared with [`Bus`]. Must be called at a
+    /// sync-instant boundary (after `try_run_until` returned).
+    pub(crate) fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        match self {
+            ShardedBus::Single(b) => b.persist_state(enc),
+            ShardedBus::Parallel(p) => p.persist_state(enc),
+        }
+    }
+
+    /// Applies state persisted by any bus flavor — the snapshot's shard
+    /// count and this bus's need not match.
+    pub(crate) fn restore_state(
+        &mut self,
+        dec: &mut ctms_sim::Dec<'_>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        match self {
+            ShardedBus::Single(b) => b.restore_state(dec),
+            ShardedBus::Parallel(p) => p.restore_state(dec),
+        }
+    }
+}
+
+impl ParallelBus {
+    /// See [`ShardedBus::persist_state`]: same byte stream as the
+    /// single-threaded bus — the harness walks nodes in global
+    /// registration order, and the per-shard router parts are merged
+    /// into one canonical stream.
+    pub(crate) fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        self.h.persist_state(enc);
+        let parts: Vec<&CtmsRouter> = (0..self.h.shard_count())
+            .map(|k| self.h.shard_router(k))
+            .collect();
+        persist_router_parts(&parts, enc);
+    }
+
+    /// See [`ShardedBus::restore_state`]: harness state lands on each
+    /// node's owner shard; router state is re-distributed — each TAP to
+    /// its ring's owner part, each host's truth logs to the host's owner
+    /// part, flat event lists and the bridge-drop count to shard 0
+    /// (merged telemetry reads only counts and sorted times, so the
+    /// placement of historical entries is unobservable).
+    pub(crate) fn restore_state(
+        &mut self,
+        dec: &mut ctms_sim::Dec<'_>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        self.h.restore_state(dec)?;
+        let ckpt = decode_router_state(dec)?;
+        let shards = self.h.shard_count();
+        for k in 0..shards {
+            self.h.shard_router_mut(k).clear_measurements();
+        }
+
+        let ring_slots = self.h.shard_router(0).ring_slot_indices();
+        if ring_slots.len() != ckpt.taps.len() {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "checkpoint has {} taps, topology has {} rings",
+                ckpt.taps.len(),
+                ring_slots.len()
+            )));
+        }
+        for (slot, tap) in ring_slots.into_iter().zip(ckpt.taps) {
+            let owner = (0..shards)
+                .find(|&k| self.h.shard_router(k).owns_tap(slot))
+                .expect("every ring slot has an owner shard");
+            self.h.shard_router_mut(owner).set_tap(slot, tap);
+        }
+
+        if self.host_nodes.len() != ckpt.truth.len() {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "checkpoint has {} truth maps, topology has {} hosts",
+                ckpt.truth.len(),
+                self.host_nodes.len()
+            )));
+        }
+        for (host, entries) in ckpt.truth.into_iter().enumerate() {
+            let owner = self.h.shard_of(self.host_nodes[host]);
+            let r = self.h.shard_router_mut(owner);
+            for (point, log) in entries {
+                r.insert_truth(host, point, log);
+            }
+        }
+
+        self.h.shard_router_mut(0).apply_flat(
+            ckpt.drops,
+            ckpt.presented,
+            ckpt.sock_delivered,
+            ckpt.purge_starts,
+            ckpt.lost_to_purge,
+            ckpt.bridge_drops,
+        );
+        Ok(())
     }
 }

@@ -553,6 +553,12 @@ impl Testbed {
         &mut self.bus
     }
 
+    /// Consumes the testbed, yielding its bus — the shape
+    /// [`crate::checkpoint::fork`] builders produce.
+    pub fn into_bus(self) -> Bus {
+        self.bus
+    }
+
     /// Collects and serializes the whole testbed's metric tree as
     /// canonical JSON (byte-identical across runs of the same seed).
     pub fn telemetry_json(&mut self) -> String {

@@ -947,4 +947,423 @@ impl Bus {
     pub fn telemetry_json(&mut self) -> String {
         self.h.telemetry_json()
     }
+
+    /// Appends every piece of dynamic state — harness (clock, nodes,
+    /// telemetry history) then the router's canonical measurement state
+    /// — to `enc`. Must be called at a quiescent instant (after
+    /// `try_run_until` returned). The byte stream is identical to what
+    /// [`crate::ParallelBus`] produces for the same simulation state, so
+    /// snapshots restore across execution modes.
+    pub(crate) fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        self.h.persist_state(enc);
+        persist_router_parts(&[self.h.router()], enc);
+    }
+
+    /// Applies state persisted by [`Bus::persist_state`] (or the
+    /// sharded equivalent) onto this freshly rebuilt bus.
+    pub(crate) fn restore_state(
+        &mut self,
+        dec: &mut ctms_sim::Dec<'_>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        self.h.restore_state(dec)?;
+        let ckpt = decode_router_state(dec)?;
+        let r = self.h.router_mut();
+        r.clear_measurements();
+        let ring_slots = r.ring_slot_indices();
+        if ring_slots.len() != ckpt.taps.len() {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "checkpoint has {} taps, topology has {} rings",
+                ckpt.taps.len(),
+                ring_slots.len()
+            )));
+        }
+        for (slot, tap) in ring_slots.into_iter().zip(ckpt.taps) {
+            r.set_tap(slot, tap);
+        }
+        if r.truth_hosts() != ckpt.truth.len() {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "checkpoint has {} truth maps, topology has {} hosts",
+                ckpt.truth.len(),
+                r.truth_hosts()
+            )));
+        }
+        for (host, entries) in ckpt.truth.into_iter().enumerate() {
+            for (point, log) in entries {
+                r.insert_truth(host, point, log);
+            }
+        }
+        r.apply_flat(
+            ckpt.drops,
+            ckpt.presented,
+            ckpt.sock_delivered,
+            ckpt.purge_starts,
+            ckpt.lost_to_purge,
+            ckpt.bridge_drops,
+        );
+        Ok(())
+    }
+}
+
+// --- Checkpoint plumbing -------------------------------------------------
+//
+// A checkpoint must be *shard-agnostic*: bytes written by a 4-shard run
+// restore into a single-threaded bus or a 2-shard one. The harness side
+// already walks nodes in global registration order on both engines; the
+// router side is handled here by merging the per-shard parts into one
+// canonical stream at persist time and re-distributing at restore time
+// (taps to the ring's owner, truth logs to the host's owner, flat lists
+// to shard 0 — merged telemetry is order-insensitive by construction).
+
+impl ctms_sim::Persist for Node {
+    /// One kind tag (checked against the rebuilt topology on restore)
+    /// then the component's own state. The scratch buffer is drained at
+    /// every quiescent instant, so it carries no state.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        match self {
+            Node::Ring(r, buf) => {
+                debug_assert!(buf.is_empty(), "checkpoint off a quiescent instant");
+                enc.u8(0);
+                r.persist(enc);
+            }
+            Node::Host(h, buf) => {
+                debug_assert!(buf.is_empty(), "checkpoint off a quiescent instant");
+                enc.u8(1);
+                h.persist(enc);
+            }
+            Node::Bridge(b, buf) => {
+                debug_assert!(buf.is_empty(), "checkpoint off a quiescent instant");
+                enc.u8(2);
+                b.persist(enc);
+            }
+            Node::Phantom(p, buf) => {
+                debug_assert!(buf.is_empty(), "checkpoint off a quiescent instant");
+                enc.u8(3);
+                p.persist(enc);
+            }
+        }
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        let tag = dec.u8()?;
+        match (self, tag) {
+            (Node::Ring(r, buf), 0) => {
+                buf.clear();
+                r.restore(dec)
+            }
+            (Node::Host(h, buf), 1) => {
+                buf.clear();
+                h.restore(dec)
+            }
+            (Node::Bridge(b, buf), 2) => {
+                buf.clear();
+                b.restore(dec)
+            }
+            (Node::Phantom(p, buf), 3) => {
+                buf.clear();
+                p.restore(dec)
+            }
+            _ => Err(ctms_sim::PersistError::mismatch(format!(
+                "checkpoint node kind {tag} does not match the rebuilt topology"
+            ))),
+        }
+    }
+}
+
+/// Stable sort key for canonical [`MeasurePoint`] ordering in checkpoints.
+fn measure_point_key(p: MeasurePoint) -> (u8, u8) {
+    match p {
+        MeasurePoint::VcaIrq => (0, 0),
+        MeasurePoint::VcaHandlerEntry => (1, 0),
+        MeasurePoint::PreTransmit => (2, 0),
+        MeasurePoint::CtmspIdentified => (3, 0),
+        MeasurePoint::Presented => (4, 0),
+        MeasurePoint::Custom(x) => (5, x),
+    }
+}
+
+fn persist_measure_point(enc: &mut ctms_sim::Enc, p: MeasurePoint) {
+    let (tag, custom) = measure_point_key(p);
+    enc.u8(tag);
+    if tag == 5 {
+        enc.u8(custom);
+    }
+}
+
+fn restore_measure_point(
+    dec: &mut ctms_sim::Dec<'_>,
+) -> Result<MeasurePoint, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => MeasurePoint::VcaIrq,
+        1 => MeasurePoint::VcaHandlerEntry,
+        2 => MeasurePoint::PreTransmit,
+        3 => MeasurePoint::CtmspIdentified,
+        4 => MeasurePoint::Presented,
+        5 => MeasurePoint::Custom(dec.u8()?),
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "measure point",
+                tag,
+            })
+        }
+    })
+}
+
+fn persist_drop_site(enc: &mut ctms_sim::Enc, site: DropSite) {
+    enc.u8(match site {
+        DropSite::VcaOverrun => 0,
+        DropSite::MbufExhausted => 1,
+        DropSite::IfqFull => 2,
+        DropSite::SockbufFull => 3,
+        DropSite::RingQueue => 4,
+        DropSite::Purge => 5,
+        DropSite::Duplicate => 6,
+        DropSite::Underrun => 7,
+        DropSite::AdapterOverrun => 8,
+        DropSite::UnknownProto => 9,
+    });
+}
+
+fn restore_drop_site(dec: &mut ctms_sim::Dec<'_>) -> Result<DropSite, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => DropSite::VcaOverrun,
+        1 => DropSite::MbufExhausted,
+        2 => DropSite::IfqFull,
+        3 => DropSite::SockbufFull,
+        4 => DropSite::RingQueue,
+        5 => DropSite::Purge,
+        6 => DropSite::Duplicate,
+        7 => DropSite::Underrun,
+        8 => DropSite::AdapterOverrun,
+        9 => DropSite::UnknownProto,
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "drop site",
+                tag,
+            })
+        }
+    })
+}
+
+/// Decoded router-side checkpoint state, ready to distribute onto one
+/// router (single-threaded) or across shard routers (the caller knows
+/// the ownership map; this struct is execution-mode-agnostic).
+pub(crate) struct RouterCkpt {
+    /// One TAP per ring slot, in slot order.
+    pub(crate) taps: Vec<Tap>,
+    /// Per-host truth logs, points in canonical tag order.
+    pub(crate) truth: Vec<Vec<(MeasurePoint, EdgeLog)>>,
+    pub(crate) drops: Vec<DropRec>,
+    pub(crate) presented: Vec<(SimTime, u64, u32)>,
+    pub(crate) sock_delivered: Vec<(SimTime, Port, u32)>,
+    pub(crate) purge_starts: Vec<SimTime>,
+    pub(crate) lost_to_purge: Vec<(SimTime, u64)>,
+    pub(crate) bridge_drops: u64,
+}
+
+/// Appends the canonical merged router state of `parts` (one part per
+/// shard; a single part for a single-threaded run) to `enc`. Each TAP
+/// and each host's truth logs live in exactly one part; flat event
+/// lists are chronological within each part and are merged by a stable
+/// sort on time, so the bytes do not depend on the shard count beyond
+/// same-instant tie order — which nothing downstream observes (merged
+/// telemetry uses only counts and the sorted time multiset).
+pub(crate) fn persist_router_parts(parts: &[&CtmsRouter], enc: &mut ctms_sim::Enc) {
+    use ctms_sim::Persist as _;
+    let first = parts.first().expect("at least one router part");
+
+    let ring_slots: Vec<usize> = first.ring_slot_indices();
+    enc.seq_len(ring_slots.len());
+    for slot in ring_slots {
+        let tap = parts
+            .iter()
+            .find_map(|p| p.taps[slot].as_ref())
+            .expect("every ring slot has its tap in exactly one part");
+        tap.persist(enc);
+    }
+
+    let n_hosts = first.m.truth.len();
+    enc.seq_len(n_hosts);
+    for host in 0..n_hosts {
+        let mut entries: Vec<(MeasurePoint, &EdgeLog)> = parts
+            .iter()
+            .flat_map(|p| p.m.truth[host].iter().map(|(pt, l)| (*pt, l)))
+            .collect();
+        entries.sort_by_key(|(pt, _)| measure_point_key(*pt));
+        enc.seq_len(entries.len());
+        for (point, log) in entries {
+            persist_measure_point(enc, point);
+            log.persist(enc);
+        }
+    }
+
+    let mut drops: Vec<&DropRec> = parts.iter().flat_map(|p| p.m.drops.iter()).collect();
+    drops.sort_by_key(|d| d.at);
+    enc.seq_len(drops.len());
+    for d in drops {
+        enc.time(d.at);
+        enc.u32(d.host as u32);
+        persist_drop_site(enc, d.site);
+        enc.u64(d.tag);
+        enc.u32(d.bytes);
+    }
+
+    let mut presented: Vec<(SimTime, u64, u32)> = parts
+        .iter()
+        .flat_map(|p| p.m.presented.iter().copied())
+        .collect();
+    presented.sort_by_key(|e| e.0);
+    enc.seq_len(presented.len());
+    for (at, tag, bytes) in presented {
+        enc.time(at);
+        enc.u64(tag);
+        enc.u32(bytes);
+    }
+
+    let mut sock: Vec<(SimTime, Port, u32)> = parts
+        .iter()
+        .flat_map(|p| p.m.sock_delivered.iter().copied())
+        .collect();
+    sock.sort_by_key(|e| e.0);
+    enc.seq_len(sock.len());
+    for (at, port, bytes) in sock {
+        enc.time(at);
+        enc.u16(port.0);
+        enc.u32(bytes);
+    }
+
+    let mut purges: Vec<SimTime> = parts
+        .iter()
+        .flat_map(|p| p.m.purge_starts.iter().copied())
+        .collect();
+    purges.sort();
+    enc.seq_len(purges.len());
+    for at in purges {
+        enc.time(at);
+    }
+
+    let mut lost: Vec<(SimTime, u64)> = parts
+        .iter()
+        .flat_map(|p| p.m.lost_to_purge.iter().copied())
+        .collect();
+    lost.sort_by_key(|e| e.0);
+    enc.seq_len(lost.len());
+    for (at, tag) in lost {
+        enc.time(at);
+        enc.u64(tag);
+    }
+
+    enc.u64(parts.iter().map(|p| p.m.bridge_drops).sum());
+}
+
+/// Decodes router state written by [`persist_router_parts`].
+pub(crate) fn decode_router_state(
+    dec: &mut ctms_sim::Dec<'_>,
+) -> Result<RouterCkpt, ctms_sim::PersistError> {
+    use ctms_sim::Persist as _;
+    let taps = dec.seq(|d| {
+        let mut tap = Tap::new(TapCfg::default());
+        tap.restore(d)?;
+        Ok(tap)
+    })?;
+    let truth = dec.seq(|d| {
+        d.seq(|d| {
+            let point = restore_measure_point(d)?;
+            let mut log = EdgeLog::new("");
+            log.restore(d)?;
+            Ok((point, log))
+        })
+    })?;
+    let drops = dec.seq(|d| {
+        Ok(DropRec {
+            at: d.time()?,
+            host: d.u32()? as usize,
+            site: restore_drop_site(d)?,
+            tag: d.u64()?,
+            bytes: d.u32()?,
+        })
+    })?;
+    let presented = dec.seq(|d| Ok((d.time()?, d.u64()?, d.u32()?)))?;
+    let sock_delivered = dec.seq(|d| Ok((d.time()?, Port(d.u16()?), d.u32()?)))?;
+    let purge_starts = dec.seq(|d| d.time())?;
+    let lost_to_purge = dec.seq(|d| Ok((d.time()?, d.u64()?)))?;
+    let bridge_drops = dec.u64()?;
+    Ok(RouterCkpt {
+        taps,
+        truth,
+        drops,
+        presented,
+        sock_delivered,
+        purge_starts,
+        lost_to_purge,
+        bridge_drops,
+    })
+}
+
+impl CtmsRouter {
+    /// Indices of the ring slots, in slot (= NodeId) order.
+    pub(crate) fn ring_slot_indices(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Ring { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when this part owns the TAP for `slot` (always true on the
+    /// single-threaded router; the owner shard only, when sharded).
+    pub(crate) fn owns_tap(&self, slot: usize) -> bool {
+        self.taps[slot].is_some()
+    }
+
+    /// Replaces the TAP at `slot` with a restored one (the slot must
+    /// already be owned here — ownership is structural, state is not).
+    pub(crate) fn set_tap(&mut self, slot: usize, tap: Tap) {
+        debug_assert!(self.taps[slot].is_some(), "restoring a tap this part owns");
+        self.taps[slot] = Some(tap);
+    }
+
+    /// Number of per-host truth maps.
+    pub(crate) fn truth_hosts(&self) -> usize {
+        self.m.truth.len()
+    }
+
+    /// Installs one restored truth log.
+    pub(crate) fn insert_truth(&mut self, host: usize, point: MeasurePoint, log: EdgeLog) {
+        self.m.truth[host].insert(point, log);
+    }
+
+    /// Clears all recorded measurements ahead of a checkpoint apply.
+    /// TAPs are not touched: owned slots are overwritten by the apply.
+    pub(crate) fn clear_measurements(&mut self) {
+        for map in &mut self.m.truth {
+            map.clear();
+        }
+        self.m.drops.clear();
+        self.m.presented.clear();
+        self.m.sock_delivered.clear();
+        self.m.purge_starts.clear();
+        self.m.lost_to_purge.clear();
+        self.m.bridge_drops = 0;
+    }
+
+    /// Installs the restored flat event lists (on the single router, or
+    /// on shard 0 of a sharded run — merged telemetry only reads counts
+    /// and sorted times, so placement is unobservable).
+    pub(crate) fn apply_flat(
+        &mut self,
+        drops: Vec<DropRec>,
+        presented: Vec<(SimTime, u64, u32)>,
+        sock_delivered: Vec<(SimTime, Port, u32)>,
+        purge_starts: Vec<SimTime>,
+        lost_to_purge: Vec<(SimTime, u64)>,
+        bridge_drops: u64,
+    ) {
+        self.m.drops = drops;
+        self.m.presented = presented;
+        self.m.sock_delivered = sock_delivered;
+        self.m.purge_starts = purge_starts;
+        self.m.lost_to_purge = lost_to_purge;
+        self.m.bridge_drops = bridge_drops;
+    }
 }

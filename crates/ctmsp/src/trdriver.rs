@@ -505,9 +505,214 @@ impl TrDriver {
     }
 }
 
+fn persist_proto(enc: &mut ctms_sim::Enc, p: Proto) {
+    enc.u8(match p {
+        Proto::Arp => 0,
+        Proto::Ip => 1,
+        Proto::Ctmsp => 2,
+        Proto::Other => 3,
+    });
+}
+
+fn restore_proto(dec: &mut ctms_sim::Dec<'_>) -> Result<Proto, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => Proto::Arp,
+        1 => Proto::Ip,
+        2 => Proto::Ctmsp,
+        3 => Proto::Other,
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "frame proto",
+                tag,
+            })
+        }
+    })
+}
+
+fn persist_tx_entry(enc: &mut ctms_sim::Enc, e: &TxEntry) {
+    match e {
+        TxEntry::Fresh(pkt) => {
+            enc.u8(0);
+            pkt.persist(enc);
+        }
+        TxEntry::Resend {
+            dst,
+            len,
+            tag,
+            priority,
+            proto,
+        } => {
+            enc.u8(1);
+            enc.u32(dst.0);
+            enc.u32(*len);
+            enc.u64(*tag);
+            enc.u8(*priority);
+            persist_proto(enc, *proto);
+        }
+    }
+}
+
+fn restore_tx_entry(dec: &mut ctms_sim::Dec<'_>) -> Result<TxEntry, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => TxEntry::Fresh(Pkt::decode(dec)?),
+        1 => TxEntry::Resend {
+            dst: StationId(dec.u32()?),
+            len: dec.u32()?,
+            tag: dec.u64()?,
+            priority: dec.u8()?,
+            proto: restore_proto(dec)?,
+        },
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "tx queue entry",
+                tag,
+            })
+        }
+    })
+}
+
+fn persist_dispose(enc: &mut ctms_sim::Enc, d: &RxDispose) {
+    enc.u8(match d {
+        RxDispose::Ctmsp => 0,
+        RxDispose::IpInput => 1,
+    });
+}
+
+fn restore_dispose(dec: &mut ctms_sim::Dec<'_>) -> Result<RxDispose, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => RxDispose::Ctmsp,
+        1 => RxDispose::IpInput,
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "rx dispose",
+                tag,
+            })
+        }
+    })
+}
+
 impl Driver for TrDriver {
     fn name(&self) -> &'static str {
         "tokenring"
+    }
+
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        use ctms_sim::Persist as _;
+        enc.opt(self.copy.as_ref(), |e, c| c.persist(e));
+        enc.seq_len(self.tx_queue.len());
+        for entry in &self.tx_queue {
+            persist_tx_entry(enc, entry);
+        }
+        enc.opt(self.tx_busy.as_ref(), |e, b| {
+            e.u32(b.dst.0);
+            e.u32(b.len);
+            e.u64(b.tag);
+            e.u8(b.priority);
+            persist_proto(e, b.proto);
+            e.opt(b.chain.as_ref(), |e2, c| {
+                e2.u32(c.len);
+                e2.u32(c.count);
+            });
+        });
+        enc.u32(self.tx_done_pending);
+        enc.opt(self.last_tx.as_ref(), |e, l| {
+            e.u32(l.dst.0);
+            e.u32(l.len);
+            e.u64(l.tag);
+            e.u8(l.priority);
+            persist_proto(e, l.proto);
+        });
+        enc.opt(self.retransmitted_tag.as_ref(), |e, t| e.u64(*t));
+        let mut tokens: Vec<u64> = self.rx_dma.keys().copied().collect();
+        tokens.sort_unstable();
+        enc.seq_len(tokens.len());
+        for t in tokens {
+            enc.u64(t);
+            self.rx_dma[&t].persist(enc);
+        }
+        enc.u64(self.rx_dma_seq);
+        enc.u32(self.rx_buffers_in_use);
+        enc.seq_len(self.rx_pending.len());
+        for f in &self.rx_pending {
+            f.persist(enc);
+        }
+        enc.opt(self.rx_checking.as_ref(), |e, f| f.persist(e));
+        enc.opt(self.rx_copying.as_ref(), |e, (f, d)| {
+            f.persist(e);
+            persist_dispose(e, d);
+        });
+        enc.time(self.last_rx_post);
+        enc.u64(self.next_local_frame);
+        enc.u64(self.stats.tx_frames);
+        enc.u64(self.stats.ctmsp_tx);
+        enc.u64(self.stats.rx_frames);
+        enc.u64(self.stats.ctmsp_rx);
+        enc.u64(self.stats.ifq_drops);
+        enc.u64(self.stats.rx_overruns);
+        enc.u64(self.stats.rx_mbuf_drops);
+        enc.u64(self.stats.unknown_proto_drops);
+        enc.u64(self.stats.retransmits);
+        enc.u32(self.stats.ctmsp_q_highwater);
+    }
+
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        use ctms_tokenring::decode_frame;
+        self.copy = dec.opt(|d| {
+            let mut c = CopyCost::default();
+            ctms_sim::Persist::restore(&mut c, d)?;
+            Ok(c)
+        })?;
+        self.tx_queue = dec.seq(restore_tx_entry)?.into();
+        self.tx_busy = dec.opt(|d| {
+            Ok(TxBusy {
+                dst: StationId(d.u32()?),
+                len: d.u32()?,
+                tag: d.u64()?,
+                priority: d.u8()?,
+                proto: restore_proto(d)?,
+                chain: d.opt(|d2| {
+                    Ok(ctms_unixkern::MbufChain {
+                        len: d2.u32()?,
+                        count: d2.u32()?,
+                    })
+                })?,
+            })
+        })?;
+        self.tx_done_pending = dec.u32()?;
+        self.last_tx = dec.opt(|d| {
+            Ok(LastTx {
+                dst: StationId(d.u32()?),
+                len: d.u32()?,
+                tag: d.u64()?,
+                priority: d.u8()?,
+                proto: restore_proto(d)?,
+            })
+        })?;
+        self.retransmitted_tag = dec.opt(|d| d.u64())?;
+        self.rx_dma = dec
+            .seq(|d| Ok((d.u64()?, decode_frame(d)?)))?
+            .into_iter()
+            .collect();
+        self.rx_dma_seq = dec.u64()?;
+        self.rx_buffers_in_use = dec.u32()?;
+        self.rx_pending = dec.seq(decode_frame)?.into();
+        self.rx_checking = dec.opt(decode_frame)?;
+        self.rx_copying = dec.opt(|d| Ok((decode_frame(d)?, restore_dispose(d)?)))?;
+        self.last_rx_post = dec.time()?;
+        self.next_local_frame = dec.u64()?;
+        self.stats = TrDriverStats {
+            tx_frames: dec.u64()?,
+            ctmsp_tx: dec.u64()?,
+            rx_frames: dec.u64()?,
+            ctmsp_rx: dec.u64()?,
+            ifq_drops: dec.u64()?,
+            rx_overruns: dec.u64()?,
+            rx_mbuf_drops: dec.u64()?,
+            unknown_proto_drops: dec.u64()?,
+            retransmits: dec.u64()?,
+            ctmsp_q_highwater: dec.u32()?,
+        };
+        Ok(())
     }
 
     fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {

@@ -79,6 +79,15 @@ impl Driver for DiskDriver {
         "disk"
     }
 
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        enc.u64(self.stats.interrupts);
+    }
+
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.stats.interrupts = dec.u64()?;
+        Ok(())
+    }
+
     fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
         use ctms_sim::Instrument as _;
         self.stats.publish(scope);

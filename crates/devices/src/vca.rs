@@ -234,6 +234,31 @@ impl Driver for CtmsVcaSource {
         self.stats.publish(scope);
     }
 
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        enc.u64(self.seq);
+        enc.bool(self.setup.mode_set);
+        enc.bool(self.setup.header_set);
+        enc.bool(self.setup.handles_set);
+        enc.bool(self.setup.running);
+        enc.u64(self.stats.interrupts);
+        enc.u64(self.stats.pkts_sent);
+        enc.u64(self.stats.mbuf_drops);
+        enc.u64(self.stats.ioctl_rejects);
+    }
+
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.seq = dec.u64()?;
+        self.setup.mode_set = dec.bool()?;
+        self.setup.header_set = dec.bool()?;
+        self.setup.handles_set = dec.bool()?;
+        self.setup.running = dec.bool()?;
+        self.stats.interrupts = dec.u64()?;
+        self.stats.pkts_sent = dec.u64()?;
+        self.stats.mbuf_drops = dec.u64()?;
+        self.stats.ioctl_rejects = dec.u64()?;
+        Ok(())
+    }
+
     fn on_boot(&mut self, ctx: &mut Ctx) {
         if self.cfg.autostart && !self.cfg.require_setup {
             self.setup.mode_set = true;
@@ -401,6 +426,29 @@ impl Driver for CtmsVcaSink {
         self.stats.publish(scope);
     }
 
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        enc.u64(self.stats.received);
+        enc.u64(self.stats.gaps);
+        enc.u64(self.stats.missed_pkts);
+        enc.u64(self.stats.duplicates);
+        enc.u64(self.stats.last_seq);
+        enc.seq_len(self.pending.len());
+        for (tag, len) in &self.pending {
+            enc.u64(*tag);
+            enc.u32(*len);
+        }
+    }
+
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.stats.received = dec.u64()?;
+        self.stats.gaps = dec.u64()?;
+        self.stats.missed_pkts = dec.u64()?;
+        self.stats.duplicates = dec.u64()?;
+        self.stats.last_seq = dec.u64()?;
+        self.pending = dec.seq(|d| Ok((d.u64()?, d.u32()?)))?.into();
+        Ok(())
+    }
+
     fn on_call(&mut self, ctx: &mut Ctx, _from: DriverId, call: DriverCall) {
         let DriverCall::CtmspDeliver(pkt) = call else {
             return;
@@ -551,6 +599,32 @@ impl Driver for StockVcaSource {
         self.stats.publish(scope);
     }
 
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        enc.u32(self.device_buf);
+        enc.u32(self.staging);
+        enc.opt(self.reader.as_ref(), |e, (pid, want)| {
+            e.u32(pid.0);
+            e.u32(*want);
+        });
+        enc.u32(self.pio_in_flight);
+        enc.u64(self.stats.produced);
+        enc.u64(self.stats.overrun_bytes);
+        enc.u64(self.stats.overruns);
+        enc.u64(self.stats.consumed);
+    }
+
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.device_buf = dec.u32()?;
+        self.staging = dec.u32()?;
+        self.reader = dec.opt(|d| Ok((Pid(d.u32()?), d.u32()?)))?;
+        self.pio_in_flight = dec.u32()?;
+        self.stats.produced = dec.u64()?;
+        self.stats.overrun_bytes = dec.u64()?;
+        self.stats.overruns = dec.u64()?;
+        self.stats.consumed = dec.u64()?;
+        Ok(())
+    }
+
     fn on_boot(&mut self, ctx: &mut Ctx) {
         if self.cfg.autostart {
             ctx.set_timer(0, ctx.now + self.cfg.period);
@@ -692,6 +766,30 @@ impl Driver for StockAudioSink {
     fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
         use ctms_sim::Instrument as _;
         self.stats.publish(scope);
+    }
+
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        enc.u32(self.buffered);
+        enc.opt(self.writer.as_ref(), |e, (pid, bytes)| {
+            e.u32(pid.0);
+            e.u32(*bytes);
+        });
+        enc.bool(self.started);
+        enc.u64(self.stats.consumed);
+        enc.u64(self.stats.underrun_bytes);
+        enc.u64(self.stats.underruns);
+        enc.u64(self.stats.written);
+    }
+
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.buffered = dec.u32()?;
+        self.writer = dec.opt(|d| Ok((Pid(d.u32()?), d.u32()?)))?;
+        self.started = dec.bool()?;
+        self.stats.consumed = dec.u64()?;
+        self.stats.underrun_bytes = dec.u64()?;
+        self.stats.underruns = dec.u64()?;
+        self.stats.written = dec.u64()?;
+        Ok(())
     }
 
     fn on_boot(&mut self, ctx: &mut Ctx) {

@@ -219,6 +219,47 @@ impl Tap {
     }
 }
 
+impl ctms_sim::Persist for Tap {
+    /// The capture buffer and counters; `cfg` is structural.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        enc.seq_len(self.records.len());
+        for r in &self.records {
+            enc.time(r.at);
+            enc.u8(r.ac);
+            enc.u8(r.fc);
+            enc.u32(r.total_len);
+            ctms_tokenring::persist_frame_kind(enc, r.kind);
+            enc.u64(r.tag);
+        }
+        enc.u64(self.purges);
+        enc.u64(self.missed);
+        enc.opt(self.last_record.as_ref(), |e, t| e.time(*t));
+        enc.u64(self.busy_ns);
+        enc.opt(self.first_at.as_ref(), |e, t| e.time(*t));
+        enc.opt(self.last_at.as_ref(), |e, t| e.time(*t));
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.records = dec.seq(|d| {
+            Ok(TapRecord {
+                at: d.time()?,
+                ac: d.u8()?,
+                fc: d.u8()?,
+                total_len: d.u32()?,
+                kind: ctms_tokenring::decode_frame_kind(d)?,
+                tag: d.u64()?,
+            })
+        })?;
+        self.purges = dec.u64()?;
+        self.missed = dec.u64()?;
+        self.last_record = dec.opt(|d| d.time())?;
+        self.busy_ns = dec.u64()?;
+        self.first_at = dec.opt(|d| d.time())?;
+        self.last_at = dec.opt(|d| d.time())?;
+        Ok(())
+    }
+}
+
 impl ctms_sim::Instrument for Tap {
     /// Registers the monitor's capture summary: record/miss/purge counts,
     /// observed wire-busy time, the §5.3 class breakdown under `class.*`,

@@ -326,6 +326,80 @@ impl Bridge {
     }
 }
 
+fn persist_side(enc: &mut ctms_sim::Enc, side: RingSide) {
+    enc.u8(match side {
+        RingSide::A => 0,
+        RingSide::B => 1,
+    });
+}
+
+fn restore_side(dec: &mut ctms_sim::Dec<'_>) -> Result<RingSide, ctms_sim::PersistError> {
+    match dec.u8()? {
+        0 => Ok(RingSide::A),
+        1 => Ok(RingSide::B),
+        tag => Err(ctms_sim::PersistError::BadTag {
+            what: "ring side",
+            tag,
+        }),
+    }
+}
+
+impl ctms_sim::Persist for Bridge {
+    /// Dynamic bridge state: both direction queues, the engine-busy
+    /// horizons, the forwarded-frame id allocator and counters. `cfg`
+    /// is structural.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        for q in &self.queues {
+            enc.seq_len(q.len());
+            for p in q {
+                persist_side(enc, p.side_in);
+                p.frame.persist(enc);
+            }
+        }
+        for b in &self.busy_until {
+            enc.opt(b.as_ref(), |e, (t, side)| {
+                e.time(*t);
+                persist_side(e, *side);
+            });
+        }
+        enc.u64(self.next_id);
+        let s = &self.stats;
+        enc.u64(s.forwarded_ab);
+        enc.u64(s.forwarded_ba);
+        enc.u64(s.overflows);
+        enc.u64(s.unroutable);
+        enc.u64(s.queue_highwater as u64);
+        enc.u64(s.busy_ns);
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        use ctms_tokenring::decode_frame;
+        for q in &mut self.queues {
+            *q = dec
+                .seq(|d| {
+                    let side_in = restore_side(d)?;
+                    let frame = decode_frame(d)?;
+                    Ok(Pending { side_in, frame })
+                })?
+                .into_iter()
+                .collect();
+        }
+        for b in &mut self.busy_until {
+            *b = dec.opt(|d| Ok((d.time()?, restore_side(d)?)))?;
+        }
+        self.next_id = dec.u64()?;
+        self.stats = BridgeStats {
+            forwarded_ab: dec.u64()?,
+            forwarded_ba: dec.u64()?,
+            overflows: dec.u64()?,
+            unroutable: dec.u64()?,
+            queue_highwater: dec.u64()? as usize,
+            busy_ns: dec.u64()?,
+        };
+        Ok(())
+    }
+}
+
 impl Component for Bridge {
     type Cmd = BridgeCmd;
     type Out = BridgeOut;

@@ -19,7 +19,7 @@
 //! mechanism behind §5's observation that "critical sections of code"
 //! cause out-of-order packets and latency spread.
 
-use ctms_sim::{Component, Dur, SimTime};
+use ctms_sim::{Component, Dec, Dur, Enc, Persist, PersistError, SimTime};
 use std::collections::VecDeque;
 
 /// Number of interrupt request lines on the machine.
@@ -311,6 +311,98 @@ impl<T: Copy> Cpu<T> {
             remaining: cost,
             as_of: now,
         });
+    }
+}
+
+fn persist_body<T: Persist>(enc: &mut Enc, body: &Body<T>) {
+    match body {
+        Body::IrqDispatch(line) => {
+            enc.u8(0);
+            enc.u8(*line);
+        }
+        Body::Work(tag) => {
+            enc.u8(1);
+            tag.persist(enc);
+        }
+    }
+}
+
+fn restore_body<T: Persist + Default>(dec: &mut Dec<'_>) -> Result<Body<T>, PersistError> {
+    match dec.u8()? {
+        0 => Ok(Body::IrqDispatch(dec.u8()?)),
+        1 => Ok(Body::Work(ctms_sim::decode_new(dec)?)),
+        tag => Err(PersistError::BadTag {
+            what: "cpu job body",
+            tag,
+        }),
+    }
+}
+
+fn persist_running<T: Persist>(enc: &mut Enc, r: &Running<T>) {
+    persist_body(enc, &r.body);
+    enc.u8(r.level);
+    enc.dur(r.remaining);
+    enc.time(r.as_of);
+}
+
+fn restore_running<T: Persist + Default>(dec: &mut Dec<'_>) -> Result<Running<T>, PersistError> {
+    Ok(Running {
+        body: restore_body(dec)?,
+        level: dec.u8()?,
+        remaining: dec.dur()?,
+        as_of: dec.time()?,
+    })
+}
+
+impl<T: Copy + Persist + Default> Persist for Cpu<T> {
+    /// Dynamic processor state: the eight ready queues, the preemption
+    /// stack, the running job, pending IRQ latches, the current speed
+    /// multiplier and counters. `cfg` (line levels, dispatch cost) is
+    /// structural.
+    fn persist(&self, enc: &mut Enc) {
+        for q in &self.ready {
+            enc.seq_len(q.len());
+            for (body, cost) in q {
+                persist_body(enc, body);
+                enc.dur(*cost);
+            }
+        }
+        enc.seq_len(self.stack.len());
+        for r in &self.stack {
+            persist_running(enc, r);
+        }
+        enc.opt(self.running.as_ref(), |e, r| persist_running(e, r));
+        for p in &self.irq_pending {
+            enc.bool(*p);
+        }
+        enc.f64(self.speed);
+        let s = &self.stats;
+        enc.u64(s.busy_work_ns);
+        enc.u64(s.jobs_done);
+        enc.u64(s.irqs_dispatched);
+        enc.u64(s.irq_overruns);
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError> {
+        for q in &mut self.ready {
+            *q = dec
+                .seq(|d| Ok((restore_body(d)?, d.dur()?)))?
+                .into_iter()
+                .collect();
+        }
+        self.stack = dec.seq(restore_running)?;
+        self.running = dec.opt(restore_running)?;
+        for p in &mut self.irq_pending {
+            *p = dec.bool()?;
+        }
+        self.speed = dec.f64()?;
+        self.stats = CpuStats {
+            busy_work_ns: dec.u64()?,
+            jobs_done: dec.u64()?,
+            irqs_dispatched: dec.u64()?,
+            irq_overruns: dec.u64()?,
+        };
+        Ok(())
     }
 }
 

@@ -174,6 +174,18 @@ impl<T: Copy + core::fmt::Debug> Machine<T> {
         self.cpu.current_level()
     }
 
+    /// Pushes every in-flight DMA completion `extra` later, as if the
+    /// bus arbiter had stalled the engines. A checkpoint-restore
+    /// mutation hook: callers apply it at a restore point to explore how
+    /// a transient DMA stall perturbs the continued run. CPU slowdown
+    /// accounting is unchanged (the transfer occupies the bus longer at
+    /// the same arbitration factor).
+    pub fn delay_active_dmas(&mut self, extra: ctms_sim::Dur) {
+        for d in &mut self.dmas {
+            d.done_at += extra;
+        }
+    }
+
     fn cpu_speed(&self) -> f64 {
         let sys = self
             .dmas
@@ -204,6 +216,50 @@ impl<T: Copy + core::fmt::Debug> Machine<T> {
                 CpuOut::IrqOverrun { line } => MachOut::IrqOverrun { line },
             });
         }
+    }
+}
+
+impl<T: Copy + ctms_sim::Persist + Default> ctms_sim::Persist for Machine<T> {
+    /// Dynamic machine state: the CPU, the in-flight DMA set, bus
+    /// counters and the speed integrator. `cfg` is structural.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        self.cpu.persist(enc);
+        enc.seq_len(self.dmas.len());
+        for d in &self.dmas {
+            enc.time(d.done_at);
+            d.region.persist(enc);
+            d.tag.persist(enc);
+        }
+        enc.u64(self.bus.cpu_stall_ns);
+        enc.u64(self.bus.sysdma_active_ns);
+        enc.u64(self.bus.dmas_system);
+        enc.u64(self.bus.dmas_io_channel);
+        enc.time(self.speed_since);
+        enc.f64(self.cur_speed);
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.cpu.restore(dec)?;
+        self.dmas = dec.seq(|d| {
+            let done_at = d.time()?;
+            let mut region = MemRegion::System;
+            region.restore(d)?;
+            let tag = ctms_sim::decode_new(d)?;
+            Ok(ActiveDma {
+                done_at,
+                region,
+                tag,
+            })
+        })?;
+        self.bus = BusStats {
+            cpu_stall_ns: dec.u64()?,
+            sysdma_active_ns: dec.u64()?,
+            dmas_system: dec.u64()?,
+            dmas_io_channel: dec.u64()?,
+        };
+        self.speed_since = dec.time()?;
+        self.cur_speed = dec.f64()?;
+        Ok(())
     }
 }
 

@@ -55,6 +55,48 @@ impl Default for CopyCost {
     }
 }
 
+impl ctms_sim::Persist for MemRegion {
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        enc.u8(match self {
+            MemRegion::System => 0,
+            MemRegion::IoChannel => 1,
+            MemRegion::Device => 2,
+        });
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        *self = match dec.u8()? {
+            0 => MemRegion::System,
+            1 => MemRegion::IoChannel,
+            2 => MemRegion::Device,
+            tag => {
+                return Err(ctms_sim::PersistError::BadTag {
+                    what: "memory region",
+                    tag,
+                })
+            }
+        };
+        Ok(())
+    }
+}
+
+impl ctms_sim::Persist for CopyCost {
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        enc.dur(self.sys_to_sys);
+        enc.dur(self.sys_to_io);
+        enc.dur(self.io_to_sys);
+        enc.dur(self.dev_pio);
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.sys_to_sys = dec.dur()?;
+        self.sys_to_io = dec.dur()?;
+        self.io_to_sys = dec.dur()?;
+        self.dev_pio = dec.dur()?;
+        Ok(())
+    }
+}
+
 impl CopyCost {
     /// Per-byte CPU cost of copying from `src` to `dst`.
     pub fn per_byte(&self, src: MemRegion, dst: MemRegion) -> Dur {

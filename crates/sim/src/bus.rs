@@ -50,6 +50,7 @@
 
 use crate::engine::Component;
 use crate::heap::IndexedHeap;
+use crate::persist::{Dec, Enc, Persist, PersistError};
 use crate::telemetry::Registry;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
@@ -480,6 +481,61 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
         if let Err(e) = self.try_run_until(horizon) {
             panic!("{e}");
         }
+    }
+
+    /// Appends the harness's dynamic state — clock, event counter, every
+    /// node in registration order, and the telemetry event/phase history
+    /// — to `enc`. The scheduler heap is *not* encoded: it is a pure
+    /// function of node deadlines and is rebuilt on restore. The router
+    /// is also not encoded; the topology layer that owns its concrete
+    /// type persists it alongside this call.
+    ///
+    /// Must be called at a quiescent instant (after `try_run_until`
+    /// returned), when every scratch buffer is drained.
+    pub fn persist_state(&self, enc: &mut Enc)
+    where
+        C: Persist,
+    {
+        debug_assert!(self.wave.is_empty() && self.out_buf.is_empty());
+        enc.time(self.now);
+        enc.u64(self.events);
+        enc.seq_len(self.nodes.len());
+        for node in &self.nodes {
+            node.persist(enc);
+        }
+        self.telemetry.persist(enc);
+    }
+
+    /// Applies state persisted by [`Harness::persist_state`] onto this
+    /// freshly rebuilt harness (same topology, same registration order).
+    /// Every node is conservatively marked dirty so the scheduler re-keys
+    /// it from its restored deadline before the next step.
+    pub fn restore_state(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError>
+    where
+        C: Persist,
+    {
+        if let Some(e) = self.failed {
+            return Err(PersistError::mismatch(format!(
+                "cannot restore into a poisoned harness: {e}"
+            )));
+        }
+        let now = dec.time()?;
+        let events = dec.u64()?;
+        let n = dec.seq_len()?;
+        if n != self.nodes.len() {
+            return Err(PersistError::mismatch(format!(
+                "checkpoint has {n} nodes, rebuilt harness has {}",
+                self.nodes.len()
+            )));
+        }
+        for i in 0..self.nodes.len() {
+            self.nodes[i].restore(dec)?;
+            self.dirty.push(i);
+        }
+        self.telemetry.restore(dec)?;
+        self.now = now;
+        self.events = events;
+        Ok(())
     }
 
     /// Re-syncs the scheduler entry of every node recorded in `touched`

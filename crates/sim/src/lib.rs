@@ -23,6 +23,8 @@
 //!   single-threaded harness by construction,
 //! * [`synth`] — synthetic allocation-free workloads for the perf
 //!   harness and the zero-allocation steady-state test,
+//! * [`persist`] — canonical binary state serialization ([`persist::Persist`])
+//!   for checkpoint/restore with byte-identical resume,
 //! * [`sweep`] — a `std::thread` fan-out for independent simulations with
 //!   results returned in sequential order,
 //! * [`trace`] — ground-truth signal edge logs for the measurement points,
@@ -35,6 +37,7 @@ pub mod alloc_count;
 pub mod bus;
 pub mod engine;
 pub mod heap;
+pub mod persist;
 pub mod rng;
 pub mod shard;
 pub mod sweep;
@@ -46,6 +49,7 @@ pub mod trace;
 pub use bus::{CascadeError, CmdSink, Harness, NodeId, Router, SchedMode, DEFAULT_CASCADE_LIMIT};
 pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
 pub use heap::IndexedHeap;
+pub use persist::{decode_new, Dec, Enc, Persist, PersistError};
 pub use rng::{Pcg32, SplitMix64};
 pub use shard::{merge_mail, MailKey, MergeTelemetry, ShardStats, ShardedHarness};
 pub use sweep::{default_threads, parallel_map};

@@ -13,6 +13,7 @@
 //! Components derive child generators by *stream label* so that adding a new
 //! consumer never perturbs the draws seen by existing ones.
 
+use crate::persist::{Dec, Enc, Persist, PersistError};
 use crate::time::Dur;
 
 /// SplitMix64, used to expand seeds and hash stream labels.
@@ -197,6 +198,18 @@ impl Pcg32 {
     /// Normally distributed duration, truncated below at zero.
     pub fn normal_dur(&mut self, mean: Dur, std_dev: Dur) -> Dur {
         Dur::from_us_f64(self.normal_f64(mean.as_us_f64(), std_dev.as_us_f64()))
+    }
+}
+
+impl Persist for Pcg32 {
+    fn persist(&self, enc: &mut Enc) {
+        enc.u64(self.state);
+        enc.u64(self.inc);
+    }
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError> {
+        self.state = dec.u64()?;
+        self.inc = dec.u64()?;
+        Ok(())
     }
 }
 

@@ -42,6 +42,7 @@
 use crate::bus::{CascadeError, CmdSink, NodeId, Router, DEFAULT_CASCADE_LIMIT};
 use crate::engine::Component;
 use crate::heap::IndexedHeap;
+use crate::persist::{Dec, Enc, Persist, PersistError};
 use crate::sweep::parallel_map;
 use crate::telemetry::Registry;
 use crate::time::{Dur, SimTime};
@@ -524,6 +525,12 @@ where
         &self.shards[k].as_ref().expect("shard present").router
     }
 
+    /// Mutable access to shard `k`'s router (checkpoint restoration
+    /// distributes decoded router state across the shard routers).
+    pub fn shard_router_mut(&mut self, k: usize) -> &mut R {
+        &mut self.shards[k].as_mut().expect("shard present").router
+    }
+
     /// The shard that owns `id`.
     pub fn shard_of(&self, id: NodeId) -> usize {
         self.owner_map[id.0].0 as usize
@@ -843,6 +850,81 @@ where
     {
         self.collect_telemetry();
         self.telemetry.to_json()
+    }
+
+    /// Appends the harness's dynamic state in the **same format** as
+    /// [`crate::bus::Harness::persist_state`]: clock, total event count,
+    /// every node in *global* registration order, telemetry history.
+    /// Nothing in the bytes mentions a shard, which is what lets a
+    /// snapshot taken here restore into a single-threaded harness or a
+    /// sharded one with any shard count.
+    ///
+    /// Must be called at a sync-instant boundary — after `try_run_until`
+    /// returned, when every shard's clock sits at the horizon and no
+    /// mail is in flight. Routers are persisted separately by the
+    /// topology layer (which knows their concrete type and how to merge
+    /// the per-shard parts canonically).
+    pub fn persist_state(&self, enc: &mut Enc)
+    where
+        C: Persist,
+    {
+        enc.time(self.now);
+        enc.u64(self.events());
+        enc.seq_len(self.owner_map.len());
+        for gid in 0..self.owner_map.len() {
+            let (s, l) = self.owner_map[gid];
+            let shard = self.shards[s as usize].as_ref().expect("shard present");
+            debug_assert!(
+                shard.wave.is_empty()
+                    && shard.out_buf.is_empty()
+                    && shard.inbox.is_empty()
+                    && shard.outbox.iter().all(|o| o.is_empty()),
+                "checkpoint taken off a sync-instant boundary"
+            );
+            shard.nodes[l as usize].persist(enc);
+        }
+        self.telemetry.persist(enc);
+    }
+
+    /// Applies state persisted by [`ShardedHarness::persist_state`] (or
+    /// by the single-threaded harness — the formats are identical) onto
+    /// this freshly rebuilt harness. The node count must match; the
+    /// shard count need not. Every node is marked dirty so its shard's
+    /// heaps re-key it from the restored deadline, every shard's clock
+    /// is set to the checkpoint instant, and the total event count is
+    /// assigned to shard 0 (only the sum is observable).
+    pub fn restore_state(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError>
+    where
+        C: Persist,
+    {
+        if let Some(e) = self.failed {
+            return Err(PersistError::mismatch(format!(
+                "cannot restore into a poisoned harness: {e}"
+            )));
+        }
+        let now = dec.time()?;
+        let events = dec.u64()?;
+        let n = dec.seq_len()?;
+        if n != self.owner_map.len() {
+            return Err(PersistError::mismatch(format!(
+                "checkpoint has {n} nodes, rebuilt harness has {}",
+                self.owner_map.len()
+            )));
+        }
+        for gid in 0..self.owner_map.len() {
+            let (s, l) = self.owner_map[gid];
+            let shard = self.shards[s as usize].as_mut().expect("shard present");
+            shard.nodes[l as usize].restore(dec)?;
+            shard.dirty.push(l as usize);
+        }
+        self.telemetry.restore(dec)?;
+        for (k, s) in self.shards.iter_mut().enumerate() {
+            let s = s.as_mut().expect("shard present");
+            s.now = now;
+            s.events = if k == 0 { events } else { 0 };
+        }
+        self.now = now;
+        Ok(())
     }
 
     /// Scheduler-execution counters (windows, sync instants, mailbox

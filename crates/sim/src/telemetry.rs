@@ -30,6 +30,7 @@
 //! deterministic), keeping the existing per-crate `stats()` accessors as
 //! the thin typed views the numeric test envelopes already rely on.
 
+use crate::persist::{Dec, Enc, Persist, PersistError};
 use crate::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -125,6 +126,81 @@ impl Hist {
             sum: self.sum.saturating_sub(base.sum),
         })
     }
+}
+
+impl Hist {
+    fn persist_bytes(&self, enc: &mut Enc) {
+        enc.u64(self.bin_width);
+        enc.seq_len(self.counts.len());
+        for c in &self.counts {
+            enc.u64(*c);
+        }
+        enc.u64(self.overflow);
+        enc.u64(self.total);
+        enc.u64(self.sum);
+    }
+
+    fn restore_bytes(dec: &mut Dec<'_>) -> Result<Hist, PersistError> {
+        Ok(Hist {
+            bin_width: dec.u64()?,
+            counts: dec.seq(|d| d.u64())?,
+            overflow: dec.u64()?,
+            total: dec.u64()?,
+            sum: dec.u64()?,
+        })
+    }
+}
+
+impl Value {
+    fn persist_bytes(&self, enc: &mut Enc) {
+        match self {
+            Value::Counter(c) => {
+                enc.u8(0);
+                enc.u64(*c);
+            }
+            Value::Gauge(g) => {
+                enc.u8(1);
+                enc.i64(*g);
+            }
+            Value::Hist(h) => {
+                enc.u8(2);
+                h.persist_bytes(enc);
+            }
+            Value::Text(t) => {
+                enc.u8(3);
+                enc.str(t);
+            }
+        }
+    }
+
+    fn restore_bytes(dec: &mut Dec<'_>) -> Result<Value, PersistError> {
+        Ok(match dec.u8()? {
+            0 => Value::Counter(dec.u64()?),
+            1 => Value::Gauge(dec.i64()?),
+            2 => Value::Hist(Hist::restore_bytes(dec)?),
+            3 => Value::Text(dec.str()?),
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "telemetry value",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+fn persist_metric_map(metrics: &BTreeMap<String, Value>, enc: &mut Enc) {
+    enc.seq_len(metrics.len());
+    for (path, v) in metrics {
+        // Already in ascending key order: BTreeMap iteration.
+        enc.str(path);
+        v.persist_bytes(enc);
+    }
+}
+
+fn restore_metric_map(dec: &mut Dec<'_>) -> Result<BTreeMap<String, Value>, PersistError> {
+    let pairs = dec.seq(|d| Ok((d.str()?, Value::restore_bytes(d)?)))?;
+    Ok(pairs.into_iter().collect())
 }
 
 /// A sim-time-stamped edge signal: something *happened*, as opposed to a
@@ -360,6 +436,45 @@ impl Registry {
     /// golden fingerprint for determinism regression tests.
     pub fn digest(&self) -> u64 {
         fnv1a(self.to_json().as_bytes())
+    }
+}
+
+impl Persist for Registry {
+    /// Encodes the event history and phase snapshots — the parts of the
+    /// registry that *cannot* be rebuilt by re-collecting instruments.
+    /// Live metrics are deliberately excluded: the harness's collector
+    /// clears and repopulates them from component state on every pull,
+    /// so persisting them would only duplicate component state.
+    fn persist(&self, enc: &mut Enc) {
+        enc.seq_len(self.events.len());
+        for e in &self.events {
+            enc.time(e.at);
+            enc.str(&e.path);
+            enc.str(&e.detail);
+        }
+        enc.seq_len(self.phases.len());
+        for p in &self.phases {
+            enc.str(&p.name);
+            persist_metric_map(&p.metrics, enc);
+        }
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError> {
+        self.events = dec.seq(|d| {
+            Ok(Event {
+                at: d.time()?,
+                path: d.str()?,
+                detail: d.str()?,
+            })
+        })?;
+        self.phases = dec.seq(|d| {
+            Ok(Phase {
+                name: d.str()?,
+                metrics: restore_metric_map(d)?,
+            })
+        })?;
+        self.metrics.clear();
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 //! it through their own error models (clock quantization, service-loop
 //! delay, …).
 
+use crate::persist::{Dec, Enc, Persist, PersistError};
 use crate::time::{Dur, SimTime};
 
 /// One timestamped occurrence on a signal, with an optional tag
@@ -139,6 +140,30 @@ impl EdgeLog {
             eat(e.tag);
         }
         h
+    }
+}
+
+impl Persist for EdgeLog {
+    /// Encodes the name and every `(at, tag)` pair; restore replaces the
+    /// whole log (including the name, so `EdgeLog::new("")` is a valid
+    /// decode target).
+    fn persist(&self, enc: &mut Enc) {
+        enc.str(&self.name);
+        enc.seq_len(self.edges.len());
+        for e in &self.edges {
+            enc.time(e.at);
+            enc.u64(e.tag);
+        }
+    }
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError> {
+        self.name = dec.str()?;
+        self.edges = dec.seq(|d| {
+            Ok(Edge {
+                at: d.time()?,
+                tag: d.u64()?,
+            })
+        })?;
+        Ok(())
     }
 }
 

@@ -15,7 +15,7 @@ pub mod frame;
 pub mod ring;
 
 pub use frame::{
-    ac_byte, ac_fields, fc_is_mac, Frame, FrameId, FrameKind, MacKind, Proto, StationId,
-    FRAME_OVERHEAD_BYTES, TOKEN_BITS,
+    ac_byte, ac_fields, decode_frame, decode_frame_kind, fc_is_mac, persist_frame_kind, Frame,
+    FrameId, FrameKind, MacKind, Proto, StationId, FRAME_OVERHEAD_BYTES, TOKEN_BITS,
 };
 pub use ring::{Disturb, FrameView, RingCmd, RingConfig, RingOut, RingStats, TokenRing};

@@ -523,6 +523,145 @@ impl TokenRing {
     }
 }
 
+impl ctms_sim::Persist for TokenRing {
+    /// Dynamic ring state: rng, per-station queues, the medium state
+    /// machine, MAC-traffic schedule, frame-id allocator, priority stack
+    /// and counters. `cfg` and the station count are structural — the
+    /// rebuilt ring must already have them (the restore verifies the
+    /// station count).
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        self.rng.persist(enc);
+        enc.seq_len(self.stations.len());
+        for st in &self.stations {
+            enc.seq_len(st.queue.len());
+            for (f, at) in &st.queue {
+                f.persist(enc);
+                enc.time(*at);
+            }
+        }
+        match &self.state {
+            Medium::TokenFree {
+                released_at,
+                at,
+                priority,
+            } => {
+                enc.u8(0);
+                enc.time(*released_at);
+                enc.u32(at.0);
+                enc.u8(*priority);
+            }
+            Medium::Busy(b) => {
+                enc.u8(1);
+                b.frame.persist(enc);
+                enc.time(b.captured_at);
+                enc.u8(b.captured_priority);
+                enc.opt(b.observe_at.as_ref(), |e, t| e.time(*t));
+                enc.seq_len(b.deliveries.len());
+                for (t, d) in &b.deliveries {
+                    enc.time(*t);
+                    enc.u32(d.0);
+                }
+                enc.time(b.strip_at);
+                enc.bool(b.will_deliver);
+            }
+            Medium::Purging { until, obs } => {
+                enc.u8(2);
+                enc.time(*until);
+                enc.seq_len(obs.len());
+                for t in obs {
+                    enc.time(*t);
+                }
+            }
+        }
+        enc.opt(self.next_mac_at.as_ref(), |e, t| e.time(*t));
+        enc.u64(self.next_frame_id);
+        enc.seq_len(self.stack.len());
+        for (old, new, st) in &self.stack {
+            enc.u8(*old);
+            enc.u8(*new);
+            enc.u32(st.0);
+        }
+        let s = &self.stats;
+        for v in [
+            s.frames_sent,
+            s.frames_delivered,
+            s.frames_lost,
+            s.mac_frames,
+            s.purges,
+            s.purge_sequences,
+            s.busy_ns,
+            s.queue_drops,
+            s.priority_raises,
+            s.priority_lowers,
+        ] {
+            enc.u64(v);
+        }
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        use crate::frame::decode_frame;
+        self.rng.restore(dec)?;
+        let n = dec.seq_len()?;
+        if n != self.stations.len() {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "ring checkpoint has {n} stations, rebuilt ring has {}",
+                self.stations.len()
+            )));
+        }
+        for st in &mut self.stations {
+            st.queue = dec
+                .seq(|d| Ok((decode_frame(d)?, d.time()?)))?
+                .into_iter()
+                .collect();
+        }
+        self.state = match dec.u8()? {
+            0 => Medium::TokenFree {
+                released_at: dec.time()?,
+                at: StationId(dec.u32()?),
+                priority: dec.u8()?,
+            },
+            1 => Medium::Busy(Busy {
+                frame: decode_frame(dec)?,
+                captured_at: dec.time()?,
+                captured_priority: dec.u8()?,
+                observe_at: dec.opt(|d| d.time())?,
+                deliveries: dec
+                    .seq(|d| Ok((d.time()?, StationId(d.u32()?))))?
+                    .into_iter()
+                    .collect(),
+                strip_at: dec.time()?,
+                will_deliver: dec.bool()?,
+            }),
+            2 => Medium::Purging {
+                until: dec.time()?,
+                obs: dec.seq(|d| d.time())?.into_iter().collect(),
+            },
+            tag => {
+                return Err(ctms_sim::PersistError::BadTag {
+                    what: "ring medium",
+                    tag,
+                })
+            }
+        };
+        self.next_mac_at = dec.opt(|d| d.time())?;
+        self.next_frame_id = dec.u64()?;
+        self.stack = dec.seq(|d| Ok((d.u8()?, d.u8()?, StationId(d.u32()?))))?;
+        self.stats = RingStats {
+            frames_sent: dec.u64()?,
+            frames_delivered: dec.u64()?,
+            frames_lost: dec.u64()?,
+            mac_frames: dec.u64()?,
+            purges: dec.u64()?,
+            purge_sequences: dec.u64()?,
+            busy_ns: dec.u64()?,
+            queue_drops: dec.u64()?,
+            priority_raises: dec.u64()?,
+            priority_lowers: dec.u64()?,
+        };
+        Ok(())
+    }
+}
+
 impl Component for TokenRing {
     type Cmd = RingCmd;
     type Out = RingOut;

@@ -34,6 +34,55 @@ pub struct Pkt {
     pub chain: Option<MbufChain>,
 }
 
+impl Pkt {
+    /// Appends this packet's canonical checkpoint bytes.
+    pub fn persist(&self, enc: &mut ctms_sim::Enc) {
+        enc.u8(match self.proto {
+            Proto::Arp => 0,
+            Proto::Ip => 1,
+            Proto::Ctmsp => 2,
+            Proto::Other => 3,
+        });
+        enc.u32(self.dst.0);
+        enc.u32(self.len);
+        enc.u64(self.tag);
+        enc.u8(self.priority);
+        enc.opt(self.chain.as_ref(), |e, c| {
+            e.u32(c.len);
+            e.u32(c.count);
+        });
+    }
+
+    /// Decodes a packet persisted by [`Pkt::persist`].
+    pub fn decode(dec: &mut ctms_sim::Dec<'_>) -> Result<Pkt, ctms_sim::PersistError> {
+        let proto = match dec.u8()? {
+            0 => Proto::Arp,
+            1 => Proto::Ip,
+            2 => Proto::Ctmsp,
+            3 => Proto::Other,
+            tag => {
+                return Err(ctms_sim::PersistError::BadTag {
+                    what: "packet proto",
+                    tag,
+                })
+            }
+        };
+        Ok(Pkt {
+            proto,
+            dst: StationId(dec.u32()?),
+            len: dec.u32()?,
+            tag: dec.u64()?,
+            priority: dec.u8()?,
+            chain: dec.opt(|d| {
+                Ok(MbufChain {
+                    len: d.u32()?,
+                    count: d.u32()?,
+                })
+            })?,
+        })
+    }
+}
+
 /// Result of a user `read`/`write` entering a driver.
 #[derive(Debug, PartialEq, Eq)]
 pub enum OpResult {
@@ -320,6 +369,22 @@ pub trait Driver: Any + Send {
     /// keep no statistics inherit this no-op.
     fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
         let _ = scope;
+    }
+
+    /// Appends this driver's dynamic state for a checkpoint. The kernel
+    /// frames each driver's bytes with its [`name`](Driver::name) and a
+    /// length prefix, so stateless drivers inherit this write-nothing
+    /// default and pay only the frame.
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        let _ = enc;
+    }
+
+    /// Restores state written by [`persist_state`](Driver::persist_state).
+    /// The kernel hands each driver exactly its own byte span and verifies
+    /// full consumption, so the default accepts only an empty span.
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        let _ = dec;
+        Ok(())
     }
 
     /// Downcast support for post-run statistics extraction.

@@ -166,6 +166,26 @@ impl Host {
     }
 }
 
+impl ctms_sim::Persist for Host {
+    /// Machine state then kernel state. The exchange buffers and cascade
+    /// guard are empty/reset at every settled instant, so they carry no
+    /// bytes; restore re-arms a fresh guard.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        debug_assert!(self.kouts.is_empty() && self.mouts.is_empty());
+        self.machine.persist(enc);
+        self.kernel.persist(enc);
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.machine.restore(dec)?;
+        self.kernel.restore(dec)?;
+        self.guard = CascadeGuard::default();
+        self.kouts.clear();
+        self.mouts.clear();
+        Ok(())
+    }
+}
+
 impl Component for Host {
     type Cmd = HostCmd;
     type Out = HostOut;

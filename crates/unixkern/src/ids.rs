@@ -37,6 +37,56 @@ pub enum KTag {
     },
 }
 
+/// The placeholder [`decode_new`](ctms_sim::decode_new) starting value;
+/// real tags are always fully overwritten by [`ctms_sim::Persist::restore`].
+impl Default for KTag {
+    fn default() -> Self {
+        KTag::Kern { token: 0 }
+    }
+}
+
+impl ctms_sim::Persist for KTag {
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        match self {
+            KTag::Driver { id, token } => {
+                enc.u8(0);
+                enc.u8(id.0);
+                enc.u64(*token);
+            }
+            KTag::Proc { pid, token } => {
+                enc.u8(1);
+                enc.u32(pid.0);
+                enc.u64(*token);
+            }
+            KTag::Kern { token } => {
+                enc.u8(2);
+                enc.u64(*token);
+            }
+        }
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        *self = match dec.u8()? {
+            0 => KTag::Driver {
+                id: DriverId(dec.u8()?),
+                token: dec.u64()?,
+            },
+            1 => KTag::Proc {
+                pid: Pid(dec.u32()?),
+                token: dec.u64()?,
+            },
+            2 => KTag::Kern { token: dec.u64()? },
+            tag => {
+                return Err(ctms_sim::PersistError::BadTag {
+                    what: "kernel tag",
+                    tag,
+                })
+            }
+        };
+        Ok(())
+    }
+}
+
 /// The paper's measurement points (§5.2) plus extension points.
 ///
 /// The testbed records each crossing into a ground-truth

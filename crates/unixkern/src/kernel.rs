@@ -1060,6 +1060,210 @@ impl Kernel {
     }
 }
 
+fn persist_timer_target(enc: &mut ctms_sim::Enc, t: &TimerTarget) {
+    match t {
+        TimerTarget::Driver(id, token) => {
+            enc.u8(0);
+            enc.u8(id.0);
+            enc.u64(*token);
+        }
+        TimerTarget::Hardclock => enc.u8(1),
+        TimerTarget::ProcSleep(pid) => {
+            enc.u8(2);
+            enc.u32(pid.0);
+        }
+        TimerTarget::TcpRetx(port) => {
+            enc.u8(3);
+            enc.u16(port.0);
+        }
+    }
+}
+
+fn restore_timer_target(
+    dec: &mut ctms_sim::Dec<'_>,
+) -> Result<TimerTarget, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => TimerTarget::Driver(DriverId(dec.u8()?), dec.u64()?),
+        1 => TimerTarget::Hardclock,
+        2 => TimerTarget::ProcSleep(Pid(dec.u32()?)),
+        3 => TimerTarget::TcpRetx(Port(dec.u16()?)),
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "timer target",
+                tag,
+            })
+        }
+    })
+}
+
+fn persist_kern_job(enc: &mut ctms_sim::Enc, j: &KernJob) {
+    match j {
+        KernJob::SoftnetRx(pkt) => {
+            enc.u8(0);
+            pkt.persist(enc);
+        }
+        KernJob::HardclockBody => enc.u8(1),
+        KernJob::SoftclockBody => enc.u8(2),
+    }
+}
+
+fn restore_kern_job(dec: &mut ctms_sim::Dec<'_>) -> Result<KernJob, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => KernJob::SoftnetRx(Pkt::decode(dec)?),
+        1 => KernJob::HardclockBody,
+        2 => KernJob::SoftclockBody,
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "kernel job",
+                tag,
+            })
+        }
+    })
+}
+
+impl ctms_sim::Persist for Kernel {
+    /// Dynamic kernel state: the mbuf pool, the rng, the timer wheel,
+    /// process/socket/kernel-job tables, waiter maps, counters, the boot
+    /// latch, and each driver's own state (framed by driver name so a
+    /// topology mismatch is caught by name, not by silent misparse).
+    /// `cfg`, programs, bindings and the driver set are structural. The
+    /// `work` queue and dispatch scratch are always drained between
+    /// events, so a sync-instant checkpoint never contains them.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        debug_assert!(
+            self.work.is_empty(),
+            "checkpoint with undrained kernel work"
+        );
+        self.mbufs.persist(enc);
+        self.rng.persist(enc);
+        enc.seq_len(self.timers.len());
+        for ((at, seq), target) in &self.timers {
+            enc.time(*at);
+            enc.u64(*seq);
+            persist_timer_target(enc, target);
+        }
+        enc.u64(self.timer_seq);
+        enc.seq_len(self.procs.len());
+        for p in &self.procs {
+            crate::proc::persist_proc(enc, p);
+        }
+        let mut ports: Vec<u16> = self.socks.keys().copied().collect();
+        ports.sort_unstable();
+        enc.seq_len(ports.len());
+        for port in ports {
+            self.socks[&port].persist(enc);
+        }
+        let mut jobs: Vec<u64> = self.kern_jobs.keys().copied().collect();
+        jobs.sort_unstable();
+        enc.seq_len(jobs.len());
+        for token in jobs {
+            enc.u64(token);
+            persist_kern_job(enc, &self.kern_jobs[&token]);
+        }
+        enc.u64(self.kern_job_seq);
+        let mut waiters: Vec<u64> = self.mbuf_waiters.keys().copied().collect();
+        waiters.sort_unstable();
+        enc.seq_len(waiters.len());
+        for ticket in waiters {
+            enc.u64(ticket);
+            enc.u32(self.mbuf_waiters[&ticket].0);
+        }
+        enc.u64(self.stats.softnet_pkts);
+        enc.u64(self.stats.unmatched_pkts);
+        enc.u64(self.stats.tcp_ooo_drops);
+        enc.u64(self.stats.ticks);
+        enc.u64(self.stats.acks_tx);
+        enc.u64(self.stats.retx);
+        enc.bool(self.booted);
+        enc.seq_len(self.drivers.len());
+        for slot in &self.drivers {
+            let d = slot.as_deref().expect("checkpoint during driver dispatch");
+            enc.str(d.name());
+            let mut sub = ctms_sim::Enc::new();
+            d.persist_state(&mut sub);
+            enc.bytes(&sub.into_bytes());
+        }
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.mbufs.restore(dec)?;
+        self.rng.restore(dec)?;
+        self.timers = dec
+            .seq(|d| {
+                let at = d.time()?;
+                let seq = d.u64()?;
+                let target = restore_timer_target(d)?;
+                Ok(((at, seq), target))
+            })?
+            .into_iter()
+            .collect();
+        self.timer_seq = dec.u64()?;
+        let n = dec.seq_len()?;
+        if n != self.procs.len() {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "kernel checkpoint has {n} processes, rebuilt kernel has {}",
+                self.procs.len()
+            )));
+        }
+        for p in &mut self.procs {
+            crate::proc::restore_proc(dec, p)?;
+        }
+        let n = dec.seq_len()?;
+        if n != self.socks.len() {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "kernel checkpoint has {n} sockets, rebuilt kernel has {}",
+                self.socks.len()
+            )));
+        }
+        let mut ports: Vec<u16> = self.socks.keys().copied().collect();
+        ports.sort_unstable();
+        for port in ports {
+            self.socks.get_mut(&port).expect("present").restore(dec)?;
+        }
+        self.kern_jobs = dec
+            .seq(|d| Ok((d.u64()?, restore_kern_job(d)?)))?
+            .into_iter()
+            .collect();
+        self.kern_job_seq = dec.u64()?;
+        self.mbuf_waiters = dec
+            .seq(|d| Ok((d.u64()?, Pid(d.u32()?))))?
+            .into_iter()
+            .collect();
+        self.stats = KernStats {
+            softnet_pkts: dec.u64()?,
+            unmatched_pkts: dec.u64()?,
+            tcp_ooo_drops: dec.u64()?,
+            ticks: dec.u64()?,
+            acks_tx: dec.u64()?,
+            retx: dec.u64()?,
+        };
+        self.booted = dec.bool()?;
+        let n = dec.seq_len()?;
+        if n != self.drivers.len() {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "kernel checkpoint has {n} drivers, rebuilt kernel has {}",
+                self.drivers.len()
+            )));
+        }
+        for (k, slot) in self.drivers.iter_mut().enumerate() {
+            let d = slot.as_deref_mut().expect("driver present");
+            let name = dec.str()?;
+            if name != d.name() {
+                return Err(ctms_sim::PersistError::mismatch(format!(
+                    "driver {k} checkpoint is for '{name}', rebuilt kernel has '{}'",
+                    d.name()
+                )));
+            }
+            let bytes = dec.bytes()?;
+            let mut sub = ctms_sim::Dec::new(&bytes);
+            d.restore_state(&mut sub)?;
+            sub.finish()?;
+        }
+        self.work.clear();
+        Ok(())
+    }
+}
+
 impl Component for Kernel {
     type Cmd = KernCmd;
     type Out = KernOut;

@@ -194,6 +194,46 @@ impl MbufPool {
     }
 }
 
+impl ctms_sim::Persist for MbufPool {
+    /// Dynamic pool state: occupancy, the waiter queue, the ticket
+    /// allocator and counters. `capacity` is structural but cheap to
+    /// verify, so the restore checks it.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        enc.u32(self.capacity);
+        enc.u32(self.in_use);
+        enc.seq_len(self.waiters.len());
+        for (ticket, n) in &self.waiters {
+            enc.u64(*ticket);
+            enc.u32(*n);
+        }
+        enc.u64(self.next_ticket);
+        enc.u64(self.stats.allocs);
+        enc.u64(self.stats.drops);
+        enc.u64(self.stats.waits);
+        enc.u32(self.stats.peak_in_use);
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        let cap = dec.u32()?;
+        if cap != self.capacity {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "mbuf pool checkpoint capacity {cap}, rebuilt pool has {}",
+                self.capacity
+            )));
+        }
+        self.in_use = dec.u32()?;
+        self.waiters = dec.seq(|d| Ok((d.u64()?, d.u32()?)))?.into_iter().collect();
+        self.next_ticket = dec.u64()?;
+        self.stats = MbufStats {
+            allocs: dec.u64()?,
+            drops: dec.u64()?,
+            waits: dec.u64()?,
+            peak_in_use: dec.u32()?,
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

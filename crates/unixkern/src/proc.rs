@@ -153,6 +153,188 @@ impl Proc {
     }
 }
 
+fn persist_wake_kind(enc: &mut ctms_sim::Enc, k: crate::driver::WakeKind) {
+    use crate::driver::WakeKind as W;
+    match k {
+        W::DevRead { bytes } => {
+            enc.u8(0);
+            enc.u32(bytes);
+        }
+        W::DevWrite => enc.u8(1),
+        W::SockData => enc.u8(2),
+        W::SockSpace => enc.u8(3),
+        W::Mbuf => enc.u8(4),
+        W::Timer => enc.u8(5),
+    }
+}
+
+fn restore_wake_kind(
+    dec: &mut ctms_sim::Dec<'_>,
+) -> Result<crate::driver::WakeKind, ctms_sim::PersistError> {
+    use crate::driver::WakeKind as W;
+    Ok(match dec.u8()? {
+        0 => W::DevRead { bytes: dec.u32()? },
+        1 => W::DevWrite,
+        2 => W::SockData,
+        3 => W::SockSpace,
+        4 => W::Mbuf,
+        5 => W::Timer,
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "wake kind",
+                tag,
+            })
+        }
+    })
+}
+
+fn persist_stage(enc: &mut ctms_sim::Enc, s: Stage) {
+    match s {
+        Stage::Compute { remaining } => {
+            enc.u8(0);
+            enc.dur(remaining);
+        }
+        Stage::SyscallEntry => enc.u8(1),
+        Stage::Copyout => enc.u8(2),
+        Stage::CopyinDev => enc.u8(3),
+        Stage::CopyinSock => enc.u8(4),
+        Stage::Proto => enc.u8(5),
+        Stage::AfterWake(k) => {
+            enc.u8(6);
+            persist_wake_kind(enc, k);
+        }
+    }
+}
+
+fn restore_stage(dec: &mut ctms_sim::Dec<'_>) -> Result<Stage, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => Stage::Compute {
+            remaining: dec.dur()?,
+        },
+        1 => Stage::SyscallEntry,
+        2 => Stage::Copyout,
+        3 => Stage::CopyinDev,
+        4 => Stage::CopyinSock,
+        5 => Stage::Proto,
+        6 => Stage::AfterWake(restore_wake_kind(dec)?),
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "proc stage",
+                tag,
+            })
+        }
+    })
+}
+
+fn persist_wait(enc: &mut ctms_sim::Enc, w: Wait) {
+    match w {
+        Wait::DevRead(d) => {
+            enc.u8(0);
+            enc.u8(d.0);
+        }
+        Wait::DevWrite(d) => {
+            enc.u8(1);
+            enc.u8(d.0);
+        }
+        Wait::Mbuf(ticket) => {
+            enc.u8(2);
+            enc.u64(ticket);
+        }
+        Wait::SockData(p) => {
+            enc.u8(3);
+            enc.u16(p.0);
+        }
+        Wait::SockSpace(p) => {
+            enc.u8(4);
+            enc.u16(p.0);
+        }
+        Wait::Sleeping => enc.u8(5),
+    }
+}
+
+fn restore_wait(dec: &mut ctms_sim::Dec<'_>) -> Result<Wait, ctms_sim::PersistError> {
+    Ok(match dec.u8()? {
+        0 => Wait::DevRead(DriverId(dec.u8()?)),
+        1 => Wait::DevWrite(DriverId(dec.u8()?)),
+        2 => Wait::Mbuf(dec.u64()?),
+        3 => Wait::SockData(Port(dec.u16()?)),
+        4 => Wait::SockSpace(Port(dec.u16()?)),
+        5 => Wait::Sleeping,
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "proc wait",
+                tag,
+            })
+        }
+    })
+}
+
+/// Appends one process's dynamic state (the program is structural).
+pub(crate) fn persist_proc(enc: &mut ctms_sim::Enc, p: &Proc) {
+    enc.u32(p.pid.0);
+    enc.u32(p.pc as u32);
+    match p.state {
+        PState::Ready => enc.u8(0),
+        PState::OnCpu(s) => {
+            enc.u8(1);
+            persist_stage(enc, s);
+        }
+        PState::Blocked(w) => {
+            enc.u8(2);
+            persist_wait(enc, w);
+        }
+        PState::Exited => enc.u8(3),
+    }
+    enc.u64(p.seq);
+    enc.opt(p.pending_chain.as_ref(), |e, c| {
+        e.u32(c.len);
+        e.u32(c.count);
+    });
+}
+
+/// Restores one process's dynamic state onto its rebuilt slot.
+pub(crate) fn restore_proc(
+    dec: &mut ctms_sim::Dec<'_>,
+    p: &mut Proc,
+) -> Result<(), ctms_sim::PersistError> {
+    let pid = dec.u32()?;
+    if pid != p.pid.0 {
+        return Err(ctms_sim::PersistError::mismatch(format!(
+            "process checkpoint pid {pid}, rebuilt slot has {}",
+            p.pid.0
+        )));
+    }
+    let pc = dec.u32()? as usize;
+    // An exited one-shot process parks at pc == steps.len().
+    if pc > p.program.steps.len() {
+        return Err(ctms_sim::PersistError::mismatch(format!(
+            "process {pid} pc {pc} out of range for a {}-step program",
+            p.program.steps.len()
+        )));
+    }
+    p.pc = pc;
+    p.state = match dec.u8()? {
+        0 => PState::Ready,
+        1 => PState::OnCpu(restore_stage(dec)?),
+        2 => PState::Blocked(restore_wait(dec)?),
+        3 => PState::Exited,
+        tag => {
+            return Err(ctms_sim::PersistError::BadTag {
+                what: "proc state",
+                tag,
+            })
+        }
+    };
+    p.seq = dec.u64()?;
+    p.pending_chain = dec.opt(|d| {
+        Ok(crate::mbuf::MbufChain {
+            len: d.u32()?,
+            count: d.u32()?,
+        })
+    })?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

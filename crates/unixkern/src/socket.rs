@@ -251,6 +251,76 @@ impl Sock {
     }
 }
 
+impl ctms_sim::Persist for Sock {
+    /// Dynamic socket state: the receive queue, blocked reader/sender,
+    /// TCP-lite window machinery and counters. The binding (port, proto,
+    /// peer, capacity) is structural; port is verified on restore as the
+    /// cheap invariant.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        enc.u16(self.port.0);
+        enc.seq_len(self.rcv_q.len());
+        for (bytes, seq) in &self.rcv_q {
+            enc.u32(*bytes);
+            enc.u32(*seq);
+        }
+        enc.u32(self.rcv_bytes);
+        enc.opt(self.reader.as_ref(), |e, p| e.u32(p.0));
+        enc.opt(self.sender.as_ref(), |e, (p, b)| {
+            e.u32(p.0);
+            e.u32(*b);
+        });
+        enc.u32(self.tcp.next_seq);
+        enc.u32(self.tcp.inflight);
+        enc.u32(self.tcp.window);
+        enc.u32(self.tcp.rcv_next);
+        enc.bool(self.tcp.retx_armed);
+        enc.seq_len(self.unacked.len());
+        for (seq, bytes) in &self.unacked {
+            enc.u32(*seq);
+            enc.u32(*bytes);
+        }
+        enc.opt(self.retx_from_ns.as_ref(), |e, t| e.u64(*t));
+        enc.u64(self.stats.tx_pkts);
+        enc.u64(self.stats.rx_pkts);
+        enc.u64(self.stats.acks_tx);
+        enc.u64(self.stats.acks_rx);
+        enc.u64(self.stats.rx_drops);
+        enc.u64(self.stats.retx);
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        let port = dec.u16()?;
+        if port != self.port.0 {
+            return Err(ctms_sim::PersistError::mismatch(format!(
+                "socket checkpoint port {port}, rebuilt socket is bound to {}",
+                self.port.0
+            )));
+        }
+        self.rcv_q = dec.seq(|d| Ok((d.u32()?, d.u32()?)))?.into_iter().collect();
+        self.rcv_bytes = dec.u32()?;
+        self.reader = dec.opt(|d| Ok(Pid(d.u32()?)))?;
+        self.sender = dec.opt(|d| Ok((Pid(d.u32()?), d.u32()?)))?;
+        self.tcp = TcpState {
+            next_seq: dec.u32()?,
+            inflight: dec.u32()?,
+            window: dec.u32()?,
+            rcv_next: dec.u32()?,
+            retx_armed: dec.bool()?,
+        };
+        self.unacked = dec.seq(|d| Ok((d.u32()?, d.u32()?)))?.into_iter().collect();
+        self.retx_from_ns = dec.opt(|d| d.u64())?;
+        self.stats = SockStats {
+            tx_pkts: dec.u64()?,
+            rx_pkts: dec.u64()?,
+            acks_tx: dec.u64()?,
+            acks_rx: dec.u64()?,
+            rx_drops: dec.u64()?,
+            retx: dec.u64()?,
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -167,6 +167,23 @@ impl Driver for HostTrafficGen {
         "host-traffic"
     }
 
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        enc.u32(self.burst_left);
+        enc.u64(self.stats.keepalives);
+        enc.u64(self.stats.afs);
+        enc.u64(self.stats.ft_frames);
+        enc.u64(self.stats.mbuf_skips);
+    }
+
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.burst_left = dec.u32()?;
+        self.stats.keepalives = dec.u64()?;
+        self.stats.afs = dec.u64()?;
+        self.stats.ft_frames = dec.u64()?;
+        self.stats.mbuf_skips = dec.u64()?;
+        Ok(())
+    }
+
     fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
         use ctms_sim::Instrument as _;
         self.stats.publish(scope);

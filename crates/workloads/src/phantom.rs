@@ -184,6 +184,49 @@ impl PhantomTraffic {
     }
 }
 
+impl ctms_sim::Persist for PhantomTraffic {
+    /// The rng, every pending arrival, in-progress burst bookkeeping, the
+    /// frame-id counter and the counters; `cfg` is structural.
+    fn persist(&self, enc: &mut ctms_sim::Enc) {
+        self.rng.persist(enc);
+        enc.opt(self.next_small.as_ref(), |e, t| e.time(*t));
+        enc.opt(self.next_arp.as_ref(), |e, t| e.time(*t));
+        enc.opt(self.next_burst.as_ref(), |e, t| e.time(*t));
+        enc.u32(self.burst_left);
+        enc.opt(self.next_burst_frame.as_ref(), |e, t| e.time(*t));
+        enc.u32(self.burst_src.0);
+        enc.u32(self.burst_dst.0);
+        enc.opt(self.next_insertion.as_ref(), |e, t| e.time(*t));
+        enc.opt(self.next_soft.as_ref(), |e, t| e.time(*t));
+        enc.u64(self.next_id);
+        enc.u64(self.stats.small);
+        enc.u64(self.stats.arp);
+        enc.u64(self.stats.ft_frames);
+        enc.u64(self.stats.insertions);
+        enc.u64(self.stats.soft_errors);
+    }
+
+    fn restore(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.rng.restore(dec)?;
+        self.next_small = dec.opt(|d| d.time())?;
+        self.next_arp = dec.opt(|d| d.time())?;
+        self.next_burst = dec.opt(|d| d.time())?;
+        self.burst_left = dec.u32()?;
+        self.next_burst_frame = dec.opt(|d| d.time())?;
+        self.burst_src = StationId(dec.u32()?);
+        self.burst_dst = StationId(dec.u32()?);
+        self.next_insertion = dec.opt(|d| d.time())?;
+        self.next_soft = dec.opt(|d| d.time())?;
+        self.next_id = dec.u64()?;
+        self.stats.small = dec.u64()?;
+        self.stats.arp = dec.u64()?;
+        self.stats.ft_frames = dec.u64()?;
+        self.stats.insertions = dec.u64()?;
+        self.stats.soft_errors = dec.u64()?;
+        Ok(())
+    }
+}
+
 impl Component for PhantomTraffic {
     type Cmd = ();
     type Out = PhantomOut;

@@ -100,6 +100,17 @@ impl Driver for SplLoad {
         "spl-load"
     }
 
+    fn persist_state(&self, enc: &mut ctms_sim::Enc) {
+        enc.u64(self.stats.sections);
+        enc.u64(self.stats.busy_ns);
+    }
+
+    fn restore_state(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        self.stats.sections = dec.u64()?;
+        self.stats.busy_ns = dec.u64()?;
+        Ok(())
+    }
+
     fn publish_telemetry(&self, scope: &mut ctms_sim::telemetry::Scope<'_>) {
         use ctms_sim::Instrument as _;
         self.stats.publish(scope);

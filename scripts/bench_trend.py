@@ -38,6 +38,13 @@ def rows_repro(report):
 
 def rows_perf(report):
     """ctms-perf/1 and /2: scheduler speedups, allocs, sharded chain."""
+    cores = report.get("cores")
+    if cores is not None:
+        # Older reports predate the explicit flag; infer it from the
+        # core count so single-core numbers are always flagged.
+        degraded = report.get("degraded_parallelism", cores == 1)
+        note = ", DEGRADED PARALLELISM" if degraded else ""
+        yield ("measured on", f"{cores} core(s){note}")
     for case in report.get("cases", []):
         ev = case["indexed"]["events_per_sec"]
         yield (
@@ -90,23 +97,34 @@ def main():
         print(f"no BENCH_*.json under {root}", file=sys.stderr)
         return 1
     table = []
+    malformed = []
     for path in reports:
         try:
             report = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as e:
-            table.append((path.name, "unreadable", str(e)))
+            malformed.append((path, e))
             continue
         for metric, value in rows_for(report):
             table.append((path.name, metric, value))
-    w0 = max(len(r[0]) for r in table)
-    w1 = max(len(r[1]) for r in table)
-    print(f"{'report':{w0}}  {'metric':{w1}}  value")
-    print(f"{'-' * w0}  {'-' * w1}  {'-' * 5}")
-    last = None
-    for name, metric, value in table:
-        shown = name if name != last else ""
-        last = name
-        print(f"{shown:{w0}}  {metric:{w1}}  {value}")
+    if table:
+        w0 = max(len(r[0]) for r in table)
+        w1 = max(len(r[1]) for r in table)
+        print(f"{'report':{w0}}  {'metric':{w1}}  value")
+        print(f"{'-' * w0}  {'-' * w1}  {'-' * 5}")
+        last = None
+        for name, metric, value in table:
+            shown = name if name != last else ""
+            last = name
+            print(f"{shown:{w0}}  {metric:{w1}}  {value}")
+    if malformed:
+        for path, err in malformed:
+            print(f"bench_trend: {path.name} is malformed: {err}", file=sys.stderr)
+        print(
+            f"bench_trend: {len(malformed)} malformed report(s) — "
+            "re-record with `cargo run -p ctms-bench --bin perf -- --json <path>`",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -22,6 +22,26 @@ cargo test -q -p ctms-sim --features alloc-count --test zero_alloc
 echo "== tier-1: sharded scheduler parity (golden digests at 1/2/4 shards)"
 cargo test -q --test determinism sharded_harness_shares_the_golden_truth
 
+echo "== tier-1: checkpoint parity (byte-identical resume, any shard count)"
+cargo test -q --test checkpoint
+
+echo "== ctms-serve smoke (session, run, checkpoint/restore round trip)"
+serve_out=$(printf '%s\n' \
+  '{"scenario":"case_a","seed":42}' \
+  '{"cmd":"run","until_ms":1000}' \
+  '{"cmd":"checkpoint"}' \
+  '{"cmd":"quit"}' \
+  | cargo run --release -q -p ctms-bench --bin serve)
+ckpt=$(printf '%s' "$serve_out" | sed -n 's/.*"checkpoint":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ckpt" ] || { echo "serve smoke: no checkpoint in output" >&2; exit 1; }
+printf '%s\n' \
+  '{"scenario":"case_a","seed":42}' \
+  "{\"cmd\":\"restore\",\"checkpoint\":\"$ckpt\"}" \
+  '{"cmd":"quit"}' \
+  | cargo run --release -q -p ctms-bench --bin serve \
+  | grep -q '"event":"restored","now_ms":1000' \
+  || { echo "serve smoke: restore did not land at 1000 ms" >&2; exit 1; }
+
 echo "== perf smoke (report-only, compares against checked-in BENCH_PR4.json)"
 cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
   --quick --compare BENCH_PR4.json

@@ -1,0 +1,400 @@
+//! Checkpoint/restore equivalence: the tier-1 golden invariant of the
+//! state-serialization layer.
+//!
+//! The contract under test: snapshot a run mid-flight, rebuild the
+//! topology from the same scenario, restore, continue — and the result
+//! is **byte-identical** to never having stopped. "Byte-identical" is
+//! pinned against the same golden truth-log digests and canonical
+//! telemetry JSON the determinism suite pins for uninterrupted runs, so
+//! a checkpoint that silently loses any piece of state (an RNG stream,
+//! a timer wheel, a TAP record, a half-open TCP retransmit) moves a
+//! digest and fails here.
+//!
+//! The format is also shard-agnostic: a snapshot taken at 4 shards must
+//! restore into 1- and 2-shard rebuilds (and the plain single-threaded
+//! bus) and still continue onto the single-threaded goldens.
+
+use ctms_core::{apply_mutations, fork, ForkSpec, Mutation, RingChainTestbed, Scenario, Testbed};
+use ctms_router::BridgeKind;
+use ctms_sim::{Dur, SimTime};
+use ctms_unixkern::MeasurePoint;
+
+/// The four truth-log digests the determinism suite pins.
+fn digests(bed: &Testbed) -> [u64; 4] {
+    let get = |host: usize, point: MeasurePoint| {
+        bed.truth_log(host, point)
+            .map(|log| log.digest())
+            .unwrap_or(0)
+    };
+    [
+        get(0, MeasurePoint::VcaIrq),
+        get(0, MeasurePoint::VcaHandlerEntry),
+        get(0, MeasurePoint::PreTransmit),
+        get(1, MeasurePoint::CtmspIdentified),
+    ]
+}
+
+#[test]
+fn resume_is_byte_identical_to_uninterrupted_run() {
+    // Cases A and B: checkpoint at 5 s, restore into a fresh build,
+    // continue to 10 s. Telemetry and digests must equal the
+    // uninterrupted run — including the goldens pinned in
+    // tests/determinism.rs, so resume correctness is anchored to the
+    // same constants as plain determinism.
+    for (sc, golden) in [
+        (
+            Scenario::test_case_a(42),
+            [
+                0x940268B83F8CF91A,
+                0xF827E2062981EE34,
+                0xD1E3D58CA7C69E09,
+                0x612EFD91E2863AC5u64,
+            ],
+        ),
+        (
+            Scenario::test_case_b(42),
+            [
+                0x940268B83F8CF91A,
+                0xF827E2062981EE34,
+                0x83B4DADF58457160,
+                0x866F7B1998BFE1CF,
+            ],
+        ),
+    ] {
+        let mut straight = Testbed::ctms(&sc);
+        straight.run_until(SimTime::from_secs(10));
+        let straight_json = straight.telemetry_json();
+        assert_eq!(digests(&straight), golden, "uninterrupted run drifted");
+
+        let mut first = Testbed::ctms(&sc);
+        first.run_until(SimTime::from_secs(5));
+        let snapshot = first.bus().checkpoint();
+
+        let mut resumed = Testbed::ctms(&sc);
+        resumed
+            .bus_mut()
+            .restore_checkpoint(&snapshot)
+            .expect("restore into an identical rebuild");
+        assert_eq!(resumed.now(), SimTime::from_secs(5));
+        resumed.run_until(SimTime::from_secs(10));
+
+        assert_eq!(digests(&resumed), golden, "resumed run drifted");
+        assert_eq!(
+            resumed.telemetry_json(),
+            straight_json,
+            "resumed telemetry is not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_round_trips_through_a_second_snapshot() {
+    // Restore then immediately re-checkpoint: the bytes must match the
+    // original snapshot exactly (the canonical encoding is a fixed
+    // point), which is what lets a service hand checkpoints around
+    // without generation drift.
+    let sc = Scenario::test_case_a(42);
+    let mut bed = Testbed::ctms(&sc);
+    bed.run_until(SimTime::from_secs(5));
+    let snapshot = bed.bus().checkpoint();
+
+    let mut resumed = Testbed::ctms(&sc);
+    resumed
+        .bus_mut()
+        .restore_checkpoint(&snapshot)
+        .expect("restore");
+    assert_eq!(
+        resumed.bus().checkpoint(),
+        snapshot,
+        "re-checkpoint after restore is not a fixed point"
+    );
+}
+
+#[test]
+fn sharded_snapshot_restores_at_any_shard_count() {
+    // The 16-ring chain genuinely partitions. Snapshot it at 4 shards
+    // half-way, then restore at 1 and 2 shards — and into the plain
+    // single-threaded chain — and continue. Every continuation must
+    // land on the uninterrupted single-threaded run's telemetry and
+    // truth digests.
+    let sc = Scenario::scaled_chain(42);
+    let kind = BridgeKind::cut_through_bridge();
+    let mid = SimTime::from_ms(1000);
+    let end = SimTime::from_secs(2);
+
+    let chain_digests = |get: &dyn Fn(usize, MeasurePoint) -> u64| {
+        [
+            get(0, MeasurePoint::VcaIrq),
+            get(0, MeasurePoint::VcaHandlerEntry),
+            get(0, MeasurePoint::PreTransmit),
+            get(1, MeasurePoint::CtmspIdentified),
+        ]
+    };
+
+    let mut straight = RingChainTestbed::chain(&sc, kind, 16);
+    straight.run_until(end);
+    let straight_json = straight.telemetry_json();
+    let straight_digests = chain_digests(&|host, point| {
+        straight
+            .bus()
+            .measurements()
+            .truth_log(host, point)
+            .map(|log| log.digest())
+            .unwrap_or(0)
+    });
+
+    let mut origin = RingChainTestbed::chain_sharded(&sc, kind, 16, 4);
+    assert_eq!(origin.shard_count(), 4, "snapshot origin must be sharded");
+    origin.run_until(mid);
+    let snapshot = origin.bus().checkpoint();
+
+    // Restore into sharded rebuilds with *different* shard counts.
+    for shards in [1usize, 2] {
+        let mut bed = RingChainTestbed::chain_sharded(&sc, kind, 16, shards);
+        bed.bus_mut()
+            .restore_checkpoint(&snapshot)
+            .unwrap_or_else(|e| panic!("restore at {shards} shards: {e}"));
+        assert_eq!(bed.now(), mid);
+        bed.run_until(end);
+        let got = chain_digests(&|host, point| {
+            bed.bus()
+                .truth_log(host, point)
+                .map(|log| log.digest())
+                .unwrap_or(0)
+        });
+        assert_eq!(
+            got, straight_digests,
+            "restored chain truth drifted (shards={shards}): {got:#018X?}"
+        );
+        assert_eq!(
+            bed.telemetry_json(),
+            straight_json,
+            "restored chain telemetry drifted (shards={shards})"
+        );
+    }
+
+    // And into the plain single-threaded bus.
+    let mut bed = RingChainTestbed::chain(&sc, kind, 16);
+    bed.bus_mut()
+        .restore_checkpoint(&snapshot)
+        .expect("restore sharded snapshot into single-threaded bus");
+    bed.run_until(end);
+    assert_eq!(
+        bed.telemetry_json(),
+        straight_json,
+        "single-threaded restore of a sharded snapshot drifted"
+    );
+
+    // Symmetrically: a single-threaded snapshot restores into a
+    // sharded rebuild (the formats are one format).
+    let mut single_origin = RingChainTestbed::chain(&sc, kind, 16);
+    single_origin.run_until(mid);
+    let single_snapshot = single_origin.bus().checkpoint();
+    let mut bed = RingChainTestbed::chain_sharded(&sc, kind, 16, 4);
+    bed.bus_mut()
+        .restore_checkpoint(&single_snapshot)
+        .expect("restore single snapshot into 4 shards");
+    bed.run_until(end);
+    assert_eq!(
+        bed.telemetry_json(),
+        straight_json,
+        "sharded restore of a single-threaded snapshot drifted"
+    );
+}
+
+#[test]
+fn sharded_fallback_buses_share_the_checkpoint_format() {
+    // Cases A and B are single-ring topologies: `ctms_sharded` falls
+    // back to the single-threaded harness at every requested shard
+    // count. Snapshot through the ShardedBus API at "4 shards" and
+    // restore at 1 and 2 — the fallback must be transparent to the
+    // checkpoint layer too.
+    for sc in [Scenario::test_case_a(42), Scenario::test_case_b(42)] {
+        let (mut origin, _roles) = Testbed::ctms_sharded(&sc, 4);
+        origin.run_until(SimTime::from_secs(5));
+        let snapshot = origin.checkpoint();
+
+        let mut straight = Testbed::ctms(&sc);
+        straight.run_until(SimTime::from_secs(10));
+        let straight_json = straight.telemetry_json();
+
+        for shards in [1usize, 2] {
+            let (mut bus, _roles) = Testbed::ctms_sharded(&sc, shards);
+            bus.restore_checkpoint(&snapshot)
+                .unwrap_or_else(|e| panic!("restore at {shards} shards: {e}"));
+            bus.run_until(SimTime::from_secs(10));
+            assert_eq!(
+                bus.telemetry_json(),
+                straight_json,
+                "fallback restore drifted (shards={shards})"
+            );
+        }
+    }
+}
+
+#[test]
+fn mutations_steer_deterministically() {
+    // Mutations applied at a restore point must (a) actually change the
+    // continuation, and (b) be exactly reproducible: two independent
+    // restore-mutate-continue passes agree byte-for-byte.
+    let sc = Scenario::test_case_a(42);
+    let mut origin = Testbed::ctms(&sc);
+    origin.run_until(SimTime::from_secs(5));
+    let snapshot = origin.bus().checkpoint();
+    let baseline_purges = {
+        let mut bed = Testbed::ctms(&sc);
+        bed.bus_mut()
+            .restore_checkpoint(&snapshot)
+            .expect("restore");
+        bed.run_until(SimTime::from_secs(8));
+        bed.purge_starts().len()
+    };
+
+    let mutated = |mutations: &[Mutation]| {
+        let mut bed = Testbed::ctms(&sc);
+        bed.bus_mut()
+            .restore_checkpoint(&snapshot)
+            .expect("restore");
+        apply_mutations(bed.bus_mut(), mutations).expect("mutations apply");
+        bed.run_until(SimTime::from_secs(8));
+        let purges = bed.purge_starts().len();
+        (purges, bed.telemetry_json())
+    };
+
+    let storm = [Mutation::PurgeStorm { ring: 0, count: 3 }];
+    let (purges_1, json_1) = mutated(&storm);
+    let (purges_2, json_2) = mutated(&storm);
+    assert!(
+        purges_1 > baseline_purges,
+        "a purge storm must add purge sequences ({purges_1} vs {baseline_purges})"
+    );
+    assert_eq!(purges_1, purges_2, "mutated continuation not deterministic");
+    assert_eq!(json_1, json_2, "mutated telemetry not deterministic");
+
+    let churn = [Mutation::StationChurn { ring: 0 }];
+    let (churn_purges, churn_json) = mutated(&churn);
+    assert!(
+        churn_purges > baseline_purges,
+        "station churn must trigger an insertion purge burst"
+    );
+    assert_eq!(churn_json, mutated(&churn).1, "churn not deterministic");
+
+    let stall = [Mutation::DmaStall {
+        host: 0,
+        extra: Dur::from_us(500),
+    }];
+    assert_eq!(
+        mutated(&stall).1,
+        mutated(&stall).1,
+        "DMA stall not deterministic"
+    );
+
+    // Out-of-range targets are rejected, not silently dropped.
+    let mut bed = Testbed::ctms(&sc);
+    bed.bus_mut()
+        .restore_checkpoint(&snapshot)
+        .expect("restore");
+    assert!(apply_mutations(bed.bus_mut(), &[Mutation::StationChurn { ring: 9 }]).is_err());
+    assert!(apply_mutations(
+        bed.bus_mut(),
+        &[Mutation::DmaStall {
+            host: 99,
+            extra: Dur::from_us(1),
+        }]
+    )
+    .is_err());
+}
+
+#[test]
+fn fork_matches_sequential_restores() {
+    // Warm-start forking on the sweep pool: each branch must produce
+    // exactly what a sequential restore-mutate-run of the same spec
+    // produces — parallelism may never change the answer.
+    let sc = Scenario::test_case_a(42);
+    let mut origin = Testbed::ctms(&sc);
+    origin.run_until(SimTime::from_secs(5));
+    let snapshot = origin.bus().checkpoint();
+    let horizon = SimTime::from_secs(8);
+
+    let branches = vec![
+        ForkSpec {
+            mutations: Vec::new(),
+            run_to: horizon,
+        },
+        ForkSpec {
+            mutations: vec![Mutation::PurgeStorm { ring: 0, count: 2 }],
+            run_to: horizon,
+        },
+        ForkSpec {
+            mutations: vec![Mutation::DmaStall {
+                host: 0,
+                extra: Dur::from_us(200),
+            }],
+            run_to: horizon,
+        },
+    ];
+
+    let sequential: Vec<String> = branches
+        .iter()
+        .map(|spec| {
+            let mut bed = Testbed::ctms(&sc);
+            bed.bus_mut()
+                .restore_checkpoint(&snapshot)
+                .expect("restore");
+            apply_mutations(bed.bus_mut(), &spec.mutations).expect("mutations");
+            bed.run_until(spec.run_to);
+            bed.telemetry_json()
+        })
+        .collect();
+
+    let sc_fork = sc.clone();
+    let forked = fork(
+        snapshot,
+        branches,
+        3,
+        move || Testbed::ctms(&sc_fork).into_bus(),
+        |_idx, mut bus| bus.telemetry_json(),
+    )
+    .expect("fork runs");
+
+    assert_eq!(
+        forked, sequential,
+        "forked branches diverged from sequential"
+    );
+}
+
+#[test]
+fn corrupt_and_mismatched_checkpoints_are_rejected() {
+    let sc = Scenario::test_case_a(42);
+    let mut bed = Testbed::ctms(&sc);
+    bed.run_until(SimTime::from_secs(1));
+    let good = bed.bus().checkpoint();
+
+    let mut fresh = Testbed::ctms(&sc);
+
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    assert!(fresh.bus_mut().restore_checkpoint(&bad).is_err());
+
+    // Unknown version.
+    let mut bad = good.clone();
+    bad[8] = bad[8].wrapping_add(1);
+    assert!(fresh.bus_mut().restore_checkpoint(&bad).is_err());
+
+    // Truncated stream.
+    assert!(fresh
+        .bus_mut()
+        .restore_checkpoint(&good[..good.len() - 1])
+        .is_err());
+
+    // Trailing garbage.
+    let mut bad = good.clone();
+    bad.push(0);
+    assert!(fresh.bus_mut().restore_checkpoint(&bad).is_err());
+
+    // Wrong topology: a single-ring case-A snapshot cannot land on a
+    // 16-ring chain (node count mismatch).
+    let mut chain = RingChainTestbed::chain(&sc, BridgeKind::cut_through_bridge(), 16);
+    assert!(chain.bus_mut().restore_checkpoint(&good).is_err());
+}
