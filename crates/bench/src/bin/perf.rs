@@ -3,22 +3,30 @@
 //! ```text
 //! perf [--quick] [--seed N] [--json PATH] [--compare PATH]
 //!      [--shards N] [--rings N] [--threads N]
+//!      [--topology SHAPE[:RINGS]]...
 //!
 //! --quick        short simulated horizon and a single repetition
 //!                (CI smoke size) instead of the full measurement
 //! --seed N       simulation seed (default 42)
 //! --json PATH    write the machine-readable benchmark report
-//!                (the checked-in BENCH_PR4.json / BENCH_PR5.json are
-//!                produced this way)
+//!                (the checked-in BENCH_PR4.json / BENCH_PR5.json /
+//!                BENCH_PR7.json are produced this way)
 //! --compare PATH report-only comparison against a previously written
 //!                report; never fails, prints current vs recorded
 //! --shards N     also benchmark the conservative-parallel sharded
 //!                scheduler on the N-ring chain, sweeping power-of-two
 //!                shard counts up to N
-//! --rings N      chain length for --shards (default 128)
+//! --rings N      chain length for --shards and default ring count for
+//!                --topology (default 128)
 //! --threads N    worker threads per sharded run (default: hardware
 //!                parallelism capped at the shard count; at 1 the
 //!                windows run inline, measuring pure protocol overhead)
+//! --topology SHAPE[:RINGS]
+//!                also benchmark a generated graph topology — one of
+//!                chain, tree, mesh, fddi — single-threaded and at
+//!                power-of-two shard counts up to --shards (default 4).
+//!                Repeatable; an optional :RINGS overrides --rings per
+//!                shape (e.g. --topology tree:1024 --topology fddi:32)
 //! ```
 //!
 //! The binary runs test cases A and B to a fixed simulated horizon under
@@ -43,7 +51,7 @@
 //! allocation-free ring (`ctms_sim::synth`) measures allocations/event
 //! for both modes; the indexed scheduler must come out at exactly zero.
 
-use ctms_core::{RingChainTestbed, Scenario, Testbed};
+use ctms_core::{RingChainTestbed, RingGraph, Scenario, Testbed};
 use ctms_router::BridgeKind;
 use ctms_sim::telemetry::{json_f64, json_string};
 use ctms_sim::{SchedMode, SimTime};
@@ -101,6 +109,7 @@ fn main() {
     let mut shards: Option<usize> = None;
     let mut rings = DEFAULT_CHAIN_RINGS;
     let mut threads: Option<usize> = None;
+    let mut topologies: Vec<(String, Option<usize>)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -153,6 +162,27 @@ fn main() {
                     die("--threads needs at least 1");
                 }
                 threads = Some(n);
+            }
+            "--topology" => {
+                let spec = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--topology needs a shape"));
+                let (shape, n) = match spec.split_once(':') {
+                    Some((shape, n)) => {
+                        let n: usize = n
+                            .parse()
+                            .unwrap_or_else(|_| die("--topology SHAPE:RINGS needs a ring count"));
+                        (shape.to_string(), Some(n))
+                    }
+                    None => (spec, None),
+                };
+                if !matches!(shape.as_str(), "chain" | "tree" | "mesh" | "fddi") {
+                    die(&format!(
+                        "--topology {shape}: unknown shape (chain, tree, mesh, fddi)"
+                    ));
+                }
+                topologies.push((shape, n));
             }
             "--help" | "-h" => {
                 eprintln!("{HELP}");
@@ -224,6 +254,26 @@ fn main() {
         measure_chain(seed, rings, max_shards, threads, chain_horizon, reps)
     });
 
+    let topo_horizon = if quick {
+        CHAIN_QUICK_HORIZON_SECS
+    } else {
+        CHAIN_HORIZON_SECS
+    };
+    let topo_results: Vec<TopoResult> = topologies
+        .iter()
+        .map(|(shape, n)| {
+            measure_topology(
+                seed,
+                shape,
+                n.unwrap_or(rings),
+                shards.unwrap_or(4),
+                threads,
+                topo_horizon,
+                reps,
+            )
+        })
+        .collect();
+
     let steady = steady_state_allocs();
     if let Some(s) = &steady {
         eprintln!(
@@ -238,6 +288,7 @@ fn main() {
         horizon_secs,
         &results,
         chain.as_ref(),
+        &topo_results,
         steady.as_ref(),
     );
     if let Some(path) = &json_path {
@@ -250,7 +301,7 @@ fn main() {
     }
 
     if let Some(path) = &compare_path {
-        compare_report(path, &results, chain.as_ref());
+        compare_report(path, &results, chain.as_ref(), &topo_results);
     }
 }
 
@@ -421,6 +472,123 @@ fn measure_chain(
     }
 }
 
+struct TopoResult {
+    shape: String,
+    rings: usize,
+    horizon_secs: u64,
+    single: ModeRun,
+    sharded: Vec<ChainSharded>,
+}
+
+/// Benchmarks one generated graph topology: single-threaded indexed
+/// (ground truth) against the graph-partitioned sharded scheduler at
+/// every power-of-two shard count up to `max_shards`. Same parity rule
+/// as the chain benchmark — edge-log digests and serviced event counts
+/// must match the single-threaded run before any wall clock is
+/// reported, which is what makes per-shape wall clocks comparable.
+fn measure_topology(
+    seed: u64,
+    shape: &str,
+    rings: usize,
+    max_shards: usize,
+    threads: Option<usize>,
+    horizon_secs: u64,
+    reps: usize,
+) -> TopoResult {
+    let sc = Scenario::scaled_chain(seed);
+    let kind = BridgeKind::cut_through_bridge();
+    let graph = RingGraph::named(shape, rings, seed)
+        .unwrap_or_else(|| die(&format!("unknown topology shape {shape}")));
+    let horizon = SimTime::from_secs(horizon_secs);
+    let set_digests = |set: &ctms_measure::MeasurementSet| {
+        [
+            set.vca_irq.digest(),
+            set.handler.digest(),
+            set.pre_tx.digest(),
+            set.ctmsp_rx.digest(),
+        ]
+    };
+
+    let mut single: Option<ModeRun> = None;
+    for _ in 0..reps {
+        let mut bed = RingChainTestbed::graph(&sc, kind, &graph);
+        let t0 = std::time::Instant::now();
+        bed.run_until(horizon);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let run = ModeRun {
+            events: bed.bus().events(),
+            wall_secs,
+            digests: set_digests(&bed.measurement_set()),
+        };
+        if let Some(b) = &single {
+            assert_eq!(b.digests, run.digests, "repetition changed ground truth");
+            assert_eq!(b.events, run.events, "repetition changed event count");
+        }
+        if single.as_ref().is_none_or(|b| run.wall_secs < b.wall_secs) {
+            single = Some(run);
+        }
+    }
+    let single = single.expect("at least one repetition");
+    eprintln!(
+        "# {shape}/{rings}: single-threaded {:.1}ms ({:.2}M ev/s, {} events)",
+        single.wall_secs * 1e3,
+        single.events as f64 / single.wall_secs / 1e6,
+        single.events
+    );
+
+    let mut sharded = Vec::new();
+    let mut k = 2;
+    while k <= max_shards {
+        let workers = threads.unwrap_or_else(|| ctms_sim::default_threads(k));
+        let mut best: Option<ModeRun> = None;
+        for _ in 0..reps {
+            let mut bed = RingChainTestbed::graph_sharded(&sc, kind, &graph, k);
+            assert_eq!(bed.shard_count(), k, "{shape} must partition into {k}");
+            bed.set_threads(workers);
+            let t0 = std::time::Instant::now();
+            bed.run_until(horizon);
+            let wall_secs = t0.elapsed().as_secs_f64();
+            let run = ModeRun {
+                events: bed.events(),
+                wall_secs,
+                digests: set_digests(&bed.measurement_set()),
+            };
+            assert_eq!(
+                run.digests, single.digests,
+                "{shape}/{rings} shards={k}: sharded scheduler changed ground truth"
+            );
+            assert_eq!(
+                run.events, single.events,
+                "{shape}/{rings} shards={k}: sharded scheduler changed event count"
+            );
+            if best.as_ref().is_none_or(|b| run.wall_secs < b.wall_secs) {
+                best = Some(run);
+            }
+        }
+        let run = best.expect("at least one repetition");
+        eprintln!(
+            "# {shape}/{rings}: shards={k} threads={workers} {:.1}ms ({:.2}M ev/s)  speedup {:.2}x",
+            run.wall_secs * 1e3,
+            run.events as f64 / run.wall_secs / 1e6,
+            single.wall_secs / run.wall_secs
+        );
+        sharded.push(ChainSharded {
+            shards: k,
+            threads: workers,
+            run,
+        });
+        k *= 2;
+    }
+
+    TopoResult {
+        shape: shape.to_string(),
+        rings,
+        horizon_secs,
+        single,
+        sharded,
+    }
+}
+
 struct SteadyState {
     events: u64,
     indexed_allocs: u64,
@@ -461,11 +629,12 @@ fn report_json(
     horizon_secs: u64,
     results: &[CaseResult],
     chain: Option<&ChainResult>,
+    topologies: &[TopoResult],
     steady: Option<&SteadyState>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"format\": \"ctms-perf/2\",\n");
+    out.push_str("  \"format\": \"ctms-perf/3\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"horizon_secs\": {horizon_secs},\n"));
@@ -543,6 +712,50 @@ fn report_json(
         }
         None => out.push_str("  \"chain\": null,\n"),
     }
+    if topologies.is_empty() {
+        out.push_str("  \"topologies\": null,\n");
+    } else {
+        let mode = |m: &ModeRun| {
+            format!(
+                "{{ \"events\": {}, \"wall_secs\": {}, \"events_per_sec\": {} }}",
+                m.events,
+                json_f64(m.wall_secs),
+                json_f64(m.events as f64 / m.wall_secs)
+            )
+        };
+        out.push_str("  \"topologies\": [\n");
+        for (i, t) in topologies.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"shape\": {},\n", json_string(&t.shape)));
+            out.push_str(&format!("      \"rings\": {},\n", t.rings));
+            out.push_str(&format!("      \"horizon_secs\": {},\n", t.horizon_secs));
+            out.push_str(&format!("      \"single\": {},\n", mode(&t.single)));
+            out.push_str("      \"sharded\": [\n");
+            for (j, s) in t.sharded.iter().enumerate() {
+                out.push_str("        {\n");
+                out.push_str(&format!("          \"shards\": {},\n", s.shards));
+                out.push_str(&format!("          \"threads\": {},\n", s.threads));
+                out.push_str(&format!("          \"run\": {},\n", mode(&s.run)));
+                out.push_str(&format!(
+                    "          \"speedup\": {},\n",
+                    json_f64(t.single.wall_secs / s.run.wall_secs)
+                ));
+                out.push_str("          \"ground_truth_parity\": true\n");
+                out.push_str(if j + 1 == t.sharded.len() {
+                    "        }\n"
+                } else {
+                    "        },\n"
+                });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 == topologies.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
     match steady {
         Some(s) => {
             out.push_str("  \"steady_state\": {\n");
@@ -570,7 +783,12 @@ fn report_json(
 /// clocks differ across machines, so this never fails the run — it
 /// surfaces the recorded vs current speedups for a human (or a CI log
 /// reader) to eyeball.
-fn compare_report(path: &str, results: &[CaseResult], chain: Option<&ChainResult>) {
+fn compare_report(
+    path: &str,
+    results: &[CaseResult],
+    chain: Option<&ChainResult>,
+    topologies: &[TopoResult],
+) {
     let recorded = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -608,6 +826,26 @@ fn compare_report(path: &str, results: &[CaseResult], chain: Option<&ChainResult
             }
         }
     }
+    for t in topologies {
+        for s in &t.sharded {
+            // Anchor on the shape name, then the shard entry after it.
+            let anchor = format!("\"shape\": \"{}\"", t.shape);
+            let rec = recorded.find(&anchor).and_then(|at| {
+                extract_speedup_after(&recorded[at..], &format!("\"shards\": {}", s.shards))
+            });
+            let now = t.single.wall_secs / s.run.wall_secs;
+            match rec {
+                Some(r) => eprintln!(
+                    "# compare {}/{} shards={}: recorded speedup {r:.2}x, this run {now:.2}x",
+                    t.shape, t.rings, s.shards
+                ),
+                None => eprintln!(
+                    "# compare {}/{} shards={}: no recorded speedup found in {path}",
+                    t.shape, t.rings, s.shards
+                ),
+            }
+        }
+    }
 }
 
 /// Pulls the `"speedup": <number>` that follows `anchor` out of a
@@ -632,4 +870,4 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N]";
+const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N] [--topology SHAPE[:RINGS]]...";

@@ -44,8 +44,13 @@
 //!
 //! Mutations: `{"kind":"station_churn","ring":0}`,
 //! `{"kind":"purge_storm","ring":0,"count":3}`,
-//! `{"kind":"dma_stall","host":0,"extra_us":500}`. Steering requires a
-//! single-threaded session (`shards` ≤ 1), like `Bus::inject_ring`.
+//! `{"kind":"dma_stall","host":0,"extra_us":500}`. Only the
+//! single-threaded bus can inject (like `Bus::inject_ring`), so a
+//! sharded session steers through the shard-agnostic snapshot round
+//! trip: checkpoint → apply the mutations on a single-threaded rebuild
+//! → restore the mutated state into a fresh sharded build. The
+//! continuation is bit-identical to steering the same state
+//! single-threaded.
 //!
 //! Every reply carries `"ok"`; failures are reported as
 //! `{"ok":false,"error":"..."}` and the session keeps serving. The
@@ -623,14 +628,29 @@ fn main() {
                         continue;
                     }
                 };
-                let Some(single) = bus.as_single_mut() else {
-                    emit_err(
-                        &mut out,
-                        "steer requires a single-threaded session (shards <= 1)",
-                    );
-                    continue;
+                let steered = match bus.as_single_mut() {
+                    Some(single) => apply_mutations(single, &muts),
+                    None => {
+                        // Sharded session: only the single-threaded bus
+                        // can inject, so steer through the shard-agnostic
+                        // snapshot round trip — checkpoint here, mutate
+                        // on a single-threaded rebuild, restore the
+                        // mutated state into a fresh sharded build.
+                        let snapshot = bus.checkpoint();
+                        let mut single = spec.build_single();
+                        single
+                            .restore_checkpoint(&snapshot)
+                            .and_then(|()| apply_mutations(&mut single, &muts))
+                            .and_then(|()| {
+                                let mutated = single.checkpoint();
+                                let mut fresh = spec.build();
+                                fresh.restore_checkpoint(&mutated).map(|()| {
+                                    bus = fresh;
+                                })
+                            })
+                    }
                 };
-                match apply_mutations(single, &muts) {
+                match steered {
                     Ok(()) => emit(
                         &mut out,
                         &format!(

@@ -1,10 +1,17 @@
 //! # ctms-bench — benchmark harness
 //!
-//! Two entry points:
+//! Four entry points:
 //!
 //! * the **`repro` binary** regenerates every table and figure of the
 //!   paper (experiments E1–E11 of DESIGN.md) and prints paper-vs-measured
 //!   claim tables plus ASCII renderings of Figures 5-2/5-3/5-4;
+//! * the **`perf` binary** measures scheduler throughput (indexed vs
+//!   lazy baseline, single vs sharded chains, and `--topology`
+//!   tree/mesh/fddi graph shapes) with ground-truth parity asserted
+//!   before any timing, writing the checked-in `BENCH_PR*.json`
+//!   trajectory reports;
+//! * the **`serve` binary** is the line-oriented JSON service runtime
+//!   (run/telemetry/checkpoint/restore/steer/fork) over a live bus;
 //! * the **benches** (`cargo bench --features bench`) measure the
 //!   simulator's wall-clock cost per scenario and per substrate
 //!   operation, and run the §5.3 ablation grid on the std-only

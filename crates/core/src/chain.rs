@@ -17,22 +17,16 @@
 //! their own MAC background; measurement points work exactly as on the
 //! single-ring testbed (tags survive every hop).
 
+use crate::graph::{graph_topology, RingGraph};
 use crate::parallel::ShardedBus;
 use crate::scenario::Scenario;
 use crate::topology::{Bus, Topology};
-use ctms_ctmsp::{TrDriver, TrDriverCfg};
-use ctms_devices::{CtmsSinkCfg, CtmsSourceCfg, CtmsVcaSink, CtmsVcaSource};
+use ctms_devices::{CtmsVcaSink, CtmsVcaSource};
 use ctms_measure::MeasurementSet;
-use ctms_router::{Bridge, BridgeCfg, BridgeKind};
-use ctms_rtpc::{Machine, MachineConfig, MemRegion};
-use ctms_sim::{CascadeError, Dur, Pcg32, SimTime};
-use ctms_tokenring::{StationId, TokenRing};
-use ctms_unixkern::{DriverId, Host, KernConfig, Kernel, MeasurePoint};
-
-const BRIDGE_A: StationId = StationId(3);
-const BRIDGE_B: StationId = StationId(0);
-const TX: StationId = StationId(0);
-const RX: StationId = StationId(1);
+use ctms_router::BridgeKind;
+use ctms_sim::{CascadeError, SimTime};
+use ctms_tokenring::TokenRing;
+use ctms_unixkern::{DriverId, Host, MeasurePoint};
 
 /// The N-ring chain testbed. See module docs.
 pub struct RingChainTestbed {
@@ -78,133 +72,44 @@ impl RingChainTestbed {
         }
     }
 
-    /// The chain as a [`Topology`] description plus the VCA driver ids —
-    /// shared by the single-threaded and sharded constructors.
-    fn chain_topology(sc: &Scenario, kind: BridgeKind, n: usize) -> (Topology, DriverId, DriverId) {
-        assert!(n >= 2, "a chain needs at least two rings");
-        let root = Pcg32::new(sc.seed, 0xD2);
-        let mk_ring = |label: &str| {
-            let mut ring = TokenRing::new(sc.calib.ring.clone(), root.derive(label));
-            for _ in 0..4 {
-                ring.add_station();
-            }
-            ring
-        };
-
-        let mut adapter = sc.calib.adapter;
-        adapter.buffer_region = if sc.io_channel_memory {
-            MemRegion::IoChannel
-        } else {
-            MemRegion::System
-        };
-
-        let tr_cfg = |station: StationId| TrDriverCfg {
-            station,
-            adapter,
-            ctmsp_enabled: true,
-            driver_priority: sc.driver_priority,
-            precomputed_header: sc.precomputed_header,
-            tx_copy_full: sc.tx_copy_full,
-            rx_copy_to_mbufs: sc.rx_copy_to_mbufs,
-            ctmsp_sink: None,
-            ifq_cap: 50,
-            header_cost: sc.calib.header_cost,
-            precomp_header_cost: sc.calib.precomp_header_cost,
-            ctmsp_check_cost: sc.calib.ctmsp_check_cost,
-            copy_spl: 5,
-            racy_critical_sections: sc.racy_driver,
-        };
-        let kcfg = KernConfig {
-            calib: sc.calib.kern,
-            ..KernConfig::default()
-        };
-
-        // Transmitter on ring 0, streaming to the first bridge's A port.
-        let mut ktx = Kernel::new(kcfg, root.derive("kern-tx"));
-        let tr_tx = ktx.add_driver(
-            Box::new(TrDriver::new(tr_cfg(TX))),
-            Some(ctms_unixkern::LINE_TR),
-        );
-        ktx.set_net_if(tr_tx);
-        let vca_src = ktx.add_driver(
-            Box::new(CtmsVcaSource::new(CtmsSourceCfg {
-                period: sc.period,
-                pkt_len: sc.pkt_len,
-                dst: BRIDGE_A,
-                tr_driver: tr_tx,
-                handler_code: sc.calib.vca_handler_code,
-                copy_from_device: false,
-                pio_per_byte: Dur::ZERO,
-                ring_priority: if sc.ring_priority { 4 } else { 0 },
-                irq_jitter: Dur::ZERO,
-                autostart: true,
-                require_setup: false,
-            })),
-            Some(ctms_unixkern::LINE_VCA),
-        );
-
-        // Receiver on the last ring.
-        let mut krx = Kernel::new(kcfg, root.derive("kern-rx"));
-        let vca_sink = krx.add_driver(
-            Box::new(CtmsVcaSink::new(CtmsSinkCfg {
-                copy_to_device: sc.rx_copy_to_device,
-                pio_per_byte: Dur::from_ns(800),
-                copy_spl: 5,
-            })),
-            None,
-        );
-        let mut rx_cfg = tr_cfg(RX);
-        rx_cfg.ctmsp_sink = Some(vca_sink);
-        let tr_rx = krx.add_driver(
-            Box::new(TrDriver::new(rx_cfg)),
-            Some(ctms_unixkern::LINE_TR),
-        );
-        krx.set_net_if(tr_rx);
-
-        let mut topo = Topology::new(sc.cascade_limit);
-        let rings: Vec<usize> = (0..n)
-            .map(|i| {
-                // The first two rings keep the historical dual-ring RNG
-                // labels so existing seeds reproduce bit-identically.
-                let label = match i {
-                    0 => "ring-a".to_string(),
-                    1 => "ring-b".to_string(),
-                    _ => format!("ring-{i}"),
-                };
-                topo.ring(mk_ring(&label))
-            })
-            .collect();
-        for i in 0..n - 1 {
-            // Interior bridges forward to the next bridge's A port; the
-            // last one targets the receiver. The reverse direction always
-            // points at station 0 (the transmitter on ring 0, the previous
-            // bridge's B port elsewhere).
-            let dst_b = if i == n - 2 { RX } else { BRIDGE_A };
-            topo.bridge(
-                rings[i],
-                rings[i + 1],
-                Bridge::new(BridgeCfg {
-                    station_a: BRIDGE_A,
-                    station_b: BRIDGE_B,
-                    ctmsp_dst_b: dst_b,
-                    ctmsp_dst_a: TX,
-                    kind,
-                    queue_cap: 16,
-                }),
-            );
+    /// Builds the testbed for an arbitrary [`RingGraph`] — a chain is
+    /// just one shape; trees, meshes, and FDDI backbones come from the
+    /// same construction. The stream runs from the graph's TX ring to
+    /// its RX ring along the build-time shortest bridge path.
+    pub fn graph(sc: &Scenario, kind: BridgeKind, graph: &RingGraph) -> RingChainTestbed {
+        let (topo, vca_src, vca_sink) = graph_topology(sc, kind, graph);
+        RingChainTestbed {
+            bus: topo.build(),
+            vca_src,
+            vca_sink,
         }
-        topo.host(
-            rings[0],
-            TX,
-            Host::new(Machine::new(MachineConfig::default()), ktx),
-        );
-        topo.host(
-            rings[n - 1],
-            RX,
-            Host::new(Machine::new(MachineConfig::default()), krx),
-        );
+    }
 
-        (topo, vca_src, vca_sink)
+    /// Like [`RingChainTestbed::graph`], but on the conservative-parallel
+    /// sharded harness with a `shards`-way graph partition. Bit-identical
+    /// to the single-threaded build for any shape — the topology-variant
+    /// golden tests pin this.
+    pub fn graph_sharded(
+        sc: &Scenario,
+        kind: BridgeKind,
+        graph: &RingGraph,
+        shards: usize,
+    ) -> ShardedChain {
+        let (topo, vca_src, vca_sink) = graph_topology(sc, kind, graph);
+        ShardedChain {
+            bus: topo.build_sharded(shards),
+            vca_src,
+            vca_sink,
+        }
+    }
+
+    /// The chain as a [`Topology`] description plus the VCA driver ids —
+    /// shared by the single-threaded and sharded constructors. Since the
+    /// graph refactor this is a thin wrapper over [`graph_topology`]
+    /// with the chain-shaped description; the layout (and every RNG
+    /// stream) is bit-identical to the historical hand-rolled chain.
+    fn chain_topology(sc: &Scenario, kind: BridgeKind, n: usize) -> (Topology, DriverId, DriverId) {
+        graph_topology(sc, kind, &RingGraph::chain(n))
     }
 
     /// Current simulation time.
@@ -427,6 +332,7 @@ impl ShardedChain {
 mod tests {
     use super::*;
     use ctms_measure::HistId;
+    use ctms_sim::Dur;
     use ctms_stats::Summary;
 
     #[test]

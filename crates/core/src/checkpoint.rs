@@ -34,7 +34,18 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"CTMSCKPT";
 
 /// Current checkpoint format version. Bumped whenever any `Persist`
 /// impl in the workspace changes its byte layout.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history:
+///
+/// * **1** — magic, version, dynamic state.
+/// * **2** — a canonical topology signature (graph shape: slot kinds,
+///   station→endpoint wiring, bridge port lists, host placement) sits
+///   between the header and the dynamic state. Restore verifies it
+///   against the receiving bus, so a snapshot can only land on a bus
+///   built from the same graph description — at *any* shard count —
+///   and a tree snapshot aimed at a mesh build fails loudly instead of
+///   desynchronizing.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 fn seal(enc: Enc) -> Vec<u8> {
     enc.into_bytes()
@@ -67,22 +78,42 @@ fn open(bytes: &[u8]) -> Result<Dec<'_>, PersistError> {
     Ok(dec)
 }
 
+/// Reads the v2 topology signature and verifies the snapshot was taken
+/// on the same graph this bus was built from. Shard count is *not* part
+/// of the signature — every shard's router holds the complete slot
+/// table, so a 4-shard tree snapshot signs identically to the
+/// single-threaded build of the same tree.
+fn check_signature(dec: &mut Dec<'_>, own: &[u8]) -> Result<(), PersistError> {
+    let sig = dec.bytes()?;
+    if sig != own {
+        return Err(PersistError::mismatch(
+            "checkpoint topology does not match this bus (different graph \
+             shape, station layout, or host placement)"
+                .to_string(),
+        ));
+    }
+    Ok(())
+}
+
 impl Bus {
     /// Serializes the complete dynamic state behind a magic/version
     /// header. Call at a quiescent instant — after
     /// [`Bus::try_run_until`] has returned.
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut enc = header();
+        enc.bytes(&self.topology_signature());
         self.persist_state(&mut enc);
         seal(enc)
     }
 
     /// Applies a checkpoint onto this freshly built bus. The bus must
     /// have been built from the same topology description (same
-    /// scenario, same seeds); node counts and kinds are verified, and
-    /// the whole stream must be consumed.
+    /// scenario, same seeds) — the embedded graph signature is verified
+    /// first, then node counts and kinds, and the whole stream must be
+    /// consumed.
     pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
         let mut dec = open(bytes)?;
+        check_signature(&mut dec, &self.topology_signature())?;
         self.restore_state(&mut dec)?;
         dec.finish()
     }
@@ -95,15 +126,18 @@ impl ShardedBus {
     /// (after [`ShardedBus::try_run_until`] has returned).
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut enc = header();
+        enc.bytes(&self.topology_signature());
         self.persist_state(&mut enc);
         seal(enc)
     }
 
     /// Applies a checkpoint onto this freshly built bus. The snapshot
     /// may come from any execution mode: a 4-shard snapshot restores
-    /// into a single-threaded bus or a 2-shard one.
+    /// into a single-threaded bus or a 2-shard one — the graph
+    /// signature is shard-agnostic, only the shape must match.
     pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
         let mut dec = open(bytes)?;
+        check_signature(&mut dec, &self.topology_signature())?;
         self.restore_state(&mut dec)?;
         dec.finish()
     }

@@ -23,6 +23,7 @@ pub mod calib;
 pub mod chain;
 pub mod checkpoint;
 pub mod experiments;
+pub mod graph;
 pub mod parallel;
 pub mod scenario;
 pub mod testbed;
@@ -34,6 +35,7 @@ pub use checkpoint::{
     apply_mutations, fork, ForkSpec, Mutation, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use experiments::{ablation_row, all as run_all_experiments, copy_census, AblationRow, ExpCfg};
+pub use graph::{graph_topology, partition_rings, GraphEdge, RingGraph};
 pub use parallel::{ParallelBus, ShardedBus};
 pub use scenario::{HostLoad, Network, Scenario};
 pub use testbed::{DropRec, Roles, Testbed};

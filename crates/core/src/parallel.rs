@@ -277,6 +277,17 @@ impl ShardedBus {
             ShardedBus::Parallel(p) => p.restore_state(dec),
         }
     }
+
+    /// The canonical graph-shape signature checkpoints embed. Every
+    /// shard's router holds the complete slot table, so shard 0 signs
+    /// for the whole topology and the bytes match the single-threaded
+    /// build of the same graph.
+    pub(crate) fn topology_signature(&self) -> Vec<u8> {
+        match self {
+            ShardedBus::Single(b) => b.topology_signature(),
+            ShardedBus::Parallel(p) => p.h.shard_router(0).topology_signature(),
+        }
+    }
 }
 
 impl ParallelBus {

@@ -23,7 +23,7 @@
 use crate::parallel::{ParallelBus, ShardedBus};
 use crate::testbed::DropRec;
 use ctms_measure::{Tap, TapCfg};
-use ctms_router::{Bridge, BridgeCmd, BridgeOut, RingSide};
+use ctms_router::{Bridge, BridgeCmd, BridgeOut};
 use ctms_sim::{
     CascadeError, CmdSink, Component, Dur, EdgeLog, Harness, NodeId, Router, SchedMode,
     ShardedHarness, SimTime,
@@ -148,7 +148,7 @@ enum Endpoint {
     /// A host.
     Host { node: NodeId },
     /// One port of a bridge.
-    Bridge { node: NodeId, side: RingSide },
+    Bridge { node: NodeId, port: u8 },
 }
 
 /// Per-node routing metadata, indexed by [`NodeId`]. Cloneable so the
@@ -166,8 +166,8 @@ enum Slot {
         ring: NodeId,
     },
     Bridge {
-        ring_a: NodeId,
-        ring_b: NodeId,
+        /// Ring node per bridge port, in port order.
+        rings: Vec<NodeId>,
     },
     Phantom {
         ring: NodeId,
@@ -390,8 +390,8 @@ impl CtmsRouter {
                 Some(Endpoint::Host { node }) => {
                     sink.push(node, Cmd::Host(HostCmd::RingDelivered(frame)));
                 }
-                Some(Endpoint::Bridge { node, side }) => {
-                    sink.push(node, Cmd::Bridge(BridgeCmd::Delivered { side, frame }));
+                Some(Endpoint::Bridge { node, port }) => {
+                    sink.push(node, Cmd::Bridge(BridgeCmd::Delivered { port, frame }));
                 }
                 None => {}
             },
@@ -476,15 +476,11 @@ impl CtmsRouter {
     }
 
     fn route_bridge(&mut self, src: NodeId, out: BridgeOut, sink: &mut CmdSink<Cmd>) {
-        let (ring_a, ring_b) = match self.slots[src.0] {
-            Slot::Bridge { ring_a, ring_b } => (ring_a, ring_b),
-            _ => unreachable!("bridge events come from bridge nodes"),
-        };
         match out {
-            BridgeOut::Submit { side, frame } => {
-                let ring = match side {
-                    RingSide::A => ring_a,
-                    RingSide::B => ring_b,
+            BridgeOut::Submit { port, frame } => {
+                let ring = match &self.slots[src.0] {
+                    Slot::Bridge { rings } => rings[port as usize],
+                    _ => unreachable!("bridge events come from bridge nodes"),
                 };
                 sink.push(ring, Cmd::Ring(RingCmd::Submit(frame)));
             }
@@ -506,6 +502,14 @@ impl CtmsRouter {
     }
 }
 
+/// One bridge attachment record: the rings of its ports (in port
+/// order) and which port's ring owns the bridge under sharding.
+struct BridgeSpec {
+    rings: Vec<usize>,
+    owner: usize,
+    bridge: Bridge,
+}
+
 /// A topology under construction: components plus where they attach.
 /// Build order within each kind is preserved; kinds are registered
 /// rings → bridges → hosts → phantom, fixing NodeId (and therefore
@@ -513,7 +517,7 @@ impl CtmsRouter {
 #[derive(Default)]
 pub struct Topology {
     rings: Vec<TokenRing>,
-    bridges: Vec<(usize, usize, Bridge)>,
+    bridges: Vec<BridgeSpec>,
     hosts: Vec<(usize, StationId, Host)>,
     phantom: Option<(usize, PhantomTraffic)>,
     purge_subscribers: Vec<(usize, DriverId)>,
@@ -552,14 +556,31 @@ impl Topology {
         self.hosts.len() - 1
     }
 
-    /// Attaches a bridge between `ring_a` and `ring_b` (port stations
-    /// come from the bridge's own config); returns its bridge index.
+    /// Attaches a two-port bridge between `ring_a` and `ring_b` (port
+    /// stations come from the bridge's own config); returns its bridge
+    /// index. The bridge is owned by `ring_a`'s shard when sharded.
     pub fn bridge(&mut self, ring_a: usize, ring_b: usize, bridge: Bridge) -> usize {
+        self.bridge_multi(vec![ring_a, ring_b], 0, bridge)
+    }
+
+    /// Attaches a multi-port bridge: `rings[p]` is the ring of port `p`
+    /// (must match the bridge's port count). `owner` picks which of
+    /// those rings the bridge co-shards with — it must be the ring that
+    /// *delivers* CTMSP traffic into the bridge, because ring→bridge
+    /// delivery is an ordinary same-shard command, not a sync-mailbox
+    /// hop. Returns the bridge index.
+    pub fn bridge_multi(&mut self, rings: Vec<usize>, owner: usize, bridge: Bridge) -> usize {
         assert!(
-            ring_a < self.rings.len() && ring_b < self.rings.len(),
+            rings.iter().all(|&r| r < self.rings.len()),
             "bridge on unknown ring"
         );
-        self.bridges.push((ring_a, ring_b, bridge));
+        assert_eq!(rings.len(), bridge.port_count(), "one ring per bridge port");
+        assert!(owner < rings.len(), "owner is a port index");
+        self.bridges.push(BridgeSpec {
+            rings,
+            owner,
+            bridge,
+        });
         self.bridges.len() - 1
     }
 
@@ -591,26 +612,18 @@ impl Topology {
         let mut slots: Vec<Slot> = Vec::new();
         let mut endpoints: Vec<HashMap<StationId, Endpoint>> =
             (0..n_rings).map(|_| HashMap::new()).collect();
-        for (k, (ring_a, ring_b, bridge)) in self.bridges.iter().enumerate() {
+        for (k, spec) in self.bridges.iter().enumerate() {
             let node = bridge_node(k);
-            let prev_a = endpoints[*ring_a].insert(
-                bridge.station(RingSide::A),
-                Endpoint::Bridge {
-                    node,
-                    side: RingSide::A,
-                },
-            );
-            let prev_b = endpoints[*ring_b].insert(
-                bridge.station(RingSide::B),
-                Endpoint::Bridge {
-                    node,
-                    side: RingSide::B,
-                },
-            );
-            assert!(
-                prev_a.is_none() && prev_b.is_none(),
-                "two endpoints at one station"
-            );
+            for (p, &ring) in spec.rings.iter().enumerate() {
+                let prev = endpoints[ring].insert(
+                    spec.bridge.port_station(p),
+                    Endpoint::Bridge {
+                        node,
+                        port: p as u8,
+                    },
+                );
+                assert!(prev.is_none(), "two endpoints at one station");
+            }
         }
         for (k, (ring, station, _)) in self.hosts.iter().enumerate() {
             let prev = endpoints[*ring].insert(*station, Endpoint::Host { node: host_node(k) });
@@ -620,10 +633,9 @@ impl Topology {
         for ep in endpoints.drain(..) {
             slots.push(Slot::Ring { endpoints: ep });
         }
-        for (ring_a, ring_b, _) in &self.bridges {
+        for spec in &self.bridges {
             slots.push(Slot::Bridge {
-                ring_a: ring_node(*ring_a),
-                ring_b: ring_node(*ring_b),
+                rings: spec.rings.iter().map(|&r| ring_node(r)).collect(),
             });
         }
         for (k, (ring, _, _)) in self.hosts.iter().enumerate() {
@@ -675,9 +687,9 @@ impl Topology {
             );
         }
         let mut bridge_nodes = Vec::new();
-        for (k, (_, _, bridge)) in self.bridges.into_iter().enumerate() {
+        for (k, spec) in self.bridges.into_iter().enumerate() {
             bridge_nodes.push(h.add_node_labeled(
-                Node::Bridge(bridge, Vec::new()),
+                Node::Bridge(spec.bridge, Vec::new()),
                 format!("router.bridge{k}"),
             ));
         }
@@ -705,13 +717,18 @@ impl Topology {
     /// [`Topology::build`] — parallelism may never change the answer,
     /// only the wall clock.
     ///
-    /// Partition rule: rings are split into `min(shards, n_rings)`
-    /// contiguous blocks; every bridge, host, and the phantom generator
-    /// lives with its ring (a bridge with its A-side ring). Bridges whose
-    /// two rings land in different shards are sync-class: they are the
-    /// only legal cross-shard emitters, and the smallest of their
-    /// forwarding latencies ([`ctms_router::BridgeKind::lookahead`]) is
-    /// the conservative window bound.
+    /// Partition rule: the ring graph (rings as nodes, bridges as
+    /// edges — a multi-port bridge couples every pair of its rings) is
+    /// cut into `min(shards, n_rings)` balanced parts by the greedy
+    /// edge-cut-minimizing [`crate::graph::partition_rings`]; every
+    /// bridge and host lives with its owner ring. Bridges whose port
+    /// rings span shards are sync-class: they are the only legal
+    /// cross-shard emitters, and their forwarding latencies
+    /// ([`ctms_router::BridgeKind::lookahead`]) bound the conservative
+    /// window — **per shard**: each shard's window is capped by the
+    /// minimum lookahead over only the cut bridges *incident to it*, so
+    /// well-separated partitions run wider windows than the global
+    /// minimum would allow.
     ///
     /// Falls back to the single-threaded harness (same results, one
     /// thread) whenever sharding cannot help or cannot be proven sound:
@@ -735,26 +752,57 @@ impl Topology {
         }
 
         let n_hosts = self.hosts.len();
-        // Contiguous ring blocks: ring i goes to shard i*s/n_rings.
-        let ring_shard = |i: usize| i * s / n_rings;
+        // Graph partition: bridges are the edges (a multi-port bridge
+        // couples every pair of its rings).
+        let edges: Vec<(usize, usize)> = self
+            .bridges
+            .iter()
+            .flat_map(|spec| {
+                let r = &spec.rings;
+                (0..r.len()).flat_map(move |i| (i + 1..r.len()).map(move |j| (r[i], r[j])))
+            })
+            .collect();
+        let part = crate::graph::partition_rings(n_rings, &edges, s);
+        let ring_shard = |i: usize| part[i];
         let bridge_shard: Vec<usize> = self
             .bridges
             .iter()
-            .map(|&(ring_a, _, _)| ring_shard(ring_a))
+            .map(|spec| part[spec.rings[spec.owner]])
             .collect();
         let bridge_sync: Vec<bool> = self
             .bridges
             .iter()
-            .map(|&(ring_a, ring_b, _)| ring_shard(ring_a) != ring_shard(ring_b))
+            .map(|spec| spec.rings.iter().any(|&r| part[r] != part[spec.rings[0]]))
             .collect();
+        // Global floor (seal-time sanity bound) plus the per-shard
+        // refinement: shard j is capped by the cut bridges it touches.
         let lookahead = self
             .bridges
             .iter()
             .zip(&bridge_sync)
             .filter(|(_, sync)| **sync)
-            .map(|((_, _, b), _)| b.kind().lookahead())
+            .map(|(spec, _)| spec.bridge.kind().lookahead())
             .min()
             .unwrap_or(Dur::ZERO);
+        let mut shard_lookahead: Vec<Option<Dur>> = vec![None; s];
+        for (spec, sync) in self.bridges.iter().zip(&bridge_sync) {
+            if !*sync {
+                continue;
+            }
+            let la = spec.bridge.kind().lookahead();
+            // A zero lookahead on a cut edge would collapse the
+            // conservative window to nothing and stall the run — catch
+            // it at build time, not as a runtime hang.
+            debug_assert!(
+                la > Dur::ZERO,
+                "cut bridge {:?} has zero lookahead: its kind cannot sit on a shard boundary",
+                spec.bridge.kind()
+            );
+            for &r in &spec.rings {
+                let sh = part[r];
+                shard_lookahead[sh] = Some(shard_lookahead[sh].map_or(la, |cur| cur.min(la)));
+            }
+        }
 
         let slots = self.make_slots();
         let routers: Vec<CtmsRouter> = (0..s)
@@ -779,6 +827,7 @@ impl Topology {
             .collect();
 
         let mut h = ShardedHarness::new(routers, self.cascade_limit, lookahead);
+        h.set_shard_lookaheads(shard_lookahead);
         let mut ring_nodes = Vec::new();
         for (k, ring) in self.rings.into_iter().enumerate() {
             ring_nodes.push(h.add_node_labeled(
@@ -789,9 +838,9 @@ impl Topology {
             ));
         }
         let mut bridge_nodes = Vec::new();
-        for (k, (_, _, bridge)) in self.bridges.into_iter().enumerate() {
+        for (k, spec) in self.bridges.into_iter().enumerate() {
             bridge_nodes.push(h.add_node_labeled(
-                Node::Bridge(bridge, Vec::new()),
+                Node::Bridge(spec.bridge, Vec::new()),
                 format!("router.bridge{k}"),
                 bridge_shard[k],
                 bridge_sync[k],
@@ -957,6 +1006,12 @@ impl Bus {
     pub(crate) fn persist_state(&self, enc: &mut ctms_sim::Enc) {
         self.h.persist_state(enc);
         persist_router_parts(&[self.h.router()], enc);
+    }
+
+    /// The canonical graph-shape signature checkpoints embed (format
+    /// v2) — see [`CtmsRouter::topology_signature`].
+    pub(crate) fn topology_signature(&self) -> Vec<u8> {
+        self.h.router().topology_signature()
     }
 
     /// Applies state persisted by [`Bus::persist_state`] (or the
@@ -1365,5 +1420,55 @@ impl CtmsRouter {
         self.m.purge_starts = purge_starts;
         self.m.lost_to_purge = lost_to_purge;
         self.m.bridge_drops = bridge_drops;
+    }
+
+    /// A canonical byte description of the wiring graph — slot kinds,
+    /// endpoint stations, bridge port rings — independent of shard
+    /// count (every shard router holds the complete slot table) and of
+    /// endpoint-map iteration order (endpoints are sorted). Embedded in
+    /// checkpoints since format v2 so a snapshot refuses to restore
+    /// onto a differently-shaped topology instead of corrupting state.
+    pub(crate) fn topology_signature(&self) -> Vec<u8> {
+        let mut enc = ctms_sim::Enc::new();
+        enc.seq_len(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Slot::Ring { endpoints } => {
+                    enc.u8(0);
+                    let mut eps: Vec<(u32, u8, u64, u8)> = endpoints
+                        .iter()
+                        .map(|(st, ep)| match ep {
+                            Endpoint::Host { node } => (st.0, 0u8, node.0 as u64, 0u8),
+                            Endpoint::Bridge { node, port } => (st.0, 1u8, node.0 as u64, *port),
+                        })
+                        .collect();
+                    eps.sort_unstable();
+                    enc.seq_len(eps.len());
+                    for (st, kind, node, port) in eps {
+                        enc.u32(st);
+                        enc.u8(kind);
+                        enc.u64(node);
+                        enc.u8(port);
+                    }
+                }
+                Slot::Bridge { rings } => {
+                    enc.u8(1);
+                    enc.seq_len(rings.len());
+                    for r in rings {
+                        enc.u64(r.0 as u64);
+                    }
+                }
+                Slot::Host { index, ring } => {
+                    enc.u8(2);
+                    enc.u64(*index as u64);
+                    enc.u64(ring.0 as u64);
+                }
+                Slot::Phantom { ring } => {
+                    enc.u8(3);
+                    enc.u64(ring.0 as u64);
+                }
+            }
+        }
+        enc.into_bytes()
     }
 }

@@ -10,4 +10,4 @@
 
 pub mod bridge;
 
-pub use bridge::{Bridge, BridgeCfg, BridgeCmd, BridgeKind, BridgeOut, BridgeStats, RingSide};
+pub use bridge::{Bridge, BridgeCfg, BridgeCmd, BridgeKind, BridgeOut, BridgePort, BridgeStats};

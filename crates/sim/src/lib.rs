@@ -18,7 +18,8 @@
 //!   (update-key per node, no stale entries, allocation-free stepping),
 //! * [`shard`] — the conservative parallel scheduler
 //!   ([`shard::ShardedHarness`]): per-shard deadline heaps on the sweep
-//!   pool, bounded-time-window synchronization with lookahead, and
+//!   pool, bounded-time-window synchronization with per-shard windows
+//!   derived from each shard's incident cut-edge lookaheads, and
 //!   deterministic cross-shard mailboxes — bit-identical to the
 //!   single-threaded harness by construction,
 //! * [`synth`] — synthetic allocation-free workloads for the perf

@@ -31,7 +31,14 @@
 //! (magic + format version, written by `ctms-core`) gates the whole
 //! byte stream, so individual `Persist` impls stay tag-free and dense.
 //! Any change to any impl's field set is a format change and must bump
-//! the container version.
+//! the container version. Since container version 2 the header is
+//! followed by a **topology signature** — a canonical byte description
+//! of the graph shape, station layout and host placement, derived from
+//! the (shard-agnostic) router slot table — so restoring a snapshot
+//! into a differently-shaped rebuild fails with a readable error
+//! before any dynamic state is touched. The signature describes the
+//! topology, never the shard count: the shard-agnostic restore
+//! property above is unchanged.
 
 use crate::time::{Dur, SimTime};
 

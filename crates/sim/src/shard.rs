@@ -126,6 +126,10 @@ struct ShardState<C: Component, R> {
     /// Incoming mail, filled (pre-sorted) by the coordinator.
     inbox: Vec<Mail<C::Cmd>>,
     seq: u64,
+    /// This shard's end for the current conservative window, set by the
+    /// coordinator right before dispatch (a field rather than a closure
+    /// capture so per-shard windows stay allocation-free).
+    w_end: SimTime,
     // Reusable hot-path buffers, exactly as in `Harness`.
     due: Vec<usize>,
     touched: Vec<usize>,
@@ -155,6 +159,7 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
             outbox: (0..n_shards).map(|_| Vec::new()).collect(),
             inbox: Vec::new(),
             seq: 0,
+            w_end: SimTime::ZERO,
             due: Vec::new(),
             touched: Vec::new(),
             wave: Vec::new(),
@@ -387,6 +392,11 @@ pub struct ShardedHarness<C: Component, R: Router<C>> {
     sealed: bool,
     has_sync: bool,
     lookahead: Dur,
+    /// Optional per-shard refinement of `lookahead`: shard `k`'s window
+    /// is capped by `shard_lookahead[k]` instead of the global minimum.
+    /// `None` for a shard means no cut edge touches it — its window is
+    /// bounded only by the sync horizon `B` and the run end.
+    shard_lookahead: Option<Vec<Option<Dur>>>,
     threads: usize,
     now: SimTime,
     failed: Option<CascadeError>,
@@ -427,6 +437,7 @@ where
             sealed: false,
             has_sync: false,
             lookahead,
+            shard_lookahead: None,
             threads: crate::sweep::default_threads(n),
             now: SimTime::ZERO,
             failed: None,
@@ -503,6 +514,28 @@ where
         self.failed
     }
 
+    /// Installs per-shard window bounds derived from the cut edges
+    /// incident to each shard: shard `k` may run `lookahead[k]` past
+    /// the window base instead of the one global minimum, so shards far
+    /// from the tightest link run wider windows. `None` for a shard
+    /// means no cut edge touches it (no bound beyond the sync horizon).
+    ///
+    /// Soundness: a frame handed to a cut bridge `i` at or after the
+    /// window base `T` cannot re-emerge before `T + lookahead_i`, and
+    /// every shard holding one of that bridge's port rings has
+    /// `lookahead[k] <= lookahead_i`, so all of them stop before any
+    /// such effect — the per-edge bound never admits a causality miss
+    /// the global minimum would have caught.
+    pub fn set_shard_lookaheads(&mut self, lookahead: Vec<Option<Dur>>) {
+        assert!(!self.sealed, "cannot change lookahead after the first run");
+        assert_eq!(
+            lookahead.len(),
+            self.shards.len(),
+            "one lookahead entry per shard"
+        );
+        self.shard_lookahead = Some(lookahead);
+    }
+
     /// Caps how many pool workers a dispatch invites (the coordinator
     /// always participates). Defaults to the hardware parallelism
     /// capped at the shard count; at 1 every window runs inline on the
@@ -565,6 +598,16 @@ where
                 self.lookahead > Dur::ZERO,
                 "sync-class nodes require a positive lookahead"
             );
+            if let Some(per_shard) = &self.shard_lookahead {
+                for (k, la) in per_shard.iter().enumerate() {
+                    if let Some(d) = la {
+                        assert!(
+                            *d > Dur::ZERO,
+                            "shard {k}: a zero per-shard lookahead would stall the window"
+                        );
+                    }
+                }
+            }
         }
         let owner = Arc::new(self.owner_map.clone());
         for s in &mut self.shards {
@@ -666,16 +709,14 @@ where
                 self.sync_instants += 1;
                 self.run_sync_instant(t)?;
             } else {
-                let mut w_end = run_end;
+                // Lookahead-independent bound: run end and sync horizon
+                // `B`; each shard then caps it with its own lookahead.
+                let mut base = run_end;
                 if let Some(b) = b_min {
-                    w_end = w_end.min(b);
+                    base = base.min(b);
                 }
-                if self.has_sync {
-                    w_end = w_end.min(t.saturating_add(self.lookahead));
-                }
-                debug_assert!(w_end > t, "conservative window must make progress");
                 self.windows += 1;
-                self.run_parallel_window(w_end)?;
+                self.run_parallel_window(t, base)?;
             }
         }
         for s in &mut self.shards {
@@ -701,17 +742,31 @@ where
         }
     }
 
-    /// One conservative window `[T, w_end)`: every shard with work in
-    /// the window runs independently.
-    fn run_parallel_window(&mut self, w_end: SimTime) -> Result<(), CascadeError>
+    /// One conservative window opening at `t`: every shard with work
+    /// before its own window end runs independently. `base` is the
+    /// lookahead-independent bound (run end, sync horizon `B`); each
+    /// shard's end is `base` capped by the lookahead that applies to it
+    /// — the per-shard cut-edge minimum when installed, the global
+    /// minimum otherwise, nothing when no cut edge touches the shard.
+    fn run_parallel_window(&mut self, t: SimTime, base: SimTime) -> Result<(), CascadeError>
     where
         R: MergeTelemetry,
     {
         self.active.clear();
         for (k, s) in self.shards.iter_mut().enumerate() {
             let s = s.as_mut().expect("shard present");
+            let mut w_end = base;
+            if self.has_sync {
+                match self.shard_lookahead.as_ref().map(|v| v[k]) {
+                    Some(Some(la)) => w_end = w_end.min(t.saturating_add(la)),
+                    Some(None) => {}
+                    None => w_end = w_end.min(t.saturating_add(self.lookahead)),
+                }
+            }
+            debug_assert!(w_end > t, "conservative window must make progress");
+            s.w_end = w_end;
             match s.peek() {
-                Some(t) if t < w_end => {
+                Some(d) if d < w_end => {
                     s.stats.window_advances += 1;
                     self.active.push(k);
                 }
@@ -721,7 +776,10 @@ where
         if self.active.is_empty() {
             return Ok(());
         }
-        self.dispatch(move |s| s.run_window(w_end));
+        self.dispatch(move |s| {
+            let w = s.w_end;
+            s.run_window(w);
+        });
         self.check_failures()
     }
 

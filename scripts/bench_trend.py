@@ -4,16 +4,23 @@
 Each PR that lands a measured change checks in a machine-readable report
 (BENCH_PR2.json, BENCH_PR4.json, ...). The formats differ by what the PR
 measured — "ctms-repro-run/1" carries paper-claim checks, "ctms-perf/1"
-and "ctms-perf/2" carry scheduler wall-clock results — so this script
+through "ctms-perf/3" carry scheduler wall-clock results (with /3 adding
+per-topology sections for the graph-shape benchmarks) — so this script
 normalizes all of them into a long-format table: one row per headline
-metric, ordered by PR number. Stdlib only; run from anywhere:
+metric, ordered by PR number. Malformed reports (unparseable JSON, or a
+structurally broken section) are listed on stderr and make the exit code
+non-zero. Stdlib only; run from anywhere:
 
     python3 scripts/bench_trend.py [repo-root]
+    python3 scripts/bench_trend.py --selftest   # exercise the malformed
+                                                # handling, exit 0 if OK
 """
 
+import io
 import json
 import re
 import sys
+import tempfile
 from pathlib import Path
 
 
@@ -36,8 +43,23 @@ def rows_repro(report):
                     yield (f"  FAILED {exp['name']}.{c['id']}", str(c.get("measured")))
 
 
+def rows_sharded(label, section):
+    """The single-vs-sharded block shared by chain and topology rows."""
+    single = section["single"]["events_per_sec"]
+    yield (f"{label} single-threaded", f"{single / 1e6:.2f}M ev/s")
+    for s in section.get("sharded", []):
+        threads = s.get("threads")
+        t = f" threads={threads}" if threads is not None else ""
+        parity = "parity OK" if s.get("ground_truth_parity") else "PARITY BROKEN"
+        yield (
+            f"{label} shards={s['shards']}{t}",
+            f"{fmt_speedup(s['speedup'])} ({parity})",
+        )
+
+
 def rows_perf(report):
-    """ctms-perf/1 and /2: scheduler speedups, allocs, sharded chain."""
+    """ctms-perf/1 through /3: scheduler speedups, allocs, sharded
+    chain, and (since /3) per-topology graph-shape results."""
     cores = report.get("cores")
     if cores is not None:
         # Older reports predate the explicit flag; infer it from the
@@ -59,21 +81,9 @@ def rows_perf(report):
         )
     chain = report.get("chain")
     if chain:
-        cores = report.get("cores")
-        env = f", {cores} core(s)" if cores is not None else ""
-        single = chain["single"]["events_per_sec"]
-        yield (
-            f"chain/{chain['rings']} single-threaded",
-            f"{single / 1e6:.2f}M ev/s{env}",
-        )
-        for s in chain.get("sharded", []):
-            threads = s.get("threads")
-            t = f" threads={threads}" if threads is not None else ""
-            parity = "parity OK" if s.get("ground_truth_parity") else "PARITY BROKEN"
-            yield (
-                f"chain/{chain['rings']} shards={s['shards']}{t}",
-                f"{fmt_speedup(s['speedup'])} ({parity})",
-            )
+        yield from rows_sharded(f"chain/{chain['rings']}", chain)
+    for topo in report.get("topologies") or []:
+        yield from rows_sharded(f"{topo['shape']}/{topo['rings']}", topo)
 
 
 def rows_for(report):
@@ -90,42 +100,134 @@ def pr_number(path):
     return int(m.group(1)) if m else 10**9
 
 
-def main():
-    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+def render(root, out, err):
     reports = sorted(root.glob("BENCH_*.json"), key=pr_number)
     if not reports:
-        print(f"no BENCH_*.json under {root}", file=sys.stderr)
+        print(f"no BENCH_*.json under {root}", file=err)
         return 1
     table = []
     malformed = []
     for path in reports:
         try:
             report = json.loads(path.read_text())
+            rows = rows_for(report)
         except (OSError, json.JSONDecodeError) as e:
             malformed.append((path, e))
             continue
-        for metric, value in rows_for(report):
+        except (KeyError, TypeError, AttributeError) as e:
+            # Parseable JSON, broken structure — a chain or topology
+            # section missing a required key is as malformed as bad
+            # syntax, and must not pass silently.
+            malformed.append((path, f"bad section structure: {e!r}"))
+            continue
+        for metric, value in rows:
             table.append((path.name, metric, value))
     if table:
         w0 = max(len(r[0]) for r in table)
         w1 = max(len(r[1]) for r in table)
-        print(f"{'report':{w0}}  {'metric':{w1}}  value")
-        print(f"{'-' * w0}  {'-' * w1}  {'-' * 5}")
+        print(f"{'report':{w0}}  {'metric':{w1}}  value", file=out)
+        print(f"{'-' * w0}  {'-' * w1}  {'-' * 5}", file=out)
         last = None
         for name, metric, value in table:
             shown = name if name != last else ""
             last = name
-            print(f"{shown:{w0}}  {metric:{w1}}  {value}")
+            print(f"{shown:{w0}}  {metric:{w1}}  {value}", file=out)
     if malformed:
-        for path, err in malformed:
-            print(f"bench_trend: {path.name} is malformed: {err}", file=sys.stderr)
+        for path, e in malformed:
+            print(f"bench_trend: {path.name} is malformed: {e}", file=err)
         print(
             f"bench_trend: {len(malformed)} malformed report(s) — "
             "re-record with `cargo run -p ctms-bench --bin perf -- --json <path>`",
-            file=sys.stderr,
+            file=err,
         )
         return 1
     return 0
+
+
+WELL_FORMED = {
+    "format": "ctms-perf/3",
+    "cores": 4,
+    "degraded_parallelism": False,
+    "cases": [
+        {
+            "name": "case_a",
+            "indexed": {"events_per_sec": 2.5e6},
+            "speedup": 1.5,
+        }
+    ],
+    "chain": {
+        "rings": 128,
+        "single": {"events_per_sec": 3.0e6},
+        "sharded": [
+            {"shards": 2, "threads": 2, "speedup": 1.4, "ground_truth_parity": True}
+        ],
+    },
+    "topologies": [
+        {
+            "shape": "tree",
+            "rings": 1024,
+            "single": {"events_per_sec": 2.0e6},
+            "sharded": [
+                {"shards": 4, "threads": 4, "speedup": 1.8, "ground_truth_parity": True}
+            ],
+        }
+    ],
+}
+
+
+def selftest():
+    """Pins the malformed-report contract: bad syntax and a broken
+    topology section both produce a non-zero exit, a clean tree of
+    reports a zero one."""
+
+    def run_on(files):
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            for name, text in files.items():
+                (root / name).write_text(text)
+            out, err = io.StringIO(), io.StringIO()
+            code = render(root, out, err)
+            return code, out.getvalue(), err.getvalue()
+
+    # A well-formed /3 report renders per-topology rows and exits 0.
+    code, out, err = run_on({"BENCH_PR7.json": json.dumps(WELL_FORMED)})
+    assert code == 0, f"well-formed report must exit 0: {err}"
+    assert "tree/1024 shards=4" in out, f"missing per-topology row:\n{out}"
+    assert "1.80x (parity OK)" in out, f"missing topology speedup:\n{out}"
+
+    # Syntactically malformed JSON: non-zero, named on stderr.
+    code, _, err = run_on(
+        {
+            "BENCH_PR7.json": json.dumps(WELL_FORMED),
+            "BENCH_PR8.json": "{ this is not json",
+        }
+    )
+    assert code == 1, "syntactic damage must fail the run"
+    assert "BENCH_PR8.json is malformed" in err, err
+
+    # Structurally malformed topology section (entry missing its
+    # "single" block): equally fatal, not a silent skip.
+    broken = json.loads(json.dumps(WELL_FORMED))
+    del broken["topologies"][0]["single"]
+    code, _, err = run_on({"BENCH_PR7.json": json.dumps(broken)})
+    assert code == 1, "a broken topology section must fail the run"
+    assert "bad section structure" in err, err
+
+    # Same for a topology entry of the wrong JSON type entirely.
+    broken = json.loads(json.dumps(WELL_FORMED))
+    broken["topologies"] = [42]
+    code, _, err = run_on({"BENCH_PR7.json": json.dumps(broken)})
+    assert code == 1, "a non-object topology entry must fail the run"
+
+    print("bench_trend selftest: OK")
+    return 0
+
+
+def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--selftest":
+        return selftest()
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    return render(root, sys.stdout, sys.stderr)
 
 
 if __name__ == "__main__":

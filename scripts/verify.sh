@@ -25,6 +25,9 @@ cargo test -q --test determinism sharded_harness_shares_the_golden_truth
 echo "== tier-1: checkpoint parity (byte-identical resume, any shard count)"
 cargo test -q --test checkpoint
 
+echo "== tier-1: topology parity (tree/mesh/fddi golden truth at 1/2/4 shards)"
+cargo test -q --test determinism topology_variants_share_the_golden_truth
+
 echo "== ctms-serve smoke (session, run, checkpoint/restore round trip)"
 serve_out=$(printf '%s\n' \
   '{"scenario":"case_a","seed":42}' \
@@ -49,5 +52,14 @@ cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
 echo "== sharded perf smoke (parity-asserting, report-only vs BENCH_PR5.json)"
 cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
   --quick --shards 4 --rings 32 --compare BENCH_PR5.json
+
+echo "== topology perf smoke (tree+mesh+fddi parity at 1 and 4 shards, vs BENCH_PR7.json)"
+cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
+  --quick --shards 4 --rings 32 \
+  --topology tree:16 --topology mesh:12 --topology fddi:8 \
+  --compare BENCH_PR7.json
+
+echo "== bench_trend selftest (malformed reports, incl. topology section, must fail)"
+python3 scripts/bench_trend.py --selftest
 
 echo "verify: OK"

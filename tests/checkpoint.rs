@@ -14,7 +14,9 @@
 //! restore into 1- and 2-shard rebuilds (and the plain single-threaded
 //! bus) and still continue onto the single-threaded goldens.
 
-use ctms_core::{apply_mutations, fork, ForkSpec, Mutation, RingChainTestbed, Scenario, Testbed};
+use ctms_core::{
+    apply_mutations, fork, ForkSpec, Mutation, RingChainTestbed, RingGraph, Scenario, Testbed,
+};
 use ctms_router::BridgeKind;
 use ctms_sim::{Dur, SimTime};
 use ctms_unixkern::MeasurePoint;
@@ -397,4 +399,77 @@ fn corrupt_and_mismatched_checkpoints_are_rejected() {
     // 16-ring chain (node count mismatch).
     let mut chain = RingChainTestbed::chain(&sc, BridgeKind::cut_through_bridge(), 16);
     assert!(chain.bus_mut().restore_checkpoint(&good).is_err());
+}
+
+#[test]
+fn graph_snapshot_restores_across_shard_counts() {
+    // The v2 format on a topology that is *not* a chain: snapshot a
+    // 12-ring tree at 4 shards mid-flight, restore at 1 shard and into
+    // the plain single-threaded build, continue — byte-identical to the
+    // uninterrupted run, and the restored bus re-checkpoints to the
+    // exact snapshot bytes (the encoding is a fixed point regardless of
+    // shard count).
+    let sc = Scenario::scaled_chain(42);
+    let kind = BridgeKind::cut_through_bridge();
+    let tree = RingGraph::tree(12, 3);
+    let mid = SimTime::from_ms(1000);
+    let end = SimTime::from_secs(2);
+
+    let mut straight = RingChainTestbed::graph(&sc, kind, &tree);
+    straight.run_until(end);
+    let straight_json = straight.telemetry_json();
+
+    let mut origin = RingChainTestbed::graph_sharded(&sc, kind, &tree, 4);
+    assert_eq!(origin.shard_count(), 4, "tree must genuinely partition");
+    origin.run_until(mid);
+    let snapshot = origin.bus().checkpoint();
+
+    // Snapshot at 4 shards, restore at 1 (the sharded API's fallback):
+    // the continuation and the re-checkpoint must both be exact.
+    let mut at_one = RingChainTestbed::graph_sharded(&sc, kind, &tree, 1);
+    at_one
+        .bus_mut()
+        .restore_checkpoint(&snapshot)
+        .expect("restore tree snapshot at 1 shard");
+    assert_eq!(at_one.now(), mid);
+    assert_eq!(
+        at_one.bus().checkpoint(),
+        snapshot,
+        "re-checkpoint after cross-shard restore is not a fixed point"
+    );
+    at_one.run_until(end);
+    assert_eq!(
+        at_one.telemetry_json(),
+        straight_json,
+        "tree restored at 1 shard drifted"
+    );
+
+    // And into the plain single-threaded build.
+    let mut single = RingChainTestbed::graph(&sc, kind, &tree);
+    single
+        .bus_mut()
+        .restore_checkpoint(&snapshot)
+        .expect("restore tree snapshot into single-threaded bus");
+    assert_eq!(
+        single.bus().checkpoint(),
+        snapshot,
+        "single-threaded re-checkpoint is not a fixed point"
+    );
+    single.run_until(end);
+    assert_eq!(single.telemetry_json(), straight_json);
+
+    // The embedded graph signature catches shape mismatches loudly: a
+    // tree snapshot aimed at a mesh (or FDDI) build of the same ring
+    // count is rejected before any node state is touched.
+    let mut mesh = RingChainTestbed::graph(&sc, kind, &RingGraph::mesh(12, 42));
+    let err = mesh
+        .bus_mut()
+        .restore_checkpoint(&snapshot)
+        .expect_err("tree snapshot must not restore onto a mesh");
+    assert!(
+        err.to_string().contains("topology"),
+        "want a topology-signature error, got: {err}"
+    );
+    let mut fddi = RingChainTestbed::graph(&sc, kind, &RingGraph::fddi(12));
+    assert!(fddi.bus_mut().restore_checkpoint(&snapshot).is_err());
 }

@@ -185,6 +185,81 @@ fn sharded_harness_shares_the_golden_truth() {
 }
 
 #[test]
+fn topology_variants_share_the_golden_truth() {
+    // The graph generalization of the chain parity test: a tree, a mesh
+    // with a redundant parallel bridge, and an FDDI-style dual-backbone
+    // each run single-threaded and at 1, 2, and 4 graph-partitioned
+    // shards. For every shape, every shard count must reproduce the
+    // single-threaded run byte for byte — truth-log digests, counters,
+    // event counts, and the whole canonical telemetry tree. This is the
+    // license for `perf --topology` to compare wall clocks across
+    // shapes: the per-cut-edge lookahead windows are pure scheduling.
+    use ctms_core::{RingChainTestbed, RingGraph};
+    use ctms_router::BridgeKind;
+
+    let sc = Scenario::scaled_chain(42);
+    let kind = BridgeKind::cut_through_bridge();
+    let horizon = SimTime::from_secs(2);
+    for (name, graph) in [
+        ("tree", RingGraph::tree(13, 3)),
+        ("mesh", RingGraph::mesh(12, 42)),
+        ("fddi", RingGraph::fddi(12)),
+    ] {
+        let mut single = RingChainTestbed::graph(&sc, kind, &graph);
+        single.run_until(horizon);
+        let single_json = single.telemetry_json();
+        let single_counters = single.counters();
+        let single_events = single.bus().events();
+        let single_digests = [
+            single.measurement_set().vca_irq.digest(),
+            single.measurement_set().handler.digest(),
+            single.measurement_set().pre_tx.digest(),
+            single.measurement_set().ctmsp_rx.digest(),
+        ];
+        let (sent, received, _) = single_counters;
+        assert!(sent > 100, "{name}: stream must actually flow ({sent})");
+        assert!(
+            received >= sent.saturating_sub(2),
+            "{name}: stream must arrive ({received}/{sent})"
+        );
+        for shards in [1usize, 2, 4] {
+            let mut bed = RingChainTestbed::graph_sharded(&sc, kind, &graph, shards);
+            assert_eq!(
+                bed.shard_count(),
+                shards,
+                "{name}: graph must fill {shards} shards"
+            );
+            bed.run_until(horizon);
+            let got = [
+                bed.measurement_set().vca_irq.digest(),
+                bed.measurement_set().handler.digest(),
+                bed.measurement_set().pre_tx.digest(),
+                bed.measurement_set().ctmsp_rx.digest(),
+            ];
+            assert_eq!(
+                got, single_digests,
+                "{name} truth drifted (shards={shards}): {got:#018X?}"
+            );
+            assert_eq!(
+                bed.counters(),
+                single_counters,
+                "{name} counters drifted (shards={shards})"
+            );
+            assert_eq!(
+                bed.events(),
+                single_events,
+                "{name} event count drifted (shards={shards})"
+            );
+            assert_eq!(
+                bed.telemetry_json(),
+                single_json,
+                "{name} telemetry drifted (shards={shards})"
+            );
+        }
+    }
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Same seed, same process, two independently built testbeds: every
     // digest must agree (no hidden global state, no allocator or
