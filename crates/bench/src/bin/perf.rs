@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! perf [--quick] [--seed N] [--json PATH] [--compare PATH]
-//!      [--shards N] [--rings N] [--threads N]
+//!      [--shards N] [--rings N] [--threads N] [--adaptive]
 //!      [--topology SHAPE[:RINGS]]...
 //!
 //! --quick        short simulated horizon and a single repetition
@@ -27,6 +27,13 @@
 //!                power-of-two shard counts up to --shards (default 4).
 //!                Repeatable; an optional :RINGS overrides --rings per
 //!                shape (e.g. --topology tree:1024 --topology fddi:32)
+//! --adaptive     run every sharded configuration under BOTH window
+//!                protocols — adaptive (the default) and the
+//!                fixed-lookahead ablation baseline — with cross-mode
+//!                ground-truth parity asserted before any timing, and
+//!                report per-mode protocol-efficiency counters
+//!                (windows, sync instants, mailbox rounds, idle-window
+//!                fraction)
 //! ```
 //!
 //! The binary runs test cases A and B to a fixed simulated horizon under
@@ -51,10 +58,10 @@
 //! allocation-free ring (`ctms_sim::synth`) measures allocations/event
 //! for both modes; the indexed scheduler must come out at exactly zero.
 
-use ctms_core::{RingChainTestbed, RingGraph, Scenario, Testbed};
+use ctms_core::{RingChainTestbed, RingGraph, Scenario, ShardedChain, Testbed};
 use ctms_router::BridgeKind;
 use ctms_sim::telemetry::{json_f64, json_string};
-use ctms_sim::{SchedMode, SimTime};
+use ctms_sim::{SchedMode, SimTime, WindowMode};
 use ctms_unixkern::MeasurePoint;
 
 #[cfg(feature = "alloc-count")]
@@ -109,11 +116,13 @@ fn main() {
     let mut shards: Option<usize> = None;
     let mut rings = DEFAULT_CHAIN_RINGS;
     let mut threads: Option<usize> = None;
+    let mut adaptive = false;
     let mut topologies: Vec<(String, Option<usize>)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--adaptive" => adaptive = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -251,7 +260,15 @@ fn main() {
         } else {
             CHAIN_HORIZON_SECS
         };
-        measure_chain(seed, rings, max_shards, threads, chain_horizon, reps)
+        measure_chain(
+            seed,
+            rings,
+            max_shards,
+            threads,
+            chain_horizon,
+            reps,
+            adaptive,
+        )
     });
 
     let topo_horizon = if quick {
@@ -270,6 +287,7 @@ fn main() {
                 threads,
                 topo_horizon,
                 reps,
+                adaptive,
             )
         })
         .collect();
@@ -340,10 +358,50 @@ fn measure_case(sc: &Scenario, mode: SchedMode, horizon_secs: u64, reps: usize) 
     best.expect("at least one repetition")
 }
 
+/// Protocol-efficiency counters for one sharded run, read from the
+/// harness's execution telemetry. Deterministic (they describe the
+/// synchronization schedule, not the wall clock), so repetitions are
+/// asserted identical.
+#[derive(Clone, Copy, PartialEq)]
+struct WindowStats {
+    windows: u64,
+    sync_instants: u64,
+    mail_rounds: u64,
+    /// Fraction of per-shard window grants that found no work:
+    /// `sum(idle_windows) / sum(idle_windows + window_advances)`.
+    idle_fraction: f64,
+}
+
+fn window_stats(bus: &ctms_core::ShardedBus, shards: usize) -> Option<WindowStats> {
+    let reg = bus.exec_telemetry()?;
+    let count = |key: &str| reg.counter_value(key).unwrap_or(0);
+    let (mut idle, mut advances) = (0u64, 0u64);
+    for k in 0..shards {
+        let s = bus.shard_stats(k);
+        idle += s.idle_windows;
+        advances += s.window_advances;
+    }
+    let grants = idle + advances;
+    Some(WindowStats {
+        windows: count("sched.windows"),
+        sync_instants: count("sched.sync_instants"),
+        mail_rounds: count("sched.mail_rounds"),
+        idle_fraction: if grants == 0 {
+            0.0
+        } else {
+            idle as f64 / grants as f64
+        },
+    })
+}
+
 struct ChainSharded {
     shards: usize,
     threads: usize,
+    /// The default protocol (adaptive windows).
     run: ModeRun,
+    window: Option<WindowStats>,
+    /// The fixed-lookahead ablation baseline, measured with `--adaptive`.
+    fixed: Option<(ModeRun, WindowStats)>,
 }
 
 struct ChainResult {
@@ -351,6 +409,95 @@ struct ChainResult {
     horizon_secs: u64,
     single: ModeRun,
     sharded: Vec<ChainSharded>,
+}
+
+/// Measures one sharded configuration under one window protocol:
+/// best-of-`reps` wall clock, with ground-truth parity against
+/// `single` asserted on every repetition before the timing is kept,
+/// and the (deterministic) protocol-efficiency counters asserted
+/// stable across repetitions.
+#[allow(clippy::too_many_arguments)]
+fn measure_sharded_mode(
+    build: &dyn Fn() -> ShardedChain,
+    digests_of: &dyn Fn(&ShardedChain) -> [u64; 4],
+    mode: WindowMode,
+    k: usize,
+    workers: usize,
+    horizon: SimTime,
+    reps: usize,
+    single: &ModeRun,
+    label: &str,
+) -> (ModeRun, Option<WindowStats>) {
+    let mut best: Option<ModeRun> = None;
+    let mut stats: Option<WindowStats> = None;
+    for _ in 0..reps {
+        let mut bed = build();
+        assert_eq!(bed.shard_count(), k, "{label} must partition into {k}");
+        bed.bus_mut().set_window_mode(mode);
+        bed.set_threads(workers);
+        let t0 = std::time::Instant::now();
+        bed.run_until(horizon);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let run = ModeRun {
+            events: bed.events(),
+            wall_secs,
+            digests: digests_of(&bed),
+        };
+        // Ground-truth parity before timing is reported: the parallel
+        // run must have simulated the exact same world — under either
+        // window protocol.
+        assert_eq!(
+            run.digests, single.digests,
+            "{label} shards={k} ({mode:?}): sharded scheduler changed ground truth"
+        );
+        assert_eq!(
+            run.events, single.events,
+            "{label} shards={k} ({mode:?}): sharded scheduler changed event count"
+        );
+        let s = window_stats(bed.bus(), k);
+        if let (Some(prev), Some(now)) = (&stats, &s) {
+            assert!(
+                prev == now,
+                "{label} shards={k} ({mode:?}): window schedule varied across repetitions"
+            );
+        }
+        stats = s;
+        if best.as_ref().is_none_or(|b| run.wall_secs < b.wall_secs) {
+            best = Some(run);
+        }
+    }
+    (best.expect("at least one repetition"), stats)
+}
+
+/// One stderr progress line per measured sharded configuration,
+/// including the protocol-efficiency counters when available.
+fn report_sharded(
+    label: &str,
+    k: usize,
+    workers: usize,
+    run: &ModeRun,
+    single: &ModeRun,
+    window: Option<&WindowStats>,
+    tag: Option<&str>,
+) {
+    let tag = tag.map(|t| format!(" [{t}]")).unwrap_or_default();
+    let counters = window
+        .map(|w| {
+            format!(
+                "  windows {} sync {} mail {} idle {:.0}%",
+                w.windows,
+                w.sync_instants,
+                w.mail_rounds,
+                w.idle_fraction * 100.0
+            )
+        })
+        .unwrap_or_default();
+    eprintln!(
+        "# {label}: shards={k} threads={workers}{tag} {:.1}ms ({:.2}M ev/s)  speedup {:.2}x{counters}",
+        run.wall_secs * 1e3,
+        run.events as f64 / run.wall_secs / 1e6,
+        single.wall_secs / run.wall_secs
+    );
 }
 
 fn chain_digests(mut get: impl FnMut(usize, MeasurePoint) -> u64) -> [u64; 4] {
@@ -375,6 +522,7 @@ fn measure_chain(
     threads: Option<usize>,
     horizon_secs: u64,
     reps: usize,
+    adaptive: bool,
 ) -> ChainResult {
     let sc = Scenario::scaled_chain(seed);
     let kind = BridgeKind::cut_through_bridge();
@@ -417,49 +565,58 @@ fn measure_chain(
     let mut k = 2;
     while k <= max_shards {
         let workers = threads.unwrap_or_else(|| ctms_sim::default_threads(k));
-        let mut best: Option<ModeRun> = None;
-        for _ in 0..reps {
-            let mut bed = RingChainTestbed::chain_sharded(&sc, kind, rings, k);
-            assert_eq!(bed.shard_count(), k, "chain must partition into {k}");
-            bed.set_threads(workers);
-            let t0 = std::time::Instant::now();
-            bed.run_until(horizon);
-            let wall_secs = t0.elapsed().as_secs_f64();
-            let run = ModeRun {
-                events: bed.events(),
-                wall_secs,
-                digests: chain_digests(|host, point| {
-                    bed.bus()
-                        .truth_log(host, point)
-                        .map(|log| log.digest())
-                        .unwrap_or(0)
-                }),
-            };
-            // Ground-truth parity before timing is reported: the
-            // parallel run must have simulated the exact same world.
-            assert_eq!(
-                run.digests, single.digests,
-                "chain/{rings} shards={k}: sharded scheduler changed ground truth"
-            );
-            assert_eq!(
-                run.events, single.events,
-                "chain/{rings} shards={k}: sharded scheduler changed event count"
-            );
-            if best.as_ref().is_none_or(|b| run.wall_secs < b.wall_secs) {
-                best = Some(run);
-            }
-        }
-        let run = best.expect("at least one repetition");
-        eprintln!(
-            "# chain/{rings}: shards={k} threads={workers} {:.1}ms ({:.2}M ev/s)  speedup {:.2}x",
-            run.wall_secs * 1e3,
-            run.events as f64 / run.wall_secs / 1e6,
-            single.wall_secs / run.wall_secs
+        let label = format!("chain/{rings}");
+        let build = || RingChainTestbed::chain_sharded(&sc, kind, rings, k);
+        let digests_of = |bed: &ShardedChain| {
+            chain_digests(|host, point| {
+                bed.bus()
+                    .truth_log(host, point)
+                    .map(|log| log.digest())
+                    .unwrap_or(0)
+            })
+        };
+        let (run, window) = measure_sharded_mode(
+            &build,
+            &digests_of,
+            WindowMode::Adaptive,
+            k,
+            workers,
+            horizon,
+            reps,
+            &single,
+            &label,
         );
+        report_sharded(&label, k, workers, &run, &single, window.as_ref(), None);
+        let fixed = adaptive.then(|| {
+            let (run, stats) = measure_sharded_mode(
+                &build,
+                &digests_of,
+                WindowMode::FixedLookahead,
+                k,
+                workers,
+                horizon,
+                reps,
+                &single,
+                &label,
+            );
+            let stats = stats.expect("sharded run must expose execution telemetry");
+            report_sharded(
+                &label,
+                k,
+                workers,
+                &run,
+                &single,
+                Some(&stats),
+                Some("fixed"),
+            );
+            (run, stats)
+        });
         sharded.push(ChainSharded {
             shards: k,
             threads: workers,
             run,
+            window,
+            fixed,
         });
         k *= 2;
     }
@@ -486,6 +643,7 @@ struct TopoResult {
 /// as the chain benchmark — edge-log digests and serviced event counts
 /// must match the single-threaded run before any wall clock is
 /// reported, which is what makes per-shape wall clocks comparable.
+#[allow(clippy::too_many_arguments)]
 fn measure_topology(
     seed: u64,
     shape: &str,
@@ -494,6 +652,7 @@ fn measure_topology(
     threads: Option<usize>,
     horizon_secs: u64,
     reps: usize,
+    adaptive: bool,
 ) -> TopoResult {
     let sc = Scenario::scaled_chain(seed);
     let kind = BridgeKind::cut_through_bridge();
@@ -540,42 +699,51 @@ fn measure_topology(
     let mut k = 2;
     while k <= max_shards {
         let workers = threads.unwrap_or_else(|| ctms_sim::default_threads(k));
-        let mut best: Option<ModeRun> = None;
-        for _ in 0..reps {
-            let mut bed = RingChainTestbed::graph_sharded(&sc, kind, &graph, k);
-            assert_eq!(bed.shard_count(), k, "{shape} must partition into {k}");
-            bed.set_threads(workers);
-            let t0 = std::time::Instant::now();
-            bed.run_until(horizon);
-            let wall_secs = t0.elapsed().as_secs_f64();
-            let run = ModeRun {
-                events: bed.events(),
-                wall_secs,
-                digests: set_digests(&bed.measurement_set()),
-            };
-            assert_eq!(
-                run.digests, single.digests,
-                "{shape}/{rings} shards={k}: sharded scheduler changed ground truth"
-            );
-            assert_eq!(
-                run.events, single.events,
-                "{shape}/{rings} shards={k}: sharded scheduler changed event count"
-            );
-            if best.as_ref().is_none_or(|b| run.wall_secs < b.wall_secs) {
-                best = Some(run);
-            }
-        }
-        let run = best.expect("at least one repetition");
-        eprintln!(
-            "# {shape}/{rings}: shards={k} threads={workers} {:.1}ms ({:.2}M ev/s)  speedup {:.2}x",
-            run.wall_secs * 1e3,
-            run.events as f64 / run.wall_secs / 1e6,
-            single.wall_secs / run.wall_secs
+        let label = format!("{shape}/{rings}");
+        let build = || RingChainTestbed::graph_sharded(&sc, kind, &graph, k);
+        let digests_of = |bed: &ShardedChain| set_digests(&bed.measurement_set());
+        let (run, window) = measure_sharded_mode(
+            &build,
+            &digests_of,
+            WindowMode::Adaptive,
+            k,
+            workers,
+            horizon,
+            reps,
+            &single,
+            &label,
         );
+        report_sharded(&label, k, workers, &run, &single, window.as_ref(), None);
+        let fixed = adaptive.then(|| {
+            let (run, stats) = measure_sharded_mode(
+                &build,
+                &digests_of,
+                WindowMode::FixedLookahead,
+                k,
+                workers,
+                horizon,
+                reps,
+                &single,
+                &label,
+            );
+            let stats = stats.expect("sharded run must expose execution telemetry");
+            report_sharded(
+                &label,
+                k,
+                workers,
+                &run,
+                &single,
+                Some(&stats),
+                Some("fixed"),
+            );
+            (run, stats)
+        });
         sharded.push(ChainSharded {
             shards: k,
             threads: workers,
             run,
+            window,
+            fixed,
         });
         k *= 2;
     }
@@ -623,6 +791,69 @@ fn steady_state_allocs() -> Option<SteadyState> {
     None
 }
 
+fn mode_json(m: &ModeRun) -> String {
+    format!(
+        "{{ \"events\": {}, \"wall_secs\": {}, \"events_per_sec\": {} }}",
+        m.events,
+        json_f64(m.wall_secs),
+        json_f64(m.events as f64 / m.wall_secs)
+    )
+}
+
+fn window_json(w: &WindowStats) -> String {
+    format!(
+        "{{ \"windows\": {}, \"sync_instants\": {}, \"mail_rounds\": {}, \
+         \"idle_window_fraction\": {} }}",
+        w.windows,
+        w.sync_instants,
+        w.mail_rounds,
+        json_f64(w.idle_fraction)
+    )
+}
+
+/// Emits one sharded configuration entry. `indent` is the indentation
+/// of the entry's opening brace. The `window` counters describe the
+/// adaptive (default) run; `fixed_lookahead` is present only for
+/// `--adaptive` reports and carries the ablation baseline plus the
+/// headline `sync_instant_reduction` = fixed sync instants per adaptive
+/// sync instant.
+fn sharded_json(s: &ChainSharded, single: &ModeRun, indent: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{indent}{{\n"));
+    out.push_str(&format!("{indent}  \"shards\": {},\n", s.shards));
+    out.push_str(&format!("{indent}  \"threads\": {},\n", s.threads));
+    out.push_str(&format!("{indent}  \"run\": {},\n", mode_json(&s.run)));
+    out.push_str(&format!(
+        "{indent}  \"speedup\": {},\n",
+        json_f64(single.wall_secs / s.run.wall_secs)
+    ));
+    match &s.window {
+        Some(w) => out.push_str(&format!("{indent}  \"window\": {},\n", window_json(w))),
+        None => out.push_str(&format!("{indent}  \"window\": null,\n")),
+    }
+    match &s.fixed {
+        Some((run, w)) => {
+            out.push_str(&format!("{indent}  \"fixed_lookahead\": {{\n"));
+            out.push_str(&format!("{indent}    \"run\": {},\n", mode_json(run)));
+            out.push_str(&format!(
+                "{indent}    \"speedup\": {},\n",
+                json_f64(single.wall_secs / run.wall_secs)
+            ));
+            out.push_str(&format!("{indent}    \"window\": {},\n", window_json(w)));
+            let adaptive_sync = s.window.as_ref().map_or(1, |a| a.sync_instants.max(1));
+            out.push_str(&format!(
+                "{indent}    \"sync_instant_reduction\": {}\n",
+                json_f64(w.sync_instants as f64 / adaptive_sync as f64)
+            ));
+            out.push_str(&format!("{indent}  }},\n"));
+        }
+        None => out.push_str(&format!("{indent}  \"fixed_lookahead\": null,\n")),
+    }
+    out.push_str(&format!("{indent}  \"ground_truth_parity\": true\n"));
+    out.push_str(&format!("{indent}}}"));
+    out
+}
+
 fn report_json(
     seed: u64,
     quick: bool,
@@ -634,7 +865,7 @@ fn report_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"format\": \"ctms-perf/3\",\n");
+    out.push_str("  \"format\": \"ctms-perf/4\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"horizon_secs\": {horizon_secs},\n"));
@@ -678,33 +909,17 @@ fn report_json(
     out.push_str("  ],\n");
     match chain {
         Some(c) => {
-            let mode = |m: &ModeRun| {
-                format!(
-                    "{{ \"events\": {}, \"wall_secs\": {}, \"events_per_sec\": {} }}",
-                    m.events,
-                    json_f64(m.wall_secs),
-                    json_f64(m.events as f64 / m.wall_secs)
-                )
-            };
             out.push_str("  \"chain\": {\n");
             out.push_str(&format!("    \"rings\": {},\n", c.rings));
             out.push_str(&format!("    \"horizon_secs\": {},\n", c.horizon_secs));
-            out.push_str(&format!("    \"single\": {},\n", mode(&c.single)));
+            out.push_str(&format!("    \"single\": {},\n", mode_json(&c.single)));
             out.push_str("    \"sharded\": [\n");
             for (i, s) in c.sharded.iter().enumerate() {
-                out.push_str("      {\n");
-                out.push_str(&format!("        \"shards\": {},\n", s.shards));
-                out.push_str(&format!("        \"threads\": {},\n", s.threads));
-                out.push_str(&format!("        \"run\": {},\n", mode(&s.run)));
-                out.push_str(&format!(
-                    "        \"speedup\": {},\n",
-                    json_f64(c.single.wall_secs / s.run.wall_secs)
-                ));
-                out.push_str("        \"ground_truth_parity\": true\n");
+                out.push_str(&sharded_json(s, &c.single, "      "));
                 out.push_str(if i + 1 == c.sharded.len() {
-                    "      }\n"
+                    "\n"
                 } else {
-                    "      },\n"
+                    ",\n"
                 });
             }
             out.push_str("    ]\n");
@@ -715,36 +930,20 @@ fn report_json(
     if topologies.is_empty() {
         out.push_str("  \"topologies\": null,\n");
     } else {
-        let mode = |m: &ModeRun| {
-            format!(
-                "{{ \"events\": {}, \"wall_secs\": {}, \"events_per_sec\": {} }}",
-                m.events,
-                json_f64(m.wall_secs),
-                json_f64(m.events as f64 / m.wall_secs)
-            )
-        };
         out.push_str("  \"topologies\": [\n");
         for (i, t) in topologies.iter().enumerate() {
             out.push_str("    {\n");
             out.push_str(&format!("      \"shape\": {},\n", json_string(&t.shape)));
             out.push_str(&format!("      \"rings\": {},\n", t.rings));
             out.push_str(&format!("      \"horizon_secs\": {},\n", t.horizon_secs));
-            out.push_str(&format!("      \"single\": {},\n", mode(&t.single)));
+            out.push_str(&format!("      \"single\": {},\n", mode_json(&t.single)));
             out.push_str("      \"sharded\": [\n");
             for (j, s) in t.sharded.iter().enumerate() {
-                out.push_str("        {\n");
-                out.push_str(&format!("          \"shards\": {},\n", s.shards));
-                out.push_str(&format!("          \"threads\": {},\n", s.threads));
-                out.push_str(&format!("          \"run\": {},\n", mode(&s.run)));
-                out.push_str(&format!(
-                    "          \"speedup\": {},\n",
-                    json_f64(t.single.wall_secs / s.run.wall_secs)
-                ));
-                out.push_str("          \"ground_truth_parity\": true\n");
+                out.push_str(&sharded_json(s, &t.single, "        "));
                 out.push_str(if j + 1 == t.sharded.len() {
-                    "        }\n"
+                    "\n"
                 } else {
-                    "        },\n"
+                    ",\n"
                 });
             }
             out.push_str("      ]\n");
@@ -870,4 +1069,4 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N] [--topology SHAPE[:RINGS]]...";
+const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N] [--adaptive] [--topology SHAPE[:RINGS]]...";

@@ -18,7 +18,7 @@ use crate::topology::{
     decode_router_state, persist_router_parts, Bus, CtmsRouter, Measurements, Node,
 };
 use ctms_router::Bridge;
-use ctms_sim::{CascadeError, NodeId, Registry, ShardStats, ShardedHarness, SimTime};
+use ctms_sim::{CascadeError, NodeId, Registry, ShardStats, ShardedHarness, SimTime, WindowMode};
 use ctms_tokenring::TokenRing;
 use ctms_unixkern::{Host, MeasurePoint};
 
@@ -72,6 +72,15 @@ impl ShardedBus {
     pub fn set_threads(&mut self, threads: usize) {
         if let ShardedBus::Parallel(p) = self {
             p.h.set_threads(threads);
+        }
+    }
+
+    /// Selects the synchronization protocol (adaptive windows by
+    /// default; the fixed-lookahead baseline for ablation). No-op on
+    /// the single-threaded fallback, which has no windows at all.
+    pub fn set_window_mode(&mut self, mode: WindowMode) {
+        if let ShardedBus::Parallel(p) = self {
+            p.h.set_window_mode(mode);
         }
     }
 

@@ -157,9 +157,12 @@ enum Endpoint {
 #[derive(Clone)]
 enum Slot {
     Ring {
-        /// Station → attached endpoint (absent stations are idle or
-        /// phantom; their traffic is not delivered anywhere).
-        endpoints: HashMap<StationId, Endpoint>,
+        /// Attached endpoint per station, indexed densely by
+        /// [`StationId`] (`None` stations are idle or phantom; their
+        /// traffic is not delivered anywhere). Dense so the hot
+        /// per-frame delivery lookup is one bounds check and a load,
+        /// not a hash.
+        endpoints: Vec<Option<Endpoint>>,
     },
     Host {
         index: usize,
@@ -379,7 +382,7 @@ impl ctms_sim::MergeTelemetry for CtmsRouter {
 impl CtmsRouter {
     fn ring_endpoint(&self, ring: NodeId, station: StationId) -> Option<Endpoint> {
         match &self.slots[ring.0] {
-            Slot::Ring { endpoints } => endpoints.get(&station).copied(),
+            Slot::Ring { endpoints } => endpoints.get(station.0 as usize).copied().flatten(),
             _ => unreachable!("ring events come from ring nodes"),
         }
     }
@@ -610,24 +613,31 @@ impl Topology {
         let host_node = |k: usize| NodeId(n_rings + n_bridges + k);
 
         let mut slots: Vec<Slot> = Vec::new();
-        let mut endpoints: Vec<HashMap<StationId, Endpoint>> =
-            (0..n_rings).map(|_| HashMap::new()).collect();
+        let mut endpoints: Vec<Vec<Option<Endpoint>>> = (0..n_rings).map(|_| Vec::new()).collect();
+        let mut attach = |ring: usize, station: StationId, ep: Endpoint| {
+            let table: &mut Vec<Option<Endpoint>> = &mut endpoints[ring];
+            let i = station.0 as usize;
+            if table.len() <= i {
+                table.resize(i + 1, None);
+            }
+            assert!(table[i].is_none(), "two endpoints at station {station:?}");
+            table[i] = Some(ep);
+        };
         for (k, spec) in self.bridges.iter().enumerate() {
             let node = bridge_node(k);
             for (p, &ring) in spec.rings.iter().enumerate() {
-                let prev = endpoints[ring].insert(
+                attach(
+                    ring,
                     spec.bridge.port_station(p),
                     Endpoint::Bridge {
                         node,
                         port: p as u8,
                     },
                 );
-                assert!(prev.is_none(), "two endpoints at one station");
             }
         }
         for (k, (ring, station, _)) in self.hosts.iter().enumerate() {
-            let prev = endpoints[*ring].insert(*station, Endpoint::Host { node: host_node(k) });
-            assert!(prev.is_none(), "two endpoints at station {station:?}");
+            attach(*ring, *station, Endpoint::Host { node: host_node(k) });
         }
 
         for ep in endpoints.drain(..) {
@@ -803,6 +813,25 @@ impl Topology {
                 shard_lookahead[sh] = Some(shard_lookahead[sh].map_or(la, |cur| cur.min(la)));
             }
         }
+        // Directed per-edge influence for the adaptive window protocol.
+        // Cross-shard mail flows only out of sync bridges (the owner
+        // ring — the one that delivers traffic *into* the bridge — is
+        // co-sharded with it, so delivery into the bridge is always
+        // local), and only toward the shards of the bridge's port
+        // rings, delayed by at least that bridge's forwarding latency.
+        let mut influence: Vec<Vec<Option<Dur>>> = vec![vec![None; s]; s];
+        for ((spec, sync), &o) in self.bridges.iter().zip(&bridge_sync).zip(&bridge_shard) {
+            if !*sync {
+                continue;
+            }
+            let la = spec.bridge.kind().lookahead();
+            for &r in &spec.rings {
+                let k = part[r];
+                if k != o {
+                    influence[o][k] = Some(influence[o][k].map_or(la, |cur| cur.min(la)));
+                }
+            }
+        }
 
         let slots = self.make_slots();
         let routers: Vec<CtmsRouter> = (0..s)
@@ -828,6 +857,7 @@ impl Topology {
 
         let mut h = ShardedHarness::new(routers, self.cascade_limit, lookahead);
         h.set_shard_lookaheads(shard_lookahead);
+        h.set_influence_lookaheads(influence);
         let mut ring_nodes = Vec::new();
         for (k, ring) in self.rings.into_iter().enumerate() {
             ring_nodes.push(h.add_node_labeled(
@@ -1424,8 +1454,8 @@ impl CtmsRouter {
 
     /// A canonical byte description of the wiring graph — slot kinds,
     /// endpoint stations, bridge port rings — independent of shard
-    /// count (every shard router holds the complete slot table) and of
-    /// endpoint-map iteration order (endpoints are sorted). Embedded in
+    /// count (every shard router holds the complete slot table);
+    /// endpoints are encoded in station order. Embedded in
     /// checkpoints since format v2 so a snapshot refuses to restore
     /// onto a differently-shaped topology instead of corrupting state.
     pub(crate) fn topology_signature(&self) -> Vec<u8> {
@@ -1435,14 +1465,22 @@ impl CtmsRouter {
             match slot {
                 Slot::Ring { endpoints } => {
                     enc.u8(0);
-                    let mut eps: Vec<(u32, u8, u64, u8)> = endpoints
+                    // The dense table is already in station order, which
+                    // is exactly the sorted order the v2 signature
+                    // encoded — bytes stay identical across the layout
+                    // change, so old checkpoints still match.
+                    let eps: Vec<(u32, u8, u64, u8)> = endpoints
                         .iter()
-                        .map(|(st, ep)| match ep {
-                            Endpoint::Host { node } => (st.0, 0u8, node.0 as u64, 0u8),
-                            Endpoint::Bridge { node, port } => (st.0, 1u8, node.0 as u64, *port),
+                        .enumerate()
+                        .filter_map(|(st, ep)| {
+                            ep.map(|ep| match ep {
+                                Endpoint::Host { node } => (st as u32, 0u8, node.0 as u64, 0u8),
+                                Endpoint::Bridge { node, port } => {
+                                    (st as u32, 1u8, node.0 as u64, port)
+                                }
+                            })
                         })
                         .collect();
-                    eps.sort_unstable();
                     enc.seq_len(eps.len());
                     for (st, kind, node, port) in eps {
                         enc.u32(st);

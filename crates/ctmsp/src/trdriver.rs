@@ -26,7 +26,7 @@ use ctms_sim::Dur;
 use ctms_tokenring::{Frame, FrameId, FrameKind, Proto, StationId};
 use ctms_unixkern::{Ctx, Driver, DriverCall, DriverId, DropSite, MeasurePoint, Pkt, LINE_TR};
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// `DriverCall::Custom` code injected by the testbed when a Ring Purge is
 /// observed (only meaningful in `purge_interrupt` mode).
@@ -229,7 +229,11 @@ pub struct TrDriver {
     tx_done_pending: u32,
     last_tx: Option<LastTx>,
     retransmitted_tag: Option<u64>,
-    rx_dma: HashMap<u64, Frame>,
+    /// In-flight receive DMAs keyed by timer token, sorted ascending.
+    /// Tokens are handed out monotonically and at most `rx_buffers`
+    /// entries are live at once, so a sorted vec beats a hash map on
+    /// this path (several lookups per received frame, population 0–2).
+    rx_dma: Vec<(u64, Frame)>,
     rx_dma_seq: u64,
     rx_buffers_in_use: u32,
     rx_pending: VecDeque<Frame>,
@@ -253,7 +257,7 @@ impl TrDriver {
             tx_done_pending: 0,
             last_tx: None,
             retransmitted_tag: None,
-            rx_dma: HashMap::new(),
+            rx_dma: Vec::new(),
             rx_dma_seq: 0,
             rx_buffers_in_use: 0,
             rx_pending: VecDeque::new(),
@@ -262,6 +266,20 @@ impl TrDriver {
             last_rx_post: ctms_sim::SimTime::ZERO,
             next_local_frame: 0,
             stats: TrDriverStats::default(),
+        }
+    }
+
+    fn rx_dma_insert(&mut self, token: u64, frame: Frame) {
+        match self.rx_dma.binary_search_by_key(&token, |e| e.0) {
+            Ok(_) => panic!("tokenring: duplicate rx dma token {token}"),
+            Err(i) => self.rx_dma.insert(i, (token, frame)),
+        }
+    }
+
+    fn rx_dma_remove(&mut self, token: u64) -> Option<Frame> {
+        match self.rx_dma.binary_search_by_key(&token, |e| e.0) {
+            Ok(i) => Some(self.rx_dma.remove(i).1),
+            Err(_) => None,
         }
     }
 
@@ -623,12 +641,12 @@ impl Driver for TrDriver {
             persist_proto(e, l.proto);
         });
         enc.opt(self.retransmitted_tag.as_ref(), |e, t| e.u64(*t));
-        let mut tokens: Vec<u64> = self.rx_dma.keys().copied().collect();
-        tokens.sort_unstable();
-        enc.seq_len(tokens.len());
-        for t in tokens {
-            enc.u64(t);
-            self.rx_dma[&t].persist(enc);
+        // Already sorted by token — encodes byte-identically to the
+        // sorted-HashMap layout this replaced.
+        enc.seq_len(self.rx_dma.len());
+        for (t, f) in &self.rx_dma {
+            enc.u64(*t);
+            f.persist(enc);
         }
         enc.u64(self.rx_dma_seq);
         enc.u32(self.rx_buffers_in_use);
@@ -689,10 +707,8 @@ impl Driver for TrDriver {
             })
         })?;
         self.retransmitted_tag = dec.opt(|d| d.u64())?;
-        self.rx_dma = dec
-            .seq(|d| Ok((d.u64()?, decode_frame(d)?)))?
-            .into_iter()
-            .collect();
+        self.rx_dma = dec.seq(|d| Ok((d.u64()?, decode_frame(d)?)))?;
+        self.rx_dma.sort_unstable_by_key(|e| e.0);
         self.rx_dma_seq = dec.u64()?;
         self.rx_buffers_in_use = dec.u32()?;
         self.rx_pending = dec.seq(decode_frame)?.into();
@@ -855,7 +871,7 @@ impl Driver for TrDriver {
             }
             t if t >= RXDMA_BASE => {
                 // Receive posting latency elapsed: interrupt the host.
-                let frame = self.rx_dma.remove(&t).expect("rx post without frame");
+                let frame = self.rx_dma_remove(t).expect("rx post without frame");
                 self.rx_pending.push_back(frame);
                 ctx.raise_irq(LINE_TR);
             }
@@ -893,13 +909,13 @@ impl Driver for TrDriver {
             t if t >= RXDMA_BASE => {
                 // DMA into the fixed receive buffer done; model the
                 // adapter's interrupt-posting latency.
-                let frame = self.rx_dma.remove(&t).expect("rx dma without frame");
+                let frame = self.rx_dma_remove(t).expect("rx dma without frame");
                 let (lo, hi) = self.cfg.adapter.rx_post_latency;
                 let lat = ctx.rng.uniform_dur(lo, hi);
                 let at = (ctx.now + lat).max(self.last_rx_post);
                 self.last_rx_post = at;
                 let token = t;
-                self.rx_dma.insert(token, frame);
+                self.rx_dma_insert(token, frame);
                 ctx.set_timer(token, at);
             }
             other => panic!("tokenring: unknown dma token {other}"),
@@ -919,7 +935,7 @@ impl Driver for TrDriver {
         self.rx_dma_seq += 1;
         let token = RXDMA_BASE + self.rx_dma_seq;
         let wire = frame.wire_bytes();
-        self.rx_dma.insert(token, frame);
+        self.rx_dma_insert(token, frame);
         ctx.start_dma(
             token,
             wire,

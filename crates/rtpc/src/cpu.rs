@@ -159,7 +159,20 @@ pub struct Cpu<T> {
     irq_pending: [bool; IRQ_LINES],
     speed: f64,
     stats: CpuStats,
+    /// Memo of the last [`Cpu::finish_time`] result, keyed by the exact
+    /// inputs `(as_of, remaining, speed bits)`. The harness queries
+    /// `next_deadline` far more often than the running job changes, and
+    /// the float divide in `finish_time` is the single hottest piece of
+    /// that query; the memo returns the identical value (same inputs,
+    /// same computation) without re-dividing. Not persisted — a stale
+    /// entry after restore can only hit on matching inputs, which yield
+    /// the same result anyway.
+    finish_memo: std::cell::Cell<Option<FinishMemo>>,
 }
+
+/// One memoized [`Cpu::finish_time`] entry: the `(as_of, remaining,
+/// speed bits)` key plus the finish instant it produced.
+type FinishMemo = ((u64, u64, u64), SimTime);
 
 impl<T: Copy> Cpu<T> {
     /// Creates an idle CPU.
@@ -172,6 +185,7 @@ impl<T: Copy> Cpu<T> {
             irq_pending: [false; IRQ_LINES],
             speed: 1.0,
             stats: CpuStats::default(),
+            finish_memo: std::cell::Cell::new(None),
         }
     }
 
@@ -209,10 +223,19 @@ impl<T: Copy> Cpu<T> {
         }
     }
 
-    /// Wall-clock instant the running job will finish, given current speed.
+    /// Wall-clock instant the running job will finish, given current
+    /// speed. Memoized on the exact inputs (see `finish_memo`).
     fn finish_time(&self, r: &Running<T>) -> SimTime {
+        let key = (r.as_of.as_ns(), r.remaining.as_ns(), self.speed.to_bits());
+        if let Some((k, at)) = self.finish_memo.get() {
+            if k == key {
+                return at;
+            }
+        }
         let ns = (r.remaining.as_ns() as f64 / self.speed).ceil() as u64;
-        r.as_of + Dur::from_ns(ns)
+        let at = r.as_of + Dur::from_ns(ns);
+        self.finish_memo.set(Some((key, at)));
+        at
     }
 
     /// Settles the running job's progress up to `now`.

@@ -268,12 +268,17 @@ impl<T: Copy + core::fmt::Debug> Component for Machine<T> {
     type Out = MachOut<T>;
 
     fn next_deadline(&self) -> Option<SimTime> {
-        ctms_sim::earliest(
-            self.dmas
-                .iter()
-                .map(|d| Some(d.done_at))
-                .chain([self.cpu.next_deadline()]),
-        )
+        // Hand-rolled min over the 0–2 live DMAs plus the CPU: this is
+        // on the per-event reschedule path, where the iterator-chain
+        // form showed up in profiles.
+        let mut best = self.cpu.next_deadline();
+        for d in &self.dmas {
+            match best {
+                Some(b) if b <= d.done_at => {}
+                _ => best = Some(d.done_at),
+            }
+        }
+        best
     }
 
     fn advance(&mut self, now: SimTime, sink: &mut Vec<MachOut<T>>) {

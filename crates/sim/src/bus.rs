@@ -128,9 +128,29 @@ impl<Cmd> CmdSink<Cmd> {
 /// commands for them.
 pub trait Router<C: Component> {
     /// Routes one `event` emitted by `src` at `now`, pushing any
-    /// resulting commands into `sink`. The sink is empty on entry and
-    /// reused across calls — never assume it is freshly allocated.
+    /// resulting commands into `sink`. The sink is reused across calls —
+    /// never assume it is freshly allocated, and (since [`Router::route_all`]
+    /// shares one sink across a batch) never assume it is empty on entry.
     fn route(&mut self, now: SimTime, src: NodeId, event: C::Out, sink: &mut CmdSink<C::Cmd>);
+
+    /// Routes a batch of events all emitted by `src` at `now`, draining
+    /// `events` front to back. The harness batches consecutive same-source
+    /// events from one cascade wave into a single call, so routers whose
+    /// per-call overhead dominates (table lookups, telemetry taps) can hoist
+    /// the per-source work out of the loop. The default simply forwards to
+    /// [`Router::route`] per event; implementations must preserve exactly
+    /// that command order so batching stays bit-identical.
+    fn route_all(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        events: &mut Vec<C::Out>,
+        sink: &mut CmdSink<C::Cmd>,
+    ) {
+        for event in events.drain(..) {
+            self.route(now, src, event, sink);
+        }
+    }
 
     /// Registers the router's own statistics (absorbed measurement
     /// traffic, wiring-level counters) into the telemetry tree. Called by
@@ -236,6 +256,11 @@ pub struct Harness<C: Component, R: Router<C>> {
     next_wave: Vec<(NodeId, C::Out)>,
     out_buf: Vec<C::Out>,
     cmds: CmdSink<C::Cmd>,
+    batch: Vec<C::Out>,
+    /// Per-node visit stamps for O(1) dedup in `reschedule_touched`
+    /// (node k was visited iff `stamp[k] == epoch`).
+    stamp: Vec<u64>,
+    epoch: u64,
 }
 
 /// Default same-instant cascade step limit.
@@ -276,6 +301,9 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
             next_wave: Vec::new(),
             out_buf: Vec::new(),
             cmds: CmdSink::new(),
+            batch: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -301,6 +329,7 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
         let id = NodeId(self.nodes.len());
         self.nodes.push(node);
         self.labels.push(label.into());
+        self.stamp.push(0);
         self.reschedule(id.0);
         id
     }
@@ -538,14 +567,21 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
         Ok(())
     }
 
-    /// Re-syncs the scheduler entry of every node recorded in `touched`
-    /// (sorted and deduplicated in place — no allocation).
+    /// Re-syncs the scheduler entry of every node recorded in `touched`,
+    /// deduplicated by epoch stamp in O(len) — no sort, no allocation.
+    /// First-touch order is fine: the indexed heap's update-key is
+    /// order-independent, and the lazy baseline's ties break on
+    /// `(at, node, seq)` with `node` before `seq`, so cross-node push
+    /// order is unobservable.
     fn reschedule_touched(&mut self) {
-        self.touched.sort_unstable();
-        self.touched.dedup();
+        self.epoch += 1;
+        let epoch = self.epoch;
         for i in 0..self.touched.len() {
             let n = self.touched[i];
-            self.reschedule(n);
+            if self.stamp[n] != epoch {
+                self.stamp[n] = epoch;
+                self.reschedule(n);
+            }
         }
         self.touched.clear();
     }
@@ -657,26 +693,65 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
                 return Err(err);
             }
             if baseline {
-                // Baseline emulation: one fresh wave buffer per step.
+                // Baseline emulation: one fresh wave buffer per step,
+                // the pre-change router returned a freshly allocated Vec
+                // per routed event, and every event entered the router
+                // individually.
                 self.next_wave = Vec::new();
-            }
-            for (src, event) in self.wave.drain(..) {
-                if baseline {
-                    // Baseline emulation: the pre-change router returned
-                    // a freshly allocated Vec per routed event.
+                for (src, event) in self.wave.drain(..) {
                     self.cmds = CmdSink::new();
                     self.cmds.buf.reserve(1);
-                }
-                debug_assert!(self.cmds.is_empty());
-                self.router.route(now, src, event, &mut self.cmds);
-                for (dst, cmd) in self.cmds.buf.drain(..) {
-                    self.events += 1;
-                    self.nodes[dst.0].handle(now, cmd, &mut self.out_buf);
-                    self.touched.push(dst.0);
-                    for e in self.out_buf.drain(..) {
-                        self.next_wave.push((dst, e));
+                    self.router.route(now, src, event, &mut self.cmds);
+                    for (dst, cmd) in self.cmds.buf.drain(..) {
+                        self.events += 1;
+                        self.nodes[dst.0].handle(now, cmd, &mut self.out_buf);
+                        self.touched.push(dst.0);
+                        for e in self.out_buf.drain(..) {
+                            self.next_wave.push((dst, e));
+                        }
                     }
                 }
+            } else {
+                // Production path: drain the wave in runs of consecutive
+                // same-source events, entering the router once per run.
+                // Routing order and delivery order are exactly the
+                // per-event loop's (the router never reads node state and
+                // commands drain in push order), so batching is
+                // bit-identical — only cheaper.
+                let mut wave = std::mem::take(&mut self.wave);
+                let mut iter = wave.drain(..).peekable();
+                while let Some((src, event)) = iter.next() {
+                    debug_assert!(self.cmds.is_empty());
+                    match iter.peek() {
+                        Some((s, _)) if *s == src => {
+                            debug_assert!(self.batch.is_empty());
+                            self.batch.push(event);
+                            while let Some((s, _)) = iter.peek() {
+                                if *s != src {
+                                    break;
+                                }
+                                let (_, e) = iter.next().expect("peeked entry");
+                                self.batch.push(e);
+                            }
+                            self.router
+                                .route_all(now, src, &mut self.batch, &mut self.cmds);
+                            self.batch.clear();
+                        }
+                        // Singleton run — the common case on sparse
+                        // workloads — skips the batch buffer entirely.
+                        _ => self.router.route(now, src, event, &mut self.cmds),
+                    }
+                    for (dst, cmd) in self.cmds.buf.drain(..) {
+                        self.events += 1;
+                        self.nodes[dst.0].handle(now, cmd, &mut self.out_buf);
+                        self.touched.push(dst.0);
+                        for e in self.out_buf.drain(..) {
+                            self.next_wave.push((dst, e));
+                        }
+                    }
+                }
+                drop(iter);
+                self.wave = wave;
             }
             std::mem::swap(&mut self.wave, &mut self.next_wave);
         }

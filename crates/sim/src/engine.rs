@@ -119,21 +119,35 @@ impl Default for CascadeGuard {
 /// # Storage reuse
 ///
 /// Entries live in a slab (`slots`) addressed by a `(at, seq, slot)`
-/// priority queue; fired slots go on a free list and are reused by later
-/// events, so the slab and queue stop growing once the loop reaches its
-/// peak in-flight event count. The per-event closure `Box` itself is
-/// inherent to type-erased `FnOnce` storage and is the only allocation a
-/// steady-state reschedule performs.
+/// priority queue; fired slots chain onto an intrusive free list
+/// (`free_head` threads through the `Free` variant, so the slab is a
+/// single contiguous allocation with no side vector) and are reused by
+/// later events, so the slab and queue stop growing once the loop
+/// reaches its peak in-flight event count. The per-event closure `Box`
+/// itself is inherent to type-erased `FnOnce` storage and is the only
+/// allocation a steady-state reschedule performs.
 pub struct EventLoop<W> {
     now: SimTime,
     seq: u64,
     /// Min-order on `(at, seq)`; the payload index addresses `slots`.
     queue: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, usize)>>,
-    slots: Vec<Option<EventFn<W>>>,
-    free: Vec<usize>,
+    slots: Vec<SlabSlot<W>>,
+    /// Head of the intrusive free list, `NO_SLOT` when every slot is live.
+    free_head: usize,
 }
 
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventLoop<W>)>;
+
+/// Sentinel terminating the slab free list.
+const NO_SLOT: usize = usize::MAX;
+
+enum SlabSlot<W> {
+    /// A scheduled, not-yet-fired event.
+    Live(EventFn<W>),
+    /// A fired slot; the payload is the next free slot (`NO_SLOT` ends
+    /// the list).
+    Free(usize),
+}
 
 impl<W> EventLoop<W> {
     /// Creates an empty scheduler at time zero.
@@ -143,7 +157,7 @@ impl<W> EventLoop<W> {
             seq: 0,
             queue: std::collections::BinaryHeap::new(),
             slots: Vec::new(),
-            free: Vec::new(),
+            free_head: NO_SLOT,
         }
     }
 
@@ -166,15 +180,16 @@ impl<W> EventLoop<W> {
         );
         self.seq += 1;
         let f: EventFn<W> = Box::new(f);
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s] = Some(f);
-                s
+        let slot = if self.free_head != NO_SLOT {
+            let s = self.free_head;
+            match std::mem::replace(&mut self.slots[s], SlabSlot::Live(f)) {
+                SlabSlot::Free(next) => self.free_head = next,
+                SlabSlot::Live(_) => unreachable!("free list pointed at a live slot"),
             }
-            None => {
-                self.slots.push(Some(f));
-                self.slots.len() - 1
-            }
+            s
+        } else {
+            self.slots.push(SlabSlot::Live(f));
+            self.slots.len() - 1
         };
         self.queue.push(std::cmp::Reverse((at, self.seq, slot)));
     }
@@ -199,8 +214,11 @@ impl<W> EventLoop<W> {
                 break;
             }
             let std::cmp::Reverse((at, _, slot)) = self.queue.pop().expect("peeked entry");
-            let f = self.slots[slot].take().expect("slot holds a live event");
-            self.free.push(slot);
+            let f = match std::mem::replace(&mut self.slots[slot], SlabSlot::Free(self.free_head)) {
+                SlabSlot::Live(f) => f,
+                SlabSlot::Free(_) => unreachable!("queue pointed at a free slot"),
+            };
+            self.free_head = slot;
             self.now = at;
             f(world, self);
             fired += 1;

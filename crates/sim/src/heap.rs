@@ -21,6 +21,19 @@
 //! service order the harness guarantees (registration order on deadline
 //! ties), so pops need no tie-break bookkeeping of their own.
 //!
+//! # Layout
+//!
+//! The heap is stored struct-of-arrays: the deadline keys live in their
+//! own `heap_key` array, **in heap order**, parallel to the `heap_node`
+//! array. Sift comparisons — the only thing the hot path does — then
+//! walk one contiguous `SimTime` array instead of chasing `node → key`
+//! indirections, and a parent-vs-children comparison round touches one
+//! cache line of keys. The node ids ride along as `u32` (the slot array
+//! too), halving the index traffic against the `usize` layout. Pop
+//! order is strictly `(deadline, node)` lexicographic, so the layout is
+//! unobservable: any internal arrangement yields the same service
+//! sequence, which the enumerated-permutation tests below pin.
+//!
 //! Nothing here allocates after the node-index arrays have grown to the
 //! registered node count: `set`, `peek` and `pop` are allocation-free,
 //! which is what makes the harness hot path zero-allocation in steady
@@ -29,7 +42,7 @@
 use crate::time::SimTime;
 
 /// Sentinel for "node not currently scheduled".
-const ABSENT: usize = usize::MAX;
+const ABSENT: u32 = u32::MAX;
 
 /// Heap arity.
 const D: usize = 4;
@@ -38,12 +51,13 @@ const D: usize = 4;
 /// update-key per node. See the module docs.
 #[derive(Debug, Default)]
 pub struct IndexedHeap {
-    /// Heap order: `heap[0]` is the earliest `(deadline, node)` pair.
-    heap: Vec<usize>,
-    /// `pos[node]` is the node's slot in `heap`, or [`ABSENT`].
-    pos: Vec<usize>,
-    /// `key[node]` is the node's deadline; valid only while scheduled.
-    key: Vec<SimTime>,
+    /// Deadline of the entry in each heap slot (parallel to
+    /// `heap_node`): `heap_key[0]` is the earliest deadline.
+    heap_key: Vec<SimTime>,
+    /// Node of the entry in each heap slot.
+    heap_node: Vec<u32>,
+    /// `pos[node]` is the node's slot in the heap arrays, or [`ABSENT`].
+    pos: Vec<u32>,
 }
 
 impl IndexedHeap {
@@ -54,25 +68,26 @@ impl IndexedHeap {
 
     /// Number of scheduled nodes.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap_node.len()
     }
 
     /// True when no node is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap_node.is_empty()
     }
 
     /// The deadline the heap holds for `node`, if it is scheduled.
     pub fn deadline_of(&self, node: usize) -> Option<SimTime> {
         match self.pos.get(node) {
-            Some(&p) if p != ABSENT => Some(self.key[node]),
+            Some(&p) if p != ABSENT => Some(self.heap_key[p as usize]),
             _ => None,
         }
     }
 
     /// The earliest `(deadline, node)` pair without removing it.
     pub fn peek(&self) -> Option<(SimTime, usize)> {
-        self.heap.first().map(|&n| (self.key[n], n))
+        let &node = self.heap_node.first()?;
+        Some((self.heap_key[0], node as usize))
     }
 
     /// Schedules, reschedules, or (with `None`) unschedules `node` in
@@ -82,24 +97,25 @@ impl IndexedHeap {
     pub fn set(&mut self, node: usize, at: Option<SimTime>) {
         if node >= self.pos.len() {
             self.pos.resize(node + 1, ABSENT);
-            self.key.resize(node + 1, SimTime::ZERO);
         }
         let p = self.pos[node];
         match (p, at) {
             (ABSENT, None) => {}
             (ABSENT, Some(at)) => {
-                self.key[node] = at;
-                self.pos[node] = self.heap.len();
-                self.heap.push(node);
-                self.sift_up(self.heap.len() - 1);
+                let slot = self.heap_node.len();
+                self.pos[node] = slot as u32;
+                self.heap_key.push(at);
+                self.heap_node.push(node as u32);
+                self.sift_up(slot);
             }
-            (p, None) => self.remove_at(p),
+            (p, None) => self.remove_at(p as usize),
             (p, Some(at)) => {
-                let old = self.key[node];
+                let p = p as usize;
+                let old = self.heap_key[p];
                 if at == old {
                     return;
                 }
-                self.key[node] = at;
+                self.heap_key[p] = at;
                 if at < old {
                     self.sift_up(p);
                 } else {
@@ -111,42 +127,44 @@ impl IndexedHeap {
 
     /// Removes and returns the earliest `(deadline, node)` pair.
     pub fn pop(&mut self) -> Option<(SimTime, usize)> {
-        let &node = self.heap.first()?;
-        let at = self.key[node];
+        let &node = self.heap_node.first()?;
+        let at = self.heap_key[0];
         self.remove_at(0);
-        Some((at, node))
+        Some((at, node as usize))
     }
 
     /// Removes the entry at heap slot `p`, restoring the heap property.
     fn remove_at(&mut self, p: usize) {
-        let node = self.heap[p];
-        self.pos[node] = ABSENT;
-        let last = self.heap.len() - 1;
+        self.pos[self.heap_node[p] as usize] = ABSENT;
+        let last = self.heap_node.len() - 1;
         if p != last {
-            let moved = self.heap[last];
-            self.heap[p] = moved;
-            self.pos[moved] = p;
-            self.heap.pop();
+            let moved = self.heap_node[last];
+            self.heap_node[p] = moved;
+            self.heap_key[p] = self.heap_key[last];
+            self.pos[moved as usize] = p as u32;
+            self.heap_node.pop();
+            self.heap_key.pop();
             // The displaced entry may belong above or below slot `p`.
             self.sift_down(p);
-            self.sift_up(self.pos[moved]);
+            self.sift_up(self.pos[moved as usize] as usize);
         } else {
-            self.heap.pop();
+            self.heap_node.pop();
+            self.heap_key.pop();
         }
     }
 
-    /// `(key, node)` order of the nodes in heap slots `a` and `b`.
+    /// `(key, node)` order of the entries in heap slots `a` and `b`.
     #[inline]
     fn less(&self, a: usize, b: usize) -> bool {
-        let (na, nb) = (self.heap[a], self.heap[b]);
-        (self.key[na], na) < (self.key[nb], nb)
+        (self.heap_key[a], self.heap_node[a]) < (self.heap_key[b], self.heap_node[b])
     }
 
     #[inline]
     fn swap_slots(&mut self, a: usize, b: usize) {
-        self.heap.swap(a, b);
-        self.pos[self.heap[a]] = a;
-        self.pos[self.heap[b]] = b;
+        self.heap_key.swap(a, b);
+        self.heap_node.swap(a, b);
+        self.pos[self.heap_node[a] as usize] = a as u32;
+        self.pos[self.heap_node[b] as usize] = b as u32;
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -164,11 +182,11 @@ impl IndexedHeap {
     fn sift_down(&mut self, mut i: usize) {
         loop {
             let first_child = i * D + 1;
-            if first_child >= self.heap.len() {
+            if first_child >= self.heap_node.len() {
                 break;
             }
             let mut best = first_child;
-            let end = (first_child + D).min(self.heap.len());
+            let end = (first_child + D).min(self.heap_node.len());
             for c in first_child + 1..end {
                 if self.less(c, best) {
                     best = c;
@@ -186,8 +204,11 @@ impl IndexedHeap {
     #[cfg(debug_assertions)]
     #[allow(dead_code)]
     fn check_invariants(&self) {
-        for (slot, &node) in self.heap.iter().enumerate() {
-            assert_eq!(self.pos[node], slot, "pos index out of sync");
+        for (slot, &node) in self.heap_node.iter().enumerate() {
+            assert_eq!(
+                self.pos[node as usize], slot as u32,
+                "pos index out of sync"
+            );
             if slot > 0 {
                 let parent = (slot - 1) / D;
                 assert!(!self.less(slot, parent), "heap property violated");

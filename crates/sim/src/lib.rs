@@ -52,7 +52,7 @@ pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
 pub use heap::IndexedHeap;
 pub use persist::{decode_new, Dec, Enc, Persist, PersistError};
 pub use rng::{Pcg32, SplitMix64};
-pub use shard::{merge_mail, MailKey, MergeTelemetry, ShardStats, ShardedHarness};
+pub use shard::{merge_mail, MailKey, MergeTelemetry, ShardStats, ShardedHarness, WindowMode};
 pub use sweep::{default_threads, parallel_map};
 pub use telemetry::{Instrument, Registry};
 pub use time::{Dur, SimTime};

@@ -97,6 +97,48 @@ pub struct ShardStats {
 /// property tests pin.
 type Mail<Cmd> = (MailKey, (NodeId, Cmd));
 
+/// Which synchronization protocol the coordinator runs.
+///
+/// Both modes are bit-identical to the single-threaded harness (and to
+/// each other) — the tier-1 parity tests pin it. They differ only in
+/// how many barriers the coordinator erects:
+///
+/// * [`WindowMode::Adaptive`] (the default) derives each shard's window
+///   end from a per-edge influence fixpoint over every shard's
+///   published deadlines, lets sync-class nodes emit cross-shard mail
+///   *inside* windows (delivered when the receiving shard reaches the
+///   emission instant), and only falls back to a global sync instant
+///   when no shard can make progress. Globally quiet stretches are
+///   skipped in one hop, so `sched.windows` / `sched.sync_instants`
+///   collapse on sparse workloads.
+/// * [`WindowMode::FixedLookahead`] is the classic bounded-window
+///   protocol this module started with — every window ends at
+///   `base + L` and every cross-shard command waits for a sync instant.
+///   Kept as the ablation baseline the adaptive mode is measured (and
+///   parity-tested) against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WindowMode {
+    /// Influence-fixpoint windows with in-window sync emission.
+    #[default]
+    Adaptive,
+    /// Classic `base + L` windows; cross mail only at sync instants.
+    FixedLookahead,
+}
+
+/// Cross-shard emission policy for one cascade, by protocol phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Cross {
+    /// Conservative fixed window: any cross-shard command is a
+    /// protocol violation.
+    Forbid,
+    /// Adaptive window: sync-class sources may emit to the outbox
+    /// (their lookahead contract bounds when the mail can matter);
+    /// anything else is the same protocol violation.
+    SyncOnly,
+    /// Sync instant: every cross-shard command goes to the outbox.
+    Allow,
+}
+
 /// One shard: a slice of the node set with its own heap, router, and
 /// the same reusable scratch buffers as [`crate::bus::Harness`]. Moves
 /// wholesale between the coordinating thread and pool workers.
@@ -125,6 +167,10 @@ struct ShardState<C: Component, R> {
     outbox: Vec<Vec<Mail<C::Cmd>>>,
     /// Incoming mail, filled (pre-sorted) by the coordinator.
     inbox: Vec<Mail<C::Cmd>>,
+    /// Adaptive-mode incoming mail not yet due: kept sorted in
+    /// [`MailKey`] order, delivered when the shard's clock reaches each
+    /// entry's emission instant. Always empty in fixed mode.
+    pending: Vec<Mail<C::Cmd>>,
     seq: u64,
     /// This shard's end for the current conservative window, set by the
     /// coordinator right before dispatch (a field rather than a closure
@@ -137,6 +183,10 @@ struct ShardState<C: Component, R> {
     next_wave: Vec<(NodeId, C::Out)>,
     out_buf: Vec<C::Out>,
     cmds: CmdSink<C::Cmd>,
+    batch: Vec<C::Out>,
+    /// Per-node visit stamps for O(1) dedup in `reschedule_touched`.
+    stamp: Vec<u64>,
+    epoch: u64,
 }
 
 impl<C: Component, R: Router<C>> ShardState<C, R> {
@@ -158,6 +208,7 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
             stats: ShardStats::default(),
             outbox: (0..n_shards).map(|_| Vec::new()).collect(),
             inbox: Vec::new(),
+            pending: Vec::new(),
             seq: 0,
             w_end: SimTime::ZERO,
             due: Vec::new(),
@@ -166,6 +217,9 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
             next_wave: Vec::new(),
             out_buf: Vec::new(),
             cmds: CmdSink::new(),
+            batch: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -174,8 +228,14 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
         self.nodes.push(node);
         self.global_ids.push(global);
         self.sync_local.push(sync);
+        self.stamp.push(0);
         self.reschedule(local);
         local as u32
+    }
+
+    /// True when any registered node is sync-class.
+    fn has_sync_nodes(&self) -> bool {
+        self.sync_local.iter().any(|&b| b)
     }
 
     /// Syncs both heaps with the node's current deadline.
@@ -187,12 +247,18 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
         }
     }
 
+    /// Re-syncs the heaps for every node in `touched`, deduplicated by
+    /// epoch stamp in O(len) — same scheme (and same order-independence
+    /// argument) as `Harness::reschedule_touched`.
     fn reschedule_touched(&mut self) {
-        self.touched.sort_unstable();
-        self.touched.dedup();
+        self.epoch += 1;
+        let epoch = self.epoch;
         for i in 0..self.touched.len() {
             let l = self.touched[i];
-            self.reschedule(l);
+            if self.stamp[l] != epoch {
+                self.stamp[l] = epoch;
+                self.reschedule(l);
+            }
         }
         self.touched.clear();
     }
@@ -213,6 +279,12 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
         self.sync_heap.peek().map(|(at, _)| at)
     }
 
+    /// Emission instant of the earliest undelivered pending mail
+    /// (adaptive mode; the pending queue is kept sorted).
+    fn peek_pending(&self) -> Option<SimTime> {
+        self.pending.first().map(|m| m.0.at)
+    }
+
     /// Fills `due` with every local node scheduled at or before `t`, in
     /// local (= global registration) order, keeping the sync heap
     /// coherent.
@@ -230,12 +302,14 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
         }
     }
 
-    /// Routes `wave` breadth-first at `now` until it drains. Local
-    /// commands are delivered immediately (identical to
-    /// `Harness::cascade`); cross-shard commands go to the outbox when
-    /// `allow_cross` (sync instants) and are a protocol violation
-    /// otherwise (conservative windows).
-    fn cascade(&mut self, now: SimTime, allow_cross: bool) -> Result<(), CascadeError> {
+    /// Routes `wave` breadth-first at `now` until it drains, entering
+    /// the router in runs of consecutive same-source events (the same
+    /// batching — and the same bit-identity argument — as
+    /// `Harness::cascade`). Local commands are delivered immediately;
+    /// cross-shard commands follow the [`Cross`] policy: outbox at sync
+    /// instants, outbox for sync-class sources inside adaptive windows,
+    /// protocol violation otherwise.
+    fn cascade(&mut self, now: SimTime, cross: Cross) -> Result<(), CascadeError> {
         let mut steps = 0u32;
         while !self.wave.is_empty() {
             steps += 1;
@@ -251,9 +325,29 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
                 self.cmds.clear();
                 return Err(err);
             }
-            for (src, event) in self.wave.drain(..) {
+            let mut wave = std::mem::take(&mut self.wave);
+            let mut iter = wave.drain(..).peekable();
+            while let Some((src, event)) = iter.next() {
                 debug_assert!(self.cmds.is_empty());
-                self.router.route(now, src, event, &mut self.cmds);
+                match iter.peek() {
+                    Some((s, _)) if *s == src => {
+                        debug_assert!(self.batch.is_empty());
+                        self.batch.push(event);
+                        while let Some((s, _)) = iter.peek() {
+                            if *s != src {
+                                break;
+                            }
+                            let (_, e) = iter.next().expect("peeked entry");
+                            self.batch.push(e);
+                        }
+                        self.router
+                            .route_all(now, src, &mut self.batch, &mut self.cmds);
+                        self.batch.clear();
+                    }
+                    // Singleton run — the common case on sparse
+                    // workloads — skips the batch buffer entirely.
+                    _ => self.router.route(now, src, event, &mut self.cmds),
+                }
                 for (dst, cmd) in self.cmds.drain() {
                     let (os, ol) = self.owner[dst.0];
                     if os == self.idx {
@@ -264,29 +358,41 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
                         for e in self.out_buf.drain(..) {
                             self.next_wave.push((dst, e));
                         }
-                    } else if allow_cross {
-                        self.seq += 1;
-                        self.stats.mailbox_sent += 1;
-                        self.outbox[os as usize].push((
-                            MailKey {
-                                at: now,
-                                src_shard: self.idx,
-                                seq: self.seq,
-                            },
-                            (dst, cmd),
-                        ));
                     } else {
-                        panic!(
-                            "sharded scheduler protocol violation: {src} (shard {}) emitted a \
-                             cross-shard command for {dst} (shard {os}) at {now} inside a \
-                             conservative window — only sync-class nodes may cross shards, so \
-                             either the partition split tightly coupled nodes or the lookahead \
-                             overstates the link latency",
-                            self.idx
-                        );
+                        let sync_src = match cross {
+                            Cross::Allow => true,
+                            Cross::SyncOnly => {
+                                let (_, sl) = self.owner[src.0];
+                                self.sync_local[sl as usize]
+                            }
+                            Cross::Forbid => false,
+                        };
+                        if sync_src {
+                            self.seq += 1;
+                            self.stats.mailbox_sent += 1;
+                            self.outbox[os as usize].push((
+                                MailKey {
+                                    at: now,
+                                    src_shard: self.idx,
+                                    seq: self.seq,
+                                },
+                                (dst, cmd),
+                            ));
+                        } else {
+                            panic!(
+                                "sharded scheduler protocol violation: {src} (shard {}) emitted a \
+                                 cross-shard command for {dst} (shard {os}) at {now} inside a \
+                                 conservative window — only sync-class nodes may cross shards, so \
+                                 either the partition split tightly coupled nodes or the lookahead \
+                                 overstates the link latency",
+                                self.idx
+                            );
+                        }
                     }
                 }
             }
+            drop(iter);
+            self.wave = wave;
             std::mem::swap(&mut self.wave, &mut self.next_wave);
         }
         Ok(())
@@ -316,9 +422,59 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
                     self.wave.push((self.global_ids[l], e));
                 }
             }
-            let result = self.cascade(t, false);
+            let result = self.cascade(t, Cross::Forbid);
             self.reschedule_touched();
             if result.is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Runs every local instant — heap deadlines *and* pending mail —
+    /// strictly before `w_end` (the adaptive window body). At each
+    /// instant, due nodes advance first and mail emitted at that
+    /// instant is delivered after them, matching the sync-instant
+    /// ordering (due round, then mailbox rounds); the loop re-enters
+    /// the same instant if either phase schedules new work at it.
+    /// Sync-class nodes may emit cross-shard mail throughout.
+    fn run_adaptive_window(&mut self, w_end: SimTime) {
+        if self.failed.is_some() {
+            return;
+        }
+        loop {
+            let next = crate::engine::earliest([self.peek(), self.peek_pending()]);
+            let Some(t) = next else { break };
+            if t >= w_end {
+                break;
+            }
+            assert!(
+                t >= self.now,
+                "sharded scheduler protocol violation: cross-shard mail at {t} arrived behind \
+                 shard {} clock {} — the adaptive window bound admitted a causality miss",
+                self.idx,
+                self.now
+            );
+            self.now = t;
+            if self.heap.peek().is_some_and(|(at, _)| at == t) {
+                self.pop_due(t);
+                self.touched.clear();
+                self.touched.extend_from_slice(&self.due);
+                debug_assert!(self.wave.is_empty() && self.out_buf.is_empty());
+                for i in 0..self.due.len() {
+                    let l = self.due[i];
+                    self.events += 1;
+                    self.nodes[l].advance(t, &mut self.out_buf);
+                    for e in self.out_buf.drain(..) {
+                        self.wave.push((self.global_ids[l], e));
+                    }
+                }
+                let result = self.cascade(t, Cross::SyncOnly);
+                self.reschedule_touched();
+                if result.is_err() {
+                    return;
+                }
+            }
+            if self.deliver_due_pending(t, Cross::SyncOnly).is_err() {
                 return;
             }
         }
@@ -344,8 +500,43 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
                 self.wave.push((self.global_ids[l], e));
             }
         }
-        let _ = self.cascade(t, true);
+        let _ = self.cascade(t, Cross::Allow);
         self.reschedule_touched();
+        // Adaptive fallback: pending mail emitted exactly at `t` joins
+        // the sync instant (a no-op in fixed mode — pending stays empty).
+        let _ = self.deliver_due_pending(t, Cross::Allow);
+    }
+
+    /// Delivers every pending-mail entry emitted at or before `t` (a
+    /// sorted prefix), routing the fallout under `cross`. Capacity is
+    /// retained; the not-yet-due tail stays queued.
+    fn deliver_due_pending(&mut self, t: SimTime, cross: Cross) -> Result<(), CascadeError> {
+        if self.failed.is_some() {
+            return Ok(()); // failure already recorded by the cascade
+        }
+        let end = self.pending.iter().take_while(|m| m.0.at <= t).count();
+        if end == 0 {
+            return Ok(());
+        }
+        debug_assert!(self.wave.is_empty() && self.out_buf.is_empty());
+        self.stats.mailbox_recv += end as u64;
+        self.touched.clear();
+        let mut pending = std::mem::take(&mut self.pending);
+        for (_key, (dst, cmd)) in pending.drain(..end) {
+            let (os, ol) = self.owner[dst.0];
+            debug_assert_eq!(os, self.idx, "mail delivered to the wrong shard");
+            let ol = ol as usize;
+            self.events += 1;
+            self.nodes[ol].handle(t, cmd, &mut self.out_buf);
+            self.touched.push(ol);
+            for e in self.out_buf.drain(..) {
+                self.wave.push((dst, e));
+            }
+        }
+        self.pending = pending; // keep the capacity (and the tail)
+        let result = self.cascade(t, cross);
+        self.reschedule_touched();
+        result
     }
 
     /// Delivers the (pre-sorted) inbox at `t` and routes the fallout;
@@ -372,8 +563,96 @@ impl<C: Component, R: Router<C>> ShardState<C, R> {
             }
         }
         self.inbox = inbox; // keep the capacity
-        let _ = self.cascade(t, true);
+        let _ = self.cascade(t, Cross::Allow);
         self.reschedule_touched();
+    }
+}
+
+/// The adaptive-mode window bounds, as a standalone function so the
+/// property tests can drive it over enumerated inputs.
+///
+/// Inputs are per-shard published state at one coordinator iteration:
+/// `t[k]` is shard `k`'s earliest actionable instant (heap head or
+/// pending-mail head), `b[k]` its earliest sync-class deadline, and
+/// `influence[o * n + k]` the lookahead of the cut edge `o → k` (`None`
+/// when shard `o` cannot send mail to shard `k`).
+///
+/// The earliest instant shard `o` can *influence* shard `k` over an
+/// edge is `M(o→k) = min(b[o], A[o] + la(o→k))`: a sync node firing on
+/// its own deadline can emit at `b[o]`, and any consequence of a
+/// command entering a sync node at or after `A[o]` emerges no earlier
+/// than `A[o] + la` (the lookahead contract). `A[o]` — the earliest
+/// instant shard `o` can act at all — must account for *transitive*
+/// wake-ups (an idle middle shard can receive mail and relay it), so it
+/// is the greatest fixpoint of
+///
+/// ```text
+/// A[k] = min(t[k], min over edges o→k of M(o→k))
+/// ```
+///
+/// computed by Bellman–Ford relaxation (at most `n` rounds; bounds only
+/// ever decrease and are bounded below by `T`). The window bound is
+/// then `E[k] = min(run_end, min over edges o→k of M(o→k))`: shard `k`
+/// may run every instant strictly before the earliest moment any other
+/// shard could possibly affect it.
+///
+/// Two provable orderings anchor the property tests: `E[k]` never
+/// exceeds the per-edge safety bound `min(b[o], t[o] + la(o→k))` of any
+/// single incoming edge (since `A[o] <= t[o]`), and `E[k]` is at least
+/// the fixed-window bound `min(run_end, B_min, T + min incoming la)`
+/// (since every `A[o] >= T` and `b[o] >= B_min`).
+pub(crate) fn adaptive_bounds(
+    t: &[Option<SimTime>],
+    b: &[Option<SimTime>],
+    influence: &[Option<Dur>],
+    run_end: SimTime,
+    a_buf: &mut Vec<Option<SimTime>>,
+    e_buf: &mut Vec<SimTime>,
+) {
+    let n = t.len();
+    debug_assert_eq!(b.len(), n);
+    debug_assert_eq!(influence.len(), n * n);
+    a_buf.clear();
+    a_buf.extend_from_slice(t);
+    for _ in 0..n {
+        let mut changed = false;
+        for k in 0..n {
+            for o in 0..n {
+                if o == k {
+                    continue;
+                }
+                let Some(la) = influence[o * n + k] else {
+                    continue;
+                };
+                let m = crate::engine::earliest([b[o], a_buf[o].map(|a| a.saturating_add(la))]);
+                if let Some(m) = m {
+                    if a_buf[k].is_none_or(|a| m < a) {
+                        a_buf[k] = Some(m);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    e_buf.clear();
+    for k in 0..n {
+        let mut e = run_end;
+        for o in 0..n {
+            if o == k {
+                continue;
+            }
+            let Some(la) = influence[o * n + k] else {
+                continue;
+            };
+            let m = crate::engine::earliest([b[o], a_buf[o].map(|a| a.saturating_add(la))]);
+            if let Some(m) = m {
+                e = e.min(m);
+            }
+        }
+        e_buf.push(e);
     }
 }
 
@@ -397,6 +676,22 @@ pub struct ShardedHarness<C: Component, R: Router<C>> {
     /// `None` for a shard means no cut edge touches it — its window is
     /// bounded only by the sync horizon `B` and the run end.
     shard_lookahead: Option<Vec<Option<Dur>>>,
+    /// Synchronization protocol (adaptive by default; fixed windows as
+    /// the ablation baseline).
+    mode: WindowMode,
+    /// Flattened `n × n` influence matrix for adaptive mode:
+    /// `influence[o * n + k]` is the tightest cut-edge lookahead over
+    /// which shard `o` can mail shard `k`, `None` when it cannot.
+    /// Derived generically at seal when the topology layer installs
+    /// nothing explicit.
+    influence: Option<Vec<Option<Dur>>>,
+    /// Optional cap on adaptive window length past the global minimum
+    /// `T`. An uninfluenced shard's window is otherwise bounded only by
+    /// the run end, so its outbox (and the receiver's pending queue)
+    /// would grow with the horizon; the cap trades a few extra barriers
+    /// for bounded mailbox memory. `None` (default) leaves windows
+    /// unbounded.
+    max_window_span: Option<Dur>,
     threads: usize,
     now: SimTime,
     failed: Option<CascadeError>,
@@ -408,6 +703,13 @@ pub struct ShardedHarness<C: Component, R: Router<C>> {
     merge_buf: Vec<Vec<Mail<C::Cmd>>>,
     /// Dispatch scratch: indices of shards participating in a round.
     active: Vec<usize>,
+    // Adaptive-coordinator scratch (cleared and refilled per iteration,
+    // capacity retained — the sharded path is also alloc-free in steady
+    // state).
+    t_buf: Vec<Option<SimTime>>,
+    b_buf: Vec<Option<SimTime>>,
+    a_buf: Vec<Option<SimTime>>,
+    e_buf: Vec<SimTime>,
 }
 
 impl<C, R> ShardedHarness<C, R>
@@ -438,6 +740,9 @@ where
             has_sync: false,
             lookahead,
             shard_lookahead: None,
+            mode: WindowMode::default(),
+            influence: None,
+            max_window_span: None,
             threads: crate::sweep::default_threads(n),
             now: SimTime::ZERO,
             failed: None,
@@ -447,6 +752,10 @@ where
             mail_rounds: 0,
             merge_buf: (0..n).map(|_| Vec::new()).collect(),
             active: Vec::new(),
+            t_buf: Vec::new(),
+            b_buf: Vec::new(),
+            a_buf: Vec::new(),
+            e_buf: Vec::new(),
         }
     }
 
@@ -536,6 +845,73 @@ where
         self.shard_lookahead = Some(lookahead);
     }
 
+    /// Selects the synchronization protocol. Both modes are
+    /// bit-identical; see [`WindowMode`].
+    pub fn set_window_mode(&mut self, mode: WindowMode) {
+        assert!(
+            !self.sealed,
+            "cannot change window mode after the first run"
+        );
+        self.mode = mode;
+    }
+
+    /// The synchronization protocol this harness runs.
+    pub fn window_mode(&self) -> WindowMode {
+        self.mode
+    }
+
+    /// Caps every adaptive window at `span` past the global minimum
+    /// instant `T`. Results are protocol-invariant (the parity tests
+    /// hold both modes to bit-identity regardless), but without a cap
+    /// an *uninfluenced* shard may run clear to the horizon in one
+    /// window, growing its outbox — and the receiving shard's pending
+    /// queue — linearly with the run length. Long-running callers that
+    /// care about bounded mailbox memory (e.g. the zero-allocation
+    /// steady-state test) install a span; `span` must be positive.
+    pub fn set_max_window_span(&mut self, span: Dur) {
+        assert!(span > Dur::ZERO, "a zero span would stall every window");
+        self.max_window_span = Some(span);
+    }
+
+    /// Installs the per-edge influence matrix for adaptive mode:
+    /// `lookahead[o][k]` is the tightest cut-edge lookahead over which
+    /// shard `o` can mail shard `k`, `None` when no such edge exists.
+    /// The topology layer derives this from the sync bridges' actual
+    /// port-ring placement; when nothing is installed, seal derives a
+    /// conservative fallback from the per-shard lookaheads (every shard
+    /// with sync-class nodes influences every other shard).
+    ///
+    /// Soundness requirement on the caller: mail from shard `o` to
+    /// shard `k` must only ever emerge from a sync node whose lookahead
+    /// is at least `lookahead[o][k]`.
+    pub fn set_influence_lookaheads(&mut self, lookahead: Vec<Vec<Option<Dur>>>) {
+        assert!(!self.sealed, "cannot change influence after the first run");
+        let n = self.shards.len();
+        assert_eq!(lookahead.len(), n, "one influence row per shard");
+        let mut flat = Vec::with_capacity(n * n);
+        for (o, row) in lookahead.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                n,
+                "influence row {o} must have one entry per shard"
+            );
+            for (k, la) in row.iter().enumerate() {
+                if let Some(d) = la {
+                    assert!(
+                        o != k,
+                        "influence matrix diagonal must be None (a shard cannot mail itself)"
+                    );
+                    assert!(
+                        *d > Dur::ZERO,
+                        "influence edge {o}→{k}: a zero lookahead would stall the window"
+                    );
+                }
+                flat.push(*la);
+            }
+        }
+        self.influence = Some(flat);
+    }
+
     /// Caps how many pool workers a dispatch invites (the coordinator
     /// always participates). Defaults to the hardware parallelism
     /// capped at the shard count; at 1 every window runs inline on the
@@ -613,6 +989,40 @@ where
         for s in &mut self.shards {
             s.as_mut().expect("shard present").owner = Arc::clone(&owner);
         }
+        if self.mode == WindowMode::Adaptive && self.influence.is_none() {
+            // Generic fallback influence matrix: every shard with at
+            // least one sync-class node can mail every other shard. The
+            // edge lookahead is the larger of the two endpoint shards'
+            // cut-edge minima (sound: a real bridge between them touches
+            // both shards, so its lookahead is at least that max), the
+            // global lookahead when no per-shard bounds are installed.
+            let n = self.shards.len();
+            let mut flat = vec![None; n * n];
+            for o in 0..n {
+                if !self.shards[o]
+                    .as_ref()
+                    .expect("shard present")
+                    .has_sync_nodes()
+                {
+                    continue;
+                }
+                for k in 0..n {
+                    if o == k {
+                        continue;
+                    }
+                    flat[o * n + k] = match &self.shard_lookahead {
+                        Some(v) => match (v[o], v[k]) {
+                            (Some(a), Some(b)) => Some(a.max(b)),
+                            // A shard no cut edge touches can neither
+                            // send nor receive cross-shard mail.
+                            _ => None,
+                        },
+                        None => Some(self.lookahead),
+                    };
+                }
+            }
+            self.influence = Some(flat);
+        }
         self.sealed = true;
     }
 
@@ -623,8 +1033,14 @@ where
     where
         F: Fn(&mut ShardState<C, R>) + Send + Sync + 'static,
     {
-        if self.active.len() == 1 {
-            f(self.shards[self.active[0]].as_mut().expect("shard present"));
+        if self.active.len() == 1 || self.threads == 1 {
+            // Inline sequential path: no worker handoff, no state
+            // collection — a single-threaded sharded run stays
+            // allocation-free in steady state.
+            for i in 0..self.active.len() {
+                let k = self.active[i];
+                f(self.shards[k].as_mut().expect("shard present"));
+            }
             return;
         }
         let states: Vec<(usize, ShardState<C, R>)> = self
@@ -690,6 +1106,29 @@ where
         // window end is exclusive, so `horizon + 1 ns` makes deadlines
         // at exactly `horizon` runnable.
         let run_end = horizon.saturating_add(Dur::from_ns(1));
+        match self.mode {
+            WindowMode::FixedLookahead => self.run_fixed(horizon, run_end)?,
+            WindowMode::Adaptive => self.run_adaptive(horizon, run_end)?,
+        }
+        for s in &mut self.shards {
+            let s = s.as_mut().expect("shard present");
+            if s.now < horizon {
+                s.now = horizon;
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        Ok(())
+    }
+
+    /// The fixed-lookahead coordinator loop: the classic bounded-window
+    /// protocol, unchanged — the ablation baseline adaptive mode is
+    /// parity-tested against.
+    fn run_fixed(&mut self, horizon: SimTime, run_end: SimTime) -> Result<(), CascadeError>
+    where
+        R: MergeTelemetry,
+    {
         loop {
             // T: earliest deadline anywhere (after flushing node_mut
             // reschedules); B: earliest sync-class deadline.
@@ -719,15 +1158,168 @@ where
                 self.run_parallel_window(t, base)?;
             }
         }
-        for s in &mut self.shards {
-            let s = s.as_mut().expect("shard present");
-            if s.now < horizon {
-                s.now = horizon;
+        Ok(())
+    }
+
+    /// The adaptive coordinator loop. Per iteration: flush every outbox
+    /// into the destination shards' sorted pending queues, publish each
+    /// shard's earliest actionable instant `t[k]` and sync deadline
+    /// `b[k]`, compute per-shard window bounds through the
+    /// [`adaptive_bounds`] influence fixpoint, and dispatch every shard
+    /// with work strictly inside its bound. When no shard can make
+    /// progress (every bound collapses onto `T`), fall back to one
+    /// global sync instant at `T` — the fixed protocol's exchange
+    /// machinery, which always advances. A run of consecutive
+    /// iterations stuck at one instant beyond the cascade limit is the
+    /// cross-shard livelock (zero-lookahead mail ping-pong) and poisons
+    /// the harness exactly like a cascade overflow.
+    fn run_adaptive(&mut self, horizon: SimTime, run_end: SimTime) -> Result<(), CascadeError>
+    where
+        R: MergeTelemetry,
+    {
+        let n = self.shards.len();
+        let limit = u64::from(self.shards[0].as_ref().expect("shard present").limit);
+        let mut streak_at: Option<SimTime> = None;
+        let mut streak = 0u64;
+        loop {
+            // Flush in-flight mail: gather per-destination (already
+            // per-(src,dst) batched in the outboxes), then append and
+            // re-sort each destination's pending queue. Keys are unique,
+            // so the unstable sort is deterministic.
+            let mut moved = false;
+            for src in 0..n {
+                let s = self.shards[src].as_mut().expect("shard present");
+                for (dst, out) in s.outbox.iter_mut().enumerate() {
+                    if !out.is_empty() {
+                        moved = true;
+                        self.merge_buf[dst].append(out);
+                    }
+                }
             }
+            if moved {
+                self.mail_rounds += 1;
+                for dst in 0..n {
+                    if self.merge_buf[dst].is_empty() {
+                        continue;
+                    }
+                    let s = self.shards[dst].as_mut().expect("shard present");
+                    s.pending.append(&mut self.merge_buf[dst]);
+                    s.pending.sort_unstable_by_key(|m| m.0);
+                }
+            }
+            // Publish per-shard state.
+            self.t_buf.clear();
+            self.b_buf.clear();
+            let mut t_min: Option<SimTime> = None;
+            for k in 0..n {
+                let s = self.shards[k].as_mut().expect("shard present");
+                s.flush_dirty();
+                let tk = crate::engine::earliest([s.peek(), s.peek_pending()]);
+                t_min = crate::engine::earliest([t_min, tk]);
+                self.t_buf.push(tk);
+                self.b_buf.push(s.peek_sync());
+            }
+            let Some(t) = t_min else { break };
+            if t > horizon {
+                break;
+            }
+            // Livelock guard: the global minimum not moving for `limit`
+            // consecutive iterations means mail is ping-ponging at one
+            // instant without the lookahead ever separating the shards.
+            if streak_at == Some(t) {
+                streak += 1;
+            } else {
+                streak_at = Some(t);
+                streak = 1;
+            }
+            if streak > limit {
+                let node = self
+                    .shards
+                    .iter()
+                    .filter_map(|s| {
+                        s.as_ref()
+                            .expect("shard present")
+                            .pending
+                            .first()
+                            .map(|m| m.1 .0)
+                    })
+                    .next()
+                    .or_else(|| {
+                        self.shards.iter().find_map(|s| {
+                            let s = s.as_ref().expect("shard present");
+                            s.heap.peek().map(|(_, l)| s.global_ids[l])
+                        })
+                    })
+                    .expect("a stuck instant has work somewhere");
+                let err = CascadeError {
+                    at: t,
+                    node,
+                    steps: streak as u32,
+                };
+                self.failed = Some(err);
+                self.telemetry.event(
+                    err.at,
+                    "sim.cascade.overflow",
+                    format!("{} steps routing events from {}", err.steps, err.node),
+                );
+                self.snapshot_phase("cascade-failure");
+                return Err(err);
+            }
+            // Window bounds and the active set.
+            let influence = self.influence.as_deref().expect("sealed with influence");
+            adaptive_bounds(
+                &self.t_buf,
+                &self.b_buf,
+                influence,
+                run_end,
+                &mut self.a_buf,
+                &mut self.e_buf,
+            );
+            if let Some(span) = self.max_window_span {
+                let cap = t.saturating_add(span);
+                for e in self.e_buf.iter_mut() {
+                    *e = (*e).min(cap);
+                }
+            }
+            self.active.clear();
+            for k in 0..n {
+                if self.t_buf[k].is_some_and(|tk| tk < self.e_buf[k]) {
+                    let s = self.shards[k].as_mut().expect("shard present");
+                    s.w_end = self.e_buf[k];
+                    self.active.push(k);
+                }
+            }
+            if self.active.is_empty() {
+                // Every bound collapsed onto T: the fixed protocol's
+                // sync instant always advances past it.
+                self.sync_instants += 1;
+                self.run_sync_instant(t)?;
+                continue;
+            }
+            self.windows += 1;
+            let mut next_active = 0;
+            for k in 0..n {
+                let s = self.shards[k].as_mut().expect("shard present");
+                if next_active < self.active.len() && self.active[next_active] == k {
+                    next_active += 1;
+                    s.stats.window_advances += 1;
+                } else {
+                    s.stats.idle_windows += 1;
+                }
+            }
+            self.dispatch(move |s| {
+                let w = s.w_end;
+                s.run_adaptive_window(w);
+            });
+            self.check_failures()?;
         }
-        if self.now < horizon {
-            self.now = horizon;
-        }
+        debug_assert!(
+            self.shards.iter().all(|s| {
+                let s = s.as_ref().expect("shard present");
+                s.pending.is_empty() && s.outbox.iter().all(|o| o.is_empty())
+            }),
+            "adaptive run ended with mail in flight"
+        );
         Ok(())
     }
 
@@ -792,7 +1384,10 @@ where
     {
         self.active.clear();
         for (k, s) in self.shards.iter().enumerate() {
-            if s.as_ref().expect("shard present").peek() == Some(t) {
+            let s = s.as_ref().expect("shard present");
+            // Pending mail emitted exactly at `t` (adaptive fallback)
+            // joins the opening round alongside the due deadlines.
+            if s.peek() == Some(t) || s.peek_pending() == Some(t) {
                 self.active.push(k);
             }
         }
@@ -936,6 +1531,7 @@ where
                 shard.wave.is_empty()
                     && shard.out_buf.is_empty()
                     && shard.inbox.is_empty()
+                    && shard.pending.is_empty()
                     && shard.outbox.iter().all(|o| o.is_empty()),
                 "checkpoint taken off a sync-instant boundary"
             );
@@ -1139,6 +1735,119 @@ mod tests {
         assert_eq!(mail, vec![(early, "zero"), (dup, "first"), (dup, "second")]);
     }
 
+    #[test]
+    fn adaptive_bounds_stay_inside_the_conservative_envelope() {
+        // Enumerates every assignment (permutation of a fixed deadline
+        // pool, Heap's algorithm, no RNG) of per-shard earliest-work and
+        // sync-deadline instants over two influence shapes, and pins the
+        // two orderings the protocol's correctness argument rests on:
+        //
+        // * safety — the adaptive bound never exceeds the conservative
+        //   per-edge bound `min(b[o], t[o] + la)` of ANY direct
+        //   influencer `o` (shard `o` could act at `t[o]`, so nothing
+        //   it sends can be ruled out past that),
+        // * progress — the adaptive bound is never narrower than the
+        //   fixed-window bound `min(run_end, B_min, T + la_in)`, so
+        //   adaptive mode never erects a barrier fixed mode would not.
+        let pool: [Option<SimTime>; 6] = [
+            None,
+            Some(t(10)),
+            Some(t(12)),
+            Some(t(25)),
+            Some(t(40)),
+            Some(t(100)),
+        ];
+        let run_end = t(1_000);
+        // A 3-shard chain (asymmetric lookaheads) and a full mesh with
+        // per-edge lookaheads all distinct.
+        let chain: Vec<Option<Dur>> = vec![
+            None,
+            Some(Dur::from_ns(5)),
+            None,
+            Some(Dur::from_ns(5)),
+            None,
+            Some(Dur::from_ns(17)),
+            None,
+            Some(Dur::from_ns(17)),
+            None,
+        ];
+        let mesh: Vec<Option<Dur>> = (0..9)
+            .map(|i| {
+                let (o, k) = (i / 3, i % 3);
+                (o != k).then(|| Dur::from_ns(3 + 2 * o as u64 + k as u64))
+            })
+            .collect();
+        let mut a_buf = Vec::new();
+        let mut e_buf = Vec::new();
+        let mut checked = 0u32;
+        for influence in [&chain, &mesh] {
+            for_each_permutation(pool.len(), |perm| {
+                let mut tv = [None; 3];
+                let mut bv = [None; 3];
+                for k in 0..3 {
+                    tv[k] = pool[perm[k]];
+                    // The sync heap is a subset of the shard's heap, so
+                    // a sync deadline can never precede the earliest
+                    // local work (and an empty shard has none).
+                    bv[k] = match (tv[k], pool[perm[k + 3]]) {
+                        (Some(tk), Some(raw)) => Some(raw.max(tk)),
+                        _ => None,
+                    };
+                }
+                checked += 1;
+                let Some(t_min) = tv.iter().flatten().copied().min() else {
+                    return;
+                };
+                adaptive_bounds(&tv, &bv, influence, run_end, &mut a_buf, &mut e_buf);
+                let b_min = bv.iter().flatten().copied().min();
+                for k in 0..3 {
+                    for o in 0..3 {
+                        if o == k {
+                            continue;
+                        }
+                        let Some(la) = influence[o * 3 + k] else {
+                            continue;
+                        };
+                        let direct =
+                            crate::engine::earliest([bv[o], tv[o].map(|x| x.saturating_add(la))]);
+                        if let Some(direct) = direct {
+                            assert!(
+                                e_buf[k] <= direct,
+                                "safety: E[{k}]={} exceeds direct bound {} of edge {o}→{k} \
+                                 (t={tv:?} b={bv:?})",
+                                e_buf[k],
+                                direct
+                            );
+                        }
+                    }
+                    let la_in = (0..3)
+                        .filter(|&o| o != k)
+                        .filter_map(|o| influence[o * 3 + k])
+                        .min();
+                    let mut fixed = run_end;
+                    if let Some(b) = b_min {
+                        fixed = fixed.min(b);
+                    }
+                    if let Some(la) = la_in {
+                        fixed = fixed.min(t_min.saturating_add(la));
+                    }
+                    assert!(
+                        e_buf[k] >= fixed,
+                        "progress: E[{k}]={} narrower than fixed bound {} \
+                         (t={tv:?} b={bv:?})",
+                        e_buf[k],
+                        fixed
+                    );
+                }
+            });
+        }
+        assert_eq!(
+            checked,
+            2 * 720,
+            "all arrangements × both shapes enumerated"
+        );
+    }
+
     // ------------------------------------------------------------------
     // A toy two-shard topology exercising windows, sync instants and
     // mailboxes, checked for bit-identical results against the
@@ -1290,35 +1999,49 @@ mod tests {
         single.run_until(horizon);
         let single_json = single.telemetry_json();
 
-        // Sharded: relay is the sync node; its 350 ns latency is the
-        // lookahead. Counter lives alone on shard 1.
-        let mut sharded = ShardedHarness::new(
-            vec![ToyRouter { routed: 0 }, ToyRouter { routed: 0 }],
-            64,
-            Dur::from_ns(350),
-        );
-        let [src, relay, dst] = toy_nodes();
-        sharded.add_node_labeled(src, "src", 0, false);
-        sharded.add_node_labeled(relay, "relay", 0, true);
-        sharded.add_node_labeled(dst, "dst", 1, false);
-        // Force pool dispatch even on single-core machines (the default
-        // caps threads at hardware parallelism): the parallel code path
-        // must produce the same bytes as the inline one.
-        sharded.set_threads(2);
-        sharded.run_until(horizon);
+        for mode in [WindowMode::FixedLookahead, WindowMode::Adaptive] {
+            // Sharded: relay is the sync node; its 350 ns latency is the
+            // lookahead. Counter lives alone on shard 1.
+            let mut sharded = ShardedHarness::new(
+                vec![ToyRouter { routed: 0 }, ToyRouter { routed: 0 }],
+                64,
+                Dur::from_ns(350),
+            );
+            let [src, relay, dst] = toy_nodes();
+            sharded.add_node_labeled(src, "src", 0, false);
+            sharded.add_node_labeled(relay, "relay", 0, true);
+            sharded.add_node_labeled(dst, "dst", 1, false);
+            sharded.set_window_mode(mode);
+            // Force pool dispatch even on single-core machines (the
+            // default caps threads at hardware parallelism): the
+            // parallel code path must produce the same bytes as the
+            // inline one.
+            sharded.set_threads(2);
+            sharded.run_until(horizon);
 
-        assert_eq!(sharded.telemetry_json(), single_json);
-        assert_eq!(sharded.events(), single.events());
-        assert_eq!(sharded.now(), single.now());
-        // The cross-shard path really was exercised through mailboxes.
-        let sent: u64 = (0..2).map(|k| sharded.shard_stats(k).mailbox_sent).sum();
-        assert_eq!(sent, 40, "every relayed item crossed the boundary");
-        assert!(
-            sharded
+            assert_eq!(sharded.telemetry_json(), single_json, "{mode:?}");
+            assert_eq!(sharded.events(), single.events(), "{mode:?}");
+            assert_eq!(sharded.now(), single.now(), "{mode:?}");
+            // The cross-shard path really was exercised through
+            // mailboxes in both modes.
+            let sent: u64 = (0..2).map(|k| sharded.shard_stats(k).mailbox_sent).sum();
+            assert_eq!(sent, 40, "every relayed item crossed the boundary");
+            let sync_instants = sharded
                 .exec_telemetry()
-                .counter_value("sched.sync_instants")
-                > Some(0)
-        );
+                .counter_value("sched.sync_instants");
+            match mode {
+                // Fixed windows pay a barrier for every relay hand-off…
+                WindowMode::FixedLookahead => assert!(sync_instants > Some(0)),
+                // …adaptive mode pipelines the whole chain: shard 0 runs
+                // to the horizon in one window (nothing influences it),
+                // then shard 1 drains the 40 mailed items in a second.
+                WindowMode::Adaptive => {
+                    assert_eq!(sync_instants, Some(0), "no barrier needed");
+                    let reg = sharded.exec_telemetry();
+                    assert_eq!(reg.counter_value("sched.windows"), Some(2));
+                }
+            }
+        }
     }
 
     #[test]

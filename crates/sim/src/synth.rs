@@ -15,6 +15,7 @@
 
 use crate::bus::{CmdSink, Harness, NodeId, Router, SchedMode, DEFAULT_CASCADE_LIMIT};
 use crate::engine::Component;
+use crate::shard::ShardedHarness;
 use crate::time::{Dur, SimTime};
 
 /// A periodic ticker that emits its fire count and forwards commands
@@ -128,6 +129,131 @@ pub fn build_ring_with_mode(
     h
 }
 
+/// Routing for the two-shard workload of [`build_sharded_ring`]: two
+/// disjoint `n`-node command rings (one per shard, forwards never cross
+/// the cut) plus one sync-class relay on shard 0 whose fires are mailed
+/// to shard 1. Contains no heap-allocating state.
+pub struct ShardForward {
+    nodes_per_shard: usize,
+    hops: u64,
+    routed: u64,
+}
+
+impl ShardForward {
+    /// Events routed so far (per shard router, when sharded).
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+}
+
+impl crate::shard::MergeTelemetry for ShardForward {
+    fn publish_merged(parts: &[&Self], reg: &mut crate::telemetry::Registry) {
+        reg.scope("synth")
+            .counter("routed", parts.iter().map(|p| p.routed).sum());
+    }
+}
+
+impl Router<SynthNode> for ShardForward {
+    fn route(&mut self, _now: SimTime, src: NodeId, event: u64, sink: &mut CmdSink<u64>) {
+        self.routed += 1;
+        let n = self.nodes_per_shard;
+        if src.0 == 2 * n {
+            // The relay: every fire crosses the cut into shard 1 with a
+            // spent hop budget, so the recipient counts it and stops —
+            // the relay never reacts to input, which satisfies any
+            // positive lookahead vacuously.
+            sink.push(NodeId(n + (event as usize % n)), 0);
+        } else {
+            let budget = event.min(self.hops);
+            if budget > 0 {
+                let base = if src.0 < n { 0 } else { n };
+                sink.push(NodeId(base + (src.0 - base + 1) % n), budget - 1);
+            }
+        }
+    }
+}
+
+fn synth_nodes(n: usize, base_period_ns: u64, relay_period_ns: u64) -> Vec<SynthNode> {
+    (0..2 * n + 1)
+        .map(|k| {
+            let period = if k == 2 * n {
+                Dur::from_ns(relay_period_ns)
+            } else {
+                Dur::from_ns(base_period_ns + (k as u64 % 7) * 13)
+            };
+            SynthNode {
+                period,
+                next: SimTime::from_ns(period.as_ns()),
+                fired: 0,
+                handled: 0,
+            }
+        })
+        .collect()
+}
+
+/// Builds the two-shard mirror of [`build_ring`] on the conservative
+/// parallel harness: shard 0 holds ring nodes `0..n` plus the sync
+/// relay (node `2n`), shard 1 holds ring nodes `n..2n`; the relay fires
+/// every `relay_period_ns` and each fire is delivered cross-shard.
+/// Exercises the full sharded hot path — window negotiation, outbox
+/// flush, pending-mail delivery, per-shard stepping — with nothing but
+/// `u64` payloads, so `tests/zero_alloc.rs` can pin the sharded
+/// steady state at zero allocations too.
+pub fn build_sharded_ring(
+    n: usize,
+    base_period_ns: u64,
+    hops: u64,
+    relay_period_ns: u64,
+    lookahead_ns: u64,
+) -> ShardedHarness<SynthNode, ShardForward> {
+    assert!(n > 0, "ring needs at least one node");
+    let routers = (0..2)
+        .map(|_| ShardForward {
+            nodes_per_shard: n,
+            hops,
+            routed: 0,
+        })
+        .collect();
+    let mut h = ShardedHarness::new(routers, DEFAULT_CASCADE_LIMIT, Dur::from_ns(lookahead_ns));
+    for (k, node) in synth_nodes(n, base_period_ns, relay_period_ns)
+        .into_iter()
+        .enumerate()
+    {
+        let (shard, sync) = if k == 2 * n {
+            (0, true)
+        } else {
+            (k / n, false)
+        };
+        h.add_node_labeled(node, format!("synth.n{k}"), shard, sync);
+    }
+    h
+}
+
+/// The single-threaded reference for [`build_sharded_ring`]: the same
+/// nodes, router rule and registration order on the ordinary
+/// [`Harness`], for bit-identity checks.
+pub fn build_sharded_ring_reference(
+    n: usize,
+    base_period_ns: u64,
+    hops: u64,
+    relay_period_ns: u64,
+) -> Harness<SynthNode, ShardForward> {
+    assert!(n > 0, "ring needs at least one node");
+    let mut h = Harness::with_mode(
+        ShardForward {
+            nodes_per_shard: n,
+            hops,
+            routed: 0,
+        },
+        DEFAULT_CASCADE_LIMIT,
+        SchedMode::Indexed,
+    );
+    for node in synth_nodes(n, base_period_ns, relay_period_ns) {
+        h.add_node(node);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +275,31 @@ mod tests {
         h2.run_until(SimTime::from_ns(50_000));
         assert_eq!(h2.events(), h.events());
         assert_eq!(h2.router().routed(), h.router().routed());
+    }
+
+    #[test]
+    fn sharded_ring_matches_the_single_threaded_reference() {
+        use crate::shard::WindowMode;
+        let horizon = SimTime::from_ns(200_000);
+        let mut single = build_sharded_ring_reference(8, 1_000, 3, 2_500);
+        single.run_until(horizon);
+        assert!(single.node(NodeId(16)).fired() > 0, "relay must fire");
+        let relayed: u64 = (8..16).map(|k| single.node(NodeId(k)).handled()).sum();
+        assert!(relayed > 0, "cross-shard mail must flow");
+
+        for mode in [WindowMode::FixedLookahead, WindowMode::Adaptive] {
+            for threads in [1, 2] {
+                let mut sharded = build_sharded_ring(8, 1_000, 3, 2_500, 2_500);
+                sharded.set_window_mode(mode);
+                sharded.set_threads(threads);
+                sharded.run_until(horizon);
+                assert_eq!(sharded.events(), single.events(), "{mode:?}/{threads}");
+                for k in 0..17 {
+                    let (s, r) = (sharded.node(NodeId(k)), single.node(NodeId(k)));
+                    assert_eq!(s.fired(), r.fired(), "{mode:?}/{threads} node {k}");
+                    assert_eq!(s.handled(), r.handled(), "{mode:?}/{threads} node {k}");
+                }
+            }
+        }
     }
 }

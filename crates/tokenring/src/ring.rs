@@ -240,6 +240,14 @@ pub struct TokenRing {
     /// suffices for the whole ring.
     stack: Vec<(u8, u8, StationId)>,
     stats: RingStats,
+    /// Station indices with a non-empty transmit queue, ascending. The
+    /// deadline query (`next_token_action`, via the harness scheduler's
+    /// reschedule) runs on every touched instant and only cares about
+    /// stations with work; keeping the busy set explicit turns its scan
+    /// of all stations into a scan of the (usually 0–2) waiting ones.
+    /// Ascending order preserves the lowest-station-wins tie-break of
+    /// the full scan. Derived state: rebuilt from the queues on restore.
+    busy: Vec<u32>,
 }
 
 impl TokenRing {
@@ -263,6 +271,21 @@ impl TokenRing {
             next_frame_id: 1,
             stack: Vec::new(),
             stats: RingStats::default(),
+            busy: Vec::new(),
+        }
+    }
+
+    /// Marks `idx`'s queue non-empty (sorted insert, no-op if present).
+    fn mark_busy(&mut self, idx: u32) {
+        if let Err(slot) = self.busy.binary_search(&idx) {
+            self.busy.insert(slot, idx);
+        }
+    }
+
+    /// Marks `idx`'s queue empty.
+    fn mark_idle(&mut self, idx: u32) {
+        if let Ok(slot) = self.busy.binary_search(&idx) {
+            self.busy.remove(slot);
         }
     }
 
@@ -361,11 +384,12 @@ impl TokenRing {
             return None;
         };
         let mut best: Option<(StationId, SimTime)> = None;
-        for (i, st) in self.stations.iter().enumerate() {
-            let sid = StationId(i as u32);
-            let Some((frame, submitted)) = st.queue.front() else {
-                continue;
-            };
+        for &i in &self.busy {
+            let sid = StationId(i);
+            let (frame, submitted) = self.stations[i as usize]
+                .queue
+                .front()
+                .expect("busy set tracks non-empty queues");
             if self.cfg.priority_enabled && frame.priority < *priority {
                 continue;
             }
@@ -400,9 +424,10 @@ impl TokenRing {
         if !self.cfg.priority_enabled {
             return 0;
         }
-        self.stations
+        self.busy
             .iter()
-            .filter_map(|s| s.queue.front().map(|(f, _)| f.priority))
+            .filter_map(|&i| self.stations[i as usize].queue.front())
+            .map(|(f, _)| f.priority)
             .max()
             .unwrap_or(0)
     }
@@ -614,6 +639,13 @@ impl ctms_sim::Persist for TokenRing {
                 .into_iter()
                 .collect();
         }
+        // Rebuild the derived busy set (ascending by construction).
+        self.busy.clear();
+        for (i, st) in self.stations.iter().enumerate() {
+            if !st.queue.is_empty() {
+                self.busy.push(i as u32);
+            }
+        }
         self.state = match dec.u8()? {
             0 => Medium::TokenFree {
                 released_at: dec.time()?,
@@ -723,6 +755,9 @@ impl Component for TokenRing {
                                 .queue
                                 .pop_front()
                                 .expect("candidate has a queued frame");
+                            if self.stations[sid.0 as usize].queue.is_empty() {
+                                self.mark_idle(sid.0);
+                            }
                             self.begin_transmit(now, frame, cur_priority);
                             // Fall through: a zero-length frame could
                             // complete instantly (not in practice).
@@ -845,6 +880,7 @@ impl Component for TokenRing {
                     return;
                 }
                 st.queue.push_back((frame, now));
+                self.mark_busy(idx as u32);
             }
             RingCmd::Disturb(d) => {
                 let purges = match d {

@@ -15,7 +15,7 @@ use crate::socket::{MetaKind, Sock, SockMeta, SockProto, ACK_LEN, TCP_OVERHEAD, 
 use ctms_rtpc::{CopyCost, ExecLevel, MachCmd, MemRegion};
 use ctms_sim::{Component, Dur, Pcg32, SimTime};
 use ctms_tokenring::{Frame, Proto, StationId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// IRQ line assignments for the testbed hosts.
 pub const LINE_DISK: u8 = 1;
@@ -153,6 +153,39 @@ enum TimerTarget {
     TcpRetx(Port),
 }
 
+/// One armed timer. The kernel only ever arms timers and pops the
+/// earliest (nothing cancels by handle), so they live in a binary
+/// min-heap: `next_deadline` — called by the harness scheduler on every
+/// reschedule of the host — is then a single array read instead of a
+/// tree descent, and the per-tick hardclock re-arm is a cheap sift.
+/// `(at, seq)` is unique (`seq` increments per arm), so pop order is
+/// exactly the old `BTreeMap`'s iteration order.
+#[derive(Debug)]
+struct Timer {
+    at: SimTime,
+    seq: u64,
+    target: TimerTarget,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    /// Reversed on `(at, seq)`, so `BinaryHeap` (a max-heap) pops the
+    /// earliest timer first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
 #[derive(Debug)]
 enum KernJob {
     SoftnetRx(Pkt),
@@ -214,11 +247,14 @@ pub struct Kernel {
     net_if: Option<DriverId>,
     mbufs: MbufPool,
     rng: Pcg32,
-    timers: BTreeMap<(SimTime, u64), TimerTarget>,
+    timers: BinaryHeap<Timer>,
     timer_seq: u64,
     procs: Vec<Proc>,
     socks: HashMap<u16, Sock>,
-    kern_jobs: HashMap<u64, KernJob>,
+    /// In-flight kernel jobs keyed by token, sorted ascending. Tokens
+    /// are handed out monotonically and few jobs are live at once, so a
+    /// sorted vec beats a hash map on this per-job path.
+    kern_jobs: Vec<(u64, KernJob)>,
     kern_job_seq: u64,
     mbuf_waiters: HashMap<u64, Pid>,
     work: VecDeque<Work>,
@@ -252,11 +288,11 @@ impl Kernel {
             line_map: [None; ctms_rtpc::IRQ_LINES],
             net_if: None,
             rng,
-            timers: BTreeMap::new(),
+            timers: BinaryHeap::new(),
             timer_seq: 0,
             procs: Vec::new(),
             socks: HashMap::new(),
-            kern_jobs: HashMap::new(),
+            kern_jobs: Vec::new(),
             kern_job_seq: 0,
             mbuf_waiters: HashMap::new(),
             work: VecDeque::new(),
@@ -379,12 +415,17 @@ impl Kernel {
 
     fn arm(&mut self, at: SimTime, target: TimerTarget) {
         self.timer_seq += 1;
-        self.timers.insert((at, self.timer_seq), target);
+        self.timers.push(Timer {
+            at,
+            seq: self.timer_seq,
+            target,
+        });
     }
 
     fn alloc_kern_job(&mut self, job: KernJob) -> u64 {
         self.kern_job_seq += 1;
-        self.kern_jobs.insert(self.kern_job_seq, job);
+        // Monotonic token, so pushing keeps the vec sorted.
+        self.kern_jobs.push((self.kern_job_seq, job));
         self.kern_job_seq
     }
 
@@ -823,9 +864,10 @@ impl Kernel {
     // ----- kernel jobs ---------------------------------------------------
 
     fn kern_job_done(&mut self, token: u64, now: SimTime, out: &mut Vec<KernOut>) {
-        let Some(job) = self.kern_jobs.remove(&token) else {
+        let Ok(slot) = self.kern_jobs.binary_search_by_key(&token, |e| e.0) else {
             panic!("unknown kernel job token {token}");
         };
+        let (_, job) = self.kern_jobs.remove(slot);
         match job {
             KernJob::SoftnetRx(pkt) => self.softnet_rx(pkt, now, out),
             KernJob::HardclockBody => {
@@ -1136,11 +1178,16 @@ impl ctms_sim::Persist for Kernel {
         );
         self.mbufs.persist(enc);
         self.rng.persist(enc);
-        enc.seq_len(self.timers.len());
-        for ((at, seq), target) in &self.timers {
-            enc.time(*at);
-            enc.u64(*seq);
-            persist_timer_target(enc, target);
+        // The heap iterates in arbitrary order; encode sorted by
+        // `(at, seq)` so the byte stream matches the old `BTreeMap`
+        // encoding exactly (persist is cold, the sort is fine here).
+        let mut timers: Vec<&Timer> = self.timers.iter().collect();
+        timers.sort_unstable_by_key(|t| (t.at, t.seq));
+        enc.seq_len(timers.len());
+        for t in timers {
+            enc.time(t.at);
+            enc.u64(t.seq);
+            persist_timer_target(enc, &t.target);
         }
         enc.u64(self.timer_seq);
         enc.seq_len(self.procs.len());
@@ -1153,12 +1200,12 @@ impl ctms_sim::Persist for Kernel {
         for port in ports {
             self.socks[&port].persist(enc);
         }
-        let mut jobs: Vec<u64> = self.kern_jobs.keys().copied().collect();
-        jobs.sort_unstable();
-        enc.seq_len(jobs.len());
-        for token in jobs {
-            enc.u64(token);
-            persist_kern_job(enc, &self.kern_jobs[&token]);
+        // Already sorted by token — encodes byte-identically to the
+        // sorted-HashMap layout this replaced.
+        enc.seq_len(self.kern_jobs.len());
+        for (token, job) in &self.kern_jobs {
+            enc.u64(*token);
+            persist_kern_job(enc, job);
         }
         enc.u64(self.kern_job_seq);
         let mut waiters: Vec<u64> = self.mbuf_waiters.keys().copied().collect();
@@ -1193,7 +1240,7 @@ impl ctms_sim::Persist for Kernel {
                 let at = d.time()?;
                 let seq = d.u64()?;
                 let target = restore_timer_target(d)?;
-                Ok(((at, seq), target))
+                Ok(Timer { at, seq, target })
             })?
             .into_iter()
             .collect();
@@ -1220,10 +1267,8 @@ impl ctms_sim::Persist for Kernel {
         for port in ports {
             self.socks.get_mut(&port).expect("present").restore(dec)?;
         }
-        self.kern_jobs = dec
-            .seq(|d| Ok((d.u64()?, restore_kern_job(d)?)))?
-            .into_iter()
-            .collect();
+        self.kern_jobs = dec.seq(|d| Ok((d.u64()?, restore_kern_job(d)?)))?;
+        self.kern_jobs.sort_unstable_by_key(|e| e.0);
         self.kern_job_seq = dec.u64()?;
         self.mbuf_waiters = dec
             .seq(|d| Ok((d.u64()?, Pid(d.u32()?))))?
@@ -1272,18 +1317,18 @@ impl Component for Kernel {
         if !self.booted {
             return Some(SimTime::ZERO);
         }
-        self.timers.keys().next().map(|&(t, _)| t)
+        self.timers.peek().map(|t| t.at)
     }
 
     fn advance(&mut self, now: SimTime, sink: &mut Vec<KernOut>) {
         if !self.booted {
             self.boot(now, sink);
         }
-        while let Some((&(t, seq), _)) = self.timers.iter().next() {
-            if t > now {
+        while let Some(head) = self.timers.peek() {
+            if head.at > now {
                 break;
             }
-            let target = self.timers.remove(&(t, seq)).expect("present");
+            let Timer { target, .. } = self.timers.pop().expect("peeked entry");
             match target {
                 TimerTarget::Driver(id, token) => {
                     self.with_driver(id, now, sink, |d, ctx| d.on_timer(ctx, token));

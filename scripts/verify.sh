@@ -19,6 +19,9 @@ cargo test -q
 echo "== tier-1: zero-alloc scheduler steady state (alloc-count)"
 cargo test -q -p ctms-sim --features alloc-count --test zero_alloc
 
+echo "== tier-1: zero-alloc sharded steady state (both window modes)"
+cargo test -q -p ctms-sim --features alloc-count --test zero_alloc_sharded
+
 echo "== tier-1: sharded scheduler parity (golden digests at 1/2/4 shards)"
 cargo test -q --test determinism sharded_harness_shares_the_golden_truth
 
@@ -27,6 +30,9 @@ cargo test -q --test checkpoint
 
 echo "== tier-1: topology parity (tree/mesh/fddi golden truth at 1/2/4 shards)"
 cargo test -q --test determinism topology_variants_share_the_golden_truth
+
+echo "== tier-1: adaptive-vs-fixed window parity (chain/tree/mesh/fddi at 1/2/4 shards)"
+cargo test -q --test determinism window_modes_share_the_golden_truth
 
 echo "== ctms-serve smoke (session, run, checkpoint/restore round trip)"
 serve_out=$(printf '%s\n' \
@@ -58,6 +64,10 @@ cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
   --quick --shards 4 --rings 32 \
   --topology tree:16 --topology mesh:12 --topology fddi:8 \
   --compare BENCH_PR7.json
+
+echo "== adaptive perf smoke (report-only: adaptive + fixed ablation, parity-asserting)"
+cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
+  --quick --shards 4 --rings 32 --adaptive
 
 echo "== bench_trend selftest (malformed reports, incl. topology section, must fail)"
 python3 scripts/bench_trend.py --selftest

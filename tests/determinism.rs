@@ -260,6 +260,81 @@ fn topology_variants_share_the_golden_truth() {
 }
 
 #[test]
+fn window_modes_share_the_golden_truth() {
+    // Adaptive windows (the default) versus the fixed-lookahead
+    // baseline: the protocols may only differ in how many barriers the
+    // coordinator erects, never in the answer. Every workload below is
+    // run under both modes at 1, 2 and 4 shards and held to byte
+    // identity — truth-log digests, event counts, and the canonical
+    // telemetry tree. This is the license for `perf --adaptive` to
+    // report the mode delta as pure synchronization overhead.
+    use ctms_core::{RingChainTestbed, RingGraph};
+    use ctms_router::BridgeKind;
+    use ctms_sim::WindowMode;
+
+    // Cases A and B are single-ring topologies: every shard count falls
+    // back to the single-threaded bus, where the mode setter must be
+    // accepted (as a no-op) and the golden digests must hold either way.
+    for sc in [Scenario::test_case_a(42), Scenario::test_case_b(42)] {
+        let mut got = Vec::new();
+        for mode in [WindowMode::Adaptive, WindowMode::FixedLookahead] {
+            let (mut bus, _roles) = Testbed::ctms_sharded(&sc, 4);
+            bus.set_window_mode(mode);
+            bus.run_until(SimTime::from_secs(10));
+            got.push(
+                bus.truth_log(1, MeasurePoint::CtmspIdentified)
+                    .map(|log| log.digest())
+                    .unwrap_or(0),
+            );
+        }
+        assert_eq!(got[0], got[1], "fallback bus must ignore the mode");
+    }
+
+    let sc = Scenario::scaled_chain(42);
+    let kind = BridgeKind::cut_through_bridge();
+    let horizon = SimTime::from_secs(2);
+    let shapes: [(&str, Option<RingGraph>); 4] = [
+        ("chain", None),
+        ("tree", Some(RingGraph::tree(13, 3))),
+        ("mesh", Some(RingGraph::mesh(12, 42))),
+        ("fddi", Some(RingGraph::fddi(12))),
+    ];
+    for (name, graph) in shapes {
+        for shards in [1usize, 2, 4] {
+            let run = |mode: WindowMode| {
+                let mut bed = match &graph {
+                    None => RingChainTestbed::chain_sharded(&sc, kind, 16, shards),
+                    Some(g) => RingChainTestbed::graph_sharded(&sc, kind, g, shards),
+                };
+                bed.bus_mut().set_window_mode(mode);
+                bed.run_until(horizon);
+                let digests = [
+                    bed.measurement_set().vca_irq.digest(),
+                    bed.measurement_set().handler.digest(),
+                    bed.measurement_set().pre_tx.digest(),
+                    bed.measurement_set().ctmsp_rx.digest(),
+                ];
+                (digests, bed.events(), bed.telemetry_json())
+            };
+            let adaptive = run(WindowMode::Adaptive);
+            let fixed = run(WindowMode::FixedLookahead);
+            assert_eq!(
+                adaptive.0, fixed.0,
+                "{name} truth diverged between window modes (shards={shards})"
+            );
+            assert_eq!(
+                adaptive.1, fixed.1,
+                "{name} event count diverged between window modes (shards={shards})"
+            );
+            assert_eq!(
+                adaptive.2, fixed.2,
+                "{name} telemetry diverged between window modes (shards={shards})"
+            );
+        }
+    }
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Same seed, same process, two independently built testbeds: every
     // digest must agree (no hidden global state, no allocator or
