@@ -34,6 +34,13 @@
 //!                report per-mode protocol-efficiency counters
 //!                (windows, sync instants, mailbox rounds, idle-window
 //!                fraction)
+//! --optimistic   additionally run every sharded configuration under
+//!                the optimistic (Time-Warp-style) execution engine —
+//!                same parity rule as every other ablation — and
+//!                report its speculation counters (rollbacks, events
+//!                rolled back, snapshot bytes, GVT rounds) plus the
+//!                headline speculation_efficiency = committed events
+//!                per executed event
 //! ```
 //!
 //! The binary runs test cases A and B to a fixed simulated horizon under
@@ -61,7 +68,7 @@
 use ctms_core::{RingChainTestbed, RingGraph, Scenario, ShardedChain, Testbed};
 use ctms_router::BridgeKind;
 use ctms_sim::telemetry::{json_f64, json_string};
-use ctms_sim::{SchedMode, SimTime, WindowMode};
+use ctms_sim::{ExecMode, SchedMode, SimTime, WindowMode};
 use ctms_unixkern::MeasurePoint;
 
 #[cfg(feature = "alloc-count")]
@@ -117,12 +124,14 @@ fn main() {
     let mut rings = DEFAULT_CHAIN_RINGS;
     let mut threads: Option<usize> = None;
     let mut adaptive = false;
+    let mut optimistic = false;
     let mut topologies: Vec<(String, Option<usize>)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--adaptive" => adaptive = true,
+            "--optimistic" => optimistic = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -268,6 +277,7 @@ fn main() {
             chain_horizon,
             reps,
             adaptive,
+            optimistic,
         )
     });
 
@@ -288,6 +298,7 @@ fn main() {
                 topo_horizon,
                 reps,
                 adaptive,
+                optimistic,
             )
         })
         .collect();
@@ -304,6 +315,7 @@ fn main() {
         seed,
         quick,
         horizon_secs,
+        threads,
         &results,
         chain.as_ref(),
         &topo_results,
@@ -394,6 +406,42 @@ fn window_stats(bus: &ctms_core::ShardedBus, shards: usize) -> Option<WindowStat
     })
 }
 
+/// Speculation counters for one optimistic run, read from the exec
+/// registry. Deterministic like the window schedule (the coordinator's
+/// rounds are data-parallel with barriers, so rollback decisions do not
+/// depend on thread interleaving); asserted stable across repetitions.
+#[derive(Clone, Copy, PartialEq)]
+struct OptStats {
+    rollbacks: u64,
+    events_rolled_back: u64,
+    snapshot_bytes: u64,
+    gvt_rounds: u64,
+}
+
+impl OptStats {
+    /// Committed events per executed event: 1.0 means no speculative
+    /// work was wasted, lower means rollback replay dominated.
+    fn efficiency(&self, committed: u64) -> f64 {
+        let executed = committed + self.events_rolled_back;
+        if executed == 0 {
+            1.0
+        } else {
+            committed as f64 / executed as f64
+        }
+    }
+}
+
+fn opt_stats(bus: &ctms_core::ShardedBus) -> Option<OptStats> {
+    let reg = bus.exec_telemetry()?;
+    let count = |key: &str| reg.counter_value(key).unwrap_or(0);
+    Some(OptStats {
+        rollbacks: count("sched.rollbacks"),
+        events_rolled_back: count("sched.events_rolled_back"),
+        snapshot_bytes: count("sched.snapshot_bytes"),
+        gvt_rounds: count("sched.gvt_rounds"),
+    })
+}
+
 struct ChainSharded {
     shards: usize,
     threads: usize,
@@ -402,6 +450,8 @@ struct ChainSharded {
     window: Option<WindowStats>,
     /// The fixed-lookahead ablation baseline, measured with `--adaptive`.
     fixed: Option<(ModeRun, WindowStats)>,
+    /// The optimistic-engine ablation, measured with `--optimistic`.
+    optimistic: Option<(ModeRun, WindowStats, OptStats)>,
 }
 
 struct ChainResult {
@@ -421,19 +471,22 @@ fn measure_sharded_mode(
     build: &dyn Fn() -> ShardedChain,
     digests_of: &dyn Fn(&ShardedChain) -> [u64; 4],
     mode: WindowMode,
+    exec: ExecMode,
     k: usize,
     workers: usize,
     horizon: SimTime,
     reps: usize,
     single: &ModeRun,
     label: &str,
-) -> (ModeRun, Option<WindowStats>) {
+) -> (ModeRun, Option<WindowStats>, Option<OptStats>) {
     let mut best: Option<ModeRun> = None;
     let mut stats: Option<WindowStats> = None;
+    let mut spec: Option<OptStats> = None;
     for _ in 0..reps {
         let mut bed = build();
         assert_eq!(bed.shard_count(), k, "{label} must partition into {k}");
         bed.bus_mut().set_window_mode(mode);
+        bed.bus_mut().set_exec_mode(exec);
         bed.set_threads(workers);
         let t0 = std::time::Instant::now();
         bed.run_until(horizon);
@@ -448,29 +501,40 @@ fn measure_sharded_mode(
         // window protocol.
         assert_eq!(
             run.digests, single.digests,
-            "{label} shards={k} ({mode:?}): sharded scheduler changed ground truth"
+            "{label} shards={k} ({mode:?}, {exec:?}): sharded scheduler changed ground truth"
         );
         assert_eq!(
             run.events, single.events,
-            "{label} shards={k} ({mode:?}): sharded scheduler changed event count"
+            "{label} shards={k} ({mode:?}, {exec:?}): sharded scheduler changed event count"
         );
         let s = window_stats(bed.bus(), k);
         if let (Some(prev), Some(now)) = (&stats, &s) {
             assert!(
                 prev == now,
-                "{label} shards={k} ({mode:?}): window schedule varied across repetitions"
+                "{label} shards={k} ({mode:?}, {exec:?}): window schedule varied across repetitions"
             );
         }
         stats = s;
+        let o = (exec == ExecMode::Optimistic)
+            .then(|| opt_stats(bed.bus()))
+            .flatten();
+        if let (Some(prev), Some(now)) = (&spec, &o) {
+            assert!(
+                prev == now,
+                "{label} shards={k} ({mode:?}, {exec:?}): speculation schedule varied across repetitions"
+            );
+        }
+        spec = o;
         if best.as_ref().is_none_or(|b| run.wall_secs < b.wall_secs) {
             best = Some(run);
         }
     }
-    (best.expect("at least one repetition"), stats)
+    (best.expect("at least one repetition"), stats, spec)
 }
 
 /// One stderr progress line per measured sharded configuration,
 /// including the protocol-efficiency counters when available.
+#[allow(clippy::too_many_arguments)]
 fn report_sharded(
     label: &str,
     k: usize,
@@ -478,6 +542,7 @@ fn report_sharded(
     run: &ModeRun,
     single: &ModeRun,
     window: Option<&WindowStats>,
+    spec: Option<&OptStats>,
     tag: Option<&str>,
 ) {
     let tag = tag.map(|t| format!(" [{t}]")).unwrap_or_default();
@@ -492,8 +557,17 @@ fn report_sharded(
             )
         })
         .unwrap_or_default();
+    let speculation = spec
+        .map(|o| {
+            format!(
+                "  rollbacks {} eff {:.1}%",
+                o.rollbacks,
+                o.efficiency(run.events) * 100.0
+            )
+        })
+        .unwrap_or_default();
     eprintln!(
-        "# {label}: shards={k} threads={workers}{tag} {:.1}ms ({:.2}M ev/s)  speedup {:.2}x{counters}",
+        "# {label}: shards={k} threads={workers}{tag} {:.1}ms ({:.2}M ev/s)  speedup {:.2}x{counters}{speculation}",
         run.wall_secs * 1e3,
         run.events as f64 / run.wall_secs / 1e6,
         single.wall_secs / run.wall_secs
@@ -515,6 +589,7 @@ fn chain_digests(mut get: impl FnMut(usize, MeasurePoint) -> u64) -> [u64; 4] {
 /// to `max_shards`. Per configuration, edge-log digests and serviced
 /// event counts are asserted equal to the single-threaded run before
 /// any wall clock is reported.
+#[allow(clippy::too_many_arguments)]
 fn measure_chain(
     seed: u64,
     rings: usize,
@@ -523,6 +598,7 @@ fn measure_chain(
     horizon_secs: u64,
     reps: usize,
     adaptive: bool,
+    optimistic: bool,
 ) -> ChainResult {
     let sc = Scenario::scaled_chain(seed);
     let kind = BridgeKind::cut_through_bridge();
@@ -575,10 +651,11 @@ fn measure_chain(
                     .unwrap_or(0)
             })
         };
-        let (run, window) = measure_sharded_mode(
+        let (run, window, _) = measure_sharded_mode(
             &build,
             &digests_of,
             WindowMode::Adaptive,
+            ExecMode::Conservative,
             k,
             workers,
             horizon,
@@ -586,12 +663,22 @@ fn measure_chain(
             &single,
             &label,
         );
-        report_sharded(&label, k, workers, &run, &single, window.as_ref(), None);
+        report_sharded(
+            &label,
+            k,
+            workers,
+            &run,
+            &single,
+            window.as_ref(),
+            None,
+            None,
+        );
         let fixed = adaptive.then(|| {
-            let (run, stats) = measure_sharded_mode(
+            let (run, stats, _) = measure_sharded_mode(
                 &build,
                 &digests_of,
                 WindowMode::FixedLookahead,
+                ExecMode::Conservative,
                 k,
                 workers,
                 horizon,
@@ -607,9 +694,37 @@ fn measure_chain(
                 &run,
                 &single,
                 Some(&stats),
+                None,
                 Some("fixed"),
             );
             (run, stats)
+        });
+        let optimistic = optimistic.then(|| {
+            let (run, stats, spec) = measure_sharded_mode(
+                &build,
+                &digests_of,
+                WindowMode::Adaptive,
+                ExecMode::Optimistic,
+                k,
+                workers,
+                horizon,
+                reps,
+                &single,
+                &label,
+            );
+            let stats = stats.expect("sharded run must expose execution telemetry");
+            let spec = spec.expect("optimistic run must expose speculation counters");
+            report_sharded(
+                &label,
+                k,
+                workers,
+                &run,
+                &single,
+                Some(&stats),
+                Some(&spec),
+                Some("opt"),
+            );
+            (run, stats, spec)
         });
         sharded.push(ChainSharded {
             shards: k,
@@ -617,6 +732,7 @@ fn measure_chain(
             run,
             window,
             fixed,
+            optimistic,
         });
         k *= 2;
     }
@@ -653,6 +769,7 @@ fn measure_topology(
     horizon_secs: u64,
     reps: usize,
     adaptive: bool,
+    optimistic: bool,
 ) -> TopoResult {
     let sc = Scenario::scaled_chain(seed);
     let kind = BridgeKind::cut_through_bridge();
@@ -702,10 +819,11 @@ fn measure_topology(
         let label = format!("{shape}/{rings}");
         let build = || RingChainTestbed::graph_sharded(&sc, kind, &graph, k);
         let digests_of = |bed: &ShardedChain| set_digests(&bed.measurement_set());
-        let (run, window) = measure_sharded_mode(
+        let (run, window, _) = measure_sharded_mode(
             &build,
             &digests_of,
             WindowMode::Adaptive,
+            ExecMode::Conservative,
             k,
             workers,
             horizon,
@@ -713,12 +831,22 @@ fn measure_topology(
             &single,
             &label,
         );
-        report_sharded(&label, k, workers, &run, &single, window.as_ref(), None);
+        report_sharded(
+            &label,
+            k,
+            workers,
+            &run,
+            &single,
+            window.as_ref(),
+            None,
+            None,
+        );
         let fixed = adaptive.then(|| {
-            let (run, stats) = measure_sharded_mode(
+            let (run, stats, _) = measure_sharded_mode(
                 &build,
                 &digests_of,
                 WindowMode::FixedLookahead,
+                ExecMode::Conservative,
                 k,
                 workers,
                 horizon,
@@ -734,9 +862,37 @@ fn measure_topology(
                 &run,
                 &single,
                 Some(&stats),
+                None,
                 Some("fixed"),
             );
             (run, stats)
+        });
+        let optimistic = optimistic.then(|| {
+            let (run, stats, spec) = measure_sharded_mode(
+                &build,
+                &digests_of,
+                WindowMode::Adaptive,
+                ExecMode::Optimistic,
+                k,
+                workers,
+                horizon,
+                reps,
+                &single,
+                &label,
+            );
+            let stats = stats.expect("sharded run must expose execution telemetry");
+            let spec = spec.expect("optimistic run must expose speculation counters");
+            report_sharded(
+                &label,
+                k,
+                workers,
+                &run,
+                &single,
+                Some(&stats),
+                Some(&spec),
+                Some("opt"),
+            );
+            (run, stats, spec)
         });
         sharded.push(ChainSharded {
             shards: k,
@@ -744,6 +900,7 @@ fn measure_topology(
             run,
             window,
             fixed,
+            optimistic,
         });
         k *= 2;
     }
@@ -817,11 +974,23 @@ fn window_json(w: &WindowStats) -> String {
 /// `--adaptive` reports and carries the ablation baseline plus the
 /// headline `sync_instant_reduction` = fixed sync instants per adaptive
 /// sync instant.
-fn sharded_json(s: &ChainSharded, single: &ModeRun, indent: &str) -> String {
+fn sharded_json(
+    s: &ChainSharded,
+    single: &ModeRun,
+    threads_requested: Option<usize>,
+    indent: &str,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("{indent}{{\n"));
     out.push_str(&format!("{indent}  \"shards\": {},\n", s.shards));
     out.push_str(&format!("{indent}  \"threads\": {},\n", s.threads));
+    // The thread count actually used is stamped above; this records
+    // whether it was a `--threads` request, so trend tooling can tell
+    // "measured on one core" from "ran with --threads 1 by request".
+    match threads_requested {
+        Some(n) => out.push_str(&format!("{indent}  \"threads_requested\": {n},\n")),
+        None => out.push_str(&format!("{indent}  \"threads_requested\": null,\n")),
+    }
     out.push_str(&format!("{indent}  \"run\": {},\n", mode_json(&s.run)));
     out.push_str(&format!(
         "{indent}  \"speedup\": {},\n",
@@ -849,15 +1018,39 @@ fn sharded_json(s: &ChainSharded, single: &ModeRun, indent: &str) -> String {
         }
         None => out.push_str(&format!("{indent}  \"fixed_lookahead\": null,\n")),
     }
+    match &s.optimistic {
+        Some((run, w, o)) => {
+            out.push_str(&format!("{indent}  \"optimistic\": {{\n"));
+            out.push_str(&format!("{indent}    \"run\": {},\n", mode_json(run)));
+            out.push_str(&format!(
+                "{indent}    \"speedup\": {},\n",
+                json_f64(single.wall_secs / run.wall_secs)
+            ));
+            out.push_str(&format!("{indent}    \"window\": {},\n", window_json(w)));
+            out.push_str(&format!(
+                "{indent}    \"speculation\": {{ \"rollbacks\": {}, \"events_rolled_back\": {}, \
+                 \"snapshot_bytes\": {}, \"gvt_rounds\": {}, \"speculation_efficiency\": {} }}\n",
+                o.rollbacks,
+                o.events_rolled_back,
+                o.snapshot_bytes,
+                o.gvt_rounds,
+                json_f64(o.efficiency(run.events))
+            ));
+            out.push_str(&format!("{indent}  }},\n"));
+        }
+        None => out.push_str(&format!("{indent}  \"optimistic\": null,\n")),
+    }
     out.push_str(&format!("{indent}  \"ground_truth_parity\": true\n"));
     out.push_str(&format!("{indent}}}"));
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report_json(
     seed: u64,
     quick: bool,
     horizon_secs: u64,
+    threads_requested: Option<usize>,
     results: &[CaseResult],
     chain: Option<&ChainResult>,
     topologies: &[TopoResult],
@@ -865,7 +1058,7 @@ fn report_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"format\": \"ctms-perf/4\",\n");
+    out.push_str("  \"format\": \"ctms-perf/5\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"horizon_secs\": {horizon_secs},\n"));
@@ -915,7 +1108,7 @@ fn report_json(
             out.push_str(&format!("    \"single\": {},\n", mode_json(&c.single)));
             out.push_str("    \"sharded\": [\n");
             for (i, s) in c.sharded.iter().enumerate() {
-                out.push_str(&sharded_json(s, &c.single, "      "));
+                out.push_str(&sharded_json(s, &c.single, threads_requested, "      "));
                 out.push_str(if i + 1 == c.sharded.len() {
                     "\n"
                 } else {
@@ -939,7 +1132,7 @@ fn report_json(
             out.push_str(&format!("      \"single\": {},\n", mode_json(&t.single)));
             out.push_str("      \"sharded\": [\n");
             for (j, s) in t.sharded.iter().enumerate() {
-                out.push_str(&sharded_json(s, &t.single, "        "));
+                out.push_str(&sharded_json(s, &t.single, threads_requested, "        "));
                 out.push_str(if j + 1 == t.sharded.len() {
                     "\n"
                 } else {
@@ -1069,4 +1262,4 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N] [--adaptive] [--topology SHAPE[:RINGS]]...";
+const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N] [--adaptive] [--optimistic] [--topology SHAPE[:RINGS]]...";

@@ -13,13 +13,18 @@
 //!
 //! ```text
 //! {"scenario": "case_a" | "case_b" | "chain", "seed": 42,
-//!  "rings": 16, "shards": 4}
+//!  "rings": 16, "shards": 4, "exec": "optimistic",
+//!  "cascade_limit": 64}
 //! ```
 //!
 //! `seed` defaults to 42; `rings` (chain only) to 16; `shards` to 1
 //! (single-threaded). Single-ring scenarios always fall back to the
 //! single-threaded harness regardless of `shards`, mirroring
-//! `Topology::build_sharded`.
+//! `Topology::build_sharded`. `exec` selects the sharded execution
+//! protocol (`"conservative"`, the default, or `"optimistic"` for
+//! Time-Warp-style speculation); replies are byte-identical either
+//! way. `cascade_limit` overrides the same-instant cascade bound —
+//! mostly useful for deliberately tripping the typed error path.
 //!
 //! ## Commands
 //!
@@ -53,7 +58,11 @@
 //! single-threaded.
 //!
 //! Every reply carries `"ok"`; failures are reported as
-//! `{"ok":false,"error":"..."}` and the session keeps serving. The
+//! `{"ok":false,"error":"..."}` and the session keeps serving.
+//! Scheduling failures carry a machine-readable tag alongside the
+//! prose: `{"ok":false,"kind":"overflow"|"cross_shard"|"speculation",
+//! "at_ns":N,"error":"..."}` — one kind per `CascadeError` variant.
+//! The
 //! simulation is deterministic throughout: the same command script
 //! against the same session line produces byte-identical stdout.
 
@@ -344,6 +353,8 @@ struct Spec {
     seed: u64,
     rings: usize,
     shards: usize,
+    optimistic: bool,
+    cascade_limit: Option<u32>,
 }
 
 impl Spec {
@@ -362,25 +373,39 @@ impl Spec {
         if matches!(kind, ScenarioKind::Chain) && rings < 2 {
             return Err("chain needs rings >= 2".to_string());
         }
+        let optimistic = match v.get("exec").and_then(Json::as_str) {
+            None | Some("conservative") => false,
+            Some("optimistic") => true,
+            Some(other) => return Err(format!("unknown exec mode \"{other}\"")),
+        };
         Ok(Spec {
             kind,
             seed: v.get("seed").and_then(Json::as_u64).unwrap_or(42),
             rings,
             shards: v.get("shards").and_then(Json::as_u64).unwrap_or(1) as usize,
+            optimistic,
+            cascade_limit: v
+                .get("cascade_limit")
+                .and_then(Json::as_u64)
+                .map(|n| n.max(1) as u32),
         })
     }
 
     fn scenario(&self) -> Scenario {
-        match self.kind {
+        let mut sc = match self.kind {
             ScenarioKind::CaseA => Scenario::test_case_a(self.seed),
             ScenarioKind::CaseB => Scenario::test_case_b(self.seed),
             ScenarioKind::Chain => Scenario::scaled_chain(self.seed),
+        };
+        if let Some(limit) = self.cascade_limit {
+            sc.cascade_limit = limit;
         }
+        sc
     }
 
     fn build(&self) -> ShardedBus {
         let sc = self.scenario();
-        match self.kind {
+        let mut bus = match self.kind {
             ScenarioKind::CaseA | ScenarioKind::CaseB => {
                 if self.shards > 1 {
                     Testbed::ctms_sharded(&sc, self.shards).0
@@ -396,7 +421,11 @@ impl Spec {
                     ShardedBus::Single(RingChainTestbed::chain(&sc, kind, self.rings).into_bus())
                 }
             }
+        };
+        if self.optimistic {
+            bus.set_exec_mode(ctms_sim::ExecMode::Optimistic);
         }
+        bus
     }
 
     /// The single-threaded rebuild fork branches run on (checkpoints
@@ -461,6 +490,28 @@ fn emit_err(out: &mut impl Write, msg: &str) {
     emit(
         out,
         &format!("{{\"ok\":false,\"error\":{}}}", json_string(msg)),
+    );
+}
+
+/// A scheduling failure as a machine-readable error line: `kind` names
+/// the typed [`CascadeError`] variant (a same-instant cascade overflow,
+/// a cross-shard lookahead violation, or an optimistic speculation
+/// fault) so drivers can branch without parsing prose, and the session
+/// keeps serving — the failure poisons the simulation, not the process.
+fn emit_cascade_err(out: &mut impl Write, e: &ctms_sim::CascadeError) {
+    let kind = match e {
+        ctms_sim::CascadeError::Overflow { .. } => "overflow",
+        ctms_sim::CascadeError::CrossShard { .. } => "cross_shard",
+        ctms_sim::CascadeError::Speculation { .. } => "speculation",
+    };
+    emit(
+        out,
+        &format!(
+            "{{\"ok\":false,\"kind\":{},\"at_ns\":{},\"error\":{}}}",
+            json_string(kind),
+            e.at().as_ns(),
+            json_string(&e.to_string())
+        ),
     );
 }
 
@@ -547,7 +598,7 @@ fn main() {
                         None => until,
                     };
                     if let Err(e) = bus.try_run_until(next) {
-                        emit_err(&mut out, &format!("cascade overflow: {e}"));
+                        emit_cascade_err(&mut out, &e);
                         failed = true;
                         break;
                     }
@@ -736,5 +787,78 @@ fn main() {
             Some(other) => emit_err(&mut out, &format!("unknown command \"{other}\"")),
             None => emit_err(&mut out, "command needs a \"cmd\" string"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctms_sim::{CascadeError, NodeId, SpeculationFault};
+
+    fn line(e: &CascadeError) -> String {
+        let mut buf = Vec::new();
+        emit_cascade_err(&mut buf, e);
+        String::from_utf8(buf).unwrap()
+    }
+
+    /// One machine-readable `kind` per `CascadeError` variant, with the
+    /// failure instant stamped so drivers can place the error on the
+    /// simulation timeline without parsing the prose.
+    #[test]
+    fn cascade_errors_emit_kind_tagged_json() {
+        let overflow = CascadeError::overflow(SimTime::from_ns(1_500), NodeId(7), 65);
+        let got = line(&overflow);
+        assert!(
+            got.starts_with("{\"ok\":false,\"kind\":\"overflow\",\"at_ns\":1500,"),
+            "{got}"
+        );
+        assert!(got.contains("\"error\":\"cascade guard tripped"), "{got}");
+
+        let cross = CascadeError::CrossShard {
+            at: SimTime::from_ns(2_000),
+            src: NodeId(1),
+            dst: NodeId(9),
+            src_shard: 0,
+            dst_shard: 1,
+        };
+        let got = line(&cross);
+        assert!(
+            got.starts_with("{\"ok\":false,\"kind\":\"cross_shard\",\"at_ns\":2000,"),
+            "{got}"
+        );
+        assert!(got.contains("protocol violation"), "{got}");
+
+        let spec = CascadeError::Speculation {
+            at: SimTime::from_ns(3_000),
+            shard: 2,
+            kind: SpeculationFault::RollbackPastOldestSnapshot,
+        };
+        let got = line(&spec);
+        assert!(
+            got.starts_with("{\"ok\":false,\"kind\":\"speculation\",\"at_ns\":3000,"),
+            "{got}"
+        );
+        assert!(got.contains("oldest retained snapshot"), "{got}");
+    }
+
+    /// The session line accepts `exec` / `cascade_limit`; unknown exec
+    /// modes are rejected up front instead of silently running the
+    /// conservative protocol.
+    #[test]
+    fn spec_parses_exec_and_cascade_limit() {
+        let v = parse_json("{\"scenario\":\"chain\",\"exec\":\"optimistic\",\"cascade_limit\":3}")
+            .unwrap();
+        let spec = Spec::parse(&v).unwrap();
+        assert!(spec.optimistic);
+        assert_eq!(spec.cascade_limit, Some(3));
+        assert_eq!(spec.scenario().cascade_limit, 3);
+
+        let v = parse_json("{\"scenario\":\"chain\"}").unwrap();
+        let spec = Spec::parse(&v).unwrap();
+        assert!(!spec.optimistic);
+        assert_eq!(spec.cascade_limit, None);
+
+        let v = parse_json("{\"scenario\":\"chain\",\"exec\":\"mystery\"}").unwrap();
+        assert!(Spec::parse(&v).is_err());
     }
 }

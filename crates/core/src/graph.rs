@@ -618,7 +618,7 @@ mod tests {
             let part = partition_rings(g.ring_count(), &g.pair_edges(), shards);
             assert_eq!(part.len(), g.ring_count());
             for s in 0..shards {
-                assert!(part.iter().any(|&p| p == s), "shard {s} empty for {g:?}");
+                assert!(part.contains(&s), "shard {s} empty for {g:?}");
             }
             assert!(part.iter().all(|&p| p < shards));
         }
@@ -654,7 +654,7 @@ mod tests {
             }
             for i in 0..k {
                 heaps(k - 1, items, f);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     items.swap(i, k - 1);
                 } else {
                     items.swap(0, k - 1);

@@ -84,6 +84,27 @@ impl ShardedBus {
         }
     }
 
+    /// Selects the execution discipline: conservative (default) or the
+    /// optimistic Time-Warp-style engine, which speculates past the
+    /// conservative bounds and rolls back on cross-shard stragglers.
+    /// Results are bit-identical either way — only wall clock and the
+    /// `sched.*` exec counters differ. No-op on the single-threaded
+    /// fallback, which has nothing to speculate against.
+    pub fn set_exec_mode(&mut self, exec: ctms_sim::ExecMode) {
+        if let ShardedBus::Parallel(p) = self {
+            p.h.set_exec_mode(exec);
+        }
+    }
+
+    /// Events a shard executes between incremental snapshots in
+    /// optimistic mode (trade rollback replay distance against
+    /// snapshot overhead). No-op on the fallback.
+    pub fn set_snapshot_cadence(&mut self, cadence: u64) {
+        if let ShardedBus::Parallel(p) = self {
+            p.h.set_snapshot_cadence(cadence);
+        }
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         match self {
@@ -267,7 +288,13 @@ impl ShardedBus {
 
     /// Appends all dynamic state to `enc` in the shard-agnostic
     /// checkpoint format shared with [`Bus`]. Must be called at a
-    /// sync-instant boundary (after `try_run_until` returned).
+    /// sync-instant boundary (after `try_run_until` returned). In
+    /// optimistic mode this is automatically a drained-to-GVT boundary:
+    /// `run_until` never returns with speculation in flight — every
+    /// round promotes the committed frontier and the final round
+    /// commits or rolls back all speculative segments — so steering and
+    /// checkpointing between runs see only committed state (the
+    /// harness debug-asserts this).
     pub(crate) fn persist_state(&self, enc: &mut ctms_sim::Enc) {
         match self {
             ShardedBus::Single(b) => b.persist_state(enc),

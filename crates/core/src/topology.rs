@@ -71,6 +71,7 @@ pub enum Event {
 }
 
 /// Commands routable to any [`Node`].
+#[derive(Clone)]
 pub enum Cmd {
     /// To a ring.
     Ring(RingCmd),
@@ -1338,6 +1339,94 @@ pub(crate) fn persist_router_parts(parts: &[&CtmsRouter], enc: &mut ctms_sim::En
     }
 
     enc.u64(parts.iter().map(|p| p.m.bridge_drops).sum());
+}
+
+/// Rollback images for the optimistic scheduler. Everything the router
+/// mutates while routing is append-only — TAP capture buffers, truth
+/// edge logs, the flat measurement lists — so the image stores
+/// **truncation marks** (current lengths plus the few scalar counters)
+/// instead of copying data: a snapshot costs O(rings + hosts), not
+/// O(history), and rolling back discards exactly the speculated suffix.
+/// The wiring (`slots`, `purge_subscribers`) is never touched by
+/// `route`, so it is not part of the image.
+impl ctms_sim::Rollback for CtmsRouter {
+    fn save(&self, enc: &mut ctms_sim::Enc) {
+        // Bare u64 lengths throughout, not `seq_len`: marks carry no
+        // elements, so the decoder's remaining-bytes check would
+        // misfire on large histories.
+        for tap in self.taps.iter().flatten() {
+            tap.save_mark(enc);
+        }
+        for points in &self.m.truth {
+            let mut entries: Vec<(MeasurePoint, usize)> =
+                points.iter().map(|(p, l)| (*p, l.len())).collect();
+            entries.sort_by_key(|(p, _)| measure_point_key(*p));
+            enc.u64(entries.len() as u64);
+            for (point, len) in entries {
+                persist_measure_point(enc, point);
+                enc.u64(len as u64);
+            }
+        }
+        enc.u64(self.m.drops.len() as u64);
+        enc.u64(self.m.presented.len() as u64);
+        enc.u64(self.m.sock_delivered.len() as u64);
+        enc.u64(self.m.purge_starts.len() as u64);
+        enc.u64(self.m.lost_to_purge.len() as u64);
+        enc.u64(self.m.bridge_drops);
+    }
+
+    fn rollback(&mut self, dec: &mut ctms_sim::Dec<'_>) -> Result<(), ctms_sim::PersistError> {
+        fn cut<T>(v: &mut Vec<T>, len: u64, what: &str) -> Result<(), ctms_sim::PersistError> {
+            let len = len as usize;
+            if len > v.len() {
+                return Err(ctms_sim::PersistError::mismatch(format!(
+                    "router rollback: {what} mark {len} beyond {}",
+                    v.len()
+                )));
+            }
+            v.truncate(len);
+            Ok(())
+        }
+        for tap in self.taps.iter_mut().flatten() {
+            tap.rollback_mark(dec)?;
+        }
+        for points in &mut self.m.truth {
+            let n = dec.u64()? as usize;
+            let mut saved: Vec<MeasurePoint> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let point = restore_measure_point(dec)?;
+                let len = dec.u64()?;
+                let log = points.get_mut(&point).ok_or_else(|| {
+                    ctms_sim::PersistError::mismatch(format!(
+                        "router rollback: truth log {point:?} missing"
+                    ))
+                })?;
+                if len as usize > log.len() {
+                    return Err(ctms_sim::PersistError::mismatch(format!(
+                        "router rollback: truth {point:?} mark {len} beyond {}",
+                        log.len()
+                    )));
+                }
+                log.truncate(len as usize);
+                saved.push(point);
+            }
+            // Logs first recorded during the rolled-back speculation
+            // did not exist at the mark: drop them entirely.
+            points.retain(|p, _| saved.contains(p));
+        }
+        let drops = dec.u64()?;
+        cut(&mut self.m.drops, drops, "drops")?;
+        let presented = dec.u64()?;
+        cut(&mut self.m.presented, presented, "presented")?;
+        let sock = dec.u64()?;
+        cut(&mut self.m.sock_delivered, sock, "sock_delivered")?;
+        let purges = dec.u64()?;
+        cut(&mut self.m.purge_starts, purges, "purge_starts")?;
+        let lost = dec.u64()?;
+        cut(&mut self.m.lost_to_purge, lost, "lost_to_purge")?;
+        self.m.bridge_drops = dec.u64()?;
+        Ok(())
+    }
 }
 
 /// Decodes router state written by [`persist_router_parts`].

@@ -121,6 +121,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the table *is* constant; pinning it is the point
     fn guarantee_table_matches_paper() {
         assert!(CTMSP_GUARANTEES.bandwidth);
         assert!(CTMSP_GUARANTEES.bounded_delay);

@@ -980,8 +980,10 @@ mod tests {
     use ctms_unixkern::{Host, HostCmd, HostOut, KernCmd, KernConfig, Kernel, MbufChain};
 
     fn build(cfg: TrDriverCfg, clock: bool) -> (Host, DriverId, DriverId) {
-        let mut kcfg = KernConfig::default();
-        kcfg.clock_enabled = clock;
+        let kcfg = KernConfig {
+            clock_enabled: clock,
+            ..KernConfig::default()
+        };
         let mut kernel = Kernel::new(kcfg, Pcg32::new(9, 9));
         let sink = kernel.add_driver(Box::new(CtmsVcaSink::new(CtmsSinkCfg::default())), None);
         let mut cfg = cfg;

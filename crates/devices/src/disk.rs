@@ -129,11 +129,15 @@ mod tests {
 
     #[test]
     fn poisson_interrupt_rate() {
-        let mut kcfg = KernConfig::default();
-        kcfg.clock_enabled = false;
+        let kcfg = KernConfig {
+            clock_enabled: false,
+            ..KernConfig::default()
+        };
         let mut kernel = Kernel::new(kcfg, Pcg32::new(11, 2));
-        let mut cfg = DiskCfg::default();
-        cfg.rate_per_sec = 50.0;
+        let cfg = DiskCfg {
+            rate_per_sec: 50.0,
+            ..DiskCfg::default()
+        };
         let id = kernel.add_driver(Box::new(DiskDriver::new(cfg)), Some(LINE_DISK));
         let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);
         let _ = drain_component(&mut host, SimTime::from_secs(10));
@@ -148,11 +152,15 @@ mod tests {
 
     #[test]
     fn zero_rate_stays_silent() {
-        let mut kcfg = KernConfig::default();
-        kcfg.clock_enabled = false;
+        let kcfg = KernConfig {
+            clock_enabled: false,
+            ..KernConfig::default()
+        };
         let mut kernel = Kernel::new(kcfg, Pcg32::new(1, 1));
-        let mut cfg = DiskCfg::default();
-        cfg.rate_per_sec = 0.0;
+        let cfg = DiskCfg {
+            rate_per_sec: 0.0,
+            ..DiskCfg::default()
+        };
         let id = kernel.add_driver(Box::new(DiskDriver::new(cfg)), Some(LINE_DISK));
         let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);
         let evs = drain_component(&mut host, SimTime::from_secs(1));

@@ -869,8 +869,10 @@ mod tests {
         line: Option<u8>,
         clock: bool,
     ) -> (Host, ctms_unixkern::DriverId) {
-        let mut cfg = KernConfig::default();
-        cfg.clock_enabled = clock;
+        let cfg = KernConfig {
+            clock_enabled: clock,
+            ..KernConfig::default()
+        };
         let mut kernel = Kernel::new(cfg, Pcg32::new(3, 3));
         let id = kernel.add_driver(Box::new(d), line);
         (
@@ -883,8 +885,10 @@ mod tests {
     fn ctms_source_period_is_solid() {
         // §5.2.2: the VCA interrupts every 12 ms "with no detectable
         // variation" when jitter is 0.
-        let mut cfg = CtmsSourceCfg::default();
-        cfg.tr_driver = DriverId(0); // self-call: packets loop back as calls
+        let cfg = CtmsSourceCfg {
+            tr_driver: DriverId(0), // self-call: packets loop back as calls
+            ..CtmsSourceCfg::default()
+        };
         let (mut host, _id) = host_with(CtmsVcaSource::new(cfg), Some(LINE_VCA), false);
         let evs = drain_component(&mut host, SimTime::from_ms(121));
         let irqs: Vec<SimTime> = evs
@@ -905,8 +909,10 @@ mod tests {
 
     #[test]
     fn ctms_source_traces_handler_entry_and_sends() {
-        let mut cfg = CtmsSourceCfg::default();
-        cfg.tr_driver = DriverId(1);
+        let cfg = CtmsSourceCfg {
+            tr_driver: DriverId(1),
+            ..CtmsSourceCfg::default()
+        };
         let (mut host, _id) = host_with(CtmsVcaSource::new(cfg), Some(LINE_VCA), false);
         // Driver 1: a sink that records CtmspSend arrivals.
         struct Recorder(Vec<(SimTime, u64)>);
@@ -992,8 +998,10 @@ mod tests {
 
     #[test]
     fn ctms_sink_copy_mode_defers_presentation() {
-        let mut cfg = CtmsSinkCfg::default();
-        cfg.copy_to_device = true;
+        let cfg = CtmsSinkCfg {
+            copy_to_device: true,
+            ..CtmsSinkCfg::default()
+        };
         let (mut host, id) = host_with(CtmsVcaSink::new(cfg), None, false);
         let mut sink = Vec::new();
         host.handle(

@@ -79,8 +79,10 @@ mod tests {
         let mut log = EdgeLog::new("x");
         log.record(SimTime::from_us(100), 1);
         log.record(SimTime::from_us(12_100), 2);
-        let mut cfg = PseudoCfg::default();
-        cfg.interference_prob = 0.0;
+        let cfg = PseudoCfg {
+            interference_prob: 0.0,
+            ..PseudoCfg::default()
+        };
         let mut p = PseudoDriver::new(cfg, Pcg32::new(1, 1));
         let got = p.observe(&log);
         for e in got.edges() {
@@ -96,8 +98,10 @@ mod tests {
         for k in 0..5_000u64 {
             log.record(SimTime::from_us(12_000 * k), k);
         }
-        let mut cfg = PseudoCfg::default();
-        cfg.interference_prob = 0.5;
+        let cfg = PseudoCfg {
+            interference_prob: 0.5,
+            ..PseudoCfg::default()
+        };
         let mut p = PseudoDriver::new(cfg, Pcg32::new(9, 9));
         let got = p.observe(&log);
         let spread: Vec<u64> = got.inter_occurrence().iter().map(|d| d.as_us()).collect();

@@ -160,25 +160,153 @@ pub trait Router<C: Component> {
     }
 }
 
-/// A same-instant routing cascade exceeded the configured step limit —
-/// some component keeps scheduling work at the current instant forever.
+/// Why optimistic execution had to give up rather than roll back.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct CascadeError {
-    /// The instant at which the cascade never converged.
-    pub at: SimTime,
-    /// The node whose events were being routed when the limit tripped.
-    pub node: NodeId,
-    /// Cascade steps performed at `at` before giving up.
-    pub steps: u32,
+pub enum SpeculationFault {
+    /// A straggler arrived behind the oldest retained snapshot, so the
+    /// shard cannot rewind far enough to honor it.
+    RollbackPastOldestSnapshot,
+    /// Released cross-shard mail arrived behind the receiver's
+    /// *committed* clock — the certainty fixpoint admitted a miss.
+    CausalityMiss,
+}
+
+impl std::fmt::Display for SpeculationFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpeculationFault::RollbackPastOldestSnapshot => {
+                write!(f, "rollback past the oldest retained snapshot")
+            }
+            SpeculationFault::CausalityMiss => write!(f, "committed-mail causality miss"),
+        }
+    }
+}
+
+/// A scheduling failure that poisons the harness: a same-instant routing
+/// cascade that never converged, a cross-shard emission from inside a
+/// conservative window, or an optimistic-mode invariant violation. All
+/// variants surface as typed errors (e.g. as a JSON error line from
+/// `ctms-serve`) instead of tearing the process down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CascadeError {
+    /// A same-instant routing cascade exceeded the configured step limit —
+    /// some component keeps scheduling work at the current instant forever.
+    Overflow {
+        /// The instant at which the cascade never converged.
+        at: SimTime,
+        /// The node whose events were being routed when the limit tripped.
+        node: NodeId,
+        /// Cascade steps performed at `at` before giving up.
+        steps: u32,
+    },
+    /// A node emitted a command for a node owned by another shard from
+    /// inside a conservative window — a violation of the lookahead
+    /// contract (cross-shard traffic must be emitted at sync instants).
+    CrossShard {
+        /// The instant of the offending emission.
+        at: SimTime,
+        /// The emitting node.
+        src: NodeId,
+        /// The cross-shard destination.
+        dst: NodeId,
+        /// Shard owning `src`.
+        src_shard: u32,
+        /// Shard owning `dst`.
+        dst_shard: u32,
+    },
+    /// Optimistic execution hit an unrecoverable invariant violation.
+    Speculation {
+        /// The straggler / violation instant.
+        at: SimTime,
+        /// The shard that could not recover.
+        shard: u32,
+        /// What went wrong.
+        kind: SpeculationFault,
+    },
+}
+
+impl CascadeError {
+    /// The classic cascade-guard overflow.
+    pub fn overflow(at: SimTime, node: NodeId, steps: u32) -> Self {
+        CascadeError::Overflow { at, node, steps }
+    }
+
+    /// The simulation instant at which the failure occurred.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            CascadeError::Overflow { at, .. }
+            | CascadeError::CrossShard { at, .. }
+            | CascadeError::Speculation { at, .. } => at,
+        }
+    }
+
+    /// The node involved in the failure (the routed node for an
+    /// overflow, the emitter for a cross-shard violation); speculation
+    /// faults are per-shard and have no single node.
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            CascadeError::Overflow { node, .. } => Some(node),
+            CascadeError::CrossShard { src, .. } => Some(src),
+            CascadeError::Speculation { .. } => None,
+        }
+    }
+
+    /// Cascade steps performed before giving up (0 for non-overflow
+    /// failures, which are not step-bounded).
+    pub fn steps(&self) -> u32 {
+        match *self {
+            CascadeError::Overflow { steps, .. } => steps,
+            _ => 0,
+        }
+    }
+
+    /// The one-line detail string recorded on the telemetry edge-signal
+    /// event when this failure poisons a harness.
+    pub fn event_detail(&self) -> String {
+        match *self {
+            CascadeError::Overflow { node, steps, .. } => {
+                format!("{steps} steps routing events from {node}")
+            }
+            CascadeError::CrossShard {
+                src,
+                dst,
+                src_shard,
+                dst_shard,
+                ..
+            } => format!(
+                "cross-shard emission {src} (shard {src_shard}) -> {dst} (shard {dst_shard})"
+            ),
+            CascadeError::Speculation { shard, kind, .. } => {
+                format!("speculation fault on shard {shard}: {kind}")
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for CascadeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "cascade guard tripped: {} same-instant routing steps at {} while routing events from {}",
-            self.steps, self.at, self.node
-        )
+        match *self {
+            CascadeError::Overflow { at, node, steps } => write!(
+                f,
+                "cascade guard tripped: {steps} same-instant routing steps at {at} while routing events from {node}",
+            ),
+            CascadeError::CrossShard {
+                at,
+                src,
+                dst,
+                src_shard,
+                dst_shard,
+            } => write!(
+                f,
+                "sharded scheduler protocol violation: {src} (shard {src_shard}) emitted a \
+                 cross-shard command for {dst} (shard {dst_shard}) at {at} inside a \
+                 conservative window; cross-shard traffic must be emitted at sync instants",
+            ),
+            CascadeError::Speculation { at, shard, kind } => write!(
+                f,
+                "optimistic execution fault on shard {shard} at {at}: {kind}",
+            ),
+        }
     }
 }
 
@@ -429,11 +557,8 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
     /// thus leaves the state the §5.2.1 operators would have examined,
     /// not just an error value.
     fn record_failure(&mut self, err: CascadeError) {
-        self.telemetry.event(
-            err.at,
-            "sim.cascade.overflow",
-            format!("{} steps routing events from {}", err.steps, err.node),
-        );
+        self.telemetry
+            .event(err.at(), "sim.cascade.overflow", err.event_detail());
         self.snapshot_phase("cascade-failure");
     }
 
@@ -680,11 +805,7 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
         while !self.wave.is_empty() {
             steps += 1;
             if steps > self.limit {
-                let err = CascadeError {
-                    at: now,
-                    node: self.wave[0].0,
-                    steps,
-                };
+                let err = CascadeError::overflow(now, self.wave[0].0, steps);
                 self.failed = Some(err);
                 self.wave.clear();
                 self.next_wave.clear();
@@ -963,9 +1084,9 @@ mod tests {
         let mut h = Harness::new(Echo, 50);
         let n = h.add_node(Loop { armed: true });
         let err = h.try_run_until(SimTime::from_secs(1)).unwrap_err();
-        assert_eq!(err.node, n);
-        assert_eq!(err.at, SimTime::from_ms(1));
-        assert_eq!(err.steps, 51);
+        assert_eq!(err.node(), Some(n));
+        assert_eq!(err.at(), SimTime::from_ms(1));
+        assert_eq!(err.steps(), 51);
         assert_eq!(h.failure(), Some(err));
         // Poisoned: further runs report the same failure.
         assert_eq!(h.try_run_until(SimTime::from_secs(2)), Err(err));
@@ -1064,7 +1185,7 @@ mod tests {
         let reg = h.telemetry();
         // The edge-signal event names the failing instant and node.
         assert_eq!(reg.events().len(), 1);
-        assert_eq!(reg.events()[0].at, err.at);
+        assert_eq!(reg.events()[0].at, err.at());
         assert_eq!(reg.events()[0].path, "sim.cascade.overflow");
         assert!(reg.events()[0].detail.contains(&format!("{n}")));
         // A final snapshot froze the metric tree at the failure.

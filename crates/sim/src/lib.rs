@@ -47,12 +47,17 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
-pub use bus::{CascadeError, CmdSink, Harness, NodeId, Router, SchedMode, DEFAULT_CASCADE_LIMIT};
+pub use bus::{
+    CascadeError, CmdSink, Harness, NodeId, Router, SchedMode, SpeculationFault,
+    DEFAULT_CASCADE_LIMIT,
+};
 pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
 pub use heap::IndexedHeap;
-pub use persist::{decode_new, Dec, Enc, Persist, PersistError};
+pub use persist::{decode_new, Dec, Enc, Persist, PersistError, Rollback};
 pub use rng::{Pcg32, SplitMix64};
-pub use shard::{merge_mail, MailKey, MergeTelemetry, ShardStats, ShardedHarness, WindowMode};
+pub use shard::{
+    merge_mail, ExecMode, MailKey, MergeTelemetry, ShardStats, ShardedHarness, WindowMode,
+};
 pub use sweep::{default_threads, parallel_map};
 pub use telemetry::{Instrument, Registry};
 pub use time::{Dur, SimTime};

@@ -15,6 +15,7 @@
 
 use crate::bus::{CmdSink, Harness, NodeId, Router, SchedMode, DEFAULT_CASCADE_LIMIT};
 use crate::engine::Component;
+use crate::persist::{Dec, Enc, Persist, PersistError};
 use crate::shard::ShardedHarness;
 use crate::time::{Dur, SimTime};
 
@@ -60,6 +61,22 @@ impl Component for SynthNode {
         if hops > 0 {
             sink.push(hops);
         }
+    }
+}
+
+impl Persist for SynthNode {
+    fn persist(&self, enc: &mut Enc) {
+        enc.dur(self.period);
+        enc.time(self.next);
+        enc.u64(self.fired);
+        enc.u64(self.handled);
+    }
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError> {
+        self.period = dec.dur()?;
+        self.next = dec.time()?;
+        self.fired = dec.u64()?;
+        self.handled = dec.u64()?;
+        Ok(())
     }
 }
 
@@ -143,6 +160,16 @@ impl ShardForward {
     /// Events routed so far (per shard router, when sharded).
     pub fn routed(&self) -> u64 {
         self.routed
+    }
+}
+
+impl Persist for ShardForward {
+    fn persist(&self, enc: &mut Enc) {
+        enc.u64(self.routed);
+    }
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError> {
+        self.routed = dec.u64()?;
+        Ok(())
     }
 }
 
@@ -254,6 +281,361 @@ pub fn build_sharded_ring_reference(
     h
 }
 
+// ----------------------------------------------------------------------
+// Enumerated straggler schedules for the optimistic engine.
+//
+// The graph workload arranges `cells` identical cells into one of the
+// four testbed shapes (chain / tree / mesh / fddi); each cell holds a
+// free-running ticker (never crosses the cut) and a sync-class relay
+// whose fire times are *enumerated up front* so tests can aim
+// stragglers at adversarial points: exactly on a receiving cell's
+// snapshot-boundary event, in same-instant streaks across every shard
+// at once, or as a tight ascending cascade that stragglers shard after
+// shard. Relays never react to input, so any positive lookahead is
+// vacuously satisfied and the conservative engine stays exact.
+// ----------------------------------------------------------------------
+
+/// Which adversarial point the relay schedules aim their stragglers at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StragglerCase {
+    /// Fires land exactly on a receiving cell's own event instants, so
+    /// a rollback must cut precisely at a snapshot taken at that time.
+    SnapshotBoundary,
+    /// Every relay fires a burst at the same instants, so speculation
+    /// is in flight on every shard when the sync instants hit.
+    SameInstantStreak,
+    /// Tightly ascending fire times across cells: each shard's rollback
+    /// re-sends mail that stragglers the next shard in turn.
+    MultiShardCascade,
+}
+
+/// One cell member of the straggler graph: a periodic ticker or an
+/// enumerated-schedule relay. Schedules and periods are construction
+/// config; only the moving state is persisted.
+pub enum GraphCellNode {
+    Ticker {
+        period: Dur,
+        next: SimTime,
+        fired: u64,
+        handled: u64,
+    },
+    Relay {
+        schedule: Vec<SimTime>,
+        cursor: usize,
+        burst: u32,
+        fired: u64,
+        handled: u64,
+    },
+}
+
+impl Component for GraphCellNode {
+    type Cmd = u64;
+    type Out = u64;
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        match self {
+            GraphCellNode::Ticker { next, .. } => Some(*next),
+            GraphCellNode::Relay {
+                schedule, cursor, ..
+            } => schedule.get(*cursor).copied(),
+        }
+    }
+
+    fn advance(&mut self, now: SimTime, sink: &mut Vec<u64>) {
+        match self {
+            GraphCellNode::Ticker {
+                period,
+                next,
+                fired,
+                ..
+            } => {
+                if *next == now {
+                    *fired += 1;
+                    *next = now + *period;
+                    sink.push(3);
+                }
+            }
+            GraphCellNode::Relay {
+                schedule,
+                cursor,
+                burst,
+                fired,
+                ..
+            } => {
+                while schedule.get(*cursor).is_some_and(|&s| s <= now) {
+                    *cursor += 1;
+                    *fired += 1;
+                    for _ in 0..*burst {
+                        sink.push(2);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, _now: SimTime, hops: u64, sink: &mut Vec<u64>) {
+        match self {
+            GraphCellNode::Ticker { handled, .. } => {
+                *handled += 1;
+                if hops > 0 {
+                    sink.push(hops - 1);
+                }
+            }
+            // Relays never react: lookahead is vacuous for them.
+            GraphCellNode::Relay { handled, .. } => *handled += 1,
+        }
+    }
+
+    fn publish_telemetry(&self, scope: &mut crate::telemetry::Scope<'_>) {
+        match self {
+            GraphCellNode::Ticker { fired, handled, .. }
+            | GraphCellNode::Relay { fired, handled, .. } => {
+                scope.counter("fired", *fired);
+                scope.counter("handled", *handled);
+            }
+        }
+    }
+}
+
+impl Persist for GraphCellNode {
+    fn persist(&self, enc: &mut Enc) {
+        match self {
+            GraphCellNode::Ticker {
+                next,
+                fired,
+                handled,
+                ..
+            } => {
+                enc.u8(0);
+                enc.time(*next);
+                enc.u64(*fired);
+                enc.u64(*handled);
+            }
+            GraphCellNode::Relay {
+                cursor,
+                fired,
+                handled,
+                ..
+            } => {
+                enc.u8(1);
+                enc.u64(*cursor as u64);
+                enc.u64(*fired);
+                enc.u64(*handled);
+            }
+        }
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError> {
+        let tag = dec.u8()?;
+        match (tag, &mut *self) {
+            (
+                0,
+                GraphCellNode::Ticker {
+                    next,
+                    fired,
+                    handled,
+                    ..
+                },
+            ) => {
+                *next = dec.time()?;
+                *fired = dec.u64()?;
+                *handled = dec.u64()?;
+            }
+            (
+                1,
+                GraphCellNode::Relay {
+                    cursor,
+                    fired,
+                    handled,
+                    ..
+                },
+            ) => {
+                *cursor = dec.u64()? as usize;
+                *fired = dec.u64()?;
+                *handled = dec.u64()?;
+            }
+            (tag, _) => {
+                return Err(PersistError::BadTag {
+                    what: "GraphCellNode",
+                    tag,
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Static fan-out routing over the cell graph: a ticker's emissions
+/// cascade locally (routed back to itself with the hop budget spent
+/// down), a relay's emissions go to every out-neighbor cell's ticker —
+/// crossing the shard cut whenever the neighbor lives elsewhere.
+pub struct GraphForward {
+    out: Vec<Vec<NodeId>>,
+    routed: u64,
+}
+
+impl Router<GraphCellNode> for GraphForward {
+    fn route(&mut self, _now: SimTime, src: NodeId, event: u64, sink: &mut CmdSink<u64>) {
+        self.routed += 1;
+        for &dst in &self.out[src.0] {
+            sink.push(dst, event);
+        }
+    }
+
+    fn publish_telemetry(&self, reg: &mut crate::telemetry::Registry) {
+        reg.counter("graph.routed", self.routed);
+    }
+}
+
+impl Persist for GraphForward {
+    fn persist(&self, enc: &mut Enc) {
+        enc.u64(self.routed);
+    }
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), PersistError> {
+        self.routed = dec.u64()?;
+        Ok(())
+    }
+}
+
+impl crate::shard::MergeTelemetry for GraphForward {
+    fn publish_merged(parts: &[&Self], reg: &mut crate::telemetry::Registry) {
+        reg.counter("graph.routed", parts.iter().map(|p| p.routed).sum());
+    }
+}
+
+/// Out-neighbor lists for the four testbed shapes over `cells` cells.
+pub fn graph_shape(shape: &str, cells: usize) -> Vec<Vec<usize>> {
+    assert!(cells >= 2, "graph needs at least two cells");
+    (0..cells)
+        .map(|c| match shape {
+            "chain" => (c + 1 < cells).then_some(c + 1).into_iter().collect(),
+            "tree" => [2 * c + 1, 2 * c + 2]
+                .into_iter()
+                .filter(|&d| d < cells)
+                .collect(),
+            "mesh" => vec![(c + 1) % cells, (c + 2) % cells],
+            "fddi" => vec![(c + 1) % cells, (c + cells - 1) % cells],
+            other => panic!("unknown graph shape {other:?}"),
+        })
+        .collect()
+}
+
+fn ticker_period(cell: usize) -> u64 {
+    97 + 13 * cell as u64
+}
+
+/// The enumerated relay fire times (and burst width) for `cell` under
+/// `case`. Times are chosen against [`ticker_period`] so the
+/// snapshot-boundary case collides exactly with the succeeding cell's
+/// own event instants while the other cases stay off them.
+pub fn relay_schedule(case: StragglerCase, cell: usize, cells: usize) -> (Vec<SimTime>, u32) {
+    let times: Vec<u64> = match case {
+        StragglerCase::SnapshotBoundary => {
+            let p = ticker_period((cell + 1) % cells);
+            vec![8 * p, 8 * p + 500, 20_000 + 61 * cell as u64]
+        }
+        StragglerCase::SameInstantStreak => vec![1_000, 1_001, 1_002, 2_000, 5_000],
+        StragglerCase::MultiShardCascade => {
+            let base = 1_000 + 10 * cell as u64;
+            vec![base, base + 2_000, base + 4_000]
+        }
+    };
+    let burst = if case == StragglerCase::SameInstantStreak {
+        3
+    } else {
+        1
+    };
+    (times.into_iter().map(SimTime::from_ns).collect(), burst)
+}
+
+fn graph_cell_nodes(case: StragglerCase, cells: usize) -> Vec<(GraphCellNode, String)> {
+    let mut nodes = Vec::with_capacity(2 * cells);
+    for c in 0..cells {
+        let p = ticker_period(c);
+        nodes.push((
+            GraphCellNode::Ticker {
+                period: Dur::from_ns(p),
+                next: SimTime::from_ns(p),
+                fired: 0,
+                handled: 0,
+            },
+            format!("g.c{c}.t"),
+        ));
+        let (schedule, burst) = relay_schedule(case, c, cells);
+        nodes.push((
+            GraphCellNode::Relay {
+                schedule,
+                cursor: 0,
+                burst,
+                fired: 0,
+                handled: 0,
+            },
+            format!("g.c{c}.r"),
+        ));
+    }
+    nodes
+}
+
+fn graph_adjacency(shape: &str, cells: usize) -> Vec<Vec<NodeId>> {
+    let neigh = graph_shape(shape, cells);
+    let mut out = vec![Vec::new(); 2 * cells];
+    for c in 0..cells {
+        out[2 * c] = vec![NodeId(2 * c)]; // local ticker cascade
+        out[2 * c + 1] = neigh[c].iter().map(|&d| NodeId(2 * d)).collect();
+    }
+    out
+}
+
+/// Builds the sharded straggler graph: cells are block-partitioned over
+/// `shards` shards in index order, relays are sync-class, lookahead is
+/// the minimal 1 ns (vacuous — relays never react), so every relay fire
+/// that crosses a cut arrives behind a speculating shard's clock.
+pub fn build_straggler_graph(
+    shape: &str,
+    cells: usize,
+    shards: usize,
+    case: StragglerCase,
+) -> ShardedHarness<GraphCellNode, GraphForward> {
+    assert!(shards >= 1 && shards <= cells);
+    let out = graph_adjacency(shape, cells);
+    let routers = (0..shards)
+        .map(|_| GraphForward {
+            out: out.clone(),
+            routed: 0,
+        })
+        .collect();
+    let mut h = ShardedHarness::new(routers, DEFAULT_CASCADE_LIMIT, Dur::from_ns(1));
+    for (k, (node, label)) in graph_cell_nodes(case, cells).into_iter().enumerate() {
+        let cell = k / 2;
+        let shard = cell * shards / cells;
+        let sync = k % 2 == 1;
+        h.add_node_labeled(node, label, shard, sync);
+    }
+    h
+}
+
+/// The single-threaded reference for [`build_straggler_graph`]: same
+/// nodes, labels, registration order and routing rule on the ordinary
+/// [`Harness`], for golden-digest parity checks.
+pub fn build_straggler_reference(
+    shape: &str,
+    cells: usize,
+    case: StragglerCase,
+) -> Harness<GraphCellNode, GraphForward> {
+    let mut h = Harness::with_mode(
+        GraphForward {
+            out: graph_adjacency(shape, cells),
+            routed: 0,
+        },
+        DEFAULT_CASCADE_LIMIT,
+        SchedMode::Indexed,
+    );
+    for (node, label) in graph_cell_nodes(case, cells) {
+        h.add_node_labeled(node, label);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +680,103 @@ mod tests {
                     let (s, r) = (sharded.node(NodeId(k)), single.node(NodeId(k)));
                     assert_eq!(s.fired(), r.fired(), "{mode:?}/{threads} node {k}");
                     assert_eq!(s.handled(), r.handled(), "{mode:?}/{threads} node {k}");
+                }
+            }
+        }
+
+        // Optimistic: shard 1's tickers speculate past the relay's
+        // cross-shard mail, so straggler rollbacks must fire — and the
+        // committed results must still match the reference exactly.
+        for threads in [1, 2] {
+            let mut opt = build_sharded_ring(8, 1_000, 3, 2_500, 2_500);
+            opt.set_exec_mode(crate::shard::ExecMode::Optimistic);
+            opt.set_snapshot_cadence(8);
+            opt.set_threads(threads);
+            opt.run_until(horizon);
+            assert_eq!(opt.events(), single.events(), "opt/{threads}");
+            for k in 0..17 {
+                let (s, r) = (opt.node(NodeId(k)), single.node(NodeId(k)));
+                assert_eq!(s.fired(), r.fired(), "opt/{threads} node {k}");
+                assert_eq!(s.handled(), r.handled(), "opt/{threads} node {k}");
+            }
+            let reg = opt.exec_telemetry();
+            assert!(
+                reg.counter_value("sched.rollbacks") > Some(0),
+                "opt/{threads}: speculation must actually roll back"
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_schedules_roll_back_and_match_the_reference() {
+        use crate::shard::{ExecMode, WindowMode};
+        let horizon = SimTime::from_ns(30_000);
+        let cells = 6;
+        for shape in ["chain", "tree", "mesh", "fddi"] {
+            for case in [
+                StragglerCase::SnapshotBoundary,
+                StragglerCase::SameInstantStreak,
+                StragglerCase::MultiShardCascade,
+            ] {
+                let mut single = build_straggler_reference(shape, cells, case);
+                single.run_until(horizon);
+                let golden = single.telemetry_json();
+                assert!(single.events() > 0);
+
+                for shards in [1usize, 2, 4] {
+                    // Conservative cross-check first: the straggler
+                    // workload must already be exact under both window
+                    // modes before the optimistic claim means anything.
+                    for mode in [WindowMode::FixedLookahead, WindowMode::Adaptive] {
+                        let mut cons = build_straggler_graph(shape, cells, shards, case);
+                        cons.set_window_mode(mode);
+                        cons.set_threads(2.min(shards));
+                        cons.run_until(horizon);
+                        assert_eq!(
+                            cons.telemetry_json(),
+                            golden,
+                            "{shape}/{case:?}/{shards} {mode:?}"
+                        );
+                    }
+
+                    // Optimistic under both conservative baselines: a
+                    // short snapshot cadence and a speculation span
+                    // covering the whole horizon, so every cross-cut
+                    // relay fire is a straggler.
+                    let mut rollbacks = 0;
+                    for mode in [WindowMode::Adaptive, WindowMode::FixedLookahead] {
+                        let mut opt = build_straggler_graph(shape, cells, shards, case);
+                        opt.set_window_mode(mode);
+                        opt.set_exec_mode(ExecMode::Optimistic);
+                        opt.set_snapshot_cadence(4);
+                        opt.set_speculation_span(Dur::from_ns(100_000));
+                        opt.set_threads(2.min(shards));
+                        opt.run_until(horizon);
+                        assert_eq!(
+                            opt.telemetry_json(),
+                            golden,
+                            "{shape}/{case:?}/{shards} opt {mode:?}"
+                        );
+                        assert_eq!(
+                            opt.events(),
+                            single.events(),
+                            "{shape}/{case:?}/{shards} {mode:?}"
+                        );
+                        let reg = opt.exec_telemetry();
+                        rollbacks += reg.counter_value("sched.rollbacks").unwrap_or(0);
+                        if shards > 1 && reg.counter_value("sched.rollbacks") > Some(0) {
+                            assert!(
+                                reg.counter_value("sched.events_rolled_back") > Some(0),
+                                "{shape}/{case:?}/{shards} {mode:?}: rollbacks must undo work"
+                            );
+                        }
+                    }
+                    if shards > 1 {
+                        assert!(
+                            rollbacks > 0,
+                            "{shape}/{case:?}/{shards}: parity must not be vacuous"
+                        );
+                    }
                 }
             }
         }

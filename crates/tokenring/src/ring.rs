@@ -903,8 +903,10 @@ mod tests {
     use ctms_sim::drain_component;
 
     fn ring_with(n: usize) -> TokenRing {
-        let mut cfg = RingConfig::default();
-        cfg.mac_rate_per_sec = 0.0; // quiet ring for deterministic tests
+        let cfg = RingConfig {
+            mac_rate_per_sec: 0.0, // quiet ring for deterministic tests
+            ..RingConfig::default()
+        };
         let mut r = TokenRing::new(cfg, Pcg32::new(1, 1));
         for _ in 0..n {
             r.add_station();
@@ -1023,9 +1025,11 @@ mod tests {
     #[test]
     fn without_ring_priority_ctmsp_waits_in_line() {
         let mut r = ring_with(8);
-        let mut cfg = RingConfig::default();
-        cfg.mac_rate_per_sec = 0.0;
-        cfg.priority_enabled = false;
+        let cfg = RingConfig {
+            mac_rate_per_sec: 0.0,
+            priority_enabled: false,
+            ..RingConfig::default()
+        };
         r.cfg = cfg;
         for k in 0..7 {
             let f = ctmsp_frame(&mut r, 1, 2, 1500, 0, 100 + k);
@@ -1135,8 +1139,10 @@ mod tests {
 
     #[test]
     fn mac_traffic_uses_fraction_of_ring() {
-        let mut cfg = RingConfig::default();
-        cfg.mac_rate_per_sec = 50.0; // paper's 0.2 % level
+        let cfg = RingConfig {
+            mac_rate_per_sec: 50.0, // paper's 0.2 % level
+            ..RingConfig::default()
+        };
         let mut r = TokenRing::new(cfg, Pcg32::new(7, 7));
         for _ in 0..70 {
             r.add_station();
@@ -1155,9 +1161,11 @@ mod tests {
 
     #[test]
     fn queue_overflow_drops() {
-        let mut cfg = RingConfig::default();
-        cfg.mac_rate_per_sec = 0.0;
-        cfg.station_queue_cap = 2;
+        let cfg = RingConfig {
+            mac_rate_per_sec: 0.0,
+            station_queue_cap: 2,
+            ..RingConfig::default()
+        };
         let mut r = TokenRing::new(cfg, Pcg32::new(1, 1));
         r.add_station();
         r.add_station();

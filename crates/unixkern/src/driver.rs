@@ -17,7 +17,7 @@ use std::any::Any;
 
 /// A network packet travelling through the kernel (an mbuf chain plus the
 /// metadata a real packet would carry in its headers).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Pkt {
     /// Link protocol.
     pub proto: Proto,
@@ -93,7 +93,7 @@ pub enum OpResult {
 }
 
 /// Inter-driver calls (including the paper's direct-transfer handles).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum DriverCall {
     /// Stock path: enqueue a packet on the interface output queue.
     NetOutput(Pkt),

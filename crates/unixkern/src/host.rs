@@ -14,7 +14,7 @@ use ctms_tokenring::Frame;
 
 /// Commands into a host (ring events, plus direct kernel injection for
 /// tests and workload glue).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum HostCmd {
     /// A frame addressed to this host's station arrived.
     RingDelivered(Frame),

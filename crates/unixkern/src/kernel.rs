@@ -107,7 +107,7 @@ impl Default for KernConfig {
 }
 
 /// Commands into the kernel (machine outputs + ring events).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum KernCmd {
     /// Interrupt dispatch completed on `line`.
     IrqEntered {

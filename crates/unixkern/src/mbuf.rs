@@ -14,7 +14,7 @@
 pub const MBUF_DATA: u32 = 112;
 
 /// A handle to an allocated chain of mbufs carrying `len` bytes.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MbufChain {
     /// Payload length carried.
     pub len: u32,

@@ -281,8 +281,10 @@ mod tests {
 
     #[test]
     fn case_b_traffic_mix() {
-        let mut kcfg = KernConfig::default();
-        kcfg.clock_enabled = false;
+        let kcfg = KernConfig {
+            clock_enabled: false,
+            ..KernConfig::default()
+        };
         let mut kernel = Kernel::new(kcfg, Pcg32::new(21, 1));
         let sink = kernel.add_driver(Box::<NetSink>::default(), None);
         let cfg = HostTrafficCfg::case_b(sink, StationId(2), StationId(3));
@@ -310,8 +312,10 @@ mod tests {
 
     #[test]
     fn quiet_config_sends_nothing() {
-        let mut kcfg = KernConfig::default();
-        kcfg.clock_enabled = false;
+        let kcfg = KernConfig {
+            clock_enabled: false,
+            ..KernConfig::default()
+        };
         let mut kernel = Kernel::new(kcfg, Pcg32::new(1, 1));
         let sink = kernel.add_driver(Box::<NetSink>::default(), None);
         let gen = kernel.add_driver(

@@ -149,8 +149,10 @@ mod tests {
 
     #[test]
     fn sections_arrive_at_configured_rate() {
-        let mut kcfg = KernConfig::default();
-        kcfg.clock_enabled = false;
+        let kcfg = KernConfig {
+            clock_enabled: false,
+            ..KernConfig::default()
+        };
         let mut kernel = Kernel::new(kcfg, Pcg32::new(17, 3));
         let id = kernel.add_driver(Box::new(SplLoad::new(default_classes())), None);
         let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);
@@ -167,8 +169,10 @@ mod tests {
 
     #[test]
     fn empty_classes_are_silent() {
-        let mut kcfg = KernConfig::default();
-        kcfg.clock_enabled = false;
+        let kcfg = KernConfig {
+            clock_enabled: false,
+            ..KernConfig::default()
+        };
         let mut kernel = Kernel::new(kcfg, Pcg32::new(1, 1));
         kernel.add_driver(Box::new(SplLoad::new(Vec::new())), None);
         let mut host = Host::new(Machine::new(MachineConfig::default()), kernel);

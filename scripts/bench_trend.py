@@ -4,13 +4,17 @@
 Each PR that lands a measured change checks in a machine-readable report
 (BENCH_PR2.json, BENCH_PR4.json, ...). The formats differ by what the PR
 measured — "ctms-repro-run/1" carries paper-claim checks, "ctms-perf/1"
-through "ctms-perf/4" carry scheduler wall-clock results (/3 added
+through "ctms-perf/5" carry scheduler wall-clock results (/3 added
 per-topology sections for the graph-shape benchmarks, /4 adds the
 window-protocol efficiency counters and the fixed-lookahead ablation
-baseline) — so this script normalizes all of them into a long-format
+baseline, /5 adds the optimistic-execution ablation with its
+speculation counters and the requested-thread stamp) — so this script
+normalizes all of them into a long-format
 table: one row per headline metric, ordered by PR number. Sharded rows
 carry an events-per-sync-instant column when the report recorded window
-counters. Malformed reports (unparseable JSON, or a structurally broken
+counters, and an "[opt]" ablation row (rollback count and speculation
+efficiency) when the report measured optimistic execution. Malformed
+reports (unparseable JSON, or a structurally broken
 section) are listed on stderr and make the exit code non-zero — as does
 a recorded sharded configuration running more than 10% slower than its
 own single-threaded row, unless the report is flagged
@@ -83,6 +87,15 @@ def rows_sharded(label, section):
                 f"{label} shards={s['shards']}{t} [fixed]",
                 f"{fmt_speedup(fixed['speedup'])} (ablation{eps}{red})",
             )
+        opt = s.get("optimistic")
+        if opt:
+            spec = opt["speculation"]
+            eff = spec["speculation_efficiency"]
+            yield (
+                f"{label} shards={s['shards']}{t} [opt]",
+                f"{fmt_speedup(opt['speedup'])} (ablation, "
+                f"{spec['rollbacks']} rollbacks, {eff:.1%} efficient)",
+            )
 
 
 def report_degraded(report):
@@ -96,9 +109,13 @@ def report_degraded(report):
 
 def sharded_regressions(report):
     """Sharded configurations running >10% slower than their own
-    single-threaded row. Exempt on degraded_parallelism reports: on one
-    core the window protocol runs inline, so sub-1.0x is the expected
-    (and separately flagged) shape, not a regression."""
+    single-threaded row — the conservative row and, when the report
+    measured it, the optimistic ablation too (speculation that is >10%
+    below single-threaded on real cores means rollback churn ate the
+    parallelism and must not land silently). Exempt on
+    degraded_parallelism reports: on one core the window protocol runs
+    inline, so sub-1.0x is the expected (and separately flagged) shape,
+    not a regression."""
     if not report.get("format", "").startswith("ctms-perf/"):
         return []
     if report_degraded(report):
@@ -109,12 +126,21 @@ def sharded_regressions(report):
         sections.append((f"chain/{chain['rings']}", chain))
     for topo in report.get("topologies") or []:
         sections.append((f"{topo['shape']}/{topo['rings']}", topo))
-    return [
-        f"{label} shards={s['shards']}: {fmt_speedup(s['speedup'])} vs single-threaded"
-        for label, section in sections
-        for s in section.get("sharded", [])
-        if s["speedup"] < 0.9
-    ]
+    found = []
+    for label, section in sections:
+        for s in section.get("sharded", []):
+            if s["speedup"] < 0.9:
+                found.append(
+                    f"{label} shards={s['shards']}: "
+                    f"{fmt_speedup(s['speedup'])} vs single-threaded"
+                )
+            opt = s.get("optimistic")
+            if opt and opt["speedup"] < 0.9:
+                found.append(
+                    f"{label} shards={s['shards']} [opt]: "
+                    f"{fmt_speedup(opt['speedup'])} vs single-threaded"
+                )
+    return found
 
 
 def rows_perf(report):
@@ -279,11 +305,54 @@ WELL_FORMED_V4 = {
 }
 
 
+WELL_FORMED_V5 = {
+    "format": "ctms-perf/5",
+    "cores": 4,
+    "degraded_parallelism": False,
+    "cases": [
+        {
+            "name": "case_a",
+            "indexed": {"events_per_sec": 2.5e6},
+            "speedup": 1.5,
+        }
+    ],
+    "chain": {
+        "rings": 32,
+        "single": {"events_per_sec": 5.0e6},
+        "sharded": [
+            {
+                "shards": 4,
+                "threads": 4,
+                "threads_requested": None,
+                "run": {"events": 27861},
+                "speedup": 1.4,
+                "window": {"sync_instants": 0, "windows": 4, "mail_rounds": 3},
+                "optimistic": {
+                    "run": {"events": 27861},
+                    "speedup": 1.2,
+                    "window": {"sync_instants": 0, "windows": 4},
+                    "speculation": {
+                        "rollbacks": 17,
+                        "events_rolled_back": 512,
+                        "snapshot_bytes": 84353,
+                        "gvt_rounds": 5,
+                        "speculation_efficiency": 0.982,
+                    },
+                },
+                "ground_truth_parity": True,
+            }
+        ],
+    },
+    "topologies": None,
+}
+
+
 def selftest():
     """Pins the malformed-report contract (bad syntax and a broken
     topology section both produce a non-zero exit, a clean tree a zero
-    one), the /4 efficiency columns, and the sharded-regression gate
-    with its degraded-parallelism exemption."""
+    one), the /4 efficiency columns, the /5 optimistic ablation row,
+    and the sharded-regression gate (conservative and optimistic) with
+    its degraded-parallelism exemption."""
 
     def run_on(files):
         with tempfile.TemporaryDirectory() as td:
@@ -347,6 +416,28 @@ def selftest():
     degraded["degraded_parallelism"] = True
     code, _, err = run_on({"BENCH_PR8.json": json.dumps(degraded)})
     assert code == 0, f"degraded-parallelism reports must be exempt: {err}"
+
+    # A /5 report renders the optimistic ablation row with its rollback
+    # count and speculation efficiency, and exits 0 when healthy.
+    code, out, err = run_on({"BENCH_PR9.json": json.dumps(WELL_FORMED_V5)})
+    assert code == 0, f"well-formed /5 report must exit 0: {err}"
+    assert "chain/32 shards=4 threads=4 [opt]" in out, f"missing [opt] row:\n{out}"
+    assert "17 rollbacks, 98.2% efficient" in out, f"missing speculation columns:\n{out}"
+
+    # The optimistic ablation is held to the same >10% regression gate
+    # as the conservative row on real-core measurements...
+    regressed = json.loads(json.dumps(WELL_FORMED_V5))
+    regressed["chain"]["sharded"][0]["optimistic"]["speedup"] = 0.7
+    code, _, err = run_on({"BENCH_PR9.json": json.dumps(regressed)})
+    assert code == 1, "a >10% optimistic regression must fail the run"
+    assert "[opt]: 0.70x" in err, err
+
+    # ...and shares the degraded-parallelism exemption.
+    degraded = json.loads(json.dumps(regressed))
+    degraded["cores"] = 1
+    degraded["degraded_parallelism"] = True
+    code, _, err = run_on({"BENCH_PR9.json": json.dumps(degraded)})
+    assert code == 0, f"degraded /5 reports must be exempt: {err}"
 
     print("bench_trend selftest: OK")
     return 0

@@ -19,7 +19,7 @@ cargo test -q
 echo "== tier-1: zero-alloc scheduler steady state (alloc-count)"
 cargo test -q -p ctms-sim --features alloc-count --test zero_alloc
 
-echo "== tier-1: zero-alloc sharded steady state (both window modes)"
+echo "== tier-1: zero-alloc sharded steady state (both window modes + optimistic)"
 cargo test -q -p ctms-sim --features alloc-count --test zero_alloc_sharded
 
 echo "== tier-1: sharded scheduler parity (golden digests at 1/2/4 shards)"
@@ -33,6 +33,27 @@ cargo test -q --test determinism topology_variants_share_the_golden_truth
 
 echo "== tier-1: adaptive-vs-fixed window parity (chain/tree/mesh/fddi at 1/2/4 shards)"
 cargo test -q --test determinism window_modes_share_the_golden_truth
+
+echo "== tier-1: optimistic execution parity (golden truth; rollback+replay exercised)"
+cargo test -q --test determinism optimistic_mode_shares_the_golden_truth
+cargo test -q -p ctms-sim straggler
+
+echo "== ctms-serve smoke (typed error kinds + optimistic session parity)"
+cargo test -q -p ctms-bench --bin serve
+cons_out=$(printf '%s\n' \
+  '{"scenario":"chain","rings":8,"shards":2}' \
+  '{"cmd":"run","until_ms":50}' \
+  '{"cmd":"telemetry"}' \
+  '{"cmd":"quit"}' \
+  | cargo run --release -q -p ctms-bench --bin serve)
+opt_out=$(printf '%s\n' \
+  '{"scenario":"chain","rings":8,"shards":2,"exec":"optimistic"}' \
+  '{"cmd":"run","until_ms":50}' \
+  '{"cmd":"telemetry"}' \
+  '{"cmd":"quit"}' \
+  | cargo run --release -q -p ctms-bench --bin serve)
+[ "$cons_out" = "$opt_out" ] \
+  || { echo "serve smoke: optimistic session diverged from conservative" >&2; exit 1; }
 
 echo "== ctms-serve smoke (session, run, checkpoint/restore round trip)"
 serve_out=$(printf '%s\n' \
@@ -68,6 +89,10 @@ cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
 echo "== adaptive perf smoke (report-only: adaptive + fixed ablation, parity-asserting)"
 cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
   --quick --shards 4 --rings 32 --adaptive
+
+echo "== optimistic perf smoke (report-only: speculation ablation, parity-asserting, vs BENCH_PR9.json)"
+cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
+  --quick --shards 4 --rings 32 --adaptive --optimistic --compare BENCH_PR9.json
 
 echo "== bench_trend selftest (malformed reports, incl. topology section, must fail)"
 python3 scripts/bench_trend.py --selftest

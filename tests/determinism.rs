@@ -335,6 +335,111 @@ fn window_modes_share_the_golden_truth() {
 }
 
 #[test]
+fn optimistic_mode_shares_the_golden_truth() {
+    // The Time-Warp-style optimistic engine versus the conservative
+    // one: speculation and rollback may only change the wall clock and
+    // the `sched.*` exec counters, never the answer. Cases A and B pin
+    // the single-ring fallback (the setter must be accepted as a
+    // no-op); chain/tree/mesh/fddi at 1, 2 and 4 shards are held to
+    // byte identity against the single-threaded run — truth digests,
+    // event counts, and the whole canonical telemetry tree — and the
+    // multi-shard configurations must report actual rollbacks, so the
+    // parity claim is not vacuously about runs that never speculated
+    // past a straggler.
+    use ctms_core::{RingChainTestbed, RingGraph};
+    use ctms_router::BridgeKind;
+    use ctms_sim::{ExecMode, WindowMode};
+
+    for sc in [Scenario::test_case_a(42), Scenario::test_case_b(42)] {
+        let mut got = Vec::new();
+        for exec in [ExecMode::Conservative, ExecMode::Optimistic] {
+            let (mut bus, _roles) = Testbed::ctms_sharded(&sc, 4);
+            bus.set_exec_mode(exec);
+            bus.run_until(SimTime::from_secs(10));
+            got.push(
+                bus.truth_log(1, MeasurePoint::CtmspIdentified)
+                    .map(|log| log.digest())
+                    .unwrap_or(0),
+            );
+        }
+        assert_eq!(got[0], got[1], "fallback bus must ignore the exec mode");
+    }
+
+    let sc = Scenario::scaled_chain(42);
+    let kind = BridgeKind::cut_through_bridge();
+    let horizon = SimTime::from_secs(2);
+    let shapes: [(&str, Option<RingGraph>); 4] = [
+        ("chain", None),
+        ("tree", Some(RingGraph::tree(13, 3))),
+        ("mesh", Some(RingGraph::mesh(12, 42))),
+        ("fddi", Some(RingGraph::fddi(12))),
+    ];
+    for (name, graph) in shapes {
+        let mut single = match &graph {
+            None => RingChainTestbed::chain(&sc, kind, 16),
+            Some(g) => RingChainTestbed::graph(&sc, kind, g),
+        };
+        single.run_until(horizon);
+        let single_json = single.telemetry_json();
+        let single_events = single.bus().events();
+        let single_digests = [
+            single.measurement_set().vca_irq.digest(),
+            single.measurement_set().handler.digest(),
+            single.measurement_set().pre_tx.digest(),
+            single.measurement_set().ctmsp_rx.digest(),
+        ];
+        let mut rollbacks_seen = 0;
+        for shards in [1usize, 2, 4] {
+            // Speculation commits against whichever conservative
+            // protocol is selected; both must reproduce the reference.
+            // Adaptive bounds are often already tight enough that
+            // nothing stragglers — the fixed-lookahead baseline is
+            // where deep speculation (and therefore rollback) happens.
+            for mode in [WindowMode::Adaptive, WindowMode::FixedLookahead] {
+                let mut bed = match &graph {
+                    None => RingChainTestbed::chain_sharded(&sc, kind, 16, shards),
+                    Some(g) => RingChainTestbed::graph_sharded(&sc, kind, g, shards),
+                };
+                bed.bus_mut().set_window_mode(mode);
+                bed.bus_mut().set_exec_mode(ExecMode::Optimistic);
+                bed.run_until(horizon);
+                let got = [
+                    bed.measurement_set().vca_irq.digest(),
+                    bed.measurement_set().handler.digest(),
+                    bed.measurement_set().pre_tx.digest(),
+                    bed.measurement_set().ctmsp_rx.digest(),
+                ];
+                assert_eq!(
+                    got, single_digests,
+                    "{name} optimistic truth drifted (shards={shards}, {mode:?}): {got:#018X?}"
+                );
+                assert_eq!(
+                    bed.events(),
+                    single_events,
+                    "{name} optimistic event count drifted (shards={shards}, {mode:?})"
+                );
+                assert_eq!(
+                    bed.telemetry_json(),
+                    single_json,
+                    "{name} optimistic telemetry drifted (shards={shards}, {mode:?})"
+                );
+                if let Some(reg) = bed.bus().exec_telemetry() {
+                    rollbacks_seen += reg.counter_value("sched.rollbacks").unwrap_or(0);
+                    assert!(
+                        reg.counter_value("sched.gvt_rounds") > Some(0),
+                        "{name} shards={shards} {mode:?}: optimistic engine must have run"
+                    );
+                }
+            }
+        }
+        assert!(
+            rollbacks_seen > 0,
+            "{name}: no configuration rolled back — optimistic parity is vacuous"
+        );
+    }
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Same seed, same process, two independently built testbeds: every
     // digest must agree (no hidden global state, no allocator or
