@@ -41,6 +41,15 @@
 //!                rolled back, snapshot bytes, GVT rounds) plus the
 //!                headline speculation_efficiency = committed events
 //!                per executed event
+//! --scale        run the city-scale capacity section: build a large
+//!                tree topology (10³ and 10⁴ rings; smaller with
+//!                --quick), recording build wall-time, peak build
+//!                allocation bytes (with --features alloc-count),
+//!                events/sec to a scaled horizon, and streamed
+//!                checkpoint write/read throughput — with the streamed
+//!                bytes asserted identical to the monolithic snapshot
+//!                and round-tripped at 1/2/4 shards before any timing
+//!                is reported
 //! ```
 //!
 //! The binary runs test cases A and B to a fixed simulated horizon under
@@ -125,6 +134,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut adaptive = false;
     let mut optimistic = false;
+    let mut scale = false;
     let mut topologies: Vec<(String, Option<usize>)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -132,6 +142,7 @@ fn main() {
             "--quick" => quick = true,
             "--adaptive" => adaptive = true,
             "--optimistic" => optimistic = true,
+            "--scale" => scale = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -303,6 +314,16 @@ fn main() {
         })
         .collect();
 
+    let scale_results: Vec<ScaleEntry> = if scale {
+        let sizes: &[usize] = if quick { &[64, 256] } else { &[1000, 10_000] };
+        sizes
+            .iter()
+            .map(|&rings| measure_scale_entry(seed, rings, quick, reps))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let steady = steady_state_allocs();
     if let Some(s) = &steady {
         eprintln!(
@@ -319,6 +340,7 @@ fn main() {
         &results,
         chain.as_ref(),
         &topo_results,
+        &scale_results,
         steady.as_ref(),
     );
     if let Some(path) = &json_path {
@@ -914,6 +936,233 @@ fn measure_topology(
     }
 }
 
+/// One row of the `--scale` capacity section: a large tree topology,
+/// measured end to end — build, run, streamed checkpoint.
+struct ScaleEntry {
+    rings: usize,
+    /// Rings + bridges + hosts of the built topology.
+    nodes: usize,
+    build_wall_secs: f64,
+    /// Peak heap growth during graph generation + topology build, with
+    /// `--features alloc-count`; `None` otherwise.
+    build_peak_bytes: Option<u64>,
+    horizon_ms: u64,
+    run: ModeRun,
+    ckpt_bytes: u64,
+    ckpt_chunks: u64,
+    write_secs: f64,
+    read_secs: f64,
+    /// Shard counts the streamed checkpoint round-tripped at, with the
+    /// re-streamed bytes asserted identical to the monolithic snapshot.
+    parity_shards: Vec<usize>,
+}
+
+/// Concatenating sink for the stream-vs-monolithic identity assert.
+struct ConcatSink(Vec<u8>);
+
+impl ctms_sim::ChunkSink for ConcatSink {
+    fn chunk(&mut self, bytes: &[u8]) -> Result<(), ctms_sim::PersistError> {
+        self.0.extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(feature = "alloc-count")]
+fn peak_region_start() -> u64 {
+    ALLOC.reset_peak();
+    ALLOC.current_bytes()
+}
+
+#[cfg(feature = "alloc-count")]
+fn peak_region_bytes(live0: u64) -> Option<u64> {
+    Some(ALLOC.peak_bytes().saturating_sub(live0))
+}
+
+#[cfg(not(feature = "alloc-count"))]
+fn peak_region_start() -> u64 {
+    0
+}
+
+#[cfg(not(feature = "alloc-count"))]
+fn peak_region_bytes(_live0: u64) -> Option<u64> {
+    None
+}
+
+/// Simulated horizon for one scale row: long enough to exercise the
+/// steady state, scaled down as the topology grows so the section's
+/// wall clock stays bounded. Deterministic per ring count, so every
+/// shard configuration of a row simulates the same world.
+fn scale_horizon_ms(rings: usize, quick: bool) -> u64 {
+    if quick {
+        500
+    } else {
+        (1_000_000 / rings as u64).clamp(100, 1000)
+    }
+}
+
+/// Measures one `--scale` row at `rings`: times the tree build (with
+/// peak heap growth under `alloc-count`), runs to the scaled horizon,
+/// then asserts — before any number is reported — that ground truth is
+/// bit-identical at 1/2/4 shards and that the streamed checkpoint
+/// concatenates to exactly the monolithic snapshot and round-trips
+/// byte-identically (telemetry included) at every shard count. Only
+/// then are streamed write/read throughput measured, best-of-`reps`.
+fn measure_scale_entry(seed: u64, rings: usize, quick: bool, reps: usize) -> ScaleEntry {
+    let sc = Scenario::scaled_chain(seed);
+    let kind = BridgeKind::cut_through_bridge();
+    let horizon_ms = scale_horizon_ms(rings, quick);
+    let horizon = SimTime::from_ms(horizon_ms);
+    let set_digests = |set: &ctms_measure::MeasurementSet| {
+        [
+            set.vca_irq.digest(),
+            set.handler.digest(),
+            set.pre_tx.digest(),
+            set.ctmsp_rx.digest(),
+        ]
+    };
+
+    // Build: graph generation plus topology construction, timed as one
+    // region — this is the "10⁴ rings build in seconds" claim.
+    let live0 = peak_region_start();
+    let t0 = std::time::Instant::now();
+    let graph = RingGraph::named("tree", rings, seed).expect("tree is a known shape");
+    let mut bed = RingChainTestbed::graph(&sc, kind, &graph);
+    let build_wall_secs = t0.elapsed().as_secs_f64();
+    let build_peak_bytes = peak_region_bytes(live0);
+    let nodes = bed.bus().ring_count() + bed.bus().host_count() + bed.bus().bridge_count();
+    eprintln!(
+        "# scale tree/{rings}: built {nodes} nodes in {:.2}s{}",
+        build_wall_secs,
+        build_peak_bytes
+            .map(|b| format!(" (peak +{:.1} MB)", b as f64 / 1e6))
+            .unwrap_or_default()
+    );
+
+    // Single-threaded run to the horizon: the ground truth and the
+    // events/sec number of the row.
+    let t0 = std::time::Instant::now();
+    bed.run_until(horizon);
+    let run = ModeRun {
+        events: bed.bus().events(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+        digests: set_digests(&bed.measurement_set()),
+    };
+    let single_telemetry = bed.telemetry_json();
+    eprintln!(
+        "# scale tree/{rings}: ran {horizon_ms}ms sim in {:.2}s ({:.2}M ev/s, {} events)",
+        run.wall_secs,
+        run.events as f64 / run.wall_secs / 1e6,
+        run.events
+    );
+
+    // The monolithic snapshot is the byte-level reference for every
+    // streaming assert below.
+    let mono = bed.bus().checkpoint();
+    let mut concat = ConcatSink(Vec::with_capacity(mono.len()));
+    let (payload, chunks) = bed
+        .bus()
+        .checkpoint_stream(&mut concat)
+        .expect("stream checkpoint");
+    assert_eq!(
+        concat.0, mono,
+        "tree/{rings}: streamed chunks do not concatenate to the monolithic snapshot"
+    );
+    assert_eq!(payload as usize, mono.len());
+
+    // Parity before timing: 1/2/4 shards must reproduce the exact same
+    // world, snapshot to the exact same bytes, and round-trip through
+    // the framed streaming path back to those bytes with telemetry
+    // intact.
+    let mut parity_shards = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut sbed = RingChainTestbed::graph_sharded(&sc, kind, &graph, shards);
+        sbed.run_until(horizon);
+        let sdigests = set_digests(&sbed.measurement_set());
+        assert_eq!(
+            sdigests, run.digests,
+            "tree/{rings} shards={shards}: sharded run changed ground truth"
+        );
+        assert_eq!(
+            sbed.events(),
+            run.events,
+            "tree/{rings} shards={shards}: sharded run changed event count"
+        );
+        assert_eq!(
+            sbed.bus().checkpoint(),
+            mono,
+            "tree/{rings} shards={shards}: sharded snapshot is not byte-identical"
+        );
+        let mut framed = Vec::new();
+        sbed.bus()
+            .write_checkpoint(&mut framed)
+            .expect("framed write");
+        let mut back = RingChainTestbed::graph_sharded(&sc, kind, &graph, shards);
+        back.bus_mut()
+            .read_checkpoint(&mut framed.as_slice())
+            .unwrap_or_else(|e| panic!("tree/{rings} shards={shards}: streamed restore: {e}"));
+        assert_eq!(
+            back.bus().checkpoint(),
+            mono,
+            "tree/{rings} shards={shards}: streamed round-trip drifted"
+        );
+        assert_eq!(
+            back.telemetry_json(),
+            single_telemetry,
+            "tree/{rings} shards={shards}: streamed round-trip changed telemetry"
+        );
+        parity_shards.push(shards);
+    }
+
+    // Streamed checkpoint throughput, best-of-reps, measured only after
+    // every parity assert above has passed.
+    let mut write_secs = f64::INFINITY;
+    let mut framed = Vec::with_capacity(mono.len() + mono.len() / 8);
+    for _ in 0..reps {
+        framed.clear();
+        let t0 = std::time::Instant::now();
+        bed.bus()
+            .write_checkpoint(&mut framed)
+            .expect("framed write");
+        write_secs = write_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let mut fresh = RingChainTestbed::graph(&sc, kind, &graph);
+    let mut read_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        fresh
+            .bus_mut()
+            .read_checkpoint(&mut framed.as_slice())
+            .expect("framed read");
+        read_secs = read_secs.min(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        fresh.bus().checkpoint(),
+        mono,
+        "tree/{rings}: timed streamed restore drifted"
+    );
+    let mb = mono.len() as f64 / 1e6;
+    eprintln!(
+        "# scale tree/{rings}: checkpoint {:.1} MB in {chunks} chunks, write {:.0} MB/s, read {:.0} MB/s",
+        mb,
+        mb / write_secs,
+        mb / read_secs
+    );
+
+    ScaleEntry {
+        rings,
+        nodes,
+        build_wall_secs,
+        build_peak_bytes,
+        horizon_ms,
+        run,
+        ckpt_bytes: mono.len() as u64,
+        ckpt_chunks: chunks,
+        write_secs,
+        read_secs,
+        parity_shards,
+    }
+}
+
 struct SteadyState {
     events: u64,
     indexed_allocs: u64,
@@ -1045,6 +1294,53 @@ fn sharded_json(
     out
 }
 
+fn scale_json(entries: &[ScaleEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("  \"scale\": {\n");
+    out.push_str("    \"shape\": \"tree\",\n");
+    out.push_str("    \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"rings\": {},\n", e.rings));
+        out.push_str(&format!("        \"nodes\": {},\n", e.nodes));
+        out.push_str(&format!(
+            "        \"build_wall_secs\": {},\n",
+            json_f64(e.build_wall_secs)
+        ));
+        match e.build_peak_bytes {
+            Some(b) => out.push_str(&format!("        \"build_peak_bytes\": {b},\n")),
+            None => out.push_str("        \"build_peak_bytes\": null,\n"),
+        }
+        out.push_str(&format!("        \"horizon_ms\": {},\n", e.horizon_ms));
+        out.push_str(&format!("        \"run\": {},\n", mode_json(&e.run)));
+        let mb = e.ckpt_bytes as f64 / 1e6;
+        out.push_str(&format!(
+            "        \"checkpoint\": {{ \"bytes\": {}, \"chunks\": {}, \"write_secs\": {}, \
+             \"write_mb_per_sec\": {}, \"read_secs\": {}, \"read_mb_per_sec\": {} }},\n",
+            e.ckpt_bytes,
+            e.ckpt_chunks,
+            json_f64(e.write_secs),
+            json_f64(mb / e.write_secs),
+            json_f64(e.read_secs),
+            json_f64(mb / e.read_secs)
+        ));
+        let shards: Vec<String> = e.parity_shards.iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!(
+            "        \"stream_parity_shards\": [{}],\n",
+            shards.join(", ")
+        ));
+        out.push_str("        \"ground_truth_parity\": true\n");
+        out.push_str(if i + 1 == entries.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn report_json(
     seed: u64,
@@ -1054,11 +1350,12 @@ fn report_json(
     results: &[CaseResult],
     chain: Option<&ChainResult>,
     topologies: &[TopoResult],
+    scale: &[ScaleEntry],
     steady: Option<&SteadyState>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"format\": \"ctms-perf/5\",\n");
+    out.push_str("  \"format\": \"ctms-perf/6\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"horizon_secs\": {horizon_secs},\n"));
@@ -1147,6 +1444,11 @@ fn report_json(
             });
         }
         out.push_str("  ],\n");
+    }
+    if scale.is_empty() {
+        out.push_str("  \"scale\": null,\n");
+    } else {
+        out.push_str(&scale_json(scale));
     }
     match steady {
         Some(s) => {
@@ -1262,4 +1564,4 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N] [--adaptive] [--optimistic] [--topology SHAPE[:RINGS]]...";
+const HELP: &str = "usage: perf [--quick] [--seed N] [--json PATH] [--compare PATH] [--shards N] [--rings N] [--threads N] [--adaptive] [--optimistic] [--scale] [--topology SHAPE[:RINGS]]...";

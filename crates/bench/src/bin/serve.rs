@@ -34,6 +34,14 @@
 //!                                          bounded step (streaming)
 //! {"cmd":"telemetry"}                      full canonical metric tree
 //! {"cmd":"checkpoint"}                     serialize state as hex
+//! {"cmd":"checkpoint_stream"}              the same bytes as a stream
+//!                                          of chunk events (bounded
+//!                                          peak memory): one
+//!                                          checkpoint_chunk line per
+//!                                          chunk, then checkpoint_done;
+//!                                          concatenating the "data"
+//!                                          fields reproduces the
+//!                                          "checkpoint" hex exactly
 //! {"cmd":"restore","checkpoint":"<hex>"}   rebuild + restore; the hex
 //!                                          may come from any session
 //!                                          with the same scenario —
@@ -71,7 +79,7 @@ use ctms_core::{
 };
 use ctms_router::BridgeKind;
 use ctms_sim::telemetry::{fnv1a, json_string};
-use ctms_sim::{Dur, SimTime};
+use ctms_sim::{ChunkSink, Dur, PersistError, SimTime};
 use std::io::{BufRead, Write};
 
 // --- Minimal JSON ---------------------------------------------------------
@@ -318,12 +326,62 @@ impl<'a> Parser<'a> {
 
 // --- Hex checkpoints ------------------------------------------------------
 
-fn to_hex(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
+fn push_hex(dst: &mut String, bytes: &[u8]) {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    dst.reserve(bytes.len() * 2);
+    for &b in bytes {
+        dst.push(DIGITS[(b >> 4) as usize] as char);
+        dst.push(DIGITS[(b & 0xF) as usize] as char);
     }
-    s
+}
+
+/// Streams a checkpoint's hex onto an open reply line, one chunk at a
+/// time: peak memory is one chunk's hex, not snapshot-plus-full-hex
+/// (the monolithic `to_hex` reply doubled the peak). The caller writes
+/// the JSON prefix and suffix around it.
+struct HexLineSink<'a, W: Write> {
+    out: &'a mut W,
+    hex: String,
+}
+
+impl<W: Write> ChunkSink for HexLineSink<'_, W> {
+    fn chunk(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.hex.clear();
+        push_hex(&mut self.hex, bytes);
+        write_or_exit(self.out, self.hex.as_bytes());
+        Ok(())
+    }
+}
+
+/// Emits each chunk as its own `checkpoint_chunk` reply line; the
+/// caller follows up with the `checkpoint_done` summary. Concatenating
+/// every `data` field reproduces the monolithic checkpoint hex.
+struct ChunkEventSink<'a, W: Write> {
+    out: &'a mut W,
+    hex: String,
+    seq: u64,
+}
+
+impl<W: Write> ChunkSink for ChunkEventSink<'_, W> {
+    fn chunk(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.hex.clear();
+        push_hex(&mut self.hex, bytes);
+        let line = format!(
+            "{{\"ok\":true,\"event\":\"checkpoint_chunk\",\"seq\":{},\"data\":\"{}\"}}\n",
+            self.seq, self.hex
+        );
+        write_or_exit(self.out, line.as_bytes());
+        self.seq += 1;
+        Ok(())
+    }
+}
+
+/// Writes raw bytes onto the reply stream with the same broken-pipe
+/// policy as [`emit`]: if the driver went away, exit quietly.
+fn write_or_exit(out: &mut impl Write, bytes: &[u8]) {
+    if out.write_all(bytes).is_err() {
+        std::process::exit(0);
+    }
 }
 
 fn from_hex(s: &str) -> Result<Vec<u8>, String> {
@@ -628,13 +686,32 @@ fn main() {
                 emit(&mut out, &format!("{{\"ok\":true,\"telemetry\":{tree}}}"));
             }
             Some("checkpoint") => {
-                let snapshot = bus.checkpoint();
+                // The hex streams straight onto the reply line chunk by
+                // chunk; `bytes` (known only at the end) follows the hex.
+                write_or_exit(&mut out, b"{\"ok\":true,\"checkpoint\":\"");
+                let mut sink = HexLineSink {
+                    out: &mut out,
+                    hex: String::new(),
+                };
+                let (payload, _) = bus
+                    .checkpoint_stream(&mut sink)
+                    .expect("in-memory persist cannot fail");
+                write_or_exit(&mut out, format!("\",\"bytes\":{payload}}}\n").as_bytes());
+                let _ = out.flush();
+            }
+            Some("checkpoint_stream") => {
+                let mut sink = ChunkEventSink {
+                    out: &mut out,
+                    hex: String::new(),
+                    seq: 0,
+                };
+                let (payload, chunks) = bus
+                    .checkpoint_stream(&mut sink)
+                    .expect("in-memory persist cannot fail");
                 emit(
                     &mut out,
                     &format!(
-                        "{{\"ok\":true,\"bytes\":{},\"checkpoint\":\"{}\"}}",
-                        snapshot.len(),
-                        to_hex(&snapshot)
+                        "{{\"ok\":true,\"event\":\"checkpoint_done\",\"chunks\":{chunks},\"bytes\":{payload}}}"
                     ),
                 );
             }

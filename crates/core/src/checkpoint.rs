@@ -26,7 +26,10 @@
 
 use crate::parallel::ShardedBus;
 use crate::topology::Bus;
-use ctms_sim::{parallel_map, Dec, Dur, Enc, PersistError, SimTime};
+use ctms_sim::{
+    parallel_map, ChunkSink, ChunkedReader, ChunkedWriter, Dec, Dur, Enc, FramedWrite,
+    PersistError, SimTime,
+};
 use ctms_tokenring::{Disturb, RingCmd};
 
 /// Leading magic of every checkpoint stream.
@@ -51,17 +54,20 @@ fn seal(enc: Enc) -> Vec<u8> {
     enc.into_bytes()
 }
 
-fn header() -> Enc {
-    let mut enc = Enc::new();
+fn write_header(enc: &mut Enc) {
     for b in CHECKPOINT_MAGIC {
         enc.u8(b);
     }
     enc.u32(CHECKPOINT_VERSION);
+}
+
+fn header() -> Enc {
+    let mut enc = Enc::new();
+    write_header(&mut enc);
     enc
 }
 
-fn open(bytes: &[u8]) -> Result<Dec<'_>, PersistError> {
-    let mut dec = Dec::new(bytes);
+fn open_header(dec: &mut Dec<'_>) -> Result<(), PersistError> {
     for expect in CHECKPOINT_MAGIC {
         if dec.u8()? != expect {
             return Err(PersistError::mismatch(
@@ -75,6 +81,12 @@ fn open(bytes: &[u8]) -> Result<Dec<'_>, PersistError> {
             "checkpoint version {version}, this build reads {CHECKPOINT_VERSION}"
         )));
     }
+    Ok(())
+}
+
+fn open(bytes: &[u8]) -> Result<Dec<'_>, PersistError> {
+    let mut dec = Dec::new(bytes);
+    open_header(&mut dec)?;
     Ok(dec)
 }
 
@@ -117,6 +129,56 @@ impl Bus {
         self.restore_state(&mut dec)?;
         dec.finish()
     }
+
+    /// Streams the checkpoint through `sink` chunk by chunk. The chunk
+    /// payloads concatenate to **exactly** the bytes of
+    /// [`Bus::checkpoint`], but peak memory stays at one chunk buffer
+    /// (~[`ctms_sim::STREAM_CHUNK`]) plus the largest single node
+    /// encoding, instead of the whole snapshot. Returns
+    /// `(payload_bytes, chunks)`.
+    pub fn checkpoint_stream(&self, sink: &mut dyn ChunkSink) -> Result<(u64, u64), PersistError> {
+        let mut w = ChunkedWriter::new(sink);
+        write_header(w.enc());
+        let sig = self.topology_signature();
+        w.enc().bytes(&sig);
+        self.persist_state_chunked(&mut w)?;
+        w.finish()
+    }
+
+    /// Streams the checkpoint into `out` using the standard
+    /// length-prefixed chunk framing ([`ctms_sim::FramedWrite`]).
+    /// Returns `(payload_bytes, chunks)`.
+    pub fn write_checkpoint(
+        &self,
+        out: &mut dyn std::io::Write,
+    ) -> Result<(u64, u64), PersistError> {
+        let mut sink = FramedWrite::new(out);
+        self.checkpoint_stream(&mut sink)
+    }
+
+    /// Restores from a stream written by [`Bus::write_checkpoint`],
+    /// decoding chunk by chunk — the inverse bound: peak memory is one
+    /// chunk, not the whole snapshot. A stream truncated mid-chunk or
+    /// mid-state surfaces as a typed [`PersistError`], never a panic.
+    pub fn read_checkpoint(&mut self, inp: &mut dyn std::io::Read) -> Result<(), PersistError> {
+        let mut r = ChunkedReader::new(inp);
+        let mut first = Vec::new();
+        if !r.next_chunk_into(&mut first)? {
+            // No chunks at all: an empty (terminator-only) stream.
+            return Err(PersistError::UnexpectedEof);
+        }
+        let mut prefix = Dec::new(&first);
+        open_header(&mut prefix)?;
+        check_signature(&mut prefix, &self.topology_signature())?;
+        let mut buf = Vec::new();
+        self.restore_state_chunked(&mut prefix, &mut r, &mut buf)?;
+        if r.next_chunk_into(&mut buf)? {
+            return Err(PersistError::mismatch(
+                "streamed checkpoint has trailing chunks past the router state".to_string(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl ShardedBus {
@@ -140,6 +202,53 @@ impl ShardedBus {
         check_signature(&mut dec, &self.topology_signature())?;
         self.restore_state(&mut dec)?;
         dec.finish()
+    }
+
+    /// Streams the checkpoint through `sink` chunk by chunk — see
+    /// [`Bus::checkpoint_stream`]. The concatenated payloads are
+    /// byte-identical to [`ShardedBus::checkpoint`] (and therefore to
+    /// the single-threaded bus), at bounded peak memory. Returns
+    /// `(payload_bytes, chunks)`.
+    pub fn checkpoint_stream(&self, sink: &mut dyn ChunkSink) -> Result<(u64, u64), PersistError> {
+        let mut w = ChunkedWriter::new(sink);
+        write_header(w.enc());
+        let sig = self.topology_signature();
+        w.enc().bytes(&sig);
+        self.persist_state_chunked(&mut w)?;
+        w.finish()
+    }
+
+    /// Streams the checkpoint into `out` using the standard
+    /// length-prefixed chunk framing — see [`Bus::write_checkpoint`].
+    pub fn write_checkpoint(
+        &self,
+        out: &mut dyn std::io::Write,
+    ) -> Result<(u64, u64), PersistError> {
+        let mut sink = FramedWrite::new(out);
+        self.checkpoint_stream(&mut sink)
+    }
+
+    /// Restores from a stream written by any bus flavor's
+    /// `write_checkpoint` — shard counts need not match; see
+    /// [`Bus::read_checkpoint`].
+    pub fn read_checkpoint(&mut self, inp: &mut dyn std::io::Read) -> Result<(), PersistError> {
+        let mut r = ChunkedReader::new(inp);
+        let mut first = Vec::new();
+        if !r.next_chunk_into(&mut first)? {
+            // No chunks at all: an empty (terminator-only) stream.
+            return Err(PersistError::UnexpectedEof);
+        }
+        let mut prefix = Dec::new(&first);
+        open_header(&mut prefix)?;
+        check_signature(&mut prefix, &self.topology_signature())?;
+        let mut buf = Vec::new();
+        self.restore_state_chunked(&mut prefix, &mut r, &mut buf)?;
+        if r.next_chunk_into(&mut buf)? {
+            return Err(PersistError::mismatch(
+                "streamed checkpoint has trailing chunks past the router state".to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -245,6 +245,51 @@ impl RingGraph {
     }
 }
 
+/// Flat per-(edge, port) table: one contiguous arena indexed through a
+/// prefix-sum offset vector, instead of one heap `Vec` per edge. At
+/// 10^4 edges the nested layout costs an allocation and a pointer chase
+/// per edge; the arena is two allocations total and stays cache-dense
+/// for the sequential passes the builder makes over it.
+struct PortTable<T> {
+    /// `off[e]..off[e + 1]` bounds edge `e`'s ports in `data`.
+    off: Vec<u32>,
+    data: Vec<T>,
+}
+
+impl<T: Copy> PortTable<T> {
+    /// A table shaped like `g`'s edges, each entry filled by
+    /// `fill(port_count, port)`.
+    fn new(g: &RingGraph, fill: impl Fn(usize, usize) -> T) -> PortTable<T> {
+        let total: usize = g.edges.iter().map(|e| e.rings.len()).sum();
+        let mut off = Vec::with_capacity(g.edges.len() + 1);
+        let mut data = Vec::with_capacity(total);
+        off.push(0u32);
+        for e in &g.edges {
+            let n = e.rings.len();
+            for p in 0..n {
+                data.push(fill(n, p));
+            }
+            off.push(data.len() as u32);
+        }
+        PortTable { off, data }
+    }
+
+    fn get(&self, e: usize, p: usize) -> T {
+        self.edge(e)[p]
+    }
+
+    fn set(&mut self, e: usize, p: usize, v: T) {
+        let i = self.off[e] as usize + p;
+        debug_assert!(i < self.off[e + 1] as usize, "port {p} out of range");
+        self.data[i] = v;
+    }
+
+    /// Edge `e`'s ports as one contiguous slice.
+    fn edge(&self, e: usize) -> &[T] {
+        &self.data[self.off[e] as usize..self.off[e + 1] as usize]
+    }
+}
+
 /// Per-ring station allocation. Reproduces the historical chain layout
 /// exactly: ports where the ring sits at a non-zero edge position
 /// ("B-like" — downstream entries) take stations `0, 1, …` in edge
@@ -255,8 +300,8 @@ impl RingGraph {
 struct StationPlan {
     /// stations[r] = ring r's station count.
     stations: Vec<u32>,
-    /// port_station[e][p] = station of edge e's port p on its ring.
-    port_station: Vec<Vec<StationId>>,
+    /// Station of edge `e`'s port `p` on its ring, as a flat arena.
+    port_station: PortTable<StationId>,
     /// Host stations on (tx_ring, rx_ring).
     tx_station: StationId,
     rx_station: StationId,
@@ -279,11 +324,7 @@ fn plan_stations(g: &RingGraph) -> StationPlan {
     hosts[g.rx_ring] += 1;
 
     let mut stations = Vec::with_capacity(g.n_rings);
-    let mut port_station: Vec<Vec<StationId>> = g
-        .edges
-        .iter()
-        .map(|e| vec![StationId(0); e.rings.len()])
-        .collect();
+    let mut port_station = PortTable::new(g, |_, _| StationId(0));
     let mut tx_station = StationId(0);
     let mut rx_station = StationId(0);
     for r in 0..g.n_rings {
@@ -292,7 +333,7 @@ fn plan_stations(g: &RingGraph) -> StationPlan {
         stations.push(s);
         let mut low = 0u32;
         for &(e, p) in &b_ports[r] {
-            port_station[e][p] = StationId(low);
+            port_station.set(e, p, StationId(low));
             low += 1;
         }
         if r == g.tx_ring {
@@ -306,7 +347,7 @@ fn plan_stations(g: &RingGraph) -> StationPlan {
         let mut high = s;
         for &(e, p) in &a_ports[r] {
             high -= 1;
-            port_station[e][p] = StationId(high);
+            port_station.set(e, p, StationId(high));
         }
         assert!(low <= high, "ring {r} ran out of stations");
     }
@@ -340,7 +381,7 @@ pub fn graph_topology(
         .iter()
         .position(|&r| r == g.tx_ring)
         .expect("first hop leaves the tx ring");
-    let stream_dst = plan.port_station[first_edge][first_port];
+    let stream_dst = plan.port_station.get(first_edge, first_port);
 
     let root = Pcg32::new(sc.seed, 0xD2);
     let mk_ring = |label: &str, stations: u32| {
@@ -421,15 +462,12 @@ pub fn graph_topology(
     );
     krx.set_net_if(tr_rx);
 
-    // Per-edge forwarding configuration. Defaults: rotate to the next
-    // port (the classic two-port A↔B swap), next hop station 0 — only
-    // path edges ever see CTMSP traffic, so only they are routed.
-    let n_ports: Vec<usize> = g.edges.iter().map(|e| e.rings.len()).collect();
-    let mut forward: Vec<Vec<u8>> = n_ports
-        .iter()
-        .map(|&n| (0..n).map(|p| ((p + 1) % n) as u8).collect())
-        .collect();
-    let mut dst: Vec<Vec<StationId>> = n_ports.iter().map(|&n| vec![StationId(0); n]).collect();
+    // Per-edge forwarding configuration, held in flat arenas (not one
+    // `Vec` per edge). Defaults: rotate to the next port (the classic
+    // two-port A↔B swap), next hop station 0 — only path edges ever see
+    // CTMSP traffic, so only they are routed.
+    let mut forward = PortTable::new(g, |n, p| ((p + 1) % n) as u8);
+    let mut dst = PortTable::new(g, |_, _| StationId(0));
     let mut owner: Vec<usize> = vec![0; g.edges.len()];
     for (hop, &(e, in_ring, out_ring)) in path.iter().enumerate() {
         let in_pos = g.edges[e].rings.iter().position(|&r| r == in_ring).unwrap();
@@ -440,25 +478,33 @@ pub fn graph_topology(
             .unwrap();
         // Forward direction: toward the next hop's entry port, or the
         // receiver on the last hop.
-        forward[e][in_pos] = out_pos as u8;
-        dst[e][out_pos] = match path.get(hop + 1) {
-            Some(&(ne, nin, _)) => {
-                let np = g.edges[ne].rings.iter().position(|&r| r == nin).unwrap();
-                plan.port_station[ne][np]
-            }
-            None => plan.rx_station,
-        };
+        forward.set(e, in_pos, out_pos as u8);
+        dst.set(
+            e,
+            out_pos,
+            match path.get(hop + 1) {
+                Some(&(ne, nin, _)) => {
+                    let np = g.edges[ne].rings.iter().position(|&r| r == nin).unwrap();
+                    plan.port_station.get(ne, np)
+                }
+                None => plan.rx_station,
+            },
+        );
         // Reverse direction: back toward the previous hop's exit port,
         // or the transmitter on the first hop.
-        forward[e][out_pos] = in_pos as u8;
-        dst[e][in_pos] = match hop.checked_sub(1) {
-            Some(prev) => {
-                let (pe, _, pout) = path[prev];
-                let pp = g.edges[pe].rings.iter().position(|&r| r == pout).unwrap();
-                plan.port_station[pe][pp]
-            }
-            None => plan.tx_station,
-        };
+        forward.set(e, out_pos, in_pos as u8);
+        dst.set(
+            e,
+            in_pos,
+            match hop.checked_sub(1) {
+                Some(prev) => {
+                    let (pe, _, pout) = path[prev];
+                    let pp = g.edges[pe].rings.iter().position(|&r| r == pout).unwrap();
+                    plan.port_station.get(pe, pp)
+                }
+                None => plan.tx_station,
+            },
+        );
         // Ring→bridge delivery is an ordinary same-shard command, so
         // the bridge must co-shard with the ring that feeds it.
         owner[e] = in_pos;
@@ -480,14 +526,14 @@ pub fn graph_topology(
     for (e, edge) in g.edges.iter().enumerate() {
         let ports: Vec<BridgePort> = (0..edge.rings.len())
             .map(|p| BridgePort {
-                station: plan.port_station[e][p],
-                ctmsp_dst: dst[e][p],
+                station: plan.port_station.get(e, p),
+                ctmsp_dst: dst.get(e, p),
             })
             .collect();
         topo.bridge_multi(
             edge.rings.iter().map(|&r| rings[r]).collect(),
             owner[e],
-            Bridge::multi(kind, 16, ports, forward[e].clone()),
+            Bridge::multi(kind, 16, ports, forward.edge(e).to_vec()),
         );
     }
     topo.host(
@@ -550,39 +596,65 @@ pub fn partition_rings(n_rings: usize, edges: &[(usize, usize)], shards: usize) 
 
     let mut assignment = vec![usize::MAX; n_rings];
     // weight[r] = total multiplicity of edges from r into the part
-    // currently being grown.
+    // currently being grown. Candidates live in a lazy max-heap keyed
+    // (weight, Reverse(ring)): stale entries (superseded weight, or the
+    // ring was assigned meanwhile) are skipped on pop, so an absorption
+    // costs O(log n) instead of a full O(n) ring scan — the difference
+    // between milliseconds and minutes when partitioning 10^4 rings.
+    // The pick order is identical to the scan it replaces: highest
+    // weight, ties to the lowest ring index, and a part with no
+    // positive-weight frontier falls back to the lowest unassigned
+    // ring (weights only grow within a shard, so the newest entry for
+    // a ring is the one that pops first).
     let mut weight = vec![0usize; n_rings];
+    let mut heap: std::collections::BinaryHeap<(usize, std::cmp::Reverse<usize>)> =
+        std::collections::BinaryHeap::new();
+    let mut touched: Vec<usize> = Vec::new();
+    // Lowest unassigned ring; monotone, since rings are never unassigned.
+    let mut cursor = 0;
     let mut remaining = n_rings;
     for shard in 0..shards {
         let quota = remaining.div_ceil(shards - shard);
-        weight.iter_mut().for_each(|w| *w = 0);
+        for r in touched.drain(..) {
+            weight[r] = 0;
+        }
+        heap.clear();
         let mut size = 0;
         while size < quota {
             let pick = if size == 0 {
                 // Seed: the lowest unassigned ring.
-                (0..n_rings)
-                    .find(|&r| assignment[r] == usize::MAX)
-                    .expect("rings remain")
+                while assignment[cursor] != usize::MAX {
+                    cursor += 1;
+                }
+                cursor
             } else {
-                // Strongest coupling into the part, ties to the lowest
-                // index; a disconnected remainder falls back to the
-                // lowest unassigned ring.
-                let mut best: Option<(usize, usize)> = None; // (weight, ring)
-                for r in 0..n_rings {
-                    if assignment[r] == usize::MAX
-                        && best.map(|(bw, _)| weight[r] > bw).unwrap_or(true)
-                    {
-                        best = Some((weight[r], r));
+                loop {
+                    match heap.pop() {
+                        Some((w, std::cmp::Reverse(r))) => {
+                            if assignment[r] == usize::MAX && weight[r] == w {
+                                break r;
+                            }
+                        }
+                        None => {
+                            // Disconnected remainder: lowest unassigned.
+                            while assignment[cursor] != usize::MAX {
+                                cursor += 1;
+                            }
+                            break cursor;
+                        }
                     }
                 }
-                best.expect("rings remain").1
             };
             assignment[pick] = shard;
             size += 1;
             remaining -= 1;
             for &(n, w) in &adj[pick] {
                 if assignment[n] == usize::MAX {
+                    if weight[n] == 0 {
+                        touched.push(n);
+                    }
                     weight[n] += w;
+                    heap.push((weight[n], std::cmp::Reverse(n)));
                 }
             }
         }
@@ -605,6 +677,21 @@ mod tests {
         let g6 = RingGraph::chain(6);
         let part6 = partition_rings(6, &g6.pair_edges(), 4);
         assert_eq!(part6, vec![0, 0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn heap_partitioner_keeps_contiguous_blocks_at_scale() {
+        // The lazy-heap frontier must reproduce the scan-based picks
+        // exactly; on a chain that means contiguous quota-sized blocks
+        // at any size. 100 rings / 7 shards has uneven quotas
+        // (15,15,14,14,14,14,14).
+        let g = RingGraph::chain(100);
+        let part = partition_rings(100, &g.pair_edges(), 7);
+        let mut expect = Vec::new();
+        for (shard, quota) in [15, 15, 14, 14, 14, 14, 14].into_iter().enumerate() {
+            expect.extend(std::iter::repeat_n(shard, quota));
+        }
+        assert_eq!(part, expect);
     }
 
     #[test]
@@ -719,7 +806,7 @@ mod tests {
             let mut used: Vec<Vec<u32>> = vec![Vec::new(); g.ring_count()];
             for (e, edge) in g.edges.iter().enumerate() {
                 for (p, &r) in edge.rings.iter().enumerate() {
-                    used[r].push(plan.port_station[e][p].0);
+                    used[r].push(plan.port_station.get(e, p).0);
                 }
             }
             used[g.tx_ring()].push(plan.tx_station.0);
@@ -745,8 +832,8 @@ mod tests {
         assert_eq!(plan.tx_station, StationId(0));
         assert_eq!(plan.rx_station, StationId(1));
         for (e, _) in g.edges.iter().enumerate() {
-            assert_eq!(plan.port_station[e][0], StationId(3), "A port");
-            assert_eq!(plan.port_station[e][1], StationId(0), "B port");
+            assert_eq!(plan.port_station.get(e, 0), StationId(3), "A port");
+            assert_eq!(plan.port_station.get(e, 1), StationId(0), "B port");
         }
     }
 }

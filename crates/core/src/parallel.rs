@@ -15,7 +15,7 @@
 //! which wraps a plain [`Bus`] — callers see one type either way.
 
 use crate::topology::{
-    decode_router_state, persist_router_parts, Bus, CtmsRouter, Measurements, Node,
+    decode_router_state, persist_router_parts, Bus, CtmsRouter, Measurements, Node, RouterCkpt,
 };
 use ctms_router::Bridge;
 use ctms_sim::{CascadeError, NodeId, Registry, ShardStats, ShardedHarness, SimTime, WindowMode};
@@ -314,6 +314,31 @@ impl ShardedBus {
         }
     }
 
+    /// Streaming counterpart of [`ShardedBus::persist_state`]: the
+    /// chunk payloads concatenate to exactly the monolithic bytes.
+    pub(crate) fn persist_state_chunked(
+        &self,
+        w: &mut ctms_sim::ChunkedWriter<'_>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        match self {
+            ShardedBus::Single(b) => b.persist_state_chunked(w),
+            ShardedBus::Parallel(p) => p.persist_state_chunked(w),
+        }
+    }
+
+    /// Streaming counterpart of [`ShardedBus::restore_state`].
+    pub(crate) fn restore_state_chunked(
+        &mut self,
+        prefix: &mut ctms_sim::Dec<'_>,
+        r: &mut ctms_sim::ChunkedReader<'_>,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        match self {
+            ShardedBus::Single(b) => b.restore_state_chunked(prefix, r, buf),
+            ShardedBus::Parallel(p) => p.restore_state_chunked(prefix, r, buf),
+        }
+    }
+
     /// The canonical graph-shape signature checkpoints embed. Every
     /// shard's router holds the complete slot table, so shard 0 signs
     /// for the whole topology and the bytes match the single-threaded
@@ -351,6 +376,44 @@ impl ParallelBus {
     ) -> Result<(), ctms_sim::PersistError> {
         self.h.restore_state(dec)?;
         let ckpt = decode_router_state(dec)?;
+        self.apply_router_ckpt(ckpt)
+    }
+
+    /// Streaming counterpart of [`ParallelBus::persist_state`]: same
+    /// concatenated bytes, bounded buffering.
+    pub(crate) fn persist_state_chunked(
+        &self,
+        w: &mut ctms_sim::ChunkedWriter<'_>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        self.h.persist_state_chunked(w)?;
+        let parts: Vec<&CtmsRouter> = (0..self.h.shard_count())
+            .map(|k| self.h.shard_router(k))
+            .collect();
+        persist_router_parts(&parts, w.enc());
+        w.flush_chunk()
+    }
+
+    /// Streaming counterpart of [`ParallelBus::restore_state`].
+    pub(crate) fn restore_state_chunked(
+        &mut self,
+        prefix: &mut ctms_sim::Dec<'_>,
+        r: &mut ctms_sim::ChunkedReader<'_>,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        self.h.restore_state_chunked(prefix, r, buf)?;
+        if !r.next_chunk_into(buf)? {
+            // Stream ended before the router chunk.
+            return Err(ctms_sim::PersistError::UnexpectedEof);
+        }
+        let mut dec = ctms_sim::Dec::new(buf);
+        let ckpt = decode_router_state(&mut dec)?;
+        dec.finish()?;
+        self.apply_router_ckpt(ckpt)
+    }
+
+    /// Re-distributes a decoded router snapshot across the shard parts
+    /// — shared by the monolithic and streamed restore paths.
+    fn apply_router_ckpt(&mut self, ckpt: RouterCkpt) -> Result<(), ctms_sim::PersistError> {
         let shards = self.h.shard_count();
         for k in 0..shards {
             self.h.shard_router_mut(k).clear_measurements();

@@ -34,6 +34,7 @@ use ctms_unixkern::{
 };
 use ctms_workloads::{PhantomOut, PhantomTraffic};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A registered component: the one node type the CTMS bus schedules.
 ///
@@ -152,10 +153,11 @@ enum Endpoint {
     Bridge { node: NodeId, port: u8 },
 }
 
-/// Per-node routing metadata, indexed by [`NodeId`]. Cloneable so the
-/// sharded build can hand every shard the complete wiring table (routing
-/// is read-only metadata; only taps and measurements are per-shard).
-#[derive(Clone)]
+/// Per-node routing metadata, indexed by [`NodeId`]. The complete table
+/// is built once and shared read-only (behind one `Arc`) by every shard
+/// router — routing is immutable metadata; only taps and measurements
+/// are per-shard. At 10^4 rings the table is tens of megabytes, so
+/// cloning it per shard would dominate build memory.
 enum Slot {
     Ring {
         /// Attached endpoint per station, indexed densely by
@@ -247,7 +249,8 @@ impl Measurements {
 /// The one [`Router`] of the CTMS world: owns the wiring tables, the
 /// per-ring TAP monitors, and the [`Measurements`] ground truth.
 pub struct CtmsRouter {
-    slots: Vec<Slot>,
+    /// The wiring table, shared (not cloned) across shard routers.
+    slots: Arc<[Slot]>,
     /// TAP monitor per ring node (same index space as `slots`).
     taps: Vec<Option<Tap>>,
     /// Hosts notified (as a driver call) when a ring purge starts.
@@ -670,7 +673,7 @@ impl Topology {
         let n_hosts = self.hosts.len();
         let host_node = |k: usize| NodeId(n_rings + n_bridges + k);
 
-        let slots = self.make_slots();
+        let slots: Arc<[Slot]> = self.make_slots().into();
         let taps: Vec<Option<Tap>> = slots
             .iter()
             .map(|s| matches!(s, Slot::Ring { .. }).then(|| Tap::new(TapCfg::default())))
@@ -834,10 +837,12 @@ impl Topology {
             }
         }
 
-        let slots = self.make_slots();
+        let slots: Arc<[Slot]> = self.make_slots().into();
         let routers: Vec<CtmsRouter> = (0..s)
             .map(|shard| CtmsRouter {
-                slots: slots.clone(),
+                // One shared wiring table for all shards: the Arc clone
+                // is a refcount bump, not a copy of the slot data.
+                slots: Arc::clone(&slots),
                 // Each ring's TAP lives with the ring's owner shard; the
                 // merged telemetry re-numbers them globally.
                 taps: slots
@@ -1053,6 +1058,44 @@ impl Bus {
     ) -> Result<(), ctms_sim::PersistError> {
         self.h.restore_state(dec)?;
         let ckpt = decode_router_state(dec)?;
+        self.apply_router_ckpt(ckpt)
+    }
+
+    /// Streaming counterpart of [`Bus::persist_state`]: the chunk
+    /// payloads concatenate to exactly the monolithic byte stream, but
+    /// at no point is more than one chunk buffered.
+    pub(crate) fn persist_state_chunked(
+        &self,
+        w: &mut ctms_sim::ChunkedWriter<'_>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        self.h.persist_state_chunked(w)?;
+        persist_router_parts(&[self.h.router()], w.enc());
+        w.flush_chunk()
+    }
+
+    /// Streaming counterpart of [`Bus::restore_state`]. `prefix` is the
+    /// tail of the first chunk (positioned right after the node-count
+    /// field); the remaining chunks are pulled from `r` through `buf`.
+    pub(crate) fn restore_state_chunked(
+        &mut self,
+        prefix: &mut ctms_sim::Dec<'_>,
+        r: &mut ctms_sim::ChunkedReader<'_>,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), ctms_sim::PersistError> {
+        self.h.restore_state_chunked(prefix, r, buf)?;
+        if !r.next_chunk_into(buf)? {
+            // Stream ended before the router chunk.
+            return Err(ctms_sim::PersistError::UnexpectedEof);
+        }
+        let mut dec = ctms_sim::Dec::new(buf);
+        let ckpt = decode_router_state(&mut dec)?;
+        dec.finish()?;
+        self.apply_router_ckpt(ckpt)
+    }
+
+    /// Applies a decoded router snapshot onto this bus's single router
+    /// part — shared by the monolithic and streamed restore paths.
+    fn apply_router_ckpt(&mut self, ckpt: RouterCkpt) -> Result<(), ctms_sim::PersistError> {
         let r = self.h.router_mut();
         r.clear_measurements();
         let ring_slots = r.ring_slot_indices();
@@ -1550,7 +1593,7 @@ impl CtmsRouter {
     pub(crate) fn topology_signature(&self) -> Vec<u8> {
         let mut enc = ctms_sim::Enc::new();
         enc.seq_len(self.slots.len());
-        for slot in &self.slots {
+        for slot in self.slots.iter() {
             match slot {
                 Slot::Ring { endpoints } => {
                     enc.u8(0);

@@ -15,24 +15,39 @@
 //! Reallocation (`Vec` growth) counts too: capacity retained across
 //! steps is precisely what the hot path promises.
 //!
-//! The counter uses relaxed atomics: the measured regions are
+//! Besides the count, the allocator tracks **live bytes** and their
+//! **high-water mark**: [`current_bytes`](CountingAlloc::current_bytes)
+//! is the total outstanding (allocated minus freed) and
+//! [`peak_bytes`](CountingAlloc::peak_bytes) the maximum it has reached
+//! since the last [`reset_peak`](CountingAlloc::reset_peak). The scale
+//! section of the perf harness brackets a topology build or a streamed
+//! checkpoint with these to measure peak memory, not just churn.
+//!
+//! The counters use relaxed atomics: the measured regions are
 //! single-threaded simulations, and cross-thread precision is not needed
-//! — only monotonic per-thread accuracy.
+//! — only monotonic per-thread accuracy. The peak update is a
+//! `fetch_max`, so concurrent allocations can under-report a transient
+//! peak by at most the in-flight amount — fine for a measurement
+//! harness, and exact in the single-threaded regions it brackets.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The system allocator with an allocation counter bolted on.
+/// The system allocator with allocation and live-byte counters bolted on.
 pub struct CountingAlloc {
     allocs: AtomicU64,
+    live: AtomicU64,
+    peak: AtomicU64,
 }
 
 impl CountingAlloc {
-    /// A fresh counting allocator (count starts at zero).
+    /// A fresh counting allocator (all counters start at zero).
     #[allow(clippy::new_without_default)]
     pub const fn new() -> Self {
         CountingAlloc {
             allocs: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
         }
     }
 
@@ -40,27 +55,72 @@ impl CountingAlloc {
     pub fn allocations(&self) -> u64 {
         self.allocs.load(Ordering::Relaxed)
     }
+
+    /// Bytes currently outstanding (allocated and not yet freed).
+    pub fn current_bytes(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`current_bytes`](CountingAlloc::current_bytes)
+    /// since the last [`reset_peak`](CountingAlloc::reset_peak).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Restarts the high-water mark from the current live total, so a
+    /// harness can measure the peak of one bracketed region.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn grow(&self, bytes: usize) {
+        let live = self
+            .live
+            .fetch_add(bytes as u64, Ordering::Relaxed)
+            .wrapping_add(bytes as u64);
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn shrink(&self, bytes: usize) {
+        self.live.fetch_sub(bytes as u64, Ordering::Relaxed);
+    }
 }
 
-// SAFETY: defers entirely to `System`; the counter has no effect on the
-// returned memory.
+// SAFETY: defers entirely to `System`; the counters have no effect on
+// the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            self.grow(layout.size());
+        }
+        ptr
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.shrink(layout.size());
         System.dealloc(ptr, layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            self.grow(layout.size());
+        }
+        ptr
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // The old block is gone, the new one is live.
+            self.shrink(layout.size());
+            self.grow(new_size);
+        }
+        new_ptr
     }
 }

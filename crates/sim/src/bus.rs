@@ -50,7 +50,7 @@
 
 use crate::engine::Component;
 use crate::heap::IndexedHeap;
-use crate::persist::{Dec, Enc, Persist, PersistError};
+use crate::persist::{ChunkedReader, ChunkedWriter, Dec, Enc, Persist, PersistError};
 use crate::telemetry::Registry;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
@@ -687,6 +687,94 @@ impl<C: Component, R: Router<C>> Harness<C, R> {
             self.dirty.push(i);
         }
         self.telemetry.restore(dec)?;
+        self.now = now;
+        self.events = events;
+        Ok(())
+    }
+
+    /// [`Harness::persist_state`] through a bounded chunk buffer: the
+    /// identical bytes, streamed node by node so the whole snapshot is
+    /// never materialized. Framing contract (relied on by
+    /// `restore_state_chunked`): the prefix (clock, event counter, node
+    /// count — plus whatever header the caller already buffered) ends a
+    /// chunk; nodes then pack greedily, each chunk holding whole nodes;
+    /// the telemetry block is flushed as its own chunk.
+    pub fn persist_state_chunked(&self, w: &mut ChunkedWriter<'_>) -> Result<(), PersistError>
+    where
+        C: Persist,
+    {
+        debug_assert!(self.wave.is_empty() && self.out_buf.is_empty());
+        let enc = w.enc();
+        enc.time(self.now);
+        enc.u64(self.events);
+        enc.seq_len(self.nodes.len());
+        w.flush_chunk()?;
+        for node in &self.nodes {
+            node.persist(w.enc());
+            w.unit()?;
+        }
+        w.flush_chunk()?;
+        self.telemetry.persist(w.enc());
+        w.flush_chunk()?;
+        Ok(())
+    }
+
+    /// Applies a stream written by [`Harness::persist_state_chunked`].
+    /// `prefix` is the tail of the first chunk, positioned after the
+    /// caller's header at the clock field; node and telemetry chunks
+    /// are pulled from `r` through the scratch buffer `buf`.
+    pub fn restore_state_chunked(
+        &mut self,
+        prefix: &mut Dec<'_>,
+        r: &mut ChunkedReader<'_>,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), PersistError>
+    where
+        C: Persist,
+    {
+        if let Some(e) = self.failed {
+            return Err(PersistError::mismatch(format!(
+                "cannot restore into a poisoned harness: {e}"
+            )));
+        }
+        let now = prefix.time()?;
+        let events = prefix.u64()?;
+        // A bare u32, not `seq_len`: the node payloads live in later
+        // chunks, so the remaining-bytes bound would misfire.
+        let n = prefix.u32()? as usize;
+        if n != self.nodes.len() {
+            return Err(PersistError::mismatch(format!(
+                "checkpoint has {n} nodes, rebuilt harness has {}",
+                self.nodes.len()
+            )));
+        }
+        if prefix.remaining() != 0 {
+            return Err(PersistError::mismatch(
+                "streamed checkpoint prefix chunk does not end at the node-count field",
+            ));
+        }
+        let mut i = 0;
+        while i < n {
+            if !r.next_chunk_into(buf)? {
+                return Err(PersistError::UnexpectedEof);
+            }
+            let mut dec = Dec::new(buf);
+            while i < n && dec.remaining() > 0 {
+                self.nodes[i].restore(&mut dec)?;
+                self.dirty.push(i);
+                i += 1;
+            }
+            // A chunk boundary inside a node would have failed the
+            // restore above; leftover bytes after the last node mean
+            // the telemetry block did not start its own chunk.
+            dec.finish()?;
+        }
+        if !r.next_chunk_into(buf)? {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let mut dec = Dec::new(buf);
+        self.telemetry.restore(&mut dec)?;
+        dec.finish()?;
         self.now = now;
         self.events = events;
         Ok(())

@@ -53,7 +53,10 @@ pub use bus::{
 };
 pub use engine::{drain_component, earliest, CascadeGuard, Component, EventLoop};
 pub use heap::IndexedHeap;
-pub use persist::{decode_new, Dec, Enc, Persist, PersistError, Rollback};
+pub use persist::{
+    decode_new, ChunkSink, ChunkedReader, ChunkedWriter, Dec, Enc, FramedWrite, Persist,
+    PersistError, Rollback, STREAM_CHUNK,
+};
 pub use rng::{Pcg32, SplitMix64};
 pub use shard::{
     merge_mail, ExecMode, MailKey, MergeTelemetry, ShardStats, ShardedHarness, WindowMode,

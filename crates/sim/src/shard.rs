@@ -43,7 +43,7 @@
 use crate::bus::{CascadeError, CmdSink, NodeId, Router, SpeculationFault, DEFAULT_CASCADE_LIMIT};
 use crate::engine::Component;
 use crate::heap::IndexedHeap;
-use crate::persist::{Dec, Enc, Persist, PersistError, Rollback};
+use crate::persist::{ChunkedReader, ChunkedWriter, Dec, Enc, Persist, PersistError, Rollback};
 use crate::sweep::parallel_map;
 use crate::telemetry::Registry;
 use crate::time::{Dur, SimTime};
@@ -2412,6 +2412,106 @@ where
             shard.dirty.push(l as usize);
         }
         self.telemetry.restore(dec)?;
+        for (k, s) in self.shards.iter_mut().enumerate() {
+            let s = s.as_mut().expect("shard present");
+            s.now = now;
+            s.events = if k == 0 { events } else { 0 };
+        }
+        self.now = now;
+        Ok(())
+    }
+
+    /// [`ShardedHarness::persist_state`] through a bounded chunk
+    /// buffer — same bytes, same framing contract as
+    /// [`crate::bus::Harness::persist_state_chunked`], so the two
+    /// engines' streams are interchangeable.
+    pub fn persist_state_chunked(&self, w: &mut ChunkedWriter<'_>) -> Result<(), PersistError>
+    where
+        C: Persist,
+    {
+        let enc = w.enc();
+        enc.time(self.now);
+        enc.u64(self.events());
+        enc.seq_len(self.owner_map.len());
+        w.flush_chunk()?;
+        for gid in 0..self.owner_map.len() {
+            let (s, l) = self.owner_map[gid];
+            let shard = self.shards[s as usize].as_ref().expect("shard present");
+            debug_assert!(
+                shard.wave.is_empty()
+                    && shard.out_buf.is_empty()
+                    && shard.inbox.is_empty()
+                    && shard.pending.is_empty()
+                    && shard.outbox.iter().all(|o| o.is_empty())
+                    && shard.segs.is_empty()
+                    && shard.xlog.is_empty()
+                    && shard.spec_outbox.iter().all(|o| o.is_empty()),
+                "checkpoint taken off a sync-instant boundary"
+            );
+            shard.nodes[l as usize].persist(w.enc());
+            w.unit()?;
+        }
+        w.flush_chunk()?;
+        self.telemetry.persist(w.enc());
+        w.flush_chunk()?;
+        Ok(())
+    }
+
+    /// Applies a stream written by either engine's
+    /// `persist_state_chunked` onto this freshly rebuilt harness; see
+    /// [`crate::bus::Harness::restore_state_chunked`] for the argument
+    /// contract.
+    pub fn restore_state_chunked(
+        &mut self,
+        prefix: &mut Dec<'_>,
+        r: &mut ChunkedReader<'_>,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), PersistError>
+    where
+        C: Persist,
+    {
+        if let Some(e) = self.failed {
+            return Err(PersistError::mismatch(format!(
+                "cannot restore into a poisoned harness: {e}"
+            )));
+        }
+        let now = prefix.time()?;
+        let events = prefix.u64()?;
+        // Bare u32: the node payloads live in later chunks, so the
+        // remaining-bytes bound of `seq_len` would misfire.
+        let n = prefix.u32()? as usize;
+        if n != self.owner_map.len() {
+            return Err(PersistError::mismatch(format!(
+                "checkpoint has {n} nodes, rebuilt harness has {}",
+                self.owner_map.len()
+            )));
+        }
+        if prefix.remaining() != 0 {
+            return Err(PersistError::mismatch(
+                "streamed checkpoint prefix chunk does not end at the node-count field",
+            ));
+        }
+        let mut gid = 0;
+        while gid < n {
+            if !r.next_chunk_into(buf)? {
+                return Err(PersistError::UnexpectedEof);
+            }
+            let mut dec = Dec::new(buf);
+            while gid < n && dec.remaining() > 0 {
+                let (s, l) = self.owner_map[gid];
+                let shard = self.shards[s as usize].as_mut().expect("shard present");
+                shard.nodes[l as usize].restore(&mut dec)?;
+                shard.dirty.push(l as usize);
+                gid += 1;
+            }
+            dec.finish()?;
+        }
+        if !r.next_chunk_into(buf)? {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let mut dec = Dec::new(buf);
+        self.telemetry.restore(&mut dec)?;
+        dec.finish()?;
         for (k, s) in self.shards.iter_mut().enumerate() {
             let s = s.as_mut().expect("shard present");
             s.now = now;

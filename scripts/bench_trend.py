@@ -13,7 +13,12 @@ normalizes all of them into a long-format
 table: one row per headline metric, ordered by PR number. Sharded rows
 carry an events-per-sync-instant column when the report recorded window
 counters, and an "[opt]" ablation row (rollback count and speculation
-efficiency) when the report measured optimistic execution. Malformed
+efficiency) when the report measured optimistic execution. "ctms-perf/6"
+reports add a capacity ("scale") section — per topology size, the build
+wall time (with peak build bytes when the report was recorded with the
+counting allocator), the steady-state events/sec with the shard counts
+whose streamed checkpoints round-tripped byte-identically, and the
+streaming-checkpoint write/read throughput in MB/s. Malformed
 reports (unparseable JSON, or a structurally broken
 section) are listed on stderr and make the exit code non-zero — as does
 a recorded sharded configuration running more than 10% slower than its
@@ -36,6 +41,16 @@ from pathlib import Path
 
 def fmt_speedup(x):
     return f"{x:.2f}x"
+
+
+def fmt_bytes(n):
+    if n >= 1e9:
+        return f"{n / 1e9:.1f} GB"
+    if n >= 1e6:
+        return f"{n / 1e6:.1f} MB"
+    if n >= 1e3:
+        return f"{n / 1e3:.1f} kB"
+    return f"{n} B"
 
 
 def rows_repro(report):
@@ -96,6 +111,38 @@ def rows_sharded(label, section):
                 f"{fmt_speedup(opt['speedup'])} (ablation, "
                 f"{spec['rollbacks']} rollbacks, {eff:.1%} efficient)",
             )
+
+
+def rows_scale(scale):
+    """ctms-perf/6: the city-scale capacity section — per topology size,
+    build wall time, steady-state events/sec, and streaming-checkpoint
+    throughput. Parity here means the run's ground-truth digests matched
+    the single-threaded run AND the streamed checkpoint round-tripped
+    byte-identically at every listed shard count."""
+    shape = scale["shape"]
+    for e in scale["entries"]:
+        label = f"{shape}/{e['rings']} [scale]"
+        run = e["run"]
+        ck = e["checkpoint"]
+        parity = "parity OK" if e["ground_truth_parity"] else "PARITY BROKEN"
+        shards = ",".join(str(s) for s in e["stream_parity_shards"])
+        peak = e["build_peak_bytes"]
+        peak_txt = f", peak {fmt_bytes(peak)}" if peak is not None else ""
+        yield (
+            f"{label} build",
+            f"{e['nodes']} nodes in {e['build_wall_secs']:.2f}s{peak_txt}",
+        )
+        yield (
+            f"{label} run",
+            f"{run['events_per_sec'] / 1e6:.2f}M ev/s "
+            f"({parity}, stream shards {shards})",
+        )
+        yield (
+            f"{label} checkpoint",
+            f"{fmt_bytes(ck['bytes'])} in {ck['chunks']} chunks, "
+            f"write {ck['write_mb_per_sec']:.0f} MB/s, "
+            f"read {ck['read_mb_per_sec']:.0f} MB/s",
+        )
 
 
 def report_degraded(report):
@@ -167,6 +214,9 @@ def rows_perf(report):
         yield from rows_sharded(f"chain/{chain['rings']}", chain)
     for topo in report.get("topologies") or []:
         yield from rows_sharded(f"{topo['shape']}/{topo['rings']}", topo)
+    scale = report.get("scale")
+    if scale:
+        yield from rows_scale(scale)
 
 
 def rows_for(report):
@@ -347,12 +397,61 @@ WELL_FORMED_V5 = {
 }
 
 
+WELL_FORMED_V6 = {
+    "format": "ctms-perf/6",
+    "cores": 4,
+    "degraded_parallelism": False,
+    "cases": [
+        {
+            "name": "case_a",
+            "indexed": {"events_per_sec": 2.5e6},
+            "speedup": 1.5,
+        }
+    ],
+    "chain": {
+        "rings": 32,
+        "single": {"events_per_sec": 5.0e6},
+        "sharded": [
+            {"shards": 2, "threads": 2, "speedup": 1.3, "ground_truth_parity": True}
+        ],
+    },
+    "topologies": None,
+    "scale": {
+        "shape": "tree",
+        "entries": [
+            {
+                "rings": 10000,
+                "nodes": 20001,
+                "build_wall_secs": 0.02,
+                "build_peak_bytes": 31457280,
+                "horizon_ms": 100,
+                "run": {
+                    "events": 199683,
+                    "wall_secs": 0.0955,
+                    "events_per_sec": 2.09e6,
+                },
+                "checkpoint": {
+                    "bytes": 4521907,
+                    "chunks": 37,
+                    "write_secs": 0.0069,
+                    "write_mb_per_sec": 655.6,
+                    "read_secs": 0.0056,
+                    "read_mb_per_sec": 804.3,
+                },
+                "stream_parity_shards": [1, 2, 4],
+                "ground_truth_parity": True,
+            }
+        ],
+    },
+}
+
+
 def selftest():
     """Pins the malformed-report contract (bad syntax and a broken
     topology section both produce a non-zero exit, a clean tree a zero
     one), the /4 efficiency columns, the /5 optimistic ablation row,
-    and the sharded-regression gate (conservative and optimistic) with
-    its degraded-parallelism exemption."""
+    the /6 scale section, and the sharded-regression gate (conservative
+    and optimistic) with its degraded-parallelism exemption."""
 
     def run_on(files):
         with tempfile.TemporaryDirectory() as td:
@@ -438,6 +537,42 @@ def selftest():
     degraded["degraded_parallelism"] = True
     code, _, err = run_on({"BENCH_PR9.json": json.dumps(degraded)})
     assert code == 0, f"degraded /5 reports must be exempt: {err}"
+
+    # A /6 report renders the scale section's build, run, and checkpoint
+    # rows and exits 0 — the capacity pass is display-only, but stays
+    # subject to the same chain/topology regression gate as /4 and /5.
+    code, out, err = run_on({"BENCH_PR10.json": json.dumps(WELL_FORMED_V6)})
+    assert code == 0, f"well-formed /6 report must exit 0: {err}"
+    assert "tree/10000 [scale] build" in out, f"missing scale build row:\n{out}"
+    assert "20001 nodes in 0.02s, peak 31.5 MB" in out, f"missing build columns:\n{out}"
+    assert "2.09M ev/s (parity OK, stream shards 1,2,4)" in out, (
+        f"missing scale run row:\n{out}"
+    )
+    assert "4.5 MB in 37 chunks, write 656 MB/s, read 804 MB/s" in out, (
+        f"missing checkpoint throughput row:\n{out}"
+    )
+
+    # Without the counting allocator the build row simply omits the peak.
+    no_peak = json.loads(json.dumps(WELL_FORMED_V6))
+    no_peak["scale"]["entries"][0]["build_peak_bytes"] = None
+    code, out, err = run_on({"BENCH_PR10.json": json.dumps(no_peak)})
+    assert code == 0, f"null build_peak_bytes must render: {err}"
+    assert "20001 nodes in 0.02s" in out and "peak" not in out, out
+
+    # A structurally broken scale entry (missing its checkpoint block)
+    # is malformed, same as a broken topology section.
+    broken = json.loads(json.dumps(WELL_FORMED_V6))
+    del broken["scale"]["entries"][0]["checkpoint"]
+    code, _, err = run_on({"BENCH_PR10.json": json.dumps(broken)})
+    assert code == 1, "a broken scale entry must fail the run"
+    assert "bad section structure" in err, err
+
+    # The >10% sharded-regression gate still applies to /6 reports.
+    regressed = json.loads(json.dumps(WELL_FORMED_V6))
+    regressed["chain"]["sharded"][0]["speedup"] = 0.8
+    code, _, err = run_on({"BENCH_PR10.json": json.dumps(regressed)})
+    assert code == 1, "a /6 sharded regression must fail the run"
+    assert "0.80x" in err, err
 
     print("bench_trend selftest: OK")
     return 0

@@ -72,6 +72,24 @@ printf '%s\n' \
   | grep -q '"event":"restored","now_ms":1000' \
   || { echo "serve smoke: restore did not land at 1000 ms" >&2; exit 1; }
 
+echo "== ctms-serve smoke (streamed checkpoint chunks concatenate to the monolithic hex)"
+stream_out=$(printf '%s\n' \
+  '{"scenario":"chain","rings":8,"shards":2}' \
+  '{"cmd":"run","until_ms":200}' \
+  '{"cmd":"checkpoint"}' \
+  '{"cmd":"checkpoint_stream"}' \
+  '{"cmd":"quit"}' \
+  | cargo run --release -q -p ctms-bench --bin serve)
+mono=$(printf '%s' "$stream_out" | sed -n 's/.*"checkpoint":"\([0-9a-f]*\)".*/\1/p')
+chunks=$(printf '%s' "$stream_out" \
+  | sed -n 's/.*"event":"checkpoint_chunk".*"data":"\([0-9a-f]*\)".*/\1/p' \
+  | tr -d '\n')
+[ -n "$mono" ] || { echo "serve smoke: no monolithic checkpoint hex" >&2; exit 1; }
+[ "$chunks" = "$mono" ] \
+  || { echo "serve smoke: streamed chunks do not concatenate to the checkpoint hex" >&2; exit 1; }
+printf '%s' "$stream_out" | grep -q '"event":"checkpoint_done"' \
+  || { echo "serve smoke: missing checkpoint_done line" >&2; exit 1; }
+
 echo "== perf smoke (report-only, compares against checked-in BENCH_PR4.json)"
 cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
   --quick --compare BENCH_PR4.json
@@ -93,6 +111,10 @@ cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
 echo "== optimistic perf smoke (report-only: speculation ablation, parity-asserting, vs BENCH_PR9.json)"
 cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
   --quick --shards 4 --rings 32 --adaptive --optimistic --compare BENCH_PR9.json
+
+echo "== scale perf smoke (capacity section at small N: build, streamed-checkpoint parity at 1/2/4 shards, vs BENCH_PR10.json)"
+cargo run --release -q -p ctms-bench --features alloc-count --bin perf -- \
+  --quick --scale --compare BENCH_PR10.json
 
 echo "== bench_trend selftest (malformed reports, incl. topology section, must fail)"
 python3 scripts/bench_trend.py --selftest

@@ -18,8 +18,37 @@ use ctms_core::{
     apply_mutations, fork, ForkSpec, Mutation, RingChainTestbed, RingGraph, Scenario, Testbed,
 };
 use ctms_router::BridgeKind;
-use ctms_sim::{Dur, SimTime};
+use ctms_sim::{ChunkSink, Dur, PersistError, SimTime};
 use ctms_unixkern::MeasurePoint;
+
+/// Collects a chunk stream for inspection: every payload chunk in
+/// order, plus the total the writer reported at finish.
+struct CollectSink {
+    chunks: Vec<Vec<u8>>,
+    finished: Option<u64>,
+}
+
+impl CollectSink {
+    fn new() -> Self {
+        CollectSink {
+            chunks: Vec::new(),
+            finished: None,
+        }
+    }
+}
+
+impl ChunkSink for CollectSink {
+    fn chunk(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        assert!(!bytes.is_empty(), "payload chunks are never empty");
+        self.chunks.push(bytes.to_vec());
+        Ok(())
+    }
+
+    fn finish(&mut self, payload: u64) -> Result<(), PersistError> {
+        self.finished = Some(payload);
+        Ok(())
+    }
+}
 
 /// The four truth-log digests the determinism suite pins.
 fn digests(bed: &Testbed) -> [u64; 4] {
@@ -399,6 +428,155 @@ fn corrupt_and_mismatched_checkpoints_are_rejected() {
     // 16-ring chain (node count mismatch).
     let mut chain = RingChainTestbed::chain(&sc, BridgeKind::cut_through_bridge(), 16);
     assert!(chain.bus_mut().restore_checkpoint(&good).is_err());
+}
+
+#[test]
+fn streamed_checkpoint_concatenates_to_the_monolithic_snapshot() {
+    // The streaming writer's contract: chunk payloads concatenate to
+    // **exactly** the bytes of the monolithic `checkpoint()`, on the
+    // single-threaded bus and on genuinely sharded builds at every
+    // shard count. The writer must also actually chunk — a snapshot
+    // bigger than the chunk size may not arrive as one buffer.
+    let sc = Scenario::test_case_a(42);
+    let mut bed = Testbed::ctms(&sc);
+    bed.run_until(SimTime::from_secs(5));
+    let mono = bed.bus().checkpoint();
+    let mut sink = CollectSink::new();
+    let (payload, chunks) = bed.bus().checkpoint_stream(&mut sink).expect("stream");
+    assert_eq!(sink.chunks.concat(), mono, "concatenation drifted (single)");
+    assert_eq!(payload as usize, mono.len());
+    assert_eq!(chunks as usize, sink.chunks.len());
+    assert_eq!(sink.finished, Some(payload), "finish not reported");
+
+    let chain_sc = Scenario::scaled_chain(42);
+    let kind = BridgeKind::cut_through_bridge();
+    let tree = RingGraph::tree(12, 3);
+    for shards in [1usize, 2, 4] {
+        let mut origin = RingChainTestbed::graph_sharded(&chain_sc, kind, &tree, shards);
+        origin.run_until(SimTime::from_ms(1000));
+        let mono = origin.bus().checkpoint();
+        let mut sink = CollectSink::new();
+        let (payload, _) = origin
+            .bus()
+            .checkpoint_stream(&mut sink)
+            .unwrap_or_else(|e| panic!("stream at {shards} shards: {e}"));
+        assert_eq!(
+            sink.chunks.concat(),
+            mono,
+            "concatenation drifted (shards={shards})"
+        );
+        assert_eq!(payload as usize, mono.len());
+        assert!(
+            sink.chunks.len() > 1,
+            "snapshot of {} bytes should span multiple chunks",
+            mono.len()
+        );
+    }
+}
+
+#[test]
+fn framed_stream_round_trips_across_shard_counts() {
+    // write_checkpoint at 4 shards, read_checkpoint at 1/2/4 and into
+    // the plain single-threaded build: every continuation lands on the
+    // uninterrupted run's telemetry, and the restored bus re-streams to
+    // the identical framed bytes (the encoding stays a fixed point
+    // through the chunked path).
+    let sc = Scenario::scaled_chain(42);
+    let kind = BridgeKind::cut_through_bridge();
+    let tree = RingGraph::tree(12, 3);
+    let mid = SimTime::from_ms(1000);
+    let end = SimTime::from_secs(2);
+
+    let mut straight = RingChainTestbed::graph(&sc, kind, &tree);
+    straight.run_until(end);
+    let straight_json = straight.telemetry_json();
+
+    let mut origin = RingChainTestbed::graph_sharded(&sc, kind, &tree, 4);
+    assert_eq!(origin.shard_count(), 4, "tree must genuinely partition");
+    origin.run_until(mid);
+    let mut framed = Vec::new();
+    origin.bus().write_checkpoint(&mut framed).expect("write");
+
+    for shards in [1usize, 2, 4] {
+        let mut bed = RingChainTestbed::graph_sharded(&sc, kind, &tree, shards);
+        bed.bus_mut()
+            .read_checkpoint(&mut framed.as_slice())
+            .unwrap_or_else(|e| panic!("read at {shards} shards: {e}"));
+        assert_eq!(bed.now(), mid);
+        let mut again = Vec::new();
+        bed.bus().write_checkpoint(&mut again).expect("re-write");
+        assert_eq!(
+            again, framed,
+            "re-streamed checkpoint is not a fixed point (shards={shards})"
+        );
+        bed.run_until(end);
+        assert_eq!(
+            bed.telemetry_json(),
+            straight_json,
+            "streamed restore drifted (shards={shards})"
+        );
+    }
+
+    let mut single = RingChainTestbed::graph(&sc, kind, &tree);
+    single
+        .bus_mut()
+        .read_checkpoint(&mut framed.as_slice())
+        .expect("read into single-threaded bus");
+    single.run_until(end);
+    assert_eq!(
+        single.telemetry_json(),
+        straight_json,
+        "single-threaded streamed restore drifted"
+    );
+}
+
+#[test]
+fn truncated_stream_is_rejected_with_a_typed_error() {
+    // A framed stream cut anywhere — mid-length-prefix, mid-chunk,
+    // mid-terminator — must surface as `PersistError::UnexpectedEof`
+    // from `read_checkpoint`, never a panic and never a partial apply
+    // that leaves the bus half-restored and usable.
+    let sc = Scenario::test_case_a(42);
+    let mut bed = Testbed::ctms(&sc);
+    bed.run_until(SimTime::from_secs(2));
+    let mut framed = Vec::new();
+    bed.bus().write_checkpoint(&mut framed).expect("write");
+
+    let cuts = [
+        0,                // before any byte
+        2,                // inside the first chunk's length prefix
+        framed.len() / 3, // mid-chunk payload
+        framed.len() / 2,
+        framed.len() - 10, // inside the terminator
+        framed.len() - 1,
+    ];
+    for cut in cuts {
+        let mut fresh = Testbed::ctms(&sc);
+        let err = fresh
+            .bus_mut()
+            .read_checkpoint(&mut &framed[..cut])
+            .expect_err("truncated stream must be rejected");
+        assert_eq!(
+            err,
+            PersistError::UnexpectedEof,
+            "cut at {cut}/{} should read as truncation",
+            framed.len()
+        );
+    }
+
+    // Corrupt magic inside an intact frame is a mismatch, not EOF —
+    // the typed distinction callers branch on.
+    let mut bad = framed.clone();
+    bad[4] ^= 0xFF; // first magic byte (after the u32 chunk length)
+    let mut fresh = Testbed::ctms(&sc);
+    let err = fresh
+        .bus_mut()
+        .read_checkpoint(&mut bad.as_slice())
+        .expect_err("bad magic must be rejected");
+    assert!(
+        matches!(err, PersistError::Mismatch(_)),
+        "want Mismatch, got {err:?}"
+    );
 }
 
 #[test]
